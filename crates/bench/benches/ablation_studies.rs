@@ -1,0 +1,57 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! hash-table sizing, priority mode, load-balancing strategy, and the
+//! JPL setElement-vs-assign optimization.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_core::gblas_jpl::{gblas_jpl_with, JplConfig};
+use gc_core::gunrock_hash::{gunrock_hash, HashConfig};
+use gc_core::gunrock_is::{gunrock_is, IsConfig};
+use gc_datasets::TEST_SCALE;
+use gc_graph::generators::{barabasi_albert, star};
+
+fn bench_ablations(c: &mut Criterion) {
+    let g3 = gc_datasets::dataset_by_name("G3_circuit").unwrap().generate(TEST_SCALE, 42);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    // A: hash-table size.
+    for hs in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("hash_size", hs), &hs, |b, &hs| {
+            b.iter(|| gunrock_hash(&g3, 42, HashConfig { hash_size: hs, ..Default::default() }))
+        });
+    }
+
+    // B: priority mode on a power-law graph.
+    let ba = barabasi_albert(2000, 8, 42);
+    group.bench_function("priority/random", |b| {
+        b.iter(|| gunrock_is(&ba, 42, IsConfig::min_max()))
+    });
+    group.bench_function("priority/largest_degree_first", |b| {
+        b.iter(|| gunrock_is(&ba, 42, IsConfig::largest_degree_first()))
+    });
+
+    // C: load balance on a hub-dominated graph.
+    let hub = star(4096);
+    group.bench_function("load_balance/thread_mapped", |b| {
+        b.iter(|| gunrock_is(&hub, 42, IsConfig::min_max()))
+    });
+    group.bench_function("load_balance/warp_cooperative", |b| {
+        b.iter(|| gunrock_is(&hub, 42, IsConfig::min_max_load_balanced()))
+    });
+
+    // D: the paper's suggested JPL optimization.
+    group.bench_function("jpl/set_element", |b| {
+        b.iter(|| gblas_jpl_with(&g3, 42, JplConfig::paper()))
+    });
+    group.bench_function("jpl/assign", |b| {
+        b.iter(|| gblas_jpl_with(&g3, 42, JplConfig::optimized()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench for Figure 1: all nine implementations on representative
+//! datasets (one low-degree mesh, one high-degree shell — the two poles
+//! of the paper's runtime discussion).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_core::runner::all_colorers;
+use gc_datasets::TEST_SCALE;
+
+fn bench_fig1(c: &mut Criterion) {
+    let datasets = ["ecology2", "af_shell3"];
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for name in datasets {
+        let g = gc_datasets::dataset_by_name(name).unwrap().generate(TEST_SCALE, 42);
+        for colorer in all_colorers() {
+            let r = colorer.run(&g, 42);
+            eprintln!(
+                "fig1 model: {:<18} {:<24} {:>10.3} ms colors={}",
+                name,
+                colorer.name(),
+                r.model_ms,
+                r.num_colors
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, colorer.name().replace('/', "_")),
+                &colorer,
+                |b, col| b.iter(|| col.run(&g, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

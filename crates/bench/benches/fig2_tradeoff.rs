@@ -1,0 +1,32 @@
+//! Bench for Figure 2: the four time-quality trade-off implementations
+//! (Gunrock IS vs Hash; GraphBLAST IS vs MIS) on one mesh dataset.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_bench::experiments::FIG2_IMPLS;
+use gc_core::runner::colorer_by_name;
+use gc_datasets::TEST_SCALE;
+
+fn bench_fig2(c: &mut Criterion) {
+    let g = gc_datasets::dataset_by_name("parabolic_fem").unwrap().generate(TEST_SCALE, 42);
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for name in FIG2_IMPLS {
+        let colorer = colorer_by_name(name).expect("registered");
+        let r = colorer.run(&g, 42);
+        eprintln!(
+            "fig2 model: {:<24} {:>10.3} ms colors={} (time-quality point)",
+            name, r.model_ms, r.num_colors
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parabolic_fem", name.replace('/', "_")),
+            &colorer,
+            |b, col| b.iter(|| col.run(&g, 42)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Figure 3: RGG scaling of Gunrock IS vs GraphBLAST IS.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_core::gblas_is::gblas_is;
+use gc_core::gunrock_is::{gunrock_is, IsConfig};
+use gc_graph::generators::rgg_scale;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for scale in [8u32, 10, 12] {
+        let g = rgg_scale(scale, 42);
+        let gr = gunrock_is(&g, 42, IsConfig::min_max());
+        let gb = gblas_is(&g, 42);
+        eprintln!(
+            "fig3 model: scale={} n={} m={} gunrock={:.3} ms ({} colors) graphblast={:.3} ms ({} colors)",
+            scale,
+            g.num_vertices(),
+            g.num_edges(),
+            gr.model_ms,
+            gr.num_colors,
+            gb.model_ms,
+            gb.num_colors
+        );
+        group.bench_with_input(BenchmarkId::new("gunrock_is", scale), &g, |b, g| {
+            b.iter(|| gunrock_is(g, 42, IsConfig::min_max()))
+        });
+        group.bench_with_input(BenchmarkId::new("graphblast_is", scale), &g, |b, g| {
+            b.iter(|| gblas_is(g, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the virtual-GPU substrate itself: kernel launch
+//! machinery, primitives, and the two frameworks' basic operators. These
+//! quantify the simulator's wall-clock cost per metered operation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gc_graph::generators::{grid2d, Stencil2d};
+use gc_graphblas::{ops as grb, Descriptor, Matrix, MaxTimes, Vector};
+use gc_gunrock::{ops as gr, DeviceCsr, Frontier};
+use gc_vgpu::primitives;
+use gc_vgpu::{Device, DeviceBuffer, DeviceConfig};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for n in [1usize << 12, 1 << 16] {
+        let dev = Device::new(DeviceConfig::k40c());
+        let buf = DeviceBuffer::<u32>::filled(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("launch_rw", n), &n, |b, &n| {
+            b.iter(|| {
+                dev.launch("rw", n, |t| {
+                    let i = t.tid();
+                    let v = t.read(&buf, i);
+                    t.write(&buf, i, v);
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reduce", n), &n, |b, _| {
+            b.iter(|| primitives::reduce(&dev, "sum", &buf, 0u32, |a, b| a + b))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| primitives::exclusive_scan(&dev, "scan", &buf))
+        });
+    }
+
+    // Operator-level: one advance and one vxm on a mesh.
+    let g = grid2d(128, 128, Stencil2d::NinePoint);
+    let dev = Device::new(DeviceConfig::k40c());
+    let csr = DeviceCsr::upload(&dev, &g);
+    let n = g.num_vertices();
+    group.throughput(Throughput::Elements(g.num_directed_edges() as u64));
+    group.bench_function("gunrock_advance", |b| {
+        b.iter(|| gr::advance(&dev, "adv", &csr, &Frontier::all(n)))
+    });
+    let a = Matrix::from_graph(&dev, &g);
+    let u = Vector::<i64>::new(n);
+    let w = Vector::<i64>::new(n);
+    group.bench_function("graphblas_vxm", |b| {
+        b.iter(|| grb::vxm(&dev, &w, None, &MaxTimes, &u, &a, Descriptor::null()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for Table I: dataset synthesis and statistics measurement.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_datasets::{table1_real_world, TEST_SCALE};
+use gc_graph::stats::GraphStats;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for spec in table1_real_world() {
+        group.bench_with_input(BenchmarkId::new("generate", spec.name), &spec, |b, s| {
+            b.iter(|| s.generate(TEST_SCALE, 42))
+        });
+    }
+    // Statistics measurement on one representative dataset.
+    let g = gc_datasets::dataset_by_name("G3_circuit").unwrap().generate(TEST_SCALE, 42);
+    group.bench_function("stats/G3_circuit", |b| b.iter(|| GraphStats::measure(&g, 8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for Table II: the Gunrock optimization ladder on the G3_circuit
+//! stand-in. Criterion reports simulator wall time; the model times (the
+//! paper's column) are printed once at startup.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_core::runner::table2_variants;
+use gc_datasets::TEST_SCALE;
+
+fn bench_table2(c: &mut Criterion) {
+    let g = gc_datasets::dataset_by_name("G3_circuit").unwrap().generate(TEST_SCALE, 42);
+
+    // Print the regenerated table once so `cargo bench` output carries
+    // the reproduction numbers alongside the wall times.
+    for row in gc_bench::experiments::table2_on(&g, 42) {
+        eprintln!(
+            "table2 model: {:<36} {:>10.3} ms (paper {:>7.2} ms) colors={}",
+            row.optimization, row.model_ms, row.paper_ms, row.colors
+        );
+    }
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for variant in table2_variants() {
+        group.bench_with_input(BenchmarkId::new("variant", variant.name()), &variant, |b, v| {
+            b.iter(|| v.run(&g, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [table1|table2|fig1|fig2|fig3|all] [--scale F] [--seed N]
+//!       [--rgg MIN:MAX] [--diameter-samples N] [--full] [--csv DIR]
+//! ```
+//!
+//! Default scale synthesizes each dataset at 2% of the paper's vertex
+//! count, which preserves every qualitative comparison while keeping the
+//! sweep interactive. `--full` uses the paper's extents (slow).
+
+use std::fs;
+use std::process::ExitCode;
+
+use gc_bench::experiments::{self, ExperimentConfig};
+use gc_bench::format;
+
+struct Args {
+    command: String,
+    cfg: ExperimentConfig,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut command = String::from("all");
+    let mut cfg = ExperimentConfig::default();
+    let mut csv_dir = None;
+    let mut first = true;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "table1" | "table2" | "fig1" | "fig1a" | "fig1b" | "fig2" | "fig3" | "ablation"
+            | "powerlaw" | "all"
+                if first =>
+            {
+                command = a;
+            }
+            "--scale" => {
+                cfg.scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--rgg" => {
+                let v = args.next().ok_or("--rgg needs MIN:MAX")?;
+                let (lo, hi) = v.split_once(':').ok_or("--rgg format is MIN:MAX")?;
+                cfg.rgg_min = lo.parse().map_err(|e| format!("bad rgg min: {e}"))?;
+                cfg.rgg_max = hi.parse().map_err(|e| format!("bad rgg max: {e}"))?;
+            }
+            "--diameter-samples" => {
+                cfg.diameter_samples = args
+                    .next()
+                    .ok_or("--diameter-samples needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --diameter-samples: {e}"))?;
+            }
+            "--full" => cfg = ExperimentConfig::full(),
+            "--csv" => csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        first = false;
+    }
+    Ok(Args { command, cfg, csv_dir })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: repro [table1|table2|fig1|fig2|fig3|ablation|all] [--scale F] \
+                 [--seed N] [--rgg MIN:MAX] [--diameter-samples N] [--full] [--csv DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = args.cfg;
+    println!(
+        "# gc-gpu reproduction harness | scale={} seed={} rgg={}..={}\n",
+        cfg.scale, cfg.seed, cfg.rgg_min, cfg.rgg_max
+    );
+
+    let want = |x: &str| args.command == x || args.command == "all";
+
+    if want("table1") {
+        println!("{}", format::render_table1(&experiments::table1(&cfg)));
+    }
+    if want("table2") {
+        println!("{}", format::render_table2(&experiments::table2(&cfg)));
+    }
+    let need_fig1 = want("fig1")
+        || args.command == "fig1a"
+        || args.command == "fig1b"
+        || want("fig2");
+    let fig1_data = if need_fig1 { Some(experiments::fig1(&cfg)) } else { None };
+    if let Some(data) = &fig1_data {
+        if want("fig1") || args.command == "fig1a" {
+            println!("{}", format::render_fig1a(data));
+        }
+        if want("fig1") || args.command == "fig1b" {
+            println!("{}", format::render_fig1b(data));
+        }
+        if want("fig2") {
+            println!("{}", format::render_fig2(&experiments::fig2(data)));
+        }
+    }
+    if want("ablation") {
+        println!(
+            "{}",
+            format::render_ablations(
+                &experiments::ablation_hash_size(&cfg),
+                &experiments::ablation_weight_mode(&cfg),
+                &experiments::ablation_load_balance(&cfg),
+                &experiments::ablation_extensions(&cfg),
+            )
+        );
+        println!("{}", format::render_devices(&experiments::ablation_devices(&cfg)));
+    }
+    if want("powerlaw") {
+        println!("{}", format::render_powerlaw(&experiments::ext_powerlaw(&cfg)));
+    }
+    let fig3_data = if want("fig3") { Some(experiments::fig3(&cfg)) } else { None };
+    if let Some(rows) = &fig3_data {
+        println!("{}", format::render_fig3(rows));
+    }
+
+    if let Some(dir) = args.csv_dir {
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("error creating {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(data) = &fig1_data {
+            let _ = fs::write(format!("{dir}/fig1.csv"), format::fig1_csv(data));
+        }
+        if let Some(rows) = &fig3_data {
+            let _ = fs::write(format!("{dir}/fig3.csv"), format::fig3_csv(rows));
+        }
+        println!("CSV written to {dir}/");
+    }
+    ExitCode::SUCCESS
+}

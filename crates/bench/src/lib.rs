@@ -1,0 +1,11 @@
+//! Experiment runners for every table and figure in the paper.
+//!
+//! Each function regenerates one exhibit's data as plain structs; the
+//! `repro` binary formats them as tables, the Criterion benches time the
+//! underlying simulations, and the integration tests assert the paper's
+//! qualitative claims against them.
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;

@@ -1,0 +1,65 @@
+//! CPU runtime model for the sequential baselines.
+//!
+//! The paper's CPU baseline runs on a 3.5 GHz Xeon E5-2637 v2. To put the
+//! CPU series on the same clock as the virtual GPU's model time, the
+//! sequential algorithms report a modeled runtime from simple per-vertex
+//! and per-edge cycle costs (a classic operational-intensity estimate for
+//! pointer-chasing graph code: each edge visit is a dependent cache-
+//! unfriendly access costing a few tens of cycles).
+
+/// Model of the paper's host CPU.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuModel {
+    pub clock_ghz: f64,
+    /// Cycles per vertex of loop overhead.
+    pub cycles_per_vertex: f64,
+    /// Cycles per directed edge visited (neighbor read + mark).
+    pub cycles_per_edge: f64,
+}
+
+impl CpuModel {
+    /// Xeon E5-2637 v2-like constants.
+    pub fn xeon_e5() -> Self {
+        CpuModel { clock_ghz: 3.5, cycles_per_vertex: 14.0, cycles_per_edge: 26.0 }
+    }
+
+    /// Modeled milliseconds for an algorithm that touched `vertices`
+    /// vertices and `edge_visits` directed edges.
+    pub fn time_ms(&self, vertices: u64, edge_visits: u64) -> f64 {
+        let cycles =
+            vertices as f64 * self.cycles_per_vertex + edge_visits as f64 * self.cycles_per_edge;
+        cycles / (self.clock_ghz * 1e6)
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self::xeon_e5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_scales_linearly() {
+        let m = CpuModel::xeon_e5();
+        let t1 = m.time_ms(1000, 5000);
+        let t2 = m.time_ms(2000, 10_000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitudes_are_sane() {
+        // ~8M edge visits at tens of cycles each on 3.5 GHz: tens of ms.
+        let m = CpuModel::xeon_e5();
+        let t = m.time_ms(1_600_000, 7_700_000);
+        assert!((10.0..200.0).contains(&t), "modeled {t} ms");
+    }
+
+    #[test]
+    fn zero_work_is_zero_time() {
+        assert_eq!(CpuModel::xeon_e5().time_ms(0, 0), 0.0);
+    }
+}

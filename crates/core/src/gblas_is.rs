@@ -1,0 +1,147 @@
+//! `GraphBLAST/Color_IS` — Algorithm 2: Luby-style independent-set
+//! coloring in linear algebra.
+//!
+//! A direct transcription of the paper's Algorithm 2 onto the GraphBLAS
+//! API: each iteration computes every vertex's maximum neighbor weight
+//! with a `(max, ×)` `vxm`, forms the frontier of vertices beating their
+//! neighborhood with an `eWiseAdd(GT)`, stops when a `reduce(+)` says the
+//! frontier is empty, and otherwise colors the frontier and zeroes its
+//! weights with two masked `assign`s.
+
+use gc_graph::Csr;
+use gc_graphblas::{ops, Descriptor, Matrix, MaxTimes, Vector};
+use gc_vgpu::rng::vertex_weight_i64;
+use gc_vgpu::Device;
+
+use crate::color::ColoringResult;
+
+/// Safety cap on colors (the paper's `for color = 1..n`).
+const MAX_COLORS: u32 = 100_000;
+
+/// Runs Algorithm 2 on a fresh K40c-model device.
+pub fn gblas_is(g: &Csr, seed: u64) -> ColoringResult {
+    let dev = Device::k40c();
+    run_on(&dev, g, seed)
+}
+
+/// Runs Algorithm 2 on the provided device.
+pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    let n = g.num_vertices();
+    let a = Matrix::from_graph(dev, g);
+    let c = Vector::<i64>::new(n);
+    let weight = Vector::<i64>::new(n);
+    let max = Vector::<i64>::new(n);
+    let frontier = Vector::<i64>::new(n);
+    dev.reset();
+    let launches_before = dev.profile().launches;
+    let desc = Descriptor::null();
+
+    // Initialize colors to 0.
+    ops::assign_scalar(dev, &c, None, 0, desc);
+    // Assign random weight to each vertex (tie-free, strictly positive).
+    ops::apply_indexed(
+        dev,
+        &weight,
+        None,
+        |i, _| vertex_weight_i64(seed, i as u32),
+        &weight,
+        desc,
+    );
+
+    let mut iterations = 0u32;
+    let mut finished = false;
+    for color in 1..=(MAX_COLORS as i64) {
+        iterations += 1;
+        // Find max of neighbors.
+        ops::vxm(dev, &max, None, &MaxTimes, &weight, &a, desc);
+        // Find all largest uncolored nodes. Under the dense encoding the
+        // zero weight of a colored vertex is the "no value" sentinel, so
+        // the GT test also requires a live weight.
+        ops::ewise_add(
+            dev,
+            &frontier,
+            None,
+            |w, m| (w != 0 && w > m) as i64,
+            &weight,
+            &max,
+            desc,
+        );
+        // Stop when the frontier is empty.
+        let succ = ops::reduce(dev, 0i64, |x, y| x + y, &frontier);
+        if succ == 0 {
+            finished = true;
+            break;
+        }
+        // Assign new color; remove colored nodes from the candidate list.
+        ops::assign_scalar(dev, &c, Some(&frontier), color, desc);
+        ops::assign_scalar(dev, &weight, Some(&frontier), 0, desc);
+    }
+
+    assert!(finished, "IS coloring exceeded the {MAX_COLORS}-color cap");
+    let model_ms = dev.elapsed_ms();
+    let launches = dev.profile().launches - launches_before;
+    let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
+    ColoringResult::new(colors, iterations, model_ms, launches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::assert_proper;
+    use gc_graph::generators::{complete, cycle, erdos_renyi, grid2d, path, star, Stencil2d};
+
+    #[test]
+    fn colors_fixed_topologies() {
+        for g in [path(13), cycle(9), star(17), complete(6)] {
+            let r = gblas_is(&g, 5);
+            assert_proper(&g, r.coloring.as_slice());
+        }
+    }
+
+    #[test]
+    fn colors_random_graph() {
+        let g = erdos_renyi(400, 0.02, 2);
+        let r = gblas_is(&g, 7);
+        assert_proper(&g, r.coloring.as_slice());
+    }
+
+    #[test]
+    fn colors_mesh() {
+        let g = grid2d(18, 18, Stencil2d::FivePoint);
+        let r = gblas_is(&g, 1);
+        assert_proper(&g, r.coloring.as_slice());
+    }
+
+    #[test]
+    fn empty_graph_single_iteration_per_color() {
+        let g = Csr::empty(5);
+        let r = gblas_is(&g, 0);
+        assert_proper(&g, r.coloring.as_slice());
+        // All isolated vertices beat the (identity) max at once.
+        assert_eq!(r.num_colors, 1);
+    }
+
+    #[test]
+    fn complete_needs_n_colors_and_n_iterations() {
+        let g = complete(5);
+        let r = gblas_is(&g, 3);
+        assert_eq!(r.num_colors, 5);
+        assert_eq!(r.iterations, 6); // 5 coloring rounds + empty-frontier round
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(300, 0.02, 8);
+        let a = gblas_is(&g, 11);
+        let b = gblas_is(&g, 11);
+        assert_eq!(a.coloring, b.coloring);
+        assert_eq!(a.model_ms, b.model_ms);
+    }
+
+    #[test]
+    fn one_color_per_iteration() {
+        let g = erdos_renyi(200, 0.05, 4);
+        let r = gblas_is(&g, 2);
+        assert_eq!(r.num_colors + 1, r.iterations);
+    }
+}

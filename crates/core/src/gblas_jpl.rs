@@ -1,0 +1,265 @@
+//! `GraphBLAST/Color_JPL` — Algorithm 4: Jones-Plassmann coloring with
+//! the `GxB_scatter` extension.
+//!
+//! The outer loop selects the Luby frontier exactly as Algorithm 2; the
+//! helper (GRAPHBLASJPINNER) then computes the *minimum available color*:
+//! the colors of every vertex adjacent to the frontier are scattered into
+//! a possible-colors array, the array is compared against an ascending
+//! sequence, a `setElement` knocks out slot 0 (the paper notes this
+//! memcpy-backed call shows up in profiles), and a min-reduction yields
+//! the smallest color no frontier neighbor uses. The frontier — an
+//! independent set — takes that single color, which is what lets JPL
+//! *reuse* colors across iterations and beat Algorithm 2's quality.
+
+use gc_graph::Csr;
+use gc_graphblas::{ops, Descriptor, Matrix, MaxTimes, BooleanOrAnd, Vector};
+use gc_vgpu::rng::vertex_weight_i64;
+use gc_vgpu::Device;
+
+use crate::color::ColoringResult;
+
+/// Safety cap on outer iterations.
+const MAX_ITERATIONS: u32 = 100_000;
+
+/// A value larger than any real color, used as the "taken" sentinel in
+/// the min-reduction.
+const TAKEN: i64 = i64::MAX / 2;
+
+/// JPL variant knobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JplConfig {
+    /// Use the §V.C-suggested optimization: knock out slot 0 of the
+    /// min-array with a one-thread `GrB_assign` kernel instead of the
+    /// `setElement` host→device copy the paper's profile flags.
+    pub assign_instead_of_set_element: bool,
+}
+
+impl JplConfig {
+    /// The paper's implementation as profiled (memcpy-backed setElement).
+    pub fn paper() -> Self {
+        JplConfig { assign_instead_of_set_element: false }
+    }
+
+    /// With the paper's suggested optimization applied.
+    pub fn optimized() -> Self {
+        JplConfig { assign_instead_of_set_element: true }
+    }
+}
+
+/// Runs Algorithm 4 on a fresh K40c-model device.
+pub fn gblas_jpl(g: &Csr, seed: u64) -> ColoringResult {
+    let dev = Device::k40c();
+    run_on(&dev, g, seed)
+}
+
+/// Runs Algorithm 4 with explicit variant knobs.
+pub fn gblas_jpl_with(g: &Csr, seed: u64, cfg: JplConfig) -> ColoringResult {
+    let dev = Device::k40c();
+    run_on_with(&dev, g, seed, cfg)
+}
+
+/// GRAPHBLASJPINNER: minimum color unused by every neighbor of the
+/// frontier. `nbr`, `ncolors` are n-sized scratch; `colors_arr`,
+/// `min_array`, `ascending` are (max_colors)-sized scratch.
+#[allow(clippy::too_many_arguments)]
+fn jp_inner(
+    dev: &Device,
+    a: &Matrix,
+    c: &Vector<i64>,
+    frontier: &Vector<i64>,
+    nbr: &Vector<i64>,
+    ncolors: &Vector<i64>,
+    colors_arr: &Vector<i64>,
+    min_array: &Vector<i64>,
+    ascending: &Vector<i64>,
+    cfg: JplConfig,
+) -> i64 {
+    let desc = Descriptor::null();
+    // Find neighbors of frontier.
+    ops::vxm(dev, nbr, None, &BooleanOrAnd, frontier, a, desc);
+    // Colors in use around the frontier.
+    ops::ewise_mult(dev, ncolors, None, |_, col| col, nbr, c, desc);
+    // Fill the possible-colors array and scatter the used colors into it.
+    ops::assign_scalar(dev, colors_arr, None, 0, desc);
+    ops::scatter(dev, colors_arr, ncolors, 1);
+    // Map free slots to their index, taken slots to the sentinel.
+    ops::ewise_add(
+        dev,
+        min_array,
+        None,
+        |used, asc| if used == 0 { asc } else { TAKEN },
+        colors_arr,
+        ascending,
+        desc,
+    );
+    // Color 0 is not a real color (the paper's setElement call; the
+    // optimized variant uses the in-device assign instead).
+    if cfg.assign_instead_of_set_element {
+        min_array.assign_element(dev, 0, TAKEN);
+    } else {
+        min_array.set_element(dev, 0, TAKEN);
+    }
+    // Compute min color.
+    ops::reduce(dev, i64::MAX, i64::min, min_array)
+}
+
+/// Runs the JPL coloring on the provided device.
+pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    run_on_with(dev, g, seed, JplConfig::paper())
+}
+
+/// Runs the JPL coloring with explicit variant knobs on the provided
+/// device.
+pub fn run_on_with(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> ColoringResult {
+    let n = g.num_vertices();
+    // Enough slots that a free color always exists: at most `iterations`
+    // distinct colors exist when the scatter runs, and iterations <= n.
+    let max_colors = n + 2;
+    let a = Matrix::from_graph(dev, g);
+    let c = Vector::<i64>::new(n);
+    let weight = Vector::<i64>::new(n);
+    let max = Vector::<i64>::new(n);
+    let frontier = Vector::<i64>::new(n);
+    let nbr = Vector::<i64>::new(n);
+    let ncolors = Vector::<i64>::new(n);
+    let colors_arr = Vector::<i64>::new(max_colors);
+    let min_array = Vector::<i64>::new(max_colors);
+    let ascending = Vector::<i64>::new(max_colors);
+    dev.reset();
+    let launches_before = dev.profile().launches;
+    let desc = Descriptor::null();
+
+    ops::assign_scalar(dev, &c, None, 0, desc);
+    ops::apply_indexed(
+        dev,
+        &weight,
+        None,
+        |i, _| vertex_weight_i64(seed, i as u32),
+        &weight,
+        desc,
+    );
+    // ascending = 0, 1, 2, ..., max_colors - 1.
+    ops::apply_indexed(dev, &ascending, None, |i, _| i as i64, &ascending, desc);
+
+    let mut iterations = 0u32;
+    loop {
+        assert!(iterations < MAX_ITERATIONS, "JPL failed to terminate");
+        iterations += 1;
+        ops::vxm(dev, &max, None, &MaxTimes, &weight, &a, desc);
+        ops::ewise_add(
+            dev,
+            &frontier,
+            None,
+            |w, m| (w != 0 && w > m) as i64,
+            &weight,
+            &max,
+            desc,
+        );
+        let succ = ops::reduce(dev, 0i64, |x, y| x + y, &frontier);
+        if succ == 0 {
+            break;
+        }
+        let min_color = jp_inner(
+            dev,
+            &a,
+            &c,
+            &frontier,
+            &nbr,
+            &ncolors,
+            &colors_arr,
+            &min_array,
+            &ascending,
+            cfg,
+        );
+        debug_assert!((1..TAKEN).contains(&min_color));
+        ops::assign_scalar(dev, &c, Some(&frontier), min_color, desc);
+        ops::assign_scalar(dev, &weight, Some(&frontier), 0, desc);
+    }
+
+    let model_ms = dev.elapsed_ms();
+    let launches = dev.profile().launches - launches_before;
+    let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
+    ColoringResult::new(colors, iterations, model_ms, launches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gblas_is;
+    use crate::verify::assert_proper;
+    use gc_graph::generators::{complete, cycle, erdos_renyi, grid2d, path, star, Stencil2d};
+
+    #[test]
+    fn colors_fixed_topologies() {
+        for g in [path(13), cycle(9), star(17), complete(6)] {
+            let r = gblas_jpl(&g, 5);
+            assert_proper(&g, r.coloring.as_slice());
+        }
+    }
+
+    #[test]
+    fn colors_random_and_mesh() {
+        let g = erdos_renyi(300, 0.02, 2);
+        assert_proper(&g, gblas_jpl(&g, 7).coloring.as_slice());
+        let m = grid2d(14, 14, Stencil2d::FivePoint);
+        assert_proper(&m, gblas_jpl(&m, 7).coloring.as_slice());
+    }
+
+    #[test]
+    fn jpl_reuses_colors_beating_is() {
+        let g = erdos_renyi(500, 0.02, 9);
+        let jpl = gblas_jpl(&g, 3);
+        let is = gblas_is::gblas_is(&g, 3);
+        assert!(
+            jpl.num_colors <= is.num_colors,
+            "JPL {} vs IS {}",
+            jpl.num_colors,
+            is.num_colors
+        );
+    }
+
+    #[test]
+    fn jpl_is_slower_than_is() {
+        // The paper's §V.C ordering: IS fastest, then JPL, then MIS.
+        let g = erdos_renyi(500, 0.02, 9);
+        let jpl = gblas_jpl(&g, 3);
+        let is = gblas_is::gblas_is(&g, 3);
+        assert!(jpl.model_ms > is.model_ms);
+    }
+
+    #[test]
+    fn jpl_profile_contains_setelement_memcpys() {
+        // One setElement (memcpy) per outer iteration — the effect the
+        // paper's profiling calls out.
+        let dev = Device::k40c();
+        let g = cycle(40);
+        let r = run_on(&dev, &g, 1);
+        let profile = dev.profile();
+        assert!(profile.memcpys >= (r.iterations - 1) as u64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(200, 0.04, 6);
+        assert_eq!(gblas_jpl(&g, 2).coloring, gblas_jpl(&g, 2).coloring);
+    }
+
+    #[test]
+    fn suggested_optimization_same_coloring_less_time() {
+        // §V.C: replacing the setElement memcpy with GrB_assign must not
+        // change the result, only the per-iteration cost.
+        let g = erdos_renyi(300, 0.03, 4);
+        let paper = gblas_jpl_with(&g, 2, JplConfig::paper());
+        let opt = gblas_jpl_with(&g, 2, JplConfig::optimized());
+        assert_eq!(paper.coloring, opt.coloring);
+        assert!(opt.model_ms < paper.model_ms, "{} vs {}", opt.model_ms, paper.model_ms);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(4);
+        let r = gblas_jpl(&g, 0);
+        assert_proper(&g, r.coloring.as_slice());
+        assert_eq!(r.num_colors, 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Multithreaded-CPU Gebremedhin-Manne coloring — the shared-memory
+//! algorithm of the paper's §II.A related work, run with *real*
+//! parallelism on rayon.
+//!
+//! The three phases match the original: optimistic (speculative)
+//! coloring of a batch of vertices in parallel, parallel conflict
+//! detection, and resolution (re-queue the losers). Unlike the GPU port
+//! in [`crate::gm_gpu`], this version executes on actual host threads —
+//! the two-phase structure keeps it deterministic — and its model time
+//! uses the CPU cost model with a parallel-section divisor.
+
+use rayon::prelude::*;
+
+use gc_graph::{Csr, VertexId};
+
+use crate::color::ColoringResult;
+use crate::cpu_model::CpuModel;
+
+/// Number of worker threads assumed by the runtime model (the paper's
+/// machine: 2 × 4-core Xeon).
+const MODEL_THREADS: u64 = 8;
+
+/// Safety cap on rounds.
+const MAX_ROUNDS: u32 = 100_000;
+
+/// Runs shared-memory Gebremedhin-Manne, returning a proper coloring.
+pub fn gebremedhin_manne_cpu(g: &Csr, seed: u64) -> ColoringResult {
+    let n = g.num_vertices();
+    let weights: Vec<u64> =
+        (0..n as u32).map(|v| gc_vgpu::rng::vertex_weight(seed, v)).collect();
+    let mut colors = vec![0u32; n];
+    let mut pending: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rounds = 0u32;
+    let mut edge_visits = 0u64;
+
+    while !pending.is_empty() {
+        rounds += 1;
+        assert!(rounds < MAX_ROUNDS, "GM-CPU failed to terminate");
+
+        // Phase 1: speculative coloring. Reads the committed colors of
+        // earlier rounds; same-round neighbors are not seen (that is the
+        // speculation).
+        let colors_snapshot = &colors;
+        let proposals: Vec<(VertexId, u32)> = pending
+            .par_iter()
+            .map(|&v| {
+                let mut forbidden = 0u64;
+                let mut above = 0u32;
+                for &u in g.neighbors(v) {
+                    let cu = colors_snapshot[u as usize];
+                    if cu != 0 && cu < 64 {
+                        forbidden |= 1 << cu;
+                    } else if cu >= 64 {
+                        above = above.max(cu);
+                    }
+                }
+                let mut c = 1u32;
+                while c < 64 && forbidden & (1 << c) != 0 {
+                    c += 1;
+                }
+                if c >= 64 {
+                    c = c.max(above + 1);
+                }
+                (v, c)
+            })
+            .collect();
+        edge_visits += pending.iter().map(|&v| g.degree(v) as u64).sum::<u64>();
+        for &(v, c) in &proposals {
+            colors[v as usize] = c;
+        }
+
+        // Phase 2: conflict detection over the just-colored batch; the
+        // lower-weight endpoint of a monochromatic edge retries.
+        let colors_snapshot = &colors;
+        let losers: Vec<VertexId> = proposals
+            .par_iter()
+            .filter_map(|&(v, c)| {
+                let lose = g.neighbors(v).iter().any(|&u| {
+                    colors_snapshot[u as usize] == c
+                        && weights[u as usize] > weights[v as usize]
+                });
+                lose.then_some(v)
+            })
+            .collect();
+        edge_visits += proposals.iter().map(|&(v, _)| g.degree(v) as u64).sum::<u64>();
+
+        // Phase 3: resolution.
+        for &v in &losers {
+            colors[v as usize] = 0;
+        }
+        pending = losers;
+    }
+
+    // Parallel sections divide across the model threads; each round adds
+    // a barrier's worth of coordination.
+    let m = CpuModel::xeon_e5();
+    let serial_ms = m.time_ms(n as u64 + rounds as u64, edge_visits);
+    let model_ms = serial_ms / MODEL_THREADS as f64 + rounds as f64 * 0.01;
+    ColoringResult::new(colors, rounds, model_ms, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy, Ordering};
+    use crate::verify::assert_proper;
+    use gc_graph::generators::{
+        barabasi_albert, complete, cycle, erdos_renyi, grid2d, path, star, Stencil2d,
+    };
+
+    #[test]
+    fn colors_fixed_topologies() {
+        for g in [path(15), cycle(9), star(25), complete(8)] {
+            let r = gebremedhin_manne_cpu(&g, 3);
+            assert_proper(&g, r.coloring.as_slice());
+        }
+    }
+
+    #[test]
+    fn colors_random_and_structured() {
+        for g in [
+            erdos_renyi(500, 0.02, 5),
+            grid2d(20, 20, Stencil2d::NinePoint),
+            barabasi_albert(400, 4, 2),
+        ] {
+            let r = gebremedhin_manne_cpu(&g, 9);
+            assert_proper(&g, r.coloring.as_slice());
+        }
+    }
+
+    #[test]
+    fn deterministic_despite_real_threads() {
+        let g = erdos_renyi(400, 0.03, 8);
+        let a = gebremedhin_manne_cpu(&g, 1);
+        let b = gebremedhin_manne_cpu(&g, 1);
+        assert_eq!(a.coloring, b.coloring);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn quality_close_to_sequential_greedy() {
+        let g = erdos_renyi(600, 0.02, 4);
+        let gm = gebremedhin_manne_cpu(&g, 2);
+        let gr = greedy(&g, Ordering::Natural, 0);
+        assert!(
+            gm.num_colors <= gr.num_colors + 3,
+            "GM-CPU {} vs greedy {}",
+            gm.num_colors,
+            gr.num_colors
+        );
+    }
+
+    #[test]
+    fn converges_fast() {
+        let g = erdos_renyi(600, 0.02, 4);
+        let r = gebremedhin_manne_cpu(&g, 2);
+        assert!(r.iterations <= 12, "{} rounds", r.iterations);
+    }
+
+    #[test]
+    fn model_time_faster_than_sequential_for_large_graphs() {
+        // Needs enough work per round that the parallel sections
+        // amortize the per-round barrier cost.
+        let g = grid2d(120, 120, Stencil2d::NinePoint);
+        let gm = gebremedhin_manne_cpu(&g, 1);
+        let gr = greedy(&g, Ordering::Natural, 0);
+        assert!(gm.model_ms < gr.model_ms, "{} vs {}", gm.model_ms, gr.model_ms);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        let r = gebremedhin_manne_cpu(&g, 0);
+        assert_proper(&g, r.coloring.as_slice());
+    }
+
+    #[test]
+    fn dense_graph_beyond_bitmask() {
+        let g = complete(80);
+        let r = gebremedhin_manne_cpu(&g, 6);
+        assert_proper(&g, r.coloring.as_slice());
+        assert_eq!(r.num_colors, 80);
+    }
+}

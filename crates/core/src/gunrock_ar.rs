@@ -1,0 +1,166 @@
+//! `Gunrock/Color_AR` — Algorithm 7: advance + neighbor-reduce coloring.
+//!
+//! Replaces the serial per-vertex neighbor loop of the IS kernel with a
+//! load-balanced `advance` (one thread per *edge*) followed by a
+//! segmented max-reduction over each neighbor list. Perfectly balanced —
+//! and, exactly as the paper measures, much slower end-to-end: every
+//! iteration costs a whole pipeline of kernels (degree, scan, gather,
+//! map, segmented reduce, color, filter) plus their synchronizations,
+//! and the reduce operator can only produce one comparison per pass, so
+//! only one color is assigned per iteration.
+
+use gc_graph::Csr;
+use gc_gunrock::{ops, DeviceCsr, Enactor, Frontier};
+use gc_vgpu::rng::vertex_weight;
+use gc_vgpu::{Device, DeviceBuffer};
+
+use crate::color::ColoringResult;
+
+/// Safety cap on iterations.
+const MAX_ITERATIONS: u32 = 100_000;
+
+/// Runs Algorithm 7 on a fresh K40c-model device.
+pub fn gunrock_ar(g: &Csr, seed: u64) -> ColoringResult {
+    let dev = Device::k40c();
+    run_on(&dev, g, seed)
+}
+
+/// Runs Algorithm 7 on the provided device.
+pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    let n = g.num_vertices();
+    let csr = DeviceCsr::upload(dev, g);
+    let colors = DeviceBuffer::<u32>::zeroed(n);
+    let rand = DeviceBuffer::<u64>::zeroed(n);
+    dev.reset();
+    let launches_before = dev.profile().launches;
+
+    dev.launch("ar::init_random", n, |t| {
+        let v = t.tid();
+        t.charge(12);
+        t.write(&rand, v, vertex_weight(seed, v as u32));
+    });
+
+    let mut frontier = Frontier::all(n);
+    let mut enactor = Enactor::new(dev).with_max_iterations(MAX_ITERATIONS);
+    let iterations = enactor.run(|iteration| {
+        let color = iteration + 1;
+
+        // Neighbor-reduce: max random number among *uncolored* neighbors
+        // of every frontier vertex.
+        let reduced = ops::neighbor_reduce(
+            dev,
+            "ar::neighbor_reduce",
+            &csr,
+            &frontier,
+            |t, _src, dst| {
+                if t.read(&colors, dst as usize) == 0 {
+                    t.read(&rand, dst as usize)
+                } else {
+                    0
+                }
+            },
+            0u64,
+            u64::max,
+        );
+        let reduced_dev = DeviceBuffer::from_slice(&reduced);
+
+        // ColorRemovedOp: frontier vertices beating their reduction get
+        // this iteration's color.
+        ops::compute(dev, "ar::color_removed_op", &frontier, |t, v| {
+            // Frontier position == thread id because compute maps 1:1.
+            let i = t.tid();
+            let m = t.read(&reduced_dev, i);
+            let rv = t.read(&rand, v as usize);
+            if rv > m {
+                t.write(&colors, v as usize, color);
+            }
+        });
+
+        // Contract the frontier to the still-uncolored vertices.
+        frontier = ops::filter(dev, "ar::filter_uncolored", &frontier, |t, v| {
+            t.read(&colors, v as usize) == 0
+        });
+        !frontier.is_empty()
+    });
+
+    let model_ms = dev.elapsed_ms();
+    let launches = dev.profile().launches - launches_before;
+    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gunrock_is::{self, IsConfig};
+    use crate::verify::assert_proper;
+    use gc_graph::generators::{complete, cycle, erdos_renyi, grid2d, path, star, Stencil2d};
+
+    #[test]
+    fn colors_fixed_topologies() {
+        for g in [path(12), cycle(9), star(15), complete(5)] {
+            let r = gunrock_ar(&g, 4);
+            assert_proper(&g, r.coloring.as_slice());
+        }
+    }
+
+    #[test]
+    fn colors_random_graph() {
+        let g = erdos_renyi(300, 0.02, 8);
+        let r = gunrock_ar(&g, 2);
+        assert_proper(&g, r.coloring.as_slice());
+    }
+
+    #[test]
+    fn colors_mesh() {
+        let g = grid2d(12, 12, Stencil2d::FivePoint);
+        let r = gunrock_ar(&g, 1);
+        assert_proper(&g, r.coloring.as_slice());
+    }
+
+    #[test]
+    fn empty_graph_one_iteration() {
+        let g = Csr::empty(6);
+        let r = gunrock_ar(&g, 0);
+        assert_proper(&g, r.coloring.as_slice());
+        assert_eq!(r.num_colors, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(200, 0.03, 1);
+        assert_eq!(gunrock_ar(&g, 6).coloring, gunrock_ar(&g, 6).coloring);
+    }
+
+    #[test]
+    fn one_color_per_iteration() {
+        let g = erdos_renyi(200, 0.03, 1);
+        let r = gunrock_ar(&g, 6);
+        // Colors are assigned one per iteration, so the count of colors
+        // equals the number of *coloring* iterations (final iteration
+        // only drains the frontier).
+        assert!(r.num_colors <= r.iterations);
+    }
+
+    #[test]
+    fn ar_is_much_slower_than_is() {
+        // Table II: AR is the baseline everything else speeds up from.
+        let g = erdos_renyi(800, 0.01, 3);
+        let ar = gunrock_ar(&g, 5);
+        let is = gunrock_is::gunrock_is(&g, 5, IsConfig::min_max());
+        assert_proper(&g, ar.coloring.as_slice());
+        assert!(
+            ar.model_ms > 3.0 * is.model_ms,
+            "AR {} ms vs IS {} ms",
+            ar.model_ms,
+            is.model_ms
+        );
+    }
+
+    #[test]
+    fn ar_launches_many_kernels() {
+        let g = path(100);
+        let r = gunrock_ar(&g, 0);
+        // At least the full pipeline per iteration.
+        assert!(r.kernel_launches as f64 >= 6.0 * r.iterations as f64);
+    }
+}

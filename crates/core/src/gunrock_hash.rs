@@ -1,0 +1,306 @@
+//! `Gunrock/Color_Hash` — Algorithm 6: hash-assisted coloring with
+//! conflict resolution and color reuse.
+//!
+//! Each uncolored vertex *proposes* colors for its uncolored neighbors
+//! holding the locally largest and smallest random numbers. The proposal
+//! set is not an independent set (each proposer only knows its local
+//! topology), so a conflict-resolution operator follows, resetting the
+//! lower-random endpoint of every monochromatic edge. A per-vertex hash
+//! table of known-prohibited colors lets proposals *reuse* earlier colors
+//! instead of always opening new ones — the mechanism that buys the hash
+//! implementation its lower color count at the price of two extra
+//! operators (and their global synchronizations) per iteration.
+
+use gc_graph::Csr;
+use gc_gunrock::{ops, DeviceCsr, Enactor, Frontier};
+use gc_vgpu::rng::vertex_weight;
+use gc_vgpu::{Device, DeviceBuffer};
+
+use crate::color::ColoringResult;
+
+/// Tunables for Algorithm 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HashConfig {
+    /// Prohibited-color hash-table entries per vertex. The paper: "The
+    /// hash table size is a modifiable value, and is inversely related
+    /// to the number of conflicts."
+    pub hash_size: usize,
+    /// Safety cap on iterations.
+    pub max_iterations: u32,
+}
+
+impl Default for HashConfig {
+    fn default() -> Self {
+        HashConfig { hash_size: 8, max_iterations: 100_000 }
+    }
+}
+
+/// Runs Algorithm 6 on a fresh K40c-model device.
+pub fn gunrock_hash(g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResult {
+    let dev = Device::k40c();
+    run_on(&dev, g, seed, cfg)
+}
+
+/// Runs Algorithm 6 on the provided device.
+pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResult {
+    let n = g.num_vertices();
+    let hs = cfg.hash_size;
+    let csr = DeviceCsr::upload(dev, g);
+    let colors = DeviceBuffer::<u32>::zeroed(n);
+    let rand = DeviceBuffer::<u64>::zeroed(n);
+    // Per-vertex prohibited-color table, 0 = empty slot.
+    let hash = DeviceBuffer::<u32>::zeroed(n * hs);
+    let proposal = DeviceBuffer::<u32>::zeroed(n);
+    let reset_flags = DeviceBuffer::<u8>::zeroed(n);
+    dev.reset();
+    let launches_before = dev.profile().launches;
+
+    dev.launch("hash::init_random", n, |t| {
+        let v = t.tid();
+        t.charge(12);
+        t.write(&rand, v, vertex_weight(seed, v as u32));
+    });
+
+    let frontier = Frontier::all(n);
+    let remaining = DeviceBuffer::<u32>::zeroed(1);
+    let mut enactor = Enactor::new(dev).with_max_iterations(cfg.max_iterations);
+
+    let iterations = enactor.run(|iteration| {
+        let color_max = 2 * iteration + 1;
+        let color_min = 2 * iteration + 2;
+        let used_colors = color_min; // colors 1..=used_colors exist so far
+
+        // --- Hash-coloring proposals (Algorithm 6) ----------------------
+        // Proposals go into a separate buffer combined with atomic max
+        // (commutative, so the result is independent of thread order);
+        // `colors` is read-only in this kernel.
+        ops::compute(dev, "hash::color_op", &frontier, |t, v| {
+            if t.read(&colors, v as usize) != 0 {
+                return;
+            }
+            // Find the uncolored neighbors with the locally largest and
+            // smallest random numbers, starting from v itself.
+            let rv = t.read(&rand, v as usize);
+            let (mut best_max, mut r_max) = (v, rv);
+            let (mut best_min, mut r_min) = (v, rv);
+            let (s, e) = csr.neighbor_range(t, v);
+            for slot in s..e {
+                let u = csr.neighbor(t, slot);
+                if t.read(&colors, u as usize) != 0 {
+                    continue;
+                }
+                let ru = t.read(&rand, u as usize);
+                if ru > r_max {
+                    best_max = u;
+                    r_max = ru;
+                }
+                if ru < r_min {
+                    best_min = u;
+                    r_min = ru;
+                }
+                t.charge(2);
+            }
+            // Propose a color for each target: reuse the smallest color
+            // not known-prohibited by the target's hash table, otherwise
+            // open this iteration's fresh color.
+            for (target, fresh) in [(best_max, color_max), (best_min, color_min)] {
+                // Read the target's prohibited set into a small bitmask.
+                let mut prohibited: u64 = 0;
+                let mut filled = 0;
+                for slot in 0..hs {
+                    let c = t.read(&hash, target as usize * hs + slot);
+                    if c != 0 {
+                        filled += 1;
+                        if c < 64 {
+                            prohibited |= 1 << c;
+                        }
+                    }
+                }
+                let mut choice = fresh;
+                // Reuse only while the table is not full: a full table no
+                // longer tracks every neighbor color, and trusting it can
+                // re-propose the same conflicting color forever.
+                if filled < hs {
+                    for c in 1..=used_colors.min(63) {
+                        if prohibited & (1 << c) == 0 {
+                            choice = c;
+                            break;
+                        }
+                        t.charge(1);
+                    }
+                }
+                t.atomic_max(&proposal, target as usize, choice);
+                if best_max == best_min {
+                    break; // single candidate (e.g. isolated vertex)
+                }
+            }
+        });
+
+        // --- Apply proposals (after the global synchronization) ---------
+        ops::compute(dev, "hash::apply_op", &frontier, |t, v| {
+            let p = t.read(&proposal, v as usize);
+            if p != 0 {
+                if t.read(&colors, v as usize) == 0 {
+                    t.write(&colors, v as usize, p);
+                }
+                t.write(&proposal, v as usize, 0);
+            }
+        });
+
+        // --- Conflict detection (reads only; deterministic) -------------
+        ops::compute(dev, "hash::conflict_detect", &frontier, |t, v| {
+            let cv = t.read(&colors, v as usize);
+            t.write(&reset_flags, v as usize, 0);
+            if cv == 0 {
+                return;
+            }
+            let rv = t.read(&rand, v as usize);
+            let (s, e) = csr.neighbor_range(t, v);
+            for slot in s..e {
+                let u = csr.neighbor(t, slot);
+                let cu = t.read(&colors, u as usize);
+                if cu == cv {
+                    let ru = t.read(&rand, u as usize);
+                    // The lower-random endpoint forfeits (ties cannot
+                    // happen: weights are tie-free).
+                    if rv < ru {
+                        t.write(&reset_flags, v as usize, 1);
+                        return;
+                    }
+                }
+                t.charge(1);
+            }
+        });
+
+        // --- Conflict resolution (apply the reset flags) ----------------
+        ops::compute(dev, "hash::conflict_resolve", &frontier, |t, v| {
+            if t.read(&reset_flags, v as usize) != 0 {
+                t.write(&colors, v as usize, 0);
+            }
+        });
+
+        // --- Hash-table generation --------------------------------------
+        // Each (still-uncolored) vertex records its neighbors' colors in
+        // its own table; full tables ignore new colors.
+        ops::compute(dev, "hash::hash_gen", &frontier, |t, v| {
+            if t.read(&colors, v as usize) != 0 {
+                return;
+            }
+            let (s, e) = csr.neighbor_range(t, v);
+            for slot in s..e {
+                let u = csr.neighbor(t, slot);
+                let cu = t.read(&colors, u as usize);
+                if cu == 0 {
+                    continue;
+                }
+                for h in 0..hs {
+                    let entry = t.read(&hash, v as usize * hs + h);
+                    if entry == cu {
+                        break; // already recorded
+                    }
+                    if entry == 0 {
+                        t.write(&hash, v as usize * hs + h, cu);
+                        break;
+                    }
+                }
+            }
+        });
+
+        // --- Completion check --------------------------------------------
+        remaining.set(0, 0);
+        dev.launch("hash::check_op", n, |t| {
+            let v = t.tid();
+            if t.read(&colors, v) == 0 {
+                t.atomic_add(&remaining, 0, 1);
+            }
+        });
+        dev.download(&remaining)[0] > 0
+    });
+
+    let model_ms = dev.elapsed_ms();
+    let launches = dev.profile().launches - launches_before;
+    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gunrock_is::{self, IsConfig};
+    use crate::verify::assert_proper;
+    use gc_graph::generators::{complete, cycle, erdos_renyi, grid2d, path, star, Stencil2d};
+
+    #[test]
+    fn colors_fixed_topologies() {
+        for g in [path(15), cycle(8), cycle(9), star(20), complete(6)] {
+            let r = gunrock_hash(&g, 3, HashConfig::default());
+            assert_proper(&g, r.coloring.as_slice());
+        }
+    }
+
+    #[test]
+    fn colors_random_graph() {
+        let g = erdos_renyi(400, 0.02, 5);
+        let r = gunrock_hash(&g, 9, HashConfig::default());
+        assert_proper(&g, r.coloring.as_slice());
+    }
+
+    #[test]
+    fn colors_mesh() {
+        let g = grid2d(16, 16, Stencil2d::NinePoint);
+        let r = gunrock_hash(&g, 1, HashConfig::default());
+        assert_proper(&g, r.coloring.as_slice());
+    }
+
+    #[test]
+    fn complete_graph_needs_n() {
+        let g = complete(5);
+        let r = gunrock_hash(&g, 2, HashConfig::default());
+        assert_eq!(r.num_colors, 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(4);
+        let r = gunrock_hash(&g, 0, HashConfig::default());
+        assert_proper(&g, r.coloring.as_slice());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(300, 0.03, 7);
+        let a = gunrock_hash(&g, 5, HashConfig::default());
+        let b = gunrock_hash(&g, 5, HashConfig::default());
+        assert_eq!(a.coloring, b.coloring);
+    }
+
+    #[test]
+    fn reuse_beats_is_on_color_count() {
+        // The paper: hashing trades runtime for fewer colors than IS.
+        let g = erdos_renyi(600, 0.02, 13);
+        let hash = gunrock_hash(&g, 3, HashConfig::default());
+        let is = gunrock_is::gunrock_is(&g, 3, IsConfig::min_max());
+        assert!(
+            hash.num_colors <= is.num_colors,
+            "hash {} vs IS {}",
+            hash.num_colors,
+            is.num_colors
+        );
+    }
+
+    #[test]
+    fn hash_is_slower_than_is_in_model_time() {
+        let g = erdos_renyi(600, 0.02, 13);
+        let hash = gunrock_hash(&g, 3, HashConfig::default());
+        let is = gunrock_is::gunrock_is(&g, 3, IsConfig::min_max());
+        assert!(hash.model_ms > is.model_ms, "hash {} vs IS {}", hash.model_ms, is.model_ms);
+    }
+
+    #[test]
+    fn larger_hash_table_never_hurts_validity() {
+        let g = erdos_renyi(300, 0.03, 2);
+        for hs in [1, 2, 4, 16] {
+            let r = gunrock_hash(&g, 1, HashConfig { hash_size: hs, ..Default::default() });
+            assert_proper(&g, r.coloring.as_slice());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Host-side Jones-Plassmann reference implementation.
+//!
+//! The per-vertex JP rule (each round, every uncolored local-maximum
+//! vertex takes the minimum color absent from its neighbors) executed
+//! sequentially round-by-round. Used as a correctness and quality
+//! reference for the GPU-side JPL variants, and in the examples.
+
+use gc_graph::Csr;
+use gc_vgpu::rng::vertex_weight;
+
+use crate::color::ColoringResult;
+use crate::cpu_model::CpuModel;
+
+/// Rounds-based Jones-Plassmann coloring.
+pub fn jones_plassmann_cpu(g: &Csr, seed: u64) -> ColoringResult {
+    let n = g.num_vertices();
+    let weights: Vec<u64> = (0..n as u32).map(|v| vertex_weight(seed, v)).collect();
+    let mut colors = vec![0u32; n];
+    let mut uncolored = n;
+    let mut iterations = 0u32;
+    let mut edge_visits = 0u64;
+    let mut forbidden: Vec<u32> = vec![u32::MAX; g.max_degree() + 2];
+    let mut stamp = 0u32;
+
+    while uncolored > 0 {
+        iterations += 1;
+        // Local maxima among uncolored vertices this round.
+        let winners: Vec<u32> = (0..n as u32)
+            .filter(|&v| {
+                if colors[v as usize] != 0 {
+                    return false;
+                }
+                edge_visits += g.degree(v) as u64;
+                g.neighbors(v)
+                    .iter()
+                    .all(|&u| colors[u as usize] != 0 || weights[u as usize] < weights[v as usize])
+            })
+            .collect();
+        for v in winners {
+            stamp += 1;
+            for &u in g.neighbors(v) {
+                edge_visits += 1;
+                let cu = colors[u as usize];
+                if cu != 0 && (cu as usize) < forbidden.len() {
+                    forbidden[cu as usize] = stamp;
+                }
+            }
+            let mut c = 1u32;
+            while forbidden[c as usize] == stamp {
+                c += 1;
+            }
+            colors[v as usize] = c;
+            uncolored -= 1;
+        }
+    }
+    let model_ms = CpuModel::xeon_e5().time_ms(n as u64 * iterations as u64, edge_visits);
+    ColoringResult::new(colors, iterations, model_ms, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy, Ordering};
+    use crate::verify::assert_proper;
+    use gc_graph::generators::{complete, cycle, erdos_renyi, path, star};
+
+    #[test]
+    fn colors_fixed_topologies() {
+        for g in [path(10), cycle(9), star(14), complete(6)] {
+            let r = jones_plassmann_cpu(&g, 3);
+            assert_proper(&g, r.coloring.as_slice());
+        }
+    }
+
+    #[test]
+    fn quality_close_to_greedy() {
+        let g = erdos_renyi(500, 0.02, 5);
+        let jp = jones_plassmann_cpu(&g, 1);
+        let gr = greedy(&g, Ordering::Natural, 0);
+        assert_proper(&g, jp.coloring.as_slice());
+        // JP with random weights behaves like greedy under a random
+        // ordering: same ballpark color count.
+        assert!(jp.num_colors <= gr.num_colors + 3);
+    }
+
+    #[test]
+    fn complete_graph_exact() {
+        let r = jones_plassmann_cpu(&complete(7), 2);
+        assert_eq!(r.num_colors, 7);
+    }
+
+    #[test]
+    fn terminates_in_few_rounds() {
+        let g = erdos_renyi(400, 0.02, 9);
+        let r = jones_plassmann_cpu(&g, 4);
+        // O(log n) rounds with high probability.
+        assert!(r.iterations < 60, "{} rounds", r.iterations);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(200, 0.05, 2);
+        assert_eq!(jones_plassmann_cpu(&g, 8).coloring, jones_plassmann_cpu(&g, 8).coloring);
+    }
+}

@@ -1,0 +1,49 @@
+//! Parallel graph coloring on the (virtual) GPU — the reproduction of the
+//! paper's contribution.
+//!
+//! Nine colorings, matching the legend of the paper's Figure 1:
+//!
+//! | name | module | paper algorithm |
+//! |---|---|---|
+//! | `CPU/Color_Greedy` | [`greedy`] | sequential greedy baseline |
+//! | `Gunrock/Color_IS` | [`gunrock_is`] | Alg. 5 (min-max independent set) |
+//! | `Gunrock/Color_Hash` | [`gunrock_hash`] | Alg. 6 (hash + conflict resolution) |
+//! | `Gunrock/Color_AR` | [`gunrock_ar`] | Alg. 7 (advance + neighbor-reduce) |
+//! | `GraphBLAST/Color_IS` | [`gblas_is`] | Alg. 2 (Luby one-shot IS) |
+//! | `GraphBLAST/Color_MIS` | [`gblas_mis`] | Alg. 3 (maximal IS per color) |
+//! | `GraphBLAST/Color_JPL` | [`gblas_jpl`] | Alg. 4 (Jones-Plassmann, `GxB_scatter`) |
+//! | `Naumov/Color_JPL` | [`naumov`] | cuSPARSE-style JPL baseline |
+//! | `Naumov/Color_CC` | [`naumov`] | cuSPARSE-style csrcolor baseline |
+//!
+//! Plus the paper's §VI future-work directions, implemented as
+//! extensions: [`gm_gpu`] (Gebremedhin-Manne speculative coloring on the
+//! GPU) and the largest-degree-first priority mode of [`gunrock_is`]
+//! ([`gunrock_is::WeightMode::LargestDegreeFirst`]).
+//!
+//! Every algorithm returns a [`ColoringResult`] carrying the coloring
+//! itself (exact — quality numbers in the reproduction are real), the
+//! model runtime in milliseconds, and iteration/launch statistics.
+//! [`runner`] exposes the uniform registry the benches and examples use.
+
+pub mod color;
+pub mod cpu_model;
+pub mod gblas_is;
+pub mod gblas_jpl;
+pub mod gblas_mis;
+pub mod gm_cpu;
+pub mod gm_gpu;
+pub mod greedy;
+pub mod gunrock_ar;
+pub mod gunrock_hash;
+pub mod gunrock_is;
+pub mod jp_cpu;
+pub mod naumov;
+pub mod runner;
+pub mod verify;
+
+pub use color::{Coloring, ColoringResult};
+pub use runner::{all_colorers, Colorer, ColorerKind};
+pub use verify::{assert_proper, is_proper};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,60 @@
+//! Property tests: every coloring algorithm produces a proper coloring
+//! on arbitrary graphs.
+
+use proptest::prelude::*;
+
+use gc_graph::{Csr, GraphBuilder};
+
+use crate::greedy::{greedy, Ordering};
+use crate::runner::all_colorers;
+use crate::verify::is_proper;
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (1usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..120)
+            .prop_map(move |edges| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_colorers_proper_on_arbitrary_graphs(g in arb_graph(), seed in 0u64..1000) {
+        for c in all_colorers() {
+            let r = c.run(&g, seed);
+            prop_assert!(
+                is_proper(&g, r.coloring.as_slice()).is_ok(),
+                "{} produced an improper coloring: {:?}",
+                c.name(),
+                is_proper(&g, r.coloring.as_slice())
+            );
+            prop_assert!(r.num_colors as usize <= g.num_vertices().max(1));
+        }
+    }
+
+    #[test]
+    fn greedy_respects_brooks_style_bound(g in arb_graph(), seed in 0u64..100) {
+        for ord in [Ordering::Natural, Ordering::LargestDegreeFirst,
+                    Ordering::SmallestDegreeLast, Ordering::Random] {
+            let r = greedy(&g, ord, seed);
+            prop_assert!(is_proper(&g, r.coloring.as_slice()).is_ok());
+            prop_assert!(r.num_colors as usize <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn gpu_algorithms_are_seed_deterministic(g in arb_graph(), seed in 0u64..50) {
+        for c in all_colorers() {
+            let a = c.run(&g, seed);
+            let b = c.run(&g, seed);
+            prop_assert_eq!(
+                a.coloring.as_slice(),
+                b.coloring.as_slice(),
+                "{} is not deterministic",
+                c.name()
+            );
+        }
+    }
+}

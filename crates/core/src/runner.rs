@@ -1,0 +1,203 @@
+//! The uniform registry of coloring implementations.
+//!
+//! Every implementation of the paper's Figure 1 legend is exposed behind
+//! one interface so the benches, examples, and integration tests can
+//! sweep "all implementations × all datasets" the way the evaluation
+//! section does.
+
+use gc_graph::Csr;
+
+use crate::color::ColoringResult;
+use crate::greedy::Ordering;
+use crate::gunrock_hash::HashConfig;
+use crate::gunrock_is::IsConfig;
+use crate::{
+    gblas_is, gblas_jpl, gblas_mis, gm_cpu, gm_gpu, greedy, gunrock_ar, gunrock_hash, gunrock_is,
+    jp_cpu, naumov,
+};
+
+/// Which algorithm a [`Colorer`] runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ColorerKind {
+    CpuGreedy(Ordering),
+    CpuJonesPlassmann,
+    GunrockIs(IsConfig),
+    GunrockHash(HashConfig),
+    GunrockAr,
+    GblasIs,
+    GblasMis,
+    GblasJpl,
+    NaumovJpl,
+    NaumovCc,
+    /// Future-work extension (paper §VI): Gebremedhin-Manne on the GPU.
+    GebremedhinManne,
+    /// Related-work baseline (§II.A): shared-memory Gebremedhin-Manne
+    /// on host threads.
+    GebremedhinManneCpu,
+}
+
+/// A named coloring implementation.
+#[derive(Clone, Debug)]
+pub struct Colorer {
+    name: &'static str,
+    kind: ColorerKind,
+}
+
+impl Colorer {
+    pub fn new(name: &'static str, kind: ColorerKind) -> Self {
+        Colorer { name, kind }
+    }
+
+    /// The Figure 1 legend name, e.g. `"Gunrock/Color_IS"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn kind(&self) -> ColorerKind {
+        self.kind
+    }
+
+    /// Whether this implementation runs on the (virtual) GPU.
+    pub fn is_gpu(&self) -> bool {
+        !matches!(
+            self.kind,
+            ColorerKind::CpuGreedy(_)
+                | ColorerKind::CpuJonesPlassmann
+                | ColorerKind::GebremedhinManneCpu
+        )
+    }
+
+    /// Runs the algorithm.
+    pub fn run(&self, g: &Csr, seed: u64) -> ColoringResult {
+        match self.kind {
+            ColorerKind::CpuGreedy(ord) => greedy::greedy(g, ord, seed),
+            ColorerKind::CpuJonesPlassmann => jp_cpu::jones_plassmann_cpu(g, seed),
+            ColorerKind::GunrockIs(cfg) => gunrock_is::gunrock_is(g, seed, cfg),
+            ColorerKind::GunrockHash(cfg) => gunrock_hash::gunrock_hash(g, seed, cfg),
+            ColorerKind::GunrockAr => gunrock_ar::gunrock_ar(g, seed),
+            ColorerKind::GblasIs => gblas_is::gblas_is(g, seed),
+            ColorerKind::GblasMis => gblas_mis::gblas_mis(g, seed),
+            ColorerKind::GblasJpl => gblas_jpl::gblas_jpl(g, seed),
+            ColorerKind::NaumovJpl => naumov::naumov_jpl(g, seed),
+            ColorerKind::NaumovCc => naumov::naumov_cc(g, seed),
+            ColorerKind::GebremedhinManne => gm_gpu::gebremedhin_manne(g, seed),
+            ColorerKind::GebremedhinManneCpu => gm_cpu::gebremedhin_manne_cpu(g, seed),
+        }
+    }
+}
+
+/// The nine implementations of the paper's Figure 1, in legend order.
+///
+/// ```
+/// use gc_core::runner::all_colorers;
+/// use gc_core::verify::is_proper;
+/// use gc_graph::generators::cycle;
+///
+/// let g = cycle(9);
+/// for colorer in all_colorers() {
+///     let r = colorer.run(&g, 42);
+///     assert!(is_proper(&g, r.coloring.as_slice()).is_ok(), "{}", colorer.name());
+/// }
+/// ```
+pub fn all_colorers() -> Vec<Colorer> {
+    vec![
+        Colorer::new("CPU/Color_Greedy", ColorerKind::CpuGreedy(Ordering::Natural)),
+        Colorer::new("GraphBLAST/Color_IS", ColorerKind::GblasIs),
+        Colorer::new("GraphBLAST/Color_JPL", ColorerKind::GblasJpl),
+        Colorer::new("GraphBLAST/Color_MIS", ColorerKind::GblasMis),
+        Colorer::new("Gunrock/Color_AR", ColorerKind::GunrockAr),
+        Colorer::new("Gunrock/Color_Hash", ColorerKind::GunrockHash(HashConfig::default())),
+        Colorer::new("Gunrock/Color_IS", ColorerKind::GunrockIs(IsConfig::min_max())),
+        Colorer::new("Naumov/Color_CC", ColorerKind::NaumovCc),
+        Colorer::new("Naumov/Color_JPL", ColorerKind::NaumovJpl),
+    ]
+}
+
+/// The paper's §VI future-work extensions, implemented in this
+/// reproduction but kept out of the Figure 1 registry (the paper did
+/// not evaluate them).
+pub fn extension_colorers() -> Vec<Colorer> {
+    vec![
+        Colorer::new("Extension/Color_GM", ColorerKind::GebremedhinManne),
+        Colorer::new(
+            "Extension/Color_IS_LDF",
+            ColorerKind::GunrockIs(IsConfig::largest_degree_first()),
+        ),
+        Colorer::new(
+            "Extension/Color_IS_LB",
+            ColorerKind::GunrockIs(IsConfig::min_max_load_balanced()),
+        ),
+        Colorer::new(
+            "CPU/Color_Greedy_SDL",
+            ColorerKind::CpuGreedy(Ordering::SmallestDegreeLast),
+        ),
+        Colorer::new("CPU/Color_JP", ColorerKind::CpuJonesPlassmann),
+        Colorer::new("CPU/Color_GM", ColorerKind::GebremedhinManneCpu),
+    ]
+}
+
+/// Looks up a colorer by its Figure 1 legend name.
+pub fn colorer_by_name(name: &str) -> Option<Colorer> {
+    all_colorers().into_iter().find(|c| c.name() == name)
+}
+
+/// The Table II ladder of Gunrock optimizations, slowest first.
+pub fn table2_variants() -> Vec<Colorer> {
+    vec![
+        Colorer::new("Baseline (Advance-Reduce)", ColorerKind::GunrockAr),
+        Colorer::new("Hash Color", ColorerKind::GunrockHash(HashConfig::default())),
+        Colorer::new(
+            "Independent Set with Atomics",
+            ColorerKind::GunrockIs(IsConfig::single_set_atomics()),
+        ),
+        Colorer::new(
+            "Independent Set without Atomics",
+            ColorerKind::GunrockIs(IsConfig::single_set_no_atomics()),
+        ),
+        Colorer::new("Min-Max Independent Set", ColorerKind::GunrockIs(IsConfig::min_max())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::assert_proper;
+    use gc_graph::generators::erdos_renyi;
+
+    #[test]
+    fn registry_has_figure1_legend() {
+        let names: Vec<_> = all_colorers().iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 9);
+        assert!(names.contains(&"Gunrock/Color_IS"));
+        assert!(names.contains(&"GraphBLAST/Color_MIS"));
+        assert!(names.contains(&"Naumov/Color_JPL"));
+        assert!(names.contains(&"CPU/Color_Greedy"));
+    }
+
+    #[test]
+    fn every_registered_colorer_is_proper() {
+        let g = erdos_renyi(150, 0.04, 3);
+        for c in all_colorers() {
+            let r = c.run(&g, 7);
+            assert_proper(&g, r.coloring.as_slice());
+            assert!(r.model_ms > 0.0, "{} reported zero time", c.name());
+        }
+    }
+
+    #[test]
+    fn gpu_flag() {
+        assert!(!colorer_by_name("CPU/Color_Greedy").unwrap().is_gpu());
+        assert!(colorer_by_name("Gunrock/Color_IS").unwrap().is_gpu());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(colorer_by_name("Gunrock/Color_Hash").is_some());
+        assert!(colorer_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn table2_ladder_has_five_rows() {
+        assert_eq!(table2_variants().len(), 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! The Table I dataset registry.
+//!
+//! The paper evaluates on 12 real-world SuiteSparse matrices plus the
+//! DIMACS10 `rgg_n_2_{15..24}_s0` scaling family. The SuiteSparse files
+//! are not redistributable here, so each dataset gets a *synthetic
+//! stand-in*: a generator from `gc-graph` with parameters chosen to match
+//! the structural features the paper's analysis depends on — graph
+//! family (FEM shell / stencil mesh / circuit / banded), average degree
+//! (the paper's serial-for-loop discussion is entirely about this), and
+//! a size that scales relative to the paper's vertex count.
+//!
+//! Every spec records the numbers exactly as printed in Table I, so the
+//! `repro table1` harness can show paper-vs-generated side by side. When
+//! a real `.mtx` file is available, `gc_graph::mtx::read_mtx` loads it
+//! through the same pipeline instead.
+
+pub mod registry;
+pub mod spec;
+
+pub use registry::{dataset_by_name, rgg_scales, table1_real_world, DEFAULT_SCALE, TEST_SCALE};
+pub use spec::{DatasetSpec, Family, GraphType};

@@ -1,0 +1,58 @@
+//! Banded random graphs, standing in for `cage13` (DNA electrophoresis)
+//! and `thermomech_dK`-style matrices whose nonzeros concentrate within a
+//! diagonal band.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Graph whose edges connect vertices within `bandwidth` of each other,
+/// with `edges_per_vertex` random picks inside the band per vertex.
+/// Average degree lands near `2 * edges_per_vertex` after deduplication.
+pub fn banded_random(n: usize, bandwidth: usize, edges_per_vertex: usize, seed: u64) -> Csr {
+    assert!(bandwidth >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    for v in 0..n {
+        for _ in 0..edges_per_vertex {
+            let lo = v.saturating_sub(bandwidth);
+            let hi = (v + bandwidth).min(n - 1);
+            let t = rng.gen_range(lo..=hi);
+            if t != v {
+                b.push(v as VertexId, t as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_within_band() {
+        let bw = 10;
+        let g = banded_random(1000, bw, 5, 2);
+        for (u, v) in g.edges() {
+            assert!((u as i64 - v as i64).unsigned_abs() as usize <= bw);
+        }
+    }
+
+    #[test]
+    fn degree_near_target() {
+        let g = banded_random(10_000, 50, 9, 7);
+        let d = g.avg_degree();
+        assert!((12.0..18.5).contains(&d), "avg degree {d}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(banded_random(500, 20, 4, 1), banded_random(500, 20, 4, 1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Circuit-style irregular sparse graphs, standing in for `G3_circuit`
+//! and `ASIC_320ks` in Table I.
+//!
+//! Circuit matrices have low average degree (≈6), strong locality (most
+//! nets connect nearby cells), a small fraction of long-range nets, and a
+//! few very-high-fanout nets (clock/reset trees). The generator composes
+//! exactly those three ingredients.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Parameters for the circuit family.
+#[derive(Clone, Copy, Debug)]
+pub struct CircuitParams {
+    /// Local (nearest-neighbor) connections per vertex.
+    pub local_per_vertex: usize,
+    /// Fraction of vertices that also get one long-range random edge.
+    pub long_range_fraction: f64,
+    /// Number of high-fanout hub nets.
+    pub hubs: usize,
+    /// Fanout of each hub net.
+    pub hub_fanout: usize,
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        Self { local_per_vertex: 2, long_range_fraction: 0.25, hubs: 4, hub_fanout: 64 }
+    }
+}
+
+/// Generates a circuit-style graph with `n` vertices. Average degree lands
+/// near `2 * local_per_vertex + 2 * long_range_fraction`, i.e. ≈6 for the
+/// default parameters used by the `G3_circuit` stand-in.
+pub fn circuit(n: usize, params: CircuitParams, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    // Locality: connect each vertex to a few of its successors within a
+    // small window (placement neighbors on the die).
+    for v in 0..n {
+        for j in 1..=params.local_per_vertex {
+            let t = v + j;
+            if t < n {
+                b.push(v as VertexId, t as VertexId);
+            }
+        }
+    }
+    // Sparse long-range nets.
+    for v in 0..n {
+        if rng.gen::<f64>() < params.long_range_fraction {
+            let t = rng.gen_range(0..n);
+            if t != v {
+                b.push(v as VertexId, t as VertexId);
+            }
+        }
+    }
+    // High-fanout hub nets (clock trees).
+    for h in 0..params.hubs.min(n) {
+        let hub = rng.gen_range(0..n) as VertexId;
+        for _ in 0..params.hub_fanout {
+            let t = rng.gen_range(0..n) as VertexId;
+            if t != hub {
+                b.push(hub, t);
+            }
+        }
+        let _ = h;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_average_degree_near_six() {
+        let g = circuit(20_000, CircuitParams::default(), 3);
+        let d = g.avg_degree();
+        assert!((4.0..8.0).contains(&d), "avg degree {d}");
+    }
+
+    #[test]
+    fn circuit_has_high_fanout_hubs() {
+        let p = CircuitParams { hubs: 2, hub_fanout: 200, ..Default::default() };
+        let g = circuit(10_000, p, 5);
+        assert!(g.max_degree() >= 150, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn circuit_deterministic() {
+        let p = CircuitParams::default();
+        assert_eq!(circuit(5000, p, 9), circuit(5000, p, 9));
+    }
+
+    #[test]
+    fn circuit_tiny_inputs() {
+        assert_eq!(circuit(0, CircuitParams::default(), 1).num_vertices(), 0);
+        assert_eq!(circuit(1, CircuitParams::default(), 1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic graph generators.
+//!
+//! These generators produce the graph families used by the reproduction:
+//!
+//! * classic fixed topologies ([`structured`]) used by tests and examples;
+//! * random families ([`random`]): Erdős–Rényi, Barabási–Albert (the
+//!   paper's "power law" future-work case), and random regular-ish graphs;
+//! * mesh/stencil families ([`stencil`]) standing in for the FEM and
+//!   stencil SuiteSparse matrices of Table I;
+//! * the DIMACS10-style random geometric graphs ([`rgg`]) used by the
+//!   paper's scalability study (Figure 3);
+//! * the irregular low-degree [`circuit`] family standing in for
+//!   `G3_circuit` / `ASIC_320ks`;
+//! * the [`banded`] family standing in for `cage13`-like banded matrices.
+
+pub mod banded;
+pub mod circuit;
+pub mod random;
+pub mod rgg;
+pub mod stencil;
+pub mod structured;
+
+pub use banded::banded_random;
+pub use circuit::circuit;
+pub use random::{barabasi_albert, erdos_renyi, random_near_regular};
+pub use rgg::{rgg, rgg_scale};
+pub use stencil::{grid2d, grid3d, shell3d, Stencil2d, Stencil3d};
+pub use structured::{complete, complete_bipartite, crown, cycle, path, star};

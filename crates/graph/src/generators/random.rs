@@ -1,0 +1,180 @@
+//! Random graph families.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Erdős–Rényi `G(n, p)` graph. Every unordered pair is an edge with
+/// probability `p`, sampled with a geometric skip so the cost is
+/// proportional to the number of edges rather than `n^2`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        return super::structured::complete(n);
+    }
+    // Iterate over the strictly-upper-triangular pair index space with
+    // geometric jumps (Batagelj–Brandes).
+    let total_pairs = n as u128 * (n as u128 - 1) / 2;
+    let log1mp = (1.0 - p).ln();
+    let mut idx: u128 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log1mp).floor() as u128 + 1;
+        idx = idx.saturating_add(skip);
+        if idx > total_pairs {
+            break;
+        }
+        let (i, j) = pair_from_index(idx - 1, n);
+        b.push(i, j);
+    }
+    b.build()
+}
+
+/// Maps a linear index in `[0, n(n-1)/2)` to the pair `(i, j)` with
+/// `i < j` in the upper triangle, row-major.
+fn pair_from_index(idx: u128, n: usize) -> (VertexId, VertexId) {
+    // Row i owns n-1-i pairs. Find i by walking rows; O(n) worst case but
+    // amortized O(1) per edge for the densities we use.
+    let mut i = 0u128;
+    let mut remaining = idx;
+    loop {
+        let row_len = (n as u128 - 1) - i;
+        if remaining < row_len {
+            return (i as VertexId, (i + 1 + remaining) as VertexId);
+        }
+        remaining -= row_len;
+        i += 1;
+    }
+}
+
+/// Barabási–Albert preferential attachment with `k` edges per new vertex.
+/// Produces the heavy-tailed degree distribution the paper's future-work
+/// section refers to as "power law graphs".
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Csr {
+    assert!(k >= 1, "attachment degree must be at least 1");
+    assert!(n > k, "need more vertices than the attachment degree");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling a uniform element is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    // Seed clique over the first k+1 vertices.
+    for u in 0..=(k as VertexId) {
+        for v in (u + 1)..=(k as VertexId) {
+            b.push(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (k + 1)..n {
+        let v = v as VertexId;
+        let mut targets = Vec::with_capacity(k);
+        while targets.len() < k {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            b.push(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// A near-`d`-regular random graph built from `d/2` random permutation
+/// cycles (degrees can be slightly below `d` after deduplication).
+pub fn random_near_regular(n: usize, d: usize, seed: u64) -> Csr {
+    assert!(d.is_multiple_of(2), "degree must be even for the union-of-cycles construction");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 3 {
+        return b.build();
+    }
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    for _ in 0..d / 2 {
+        // Fisher-Yates shuffle, then link consecutive elements in a cycle.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for i in 0..n {
+            b.push(perm[i], perm[(i + 1) % n]);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_zero_probability_is_empty() {
+        let g = erdos_renyi(100, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn er_full_probability_is_complete() {
+        let g = erdos_renyi(20, 1.0, 1);
+        assert_eq!(g.num_edges(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 2000;
+        let p = 0.01;
+        let g = erdos_renyi(n, p, 42);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < expected * 0.15, "got {got}, expected ~{expected}");
+    }
+
+    #[test]
+    fn er_deterministic_for_seed() {
+        assert_eq!(erdos_renyi(200, 0.05, 7), erdos_renyi(200, 0.05, 7));
+        assert_ne!(erdos_renyi(200, 0.05, 7), erdos_renyi(200, 0.05, 8));
+    }
+
+    #[test]
+    fn pair_index_roundtrip() {
+        let n = 7;
+        let mut idx = 0u128;
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                assert_eq!(pair_from_index(idx, n), (i, j));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn ba_degree_sum() {
+        let g = barabasi_albert(500, 3, 9);
+        assert_eq!(g.num_vertices(), 500);
+        // Each of the (n - k - 1) later vertices adds k edges to the seed clique.
+        let expected = 3 * 2 / 2 * (3 + 1) / 2 + (500 - 4) * 3;
+        assert!(g.num_edges() >= expected - 10 && g.num_edges() <= expected + 10);
+        // Heavy tail: some vertex should have far more than k neighbors.
+        assert!(g.max_degree() > 12);
+    }
+
+    #[test]
+    fn near_regular_degrees() {
+        let g = random_near_regular(100, 6, 3);
+        for v in g.vertices() {
+            assert!(g.degree(v) <= 6);
+            assert!(g.degree(v) >= 2, "vertex {v} has degree {}", g.degree(v));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Random geometric graphs (RGG), the DIMACS10 family used by the paper's
+//! scalability study (Figure 3).
+//!
+//! `rgg_n_2_k_s0` places `n = 2^k` points uniformly in the unit square and
+//! connects points within Euclidean distance `r`. DIMACS10 uses
+//! `r = sqrt(ln(n) / (pi * n)) * c` chosen so the graph is connected with
+//! high probability; the resulting average degree grows slowly with scale
+//! (the paper's Table I lists 9.78 at scale 15 up to 15.8 at scale 24),
+//! which [`rgg_scale`] reproduces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Random geometric graph: `n` uniform points in the unit square, edges
+/// between pairs closer than `radius`. Uses a uniform grid of cells of
+/// side `radius` so the construction is `O(n + m)` in expectation.
+pub fn rgg(n: usize, radius: f64, seed: u64) -> Csr {
+    assert!(radius > 0.0 && radius < 1.0, "radius must lie in (0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+
+    let cells_per_side = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |x: f64, y: f64| {
+        let cx = ((x * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((y * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        cy * cells_per_side + cx
+    };
+    // Bucket points by cell.
+    let mut cell_heads = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        cell_heads[cell_of(x, y)].push(i as VertexId);
+    }
+
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for cy in 0..cells_per_side {
+        for cx in 0..cells_per_side {
+            let here = &cell_heads[cy * cells_per_side + cx];
+            // Within-cell pairs.
+            for (ai, &a) in here.iter().enumerate() {
+                for &bv in &here[ai + 1..] {
+                    if dist2(pts[a as usize], pts[bv as usize]) <= r2 {
+                        b.push(a, bv);
+                    }
+                }
+            }
+            // Forward-neighbor cells (E, S, SW, SE) to visit each pair once.
+            for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                let (tx, ty) = (cx as isize + dx, cy as isize + dy);
+                if tx < 0 || ty < 0 || tx as usize >= cells_per_side || ty as usize >= cells_per_side
+                {
+                    continue;
+                }
+                let there = &cell_heads[ty as usize * cells_per_side + tx as usize];
+                for &a in here {
+                    for &bv in there {
+                        if dist2(pts[a as usize], pts[bv as usize]) <= r2 {
+                            b.push(a, bv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[inline]
+fn dist2(p: (f64, f64), q: (f64, f64)) -> f64 {
+    let dx = p.0 - q.0;
+    let dy = p.1 - q.1;
+    dx * dx + dy * dy
+}
+
+/// DIMACS10-style `rgg_n_2_<scale>_s0`: `n = 2^scale` points with the
+/// connectivity radius `r = sqrt(ln(n) / (pi * n)) * 1.06`, giving average
+/// degrees that grow from ≈10 at scale 15 to ≈16 at scale 24 as in the
+/// paper's Table I.
+pub fn rgg_scale(scale: u32, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let r = ((n as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt() * 1.06;
+    rgg(n, r, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgg_matches_brute_force() {
+        let n = 200;
+        let radius = 0.12;
+        let seed = 11;
+        let fast = rgg(n, radius, seed);
+        // Re-derive points with the same RNG stream and brute-force pairs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                if dist2(pts[i], pts[j]) <= radius * radius {
+                    b.push(i as VertexId, j as VertexId);
+                }
+            }
+        }
+        assert_eq!(fast, b.build());
+    }
+
+    #[test]
+    fn rgg_scale_average_degree_band() {
+        // Paper Table I: scale 15 has average degree 9.78.
+        let g = rgg_scale(12, 0);
+        let d = g.avg_degree();
+        assert!((6.0..14.0).contains(&d), "avg degree {d} out of expected band");
+    }
+
+    #[test]
+    fn rgg_scale_degree_grows_with_scale() {
+        let d10 = rgg_scale(10, 0).avg_degree();
+        let d13 = rgg_scale(13, 0).avg_degree();
+        assert!(d13 > d10, "degree should grow with scale: {d10} vs {d13}");
+    }
+
+    #[test]
+    fn rgg_deterministic() {
+        assert_eq!(rgg(300, 0.07, 4), rgg(300, 0.07, 4));
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic fixed topologies with known chromatic numbers.
+//!
+//! These are the adversarial/reference inputs of the test suite: their
+//! chromatic numbers are known in closed form, so coloring-quality
+//! assertions can be exact.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Path graph `P_n`. Chromatic number 2 for `n >= 2`.
+pub fn path(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.push(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n` (`n >= 3`). Chromatic number 2 if `n` even, 3 if odd.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as VertexId {
+        b.push(v, (v + 1) % n as VertexId);
+    }
+    b.build()
+}
+
+/// Star graph `K_{1,n-1}`: vertex 0 is the hub. Chromatic number 2.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.push(0, v);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`. Chromatic number `n`.
+pub fn complete(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.push(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`. Chromatic number 2 (for `a, b >= 1`).
+pub fn complete_bipartite(a: usize, b: usize) -> Csr {
+    let mut g = GraphBuilder::new(a + b);
+    for u in 0..a as VertexId {
+        for v in 0..b as VertexId {
+            g.push(u, a as VertexId + v);
+        }
+    }
+    g.build()
+}
+
+/// Crown graph `S_n^0`: `K_{n,n}` minus a perfect matching. A classic
+/// adversarial input for greedy coloring — the natural ordering forces
+/// `n` colors while the chromatic number is 2.
+pub fn crown(n: usize) -> Csr {
+    assert!(n >= 2);
+    let mut g = GraphBuilder::new(2 * n);
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v {
+                g.push(u, n as VertexId + v);
+            }
+        }
+    }
+    g.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn path_of_one_vertex() {
+        let g = path(1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn crown_shape() {
+        let g = crown(4);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert!(!g.has_edge(0, 4)); // matching edge removed
+        assert!(g.has_edge(0, 5));
+    }
+}

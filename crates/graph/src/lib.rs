@@ -1,0 +1,29 @@
+//! Graph data structures and generators for the GPU graph-coloring study.
+//!
+//! This crate provides the host-side graph substrate used throughout the
+//! reproduction of *Graph Coloring on the GPU* (Osama et al., 2019):
+//!
+//! * [`Csr`] — compressed sparse row adjacency, the input format both the
+//!   Gunrock-style and GraphBLAS-style frameworks consume;
+//! * [`GraphBuilder`] — edge-list ingestion with the paper's preprocessing
+//!   (symmetrization, self-loop and duplicate removal);
+//! * [`generators`] — synthetic graph families standing in for the
+//!   SuiteSparse and DIMACS10 datasets of Table I;
+//! * [`stats`] — degree statistics and the sampled diameter estimate used
+//!   to regenerate Table I;
+//! * [`mtx`] — Matrix Market I/O for interoperability with the original
+//!   datasets when they are available.
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod mtx;
+pub mod stats;
+pub mod transform;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, VertexId};
+
+#[cfg(test)]
+mod proptests;

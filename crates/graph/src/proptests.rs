@@ -1,0 +1,100 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use crate::builder::GraphBuilder;
+use crate::csr::VertexId;
+use crate::transform::{degeneracy, permute_vertices, relabel};
+use crate::traversal::{bfs_levels, connected_components};
+
+/// Strategy producing an arbitrary (n, edge list) pair, including
+/// self-loops and duplicates the builder must clean up.
+pub fn arb_edges() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (1usize..60).prop_flat_map(|n| {
+        let edge = (0..n as VertexId, 0..n as VertexId);
+        (Just(n), proptest::collection::vec(edge, 0..200))
+    })
+}
+
+proptest! {
+    #[test]
+    fn built_csr_always_valid((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let deg_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn edges_iter_matches_has_edge((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+        prop_assert_eq!(g.edges().count(), g.num_edges());
+    }
+
+    #[test]
+    fn build_is_idempotent((n, edges) in arb_edges()) {
+        let g1 = GraphBuilder::new(n).edges(edges).build();
+        let g2 = GraphBuilder::new(n).edges(g1.edges().collect::<Vec<_>>()).build();
+        prop_assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn bfs_level_differences_bounded((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let levels = bfs_levels(&g, 0);
+        // Adjacent reachable vertices differ by at most one level.
+        for (u, v) in g.edges() {
+            let (lu, lv) = (levels[u as usize], levels[v as usize]);
+            if lu != u32::MAX || lv != u32::MAX {
+                prop_assert!(lu != u32::MAX && lv != u32::MAX,
+                    "one endpoint reachable, the other not");
+                prop_assert!(lu.abs_diff(lv) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_degree_multiset((n, edges) in arb_edges(), seed in any::<u64>()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let (h, perm) = permute_vertices(&g, seed);
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for v in 0..n as VertexId {
+            prop_assert_eq!(h.degree(perm[v as usize]), g.degree(v));
+        }
+        // Round trip through the inverse permutation.
+        let mut inv = vec![0 as VertexId; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p as usize] = i as VertexId;
+        }
+        prop_assert_eq!(relabel(&h, &inv), g);
+    }
+
+    #[test]
+    fn degeneracy_bounds((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let d = degeneracy(&g);
+        prop_assert!(d <= g.max_degree());
+        // Average-degree lower bound: degeneracy >= avg_degree / 2.
+        prop_assert!(d as f64 >= g.avg_degree() / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn components_are_edge_closed((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let (comp, k) = connected_components(&g);
+        prop_assert!(k >= 1);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u as usize], comp[v as usize]);
+        }
+    }
+}

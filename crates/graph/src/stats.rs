@@ -1,0 +1,140 @@
+//! Dataset statistics for regenerating Table I.
+//!
+//! The paper's Table I reports, for each dataset: vertex count, edge
+//! count, average degree, and a diameter that is *"an estimate using
+//! samples from 10,000 vertices"*. [`GraphStats::measure`] reproduces the
+//! same sampled-eccentricity estimate.
+
+use rayon::prelude::*;
+
+use crate::csr::{Csr, VertexId};
+use crate::traversal::eccentricity;
+
+/// Degree distribution summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub avg: f64,
+    /// Standard deviation of the degree distribution; the paper's
+    /// load-imbalance discussion is about exactly this spread.
+    pub std_dev: f64,
+}
+
+/// Per-dataset statistics matching the Table I columns.
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    pub vertices: usize,
+    /// Undirected edge count `m`.
+    pub edges: usize,
+    pub degrees: DegreeStats,
+    /// Sampled diameter estimate (max eccentricity over the sample).
+    pub diameter_estimate: u32,
+    /// Number of vertices sampled for the diameter estimate.
+    pub diameter_samples: usize,
+}
+
+/// Default sample size used by the paper ("samples from 10,000 vertices").
+pub const DIAMETER_SAMPLES: usize = 10_000;
+
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, avg: 0.0, std_dev: 0.0 };
+    }
+    let degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    let min = *degrees.iter().min().unwrap();
+    let max = *degrees.iter().max().unwrap();
+    let avg = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let var = degrees.iter().map(|&d| (d as f64 - avg).powi(2)).sum::<f64>() / n as f64;
+    DegreeStats { min, max, avg, std_dev: var.sqrt() }
+}
+
+/// Diameter estimated as the maximum eccentricity over `samples`
+/// deterministically-spread source vertices (matching the paper's sampled
+/// estimates marked `*` in Table I). Exact when `samples >= n`.
+pub fn estimate_diameter(g: &Csr, samples: usize) -> u32 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let count = samples.min(n);
+    let stride = (n / count).max(1);
+    (0..count)
+        .into_par_iter()
+        .map(|i| eccentricity(g, ((i * stride) % n) as VertexId))
+        .max()
+        .unwrap_or(0)
+}
+
+impl GraphStats {
+    /// Measures every Table I column for `g`, sampling at most
+    /// `diameter_samples` sources for the diameter estimate.
+    pub fn measure(g: &Csr, diameter_samples: usize) -> Self {
+        GraphStats {
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            degrees: degree_stats(g),
+            diameter_estimate: estimate_diameter(g, diameter_samples),
+            diameter_samples: diameter_samples.min(g.num_vertices()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, path, star};
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.avg - 8.0 / 5.0).abs() < 1e-12);
+        assert!(s.std_dev > 1.0);
+    }
+
+    #[test]
+    fn degree_stats_regular_graph_zero_spread() {
+        let s = degree_stats(&cycle(10));
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&crate::Csr::empty(0));
+        assert_eq!(s.avg, 0.0);
+    }
+
+    #[test]
+    fn diameter_exact_on_path() {
+        assert_eq!(estimate_diameter(&path(10), 100), 9);
+    }
+
+    #[test]
+    fn diameter_sampled_lower_bounds_exact() {
+        let g = path(100);
+        let sampled = estimate_diameter(&g, 5);
+        let exact = estimate_diameter(&g, 100);
+        assert!(sampled <= exact);
+        assert!(sampled >= exact / 2, "a strided sample of a path sees most of it");
+    }
+
+    #[test]
+    fn diameter_complete_is_one() {
+        assert_eq!(estimate_diameter(&complete(8), 8), 1);
+    }
+
+    #[test]
+    fn measure_reports_all_columns() {
+        let g = cycle(16);
+        let s = GraphStats::measure(&g, 1000);
+        assert_eq!(s.vertices, 16);
+        assert_eq!(s.edges, 16);
+        assert_eq!(s.diameter_estimate, 8);
+        assert_eq!(s.diameter_samples, 16);
+    }
+}

@@ -1,0 +1,230 @@
+//! Graph transformations: relabeling, subgraphs, component extraction.
+//!
+//! Vertex relabeling matters to this study: several coloring heuristics
+//! (natural-order greedy above all) are sensitive to vertex numbering,
+//! and the synthetic stand-ins carry artificially regular numberings.
+//! [`permute_vertices`] provides the control experiment.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use crate::traversal::connected_components;
+
+/// Relabels vertices by `perm`: vertex `v` becomes `perm[v]`.
+/// `perm` must be a permutation of `0..n`.
+pub fn relabel(g: &Csr, perm: &[VertexId]) -> Csr {
+    let n = g.num_vertices();
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    debug_assert!({
+        let mut seen = vec![false; n];
+        perm.iter().all(|&p| {
+            let ok = (p as usize) < n && !seen[p as usize];
+            if ok {
+                seen[p as usize] = true;
+            }
+            ok
+        })
+    }, "not a permutation");
+    let mut b = GraphBuilder::new(n);
+    b.reserve(g.num_edges());
+    for (u, v) in g.edges() {
+        b.push(perm[u as usize], perm[v as usize]);
+    }
+    b.build()
+}
+
+/// Relabels with a uniformly random permutation (deterministic in
+/// `seed`). Returns the graph and the permutation used.
+pub fn permute_vertices(g: &Csr, seed: u64) -> (Csr, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    (relabel(g, &perm), perm)
+}
+
+/// Induced subgraph on `keep` (vertices are renumbered densely in the
+/// order they appear in `keep`). Returns the subgraph and the mapping
+/// from new ids back to original ids.
+pub fn induced_subgraph(g: &Csr, keep: &[VertexId]) -> (Csr, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut new_id = vec![VertexId::MAX; n];
+    for (i, &v) in keep.iter().enumerate() {
+        assert!((v as usize) < n, "vertex {v} out of range");
+        assert_eq!(new_id[v as usize], VertexId::MAX, "duplicate vertex {v} in keep list");
+        new_id[v as usize] = i as VertexId;
+    }
+    let mut b = GraphBuilder::new(keep.len());
+    for &v in keep {
+        for &u in g.neighbors(v) {
+            if new_id[u as usize] != VertexId::MAX && v < u {
+                b.push(new_id[v as usize], new_id[u as usize]);
+            }
+        }
+    }
+    (b.build(), keep.to_vec())
+}
+
+/// Extracts the largest connected component. Returns the component
+/// graph and the original ids of its vertices.
+pub fn largest_component(g: &Csr) -> (Csr, Vec<VertexId>) {
+    let (comp, k) = connected_components(g);
+    if k <= 1 {
+        return (g.clone(), g.vertices().collect());
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let biggest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    let keep: Vec<VertexId> =
+        (0..g.num_vertices() as VertexId).filter(|&v| comp[v as usize] == biggest).collect();
+    induced_subgraph(g, &keep)
+}
+
+/// Degeneracy of the graph: the largest minimum degree of any subgraph,
+/// computed by the smallest-degree-last elimination. Greedy coloring in
+/// degeneracy order uses at most `degeneracy + 1` colors, a much tighter
+/// bound than `Δ + 1`.
+pub fn degeneracy(g: &Csr) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut degree: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v as VertexId);
+    }
+    let mut removed = vec![false; n];
+    let mut cursor = 0usize;
+    let mut degen = 0usize;
+    let mut taken = 0usize;
+    while taken < n {
+        while cursor <= max_deg && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = buckets[cursor].pop().unwrap();
+        if removed[v as usize] || degree[v as usize] != cursor {
+            continue;
+        }
+        removed[v as usize] = true;
+        taken += 1;
+        degen = degen.max(cursor);
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] {
+                let d = degree[u as usize];
+                degree[u as usize] = d - 1;
+                buckets[d - 1].push(u);
+                if d - 1 < cursor {
+                    cursor = d - 1;
+                }
+            }
+        }
+    }
+    degen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, erdos_renyi, grid2d, path, star, Stencil2d};
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = cycle(8);
+        let perm: Vec<u32> = (0..8).rev().collect();
+        let h = relabel(&g, &perm);
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert!(h.vertices().all(|v| h.degree(v) == 2));
+    }
+
+    #[test]
+    fn permute_is_deterministic_and_degree_preserving() {
+        let g = star(20);
+        let (h1, p1) = permute_vertices(&g, 5);
+        let (h2, p2) = permute_vertices(&g, 5);
+        assert_eq!(h1, h2);
+        assert_eq!(p1, p2);
+        // Degree multiset preserved.
+        let mut d1: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = h1.vertices().map(|v| h1.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length")]
+    fn relabel_validates_length() {
+        let _ = relabel(&path(3), &[0, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_of_complete() {
+        let g = complete(6);
+        let (h, ids) = induced_subgraph(&g, &[1, 3, 5]);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 3); // K3
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        let g = path(5); // 0-1-2-3-4
+        let (h, _) = induced_subgraph(&g, &[0, 2, 4]);
+        assert_eq!(h.num_edges(), 0);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        // Two components: a K4 and a path of 3.
+        let mut b = crate::GraphBuilder::new(7);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.push(u, v);
+            }
+        }
+        b.push(4, 5);
+        b.push(5, 6);
+        let g = b.build();
+        let (h, ids) = largest_component(&g);
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 6);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_component_connected_graph_is_identity() {
+        let g = cycle(9);
+        let (h, ids) = largest_component(&g);
+        assert_eq!(h, g);
+        assert_eq!(ids.len(), 9);
+    }
+
+    #[test]
+    fn degeneracy_known_values() {
+        assert_eq!(degeneracy(&path(10)), 1);
+        assert_eq!(degeneracy(&cycle(10)), 2);
+        assert_eq!(degeneracy(&star(10)), 1);
+        assert_eq!(degeneracy(&complete(7)), 6);
+        assert_eq!(degeneracy(&grid2d(5, 5, Stencil2d::FivePoint)), 2);
+        assert_eq!(degeneracy(&Csr::empty(4)), 0);
+    }
+
+    #[test]
+    fn degeneracy_invariant_under_relabel() {
+        let g = erdos_renyi(150, 0.05, 3);
+        let (h, _) = permute_vertices(&g, 9);
+        assert_eq!(degeneracy(&g), degeneracy(&h));
+    }
+}

@@ -1,0 +1,132 @@
+//! Host-side graph traversals used by dataset statistics and tests.
+
+use std::collections::VecDeque;
+
+use crate::csr::{Csr, VertexId};
+
+/// Level of every vertex from `source` (BFS); unreachable vertices get
+/// `u32::MAX`.
+pub fn bfs_levels(g: &Csr, source: VertexId) -> Vec<u32> {
+    let mut level = vec![u32::MAX; g.num_vertices()];
+    let mut q = VecDeque::new();
+    level[source as usize] = 0;
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        let next = level[v as usize] + 1;
+        for &u in g.neighbors(v) {
+            if level[u as usize] == u32::MAX {
+                level[u as usize] = next;
+                q.push_back(u);
+            }
+        }
+    }
+    level
+}
+
+/// Eccentricity of `source` within its connected component (the maximum
+/// finite BFS level).
+pub fn eccentricity(g: &Csr, source: VertexId) -> u32 {
+    bfs_levels(g, source)
+        .into_iter()
+        .filter(|&l| l != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Connected components by repeated BFS; returns a component id per
+/// vertex and the number of components.
+pub fn connected_components(g: &Csr) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut num = 0u32;
+    let mut q = VecDeque::new();
+    for s in 0..n as VertexId {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = num;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &u in g.neighbors(v) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = num;
+                    q.push_back(u);
+                }
+            }
+        }
+        num += 1;
+    }
+    (comp, num as usize)
+}
+
+/// Whether the graph is bipartite (2-colorable), by BFS level parity.
+pub fn is_bipartite(g: &Csr) -> bool {
+    let n = g.num_vertices();
+    let mut side = vec![u8::MAX; n];
+    let mut q = VecDeque::new();
+    for s in 0..n as VertexId {
+        if side[s as usize] != u8::MAX {
+            continue;
+        }
+        side[s as usize] = 0;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &u in g.neighbors(v) {
+                if side[u as usize] == u8::MAX {
+                    side[u as usize] = 1 - side[v as usize];
+                    q.push_back(u);
+                } else if side[u as usize] == side[v as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, grid2d, path, star, Stencil2d};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = GraphBuilder::new(3).edge(0, 1).build();
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l[2], u32::MAX);
+    }
+
+    #[test]
+    fn eccentricity_of_star_center_and_leaf() {
+        let g = star(10);
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 5), 2);
+    }
+
+    #[test]
+    fn components_count() {
+        let g = GraphBuilder::new(6).edges([(0, 1), (1, 2), (4, 5)]).build();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(comp[4], comp[5]);
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(is_bipartite(&path(6)));
+        assert!(is_bipartite(&cycle(8)));
+        assert!(!is_bipartite(&cycle(7)));
+        assert!(!is_bipartite(&complete(3)));
+        assert!(is_bipartite(&grid2d(4, 4, Stencil2d::FivePoint)));
+    }
+}

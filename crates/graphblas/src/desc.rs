@@ -1,0 +1,62 @@
+//! Operation descriptors.
+
+/// Execution modifiers accepted by every GraphBLAS operation (the `desc`
+/// argument in the paper's pseudocode).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Complement the mask: compute where the mask is *falsy*.
+    pub mask_complement: bool,
+    /// Clear (zero) output entries whose mask is falsy instead of leaving
+    /// them unchanged.
+    pub replace: bool,
+}
+
+impl Descriptor {
+    /// The default descriptor (`GrB_NULL` in the paper's calls).
+    pub fn null() -> Self {
+        Descriptor::default()
+    }
+
+    /// Structural-complement descriptor.
+    pub fn complement() -> Self {
+        Descriptor { mask_complement: true, replace: false }
+    }
+
+    /// Replace descriptor.
+    pub fn replace() -> Self {
+        Descriptor { mask_complement: false, replace: true }
+    }
+
+    /// Whether a mask value `truthy` lets the computation through under
+    /// this descriptor.
+    #[inline]
+    pub fn passes(&self, truthy: bool) -> bool {
+        truthy != self.mask_complement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_passes_truthy_only() {
+        let d = Descriptor::null();
+        assert!(d.passes(true));
+        assert!(!d.passes(false));
+    }
+
+    #[test]
+    fn complement_inverts() {
+        let d = Descriptor::complement();
+        assert!(!d.passes(true));
+        assert!(d.passes(false));
+    }
+
+    #[test]
+    fn presets() {
+        assert!(Descriptor::replace().replace);
+        assert!(!Descriptor::replace().mask_complement);
+        assert!(Descriptor::complement().mask_complement);
+    }
+}

@@ -1,0 +1,85 @@
+//! GraphBLAS matrices: pattern-only CSR adjacency on the device.
+
+use gc_graph::Csr;
+use gc_vgpu::{Device, DeviceBuffer, ThreadCtx};
+
+/// A square boolean (pattern) matrix in CSR form — the adjacency matrix
+/// `A` of the paper's algorithms. Stored values are implicitly 1.
+pub struct Matrix {
+    n: usize,
+    nnz: usize,
+    row_offsets: DeviceBuffer<u32>,
+    col_indices: DeviceBuffer<u32>,
+}
+
+impl Matrix {
+    /// `GrB_Matrix_build` from a host graph (bills the uploads).
+    pub fn from_graph(dev: &Device, g: &Csr) -> Self {
+        assert!(g.num_directed_edges() <= u32::MAX as usize, "nnz exceeds 32-bit offsets");
+        let offsets: Vec<u32> = g.row_offsets().iter().map(|&o| o as u32).collect();
+        Matrix {
+            n: g.num_vertices(),
+            nnz: g.num_directed_edges(),
+            row_offsets: dev.upload(&offsets),
+            col_indices: dev.upload(g.col_indices()),
+        }
+    }
+
+    /// `GrB_Matrix_nrows` (== ncols; the matrix is square).
+    pub fn nrows(&self) -> usize {
+        self.n
+    }
+
+    /// `GrB_Matrix_nvals`.
+    pub fn nvals(&self) -> usize {
+        self.nnz
+    }
+
+    /// Metered in-kernel row extent.
+    #[inline]
+    pub fn row_range(&self, t: &mut ThreadCtx, i: usize) -> (usize, usize) {
+        let s = t.read(&self.row_offsets, i);
+        let e = t.read(&self.row_offsets, i + 1);
+        (s as usize, e as usize)
+    }
+
+    /// Metered in-kernel column index at CSR slot.
+    #[inline]
+    pub fn col(&self, t: &mut ThreadCtx, slot: usize) -> usize {
+        t.read(&self.col_indices, slot) as usize
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix({}x{}, nvals={})", self.n, self.n, self.nnz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::generators::{cycle, star};
+    use gc_vgpu::DeviceConfig;
+
+    #[test]
+    fn from_graph_dimensions() {
+        let d = Device::new(DeviceConfig::test_tiny());
+        let m = Matrix::from_graph(&d, &cycle(5));
+        assert_eq!(m.nrows(), 5);
+        assert_eq!(m.nvals(), 10);
+    }
+
+    #[test]
+    fn in_kernel_row_access() {
+        let d = Device::new(DeviceConfig::test_tiny());
+        let m = Matrix::from_graph(&d, &star(4));
+        let out = DeviceBuffer::<u32>::zeroed(4);
+        d.launch("rowlen", 4, |t| {
+            let i = t.tid();
+            let (s, e) = m.row_range(t, i);
+            t.write(&out, i, (e - s) as u32);
+        });
+        assert_eq!(out.to_vec(), vec![3, 1, 1, 1]);
+    }
+}

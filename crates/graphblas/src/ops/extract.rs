@@ -1,0 +1,110 @@
+//! `GrB_extract` (subvector gather) and `GxB_select` (entry filtering).
+
+use gc_vgpu::{Device, DeviceBuffer, Scalar};
+
+use crate::desc::Descriptor;
+use crate::vector::Vector;
+
+/// `GrB_extract`: `w[i] = u[indices[i]]`, a gather from `u` by an
+/// explicit index list. `w.size()` must equal `indices.len()`.
+pub fn extract<T: Scalar>(dev: &Device, w: &Vector<T>, u: &Vector<T>, indices: &[usize]) {
+    assert_eq!(w.size(), indices.len(), "w/indices dimension mismatch");
+    for &i in indices {
+        assert!(i < u.size(), "index {i} out of range for u of size {}", u.size());
+    }
+    let idx: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
+    let idx_dev = DeviceBuffer::from_slice(&idx);
+    dev.launch("grb::extract", indices.len(), |t| {
+        let i = t.tid();
+        let src = t.read(&idx_dev, i) as usize;
+        let v = u.read(t, src);
+        w.write(t, i, v);
+    });
+}
+
+/// `GxB_select`: keeps entries of `u` satisfying `pred(index, value)`,
+/// zeroing (removing, in sparse terms) everything else. The mask and
+/// descriptor follow the usual write rules.
+pub fn select<T: Scalar, P>(
+    dev: &Device,
+    w: &Vector<T>,
+    mask: Option<&Vector<T>>,
+    pred: P,
+    u: &Vector<T>,
+    desc: Descriptor,
+) where
+    P: Fn(usize, T) -> bool + Sync,
+{
+    assert_eq!(w.size(), u.size(), "dimension mismatch");
+    let n = w.size();
+    dev.launch("grb::select", n, |t| {
+        let i = t.tid();
+        let pass = match mask {
+            None => true,
+            Some(m) => desc.passes(m.truthy(t, i)),
+        };
+        if pass {
+            let v = u.read(t, i);
+            let kept = if pred(i, v) { v } else { T::default() };
+            w.write(t, i, kept);
+        } else if desc.replace {
+            w.write(t, i, T::default());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_vgpu::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn extract_gathers() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[10i64, 20, 30, 40]);
+        let w = Vector::<i64>::new(3);
+        extract(&d, &w, &u, &[3, 1, 3]);
+        assert_eq!(w.to_vec(), vec![40, 20, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn extract_validates_indices() {
+        let d = dev();
+        let u = Vector::<i64>::new(2);
+        let w = Vector::<i64>::new(1);
+        extract(&d, &w, &u, &[5]);
+    }
+
+    #[test]
+    fn select_by_value() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[5i64, -2, 9, 0]);
+        let w = Vector::<i64>::new(4);
+        select(&d, &w, None, |_, v| v > 0, &u, Descriptor::null());
+        assert_eq!(w.to_vec(), vec![5, 0, 9, 0]);
+    }
+
+    #[test]
+    fn select_by_index() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[7i64; 6]);
+        let w = Vector::<i64>::new(6);
+        select(&d, &w, None, |i, _| i % 2 == 0, &u, Descriptor::null());
+        assert_eq!(w.to_vec(), vec![7, 0, 7, 0, 7, 0]);
+    }
+
+    #[test]
+    fn select_with_mask() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[1i64, 2, 3]);
+        let w = Vector::from_host(&d, &[9i64, 9, 9]);
+        let m = Vector::from_host(&d, &[0i64, 1, 1]);
+        select(&d, &w, Some(&m), |_, v| v >= 3, &u, Descriptor::null());
+        assert_eq!(w.to_vec(), vec![9, 0, 3]);
+    }
+}

@@ -1,0 +1,61 @@
+//! `GrB_reduce`: vector → scalar reduction under a monoid.
+
+use gc_vgpu::{Device, DeviceBuffer, Scalar};
+
+use crate::vector::Vector;
+
+/// Reduces `u` to a scalar with the monoid `(identity, op)`. Runs the
+/// standard two-pass device reduction through the primitive layer, then
+/// bills the scalar's trip back to the host (which is what
+/// `GrB_reduce` into a host scalar costs on the GPU).
+pub fn reduce<T: Scalar, F>(dev: &Device, identity: T, op: F, u: &Vector<T>) -> T
+where
+    F: Fn(T, T) -> T + Sync,
+{
+    let staging = DeviceBuffer::from_slice(&u.to_vec());
+    let r = gc_vgpu::primitives::reduce(dev, "grb::reduce", &staging, identity, op);
+    let _ = dev.download(&DeviceBuffer::from_slice(&[r]));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_vgpu::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn plus_reduce_counts_frontier() {
+        let d = dev();
+        let f = Vector::from_host(&d, &[1i64, 0, 1, 1, 0]);
+        assert_eq!(reduce(&d, 0i64, |a, b| a + b, &f), 3);
+    }
+
+    #[test]
+    fn max_reduce() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[3i64, -5, 11, 2]);
+        assert_eq!(reduce(&d, i64::MIN, i64::max, &u), 11);
+    }
+
+    #[test]
+    fn reduce_of_empty_is_identity() {
+        let d = dev();
+        let u = Vector::<i64>::new(0);
+        assert_eq!(reduce(&d, 77i64, |a, b| a + b, &u), 77);
+    }
+
+    #[test]
+    fn reduce_bills_kernel_and_readback() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[1i64; 64]);
+        d.reset();
+        let _ = reduce(&d, 0i64, |a, b| a + b, &u);
+        let p = d.profile();
+        assert!(p.launches >= 1);
+        assert_eq!(p.memcpys, 1);
+    }
+}

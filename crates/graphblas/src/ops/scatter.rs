@@ -1,0 +1,63 @@
+//! `GxB_scatter` — the extension operation the paper had to add.
+//!
+//! §IV.A.3: *"this scatter could not be done within the confines of the
+//! GraphBLAS API. Therefore, we needed a GraphBLAS extension operation
+//! GxB_scatter"*, with semantics `colors[n[i]] = max_colors[i]` — every
+//! non-zero entry of the index vector scatters a value into the target.
+
+use gc_vgpu::{Device, Scalar};
+
+use crate::vector::Vector;
+
+/// For each entry `i` of `indices` with a non-zero value `x = indices[i]`,
+/// writes `value` into `target[x]` (clamped to the target length; indexes
+/// beyond it are ignored, mirroring the bounded possible-colors array of
+/// Algorithm 4).
+pub fn scatter<T: Scalar>(dev: &Device, target: &Vector<T>, indices: &Vector<i64>, value: T) {
+    let n = indices.size();
+    let cap = target.size();
+    dev.launch("grb::gxb_scatter", n, |t| {
+        let i = t.tid();
+        let x = indices.read(t, i);
+        if x > 0 && (x as usize) < cap {
+            target.write(t, x as usize, value);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_vgpu::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn scatters_nonzero_indices() {
+        let d = dev();
+        let target = Vector::<i64>::new(8);
+        let idx = Vector::from_host(&d, &[3i64, 0, 5, 3]);
+        scatter(&d, &target, &idx, 1);
+        assert_eq!(target.to_vec(), vec![0, 0, 0, 1, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn zero_entries_do_not_scatter() {
+        let d = dev();
+        let target = Vector::<i64>::new(4);
+        let idx = Vector::from_host(&d, &[0i64, 0, 0]);
+        scatter(&d, &target, &idx, 9);
+        assert_eq!(target.to_vec(), vec![0; 4]);
+    }
+
+    #[test]
+    fn out_of_range_indices_ignored() {
+        let d = dev();
+        let target = Vector::<i64>::new(3);
+        let idx = Vector::from_host(&d, &[2i64, 50, 1]);
+        scatter(&d, &target, &idx, 7);
+        assert_eq!(target.to_vec(), vec![0, 7, 7]);
+    }
+}

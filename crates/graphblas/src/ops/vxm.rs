@@ -1,0 +1,396 @@
+//! `GrB_vxm`: vector-matrix product over a semiring.
+
+use gc_vgpu::{Device, Scalar};
+
+use crate::desc::Descriptor;
+use crate::matrix::Matrix;
+use crate::semiring::SemiringOps;
+use crate::vector::Vector;
+
+/// `w = u ⊕.⊗ A` under the given semiring, masked.
+///
+/// ```
+/// use gc_graph::generators::path;
+/// use gc_graphblas::{ops, Descriptor, Matrix, MaxTimes, Vector};
+/// use gc_vgpu::Device;
+///
+/// let dev = Device::k40c();
+/// let a = Matrix::from_graph(&dev, &path(3)); // 0 - 1 - 2
+/// let u = Vector::from_host(&dev, &[5i64, 1, 9]);
+/// let w = Vector::<i64>::new(3);
+/// // Max neighbor value per vertex, the Algorithm 2 idiom.
+/// ops::vxm(&dev, &w, None, &MaxTimes, &u, &a, Descriptor::null());
+/// assert_eq!(w.to_vec(), vec![1, 9, 1]);
+/// ```
+///
+/// Executed pull-style (one simulated thread per output row scanning its
+/// CSR segment), which is how GraphBLAST computes dense-operand products.
+/// Rows whose mask fails are skipped entirely — the memory-saving effect
+/// the paper credits masking with.
+///
+/// Since `A` is symmetric here (undirected graphs), `vxm` and `mxv`
+/// coincide, and "row" below is the vertex whose neighbors are combined.
+pub fn vxm<T: Scalar, S: SemiringOps<T>>(
+    dev: &Device,
+    w: &Vector<T>,
+    mask: Option<&Vector<T>>,
+    semiring: &S,
+    u: &Vector<T>,
+    a: &Matrix,
+    desc: Descriptor,
+) {
+    product(dev, "grb::vxm", w, mask, semiring, u, a, desc)
+}
+
+/// `GrB_mxv`: `w = A ⊕.⊗ u`. Adjacency matrices here are symmetric, so
+/// the result coincides with [`vxm`]; the operation is provided for API
+/// completeness and is profiled under its own kernel name.
+pub fn mxv<T: Scalar, S: SemiringOps<T>>(
+    dev: &Device,
+    w: &Vector<T>,
+    mask: Option<&Vector<T>>,
+    semiring: &S,
+    a: &Matrix,
+    u: &Vector<T>,
+    desc: Descriptor,
+) {
+    product(dev, "grb::mxv", w, mask, semiring, u, a, desc)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn product<T: Scalar, S: SemiringOps<T>>(
+    dev: &Device,
+    what: &str,
+    w: &Vector<T>,
+    mask: Option<&Vector<T>>,
+    semiring: &S,
+    u: &Vector<T>,
+    a: &Matrix,
+    desc: Descriptor,
+) {
+    assert_eq!(u.size(), a.nrows(), "u/A dimension mismatch");
+    assert_eq!(w.size(), a.nrows(), "w/A dimension mismatch");
+    let n = a.nrows();
+    let name = format!("{what}({})", semiring.name());
+    dev.launch(&name, n, |t| {
+        let i = t.tid();
+        let pass = match mask {
+            None => true,
+            Some(m) => desc.passes(m.truthy(t, i)),
+        };
+        if !pass {
+            if desc.replace {
+                w.write(t, i, T::default());
+            }
+            return;
+        }
+        let (s, e) = a.row_range(t, i);
+        let mut acc = semiring.identity();
+        for slot in s..e {
+            let j = a.col(t, slot);
+            let uv = u.read(t, j);
+            // Zero is the dense encoding's "no value": absent entries
+            // contribute nothing (proper sparse semantics, and what
+            // keeps pull and push modes semantically identical).
+            if uv != T::default() {
+                acc = semiring.add(acc, semiring.map(uv));
+            }
+            t.charge(1);
+        }
+        w.write(t, i, acc);
+    });
+}
+
+/// Push-mode `vxm`: iterates the *non-zero* entries of `u` and
+/// scatter-combines their contributions into `w` with atomics — the
+/// sparse-frontier strategy of GraphBLAST's push-pull machinery (Yang,
+/// Buluç & Owens, ICPP'18, the paper's citation [28]).
+///
+/// Semantically identical to the pull-mode [`vxm`] (the additive monoid
+/// is commutative and associative, so the atomic combine order cannot
+/// matter), but its cost profile is opposite: a compaction pipeline plus
+/// work proportional to the *frontier's* edges rather than to every row.
+/// Wins when `u` is sparse; loses when `u` is dense.
+pub fn vxm_push<T: Scalar, S: SemiringOps<T>>(
+    dev: &Device,
+    w: &Vector<T>,
+    mask: Option<&Vector<T>>,
+    semiring: &S,
+    u: &Vector<T>,
+    a: &Matrix,
+    desc: Descriptor,
+) {
+    use gc_vgpu::primitives::compact;
+    use gc_vgpu::DeviceBuffer;
+    assert_eq!(u.size(), a.nrows(), "u/A dimension mismatch");
+    assert_eq!(w.size(), a.nrows(), "w/A dimension mismatch");
+    let n = a.nrows();
+    let name = format!("grb::vxm_push({})", semiring.name());
+
+    // Initialize every passing row to the additive identity (a pull
+    // kernel writes identities implicitly; push must do it up front).
+    let identity = semiring.identity();
+    dev.launch(&format!("{name}:init"), n, |t| {
+        let i = t.tid();
+        let pass = match mask {
+            None => true,
+            Some(m) => desc.passes(m.truthy(t, i)),
+        };
+        if pass {
+            w.write(t, i, identity);
+        } else if desc.replace {
+            w.write(t, i, T::default());
+        }
+    });
+
+    // Compact the indices of u's non-zero entries (the sparse frontier).
+    let ids = DeviceBuffer::<u32>::zeroed(n);
+    let flags = DeviceBuffer::<u8>::zeroed(n);
+    dev.launch(&format!("{name}:nz_flags"), n, |t| {
+        let i = t.tid();
+        let nz = u.truthy(t, i);
+        t.write(&ids, i, i as u32);
+        t.write(&flags, i, nz as u8);
+    });
+    let frontier = compact(dev, &format!("{name}:nz"), &ids, &flags);
+
+    // Push: one thread per frontier entry scatters into its neighbors.
+    dev.launch(&format!("{name}:push"), frontier.len(), |t| {
+        let slot = t.tid();
+        let j = t.read(&frontier, slot) as usize;
+        let contribution = semiring.map(u.read(t, j));
+        let (s, e) = a.row_range(t, j);
+        for idx in s..e {
+            let i = a.col(t, idx);
+            let pass = match mask {
+                None => true,
+                Some(m) => desc.passes(m.truthy(t, i)),
+            };
+            if pass {
+                w.atomic_combine(t, i, contribution, |x, y| semiring.add(x, y));
+            }
+            t.charge(1);
+        }
+    });
+}
+
+/// Threshold (fraction of rows) below which the direction-optimized
+/// product switches to push mode, mirroring GraphBLAST's heuristic.
+pub const PUSH_THRESHOLD: f64 = 0.10;
+
+/// Direction-optimized `vxm`: dispatches to push or pull by the
+/// operand's number of stored entries. Real GraphBLAS vectors carry
+/// `nvals` as metadata maintained by every operation, so the dispatch
+/// itself is free (no device work billed).
+pub fn vxm_direction_opt<T: Scalar, S: SemiringOps<T>>(
+    dev: &Device,
+    w: &Vector<T>,
+    mask: Option<&Vector<T>>,
+    semiring: &S,
+    u: &Vector<T>,
+    a: &Matrix,
+    desc: Descriptor,
+) {
+    let n = u.size();
+    let nvals = u.nvals();
+    if (nvals as f64) < PUSH_THRESHOLD * n as f64 {
+        vxm_push(dev, w, mask, semiring, u, a, desc);
+    } else {
+        vxm(dev, w, mask, semiring, u, a, desc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BooleanOrAnd, MaxTimes, PlusTimes};
+    use gc_graph::generators::{path, star};
+    use gc_vgpu::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn max_times_finds_max_neighbor_weight() {
+        let d = dev();
+        let g = path(4); // 0-1-2-3
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &[10i64, 40, 20, 30]);
+        let w = Vector::<i64>::new(4);
+        vxm(&d, &w, None, &MaxTimes, &u, &a, Descriptor::null());
+        assert_eq!(w.to_vec(), vec![40, 20, 40, 20]);
+    }
+
+    #[test]
+    fn plus_times_sums_neighbors() {
+        let d = dev();
+        let g = star(4);
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &[1i64, 2, 3, 4]);
+        let w = Vector::<i64>::new(4);
+        vxm(&d, &w, None, &PlusTimes, &u, &a, Descriptor::null());
+        assert_eq!(w.to_vec(), vec![9, 1, 1, 1]);
+    }
+
+    #[test]
+    fn boolean_marks_frontier_neighbors() {
+        let d = dev();
+        let g = path(5);
+        let a = Matrix::from_graph(&d, &g);
+        let frontier = Vector::from_host(&d, &[0i64, 0, 1, 0, 0]);
+        let w = Vector::<i64>::new(5);
+        vxm(&d, &w, None, &BooleanOrAnd, &frontier, &a, Descriptor::null());
+        assert_eq!(w.to_vec(), vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn mask_skips_rows() {
+        let d = dev();
+        let g = path(4);
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &[10i64, 40, 20, 30]);
+        let w = Vector::from_host(&d, &[-1i64, -1, -1, -1]);
+        let m = Vector::from_host(&d, &[1i64, 0, 1, 0]);
+        vxm(&d, &w, Some(&m), &MaxTimes, &u, &a, Descriptor::null());
+        assert_eq!(w.to_vec(), vec![40, -1, 40, -1]);
+    }
+
+    #[test]
+    fn mask_with_replace_clears() {
+        let d = dev();
+        let g = path(3);
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &[5i64, 6, 7]);
+        let w = Vector::from_host(&d, &[-1i64, -1, -1]);
+        let m = Vector::from_host(&d, &[1i64, 0, 0]);
+        vxm(&d, &w, Some(&m), &MaxTimes, &u, &a, Descriptor::replace());
+        assert_eq!(w.to_vec(), vec![6, 0, 0]);
+    }
+
+    #[test]
+    fn isolated_vertex_gets_identity() {
+        let d = dev();
+        let g = gc_graph::GraphBuilder::new(3).edge(0, 1).build();
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &[1i64, 2, 3]);
+        let w = Vector::<i64>::new(3);
+        vxm(&d, &w, None, &MaxTimes, &u, &a, Descriptor::null());
+        assert_eq!(w.get_host(2), i64::MIN);
+    }
+
+    #[test]
+    fn mxv_equals_vxm_on_symmetric_pattern() {
+        let d = dev();
+        let g = star(5);
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &[3i64, 1, 4, 1, 5]);
+        let w1 = Vector::<i64>::new(5);
+        let w2 = Vector::<i64>::new(5);
+        vxm(&d, &w1, None, &MaxTimes, &u, &a, Descriptor::null());
+        mxv(&d, &w2, None, &MaxTimes, &a, &u, Descriptor::null());
+        assert_eq!(w1.to_vec(), w2.to_vec());
+        assert!(d.profile().by_kernel.keys().any(|k| k.starts_with("grb::mxv")));
+    }
+
+    #[test]
+    fn push_matches_pull_boolean() {
+        let d = dev();
+        let g = path(6);
+        let a = Matrix::from_graph(&d, &g);
+        let frontier = Vector::from_host(&d, &[0i64, 0, 1, 0, 1, 0]);
+        let pull = Vector::<i64>::new(6);
+        let push = Vector::<i64>::new(6);
+        vxm(&d, &pull, None, &BooleanOrAnd, &frontier, &a, Descriptor::null());
+        vxm_push(&d, &push, None, &BooleanOrAnd, &frontier, &a, Descriptor::null());
+        assert_eq!(pull.to_vec(), push.to_vec());
+    }
+
+    #[test]
+    fn push_matches_pull_max_times_on_sparse_operand() {
+        let d = dev();
+        let g = star(8);
+        let a = Matrix::from_graph(&d, &g);
+        let mut vals = vec![0i64; 8];
+        vals[3] = 50;
+        vals[6] = 20;
+        let u = Vector::from_host(&d, &vals);
+        let pull = Vector::<i64>::new(8);
+        let push = Vector::<i64>::new(8);
+        vxm(&d, &pull, None, &MaxTimes, &u, &a, Descriptor::null());
+        vxm_push(&d, &push, None, &MaxTimes, &u, &a, Descriptor::null());
+        assert_eq!(pull.to_vec(), push.to_vec());
+    }
+
+    #[test]
+    fn push_respects_masks() {
+        let d = dev();
+        let g = path(5);
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &[0i64, 9, 0, 0, 0]);
+        let m = Vector::from_host(&d, &[1i64, 1, 0, 1, 1]);
+        let sentinel = -5i64;
+        let w = Vector::from_host(&d, &vec![sentinel; 5]);
+        vxm_push(&d, &w, Some(&m), &BooleanOrAnd, &u, &a, Descriptor::null());
+        // Row 2 is masked out and must keep its sentinel.
+        assert_eq!(w.get_host(2), sentinel);
+        assert_eq!(w.get_host(0), 1);
+    }
+
+    #[test]
+    fn direction_opt_picks_push_for_sparse_pull_for_dense() {
+        let d = dev();
+        let g = path(64);
+        let a = Matrix::from_graph(&d, &g);
+        // Sparse operand: one nonzero out of 64 -> push.
+        let mut vals = vec![0i64; 64];
+        vals[10] = 3;
+        let sparse = Vector::from_host(&d, &vals);
+        let w = Vector::<i64>::new(64);
+        vxm_direction_opt(&d, &w, None, &BooleanOrAnd, &sparse, &a, Descriptor::null());
+        assert!(d.profile().by_kernel.keys().any(|k| k.contains("vxm_push")));
+        // Dense operand -> pull.
+        let d2 = dev();
+        let a2 = Matrix::from_graph(&d2, &path(64));
+        let dense = Vector::from_host(&d2, &vec![1i64; 64]);
+        let w2 = Vector::<i64>::new(64);
+        vxm_direction_opt(&d2, &w2, None, &BooleanOrAnd, &dense, &a2, Descriptor::null());
+        assert!(!d2.profile().by_kernel.keys().any(|k| k.contains("vxm_push")));
+        assert!(d2.profile().by_kernel.keys().any(|k| k.starts_with("grb::vxm(")));
+    }
+
+    #[test]
+    fn push_is_cheaper_for_tiny_frontiers_on_big_graphs() {
+        let g =
+            gc_graph::generators::grid2d(512, 512, gc_graph::generators::Stencil2d::FivePoint);
+        let n = g.num_vertices();
+        let mut vals = vec![0i64; n];
+        vals[17] = 5;
+        let run = |push: bool| {
+            let d = Device::new(DeviceConfig::k40c());
+            let a = Matrix::from_graph(&d, &g);
+            let u = Vector::from_host(&d, &vals);
+            let w = Vector::<i64>::new(n);
+            d.reset();
+            if push {
+                vxm_push(&d, &w, None, &BooleanOrAnd, &u, &a, Descriptor::null());
+            } else {
+                vxm(&d, &w, None, &BooleanOrAnd, &u, &a, Descriptor::null());
+            }
+            d.elapsed_cycles()
+        };
+        // Pull scans 262k rows; push pays a fixed kernel pipeline but
+        // touches only the frontier's 4 edges.
+        assert!(run(true) < run(false), "push should win on a tiny frontier");
+    }
+
+    #[test]
+    fn kernel_named_after_semiring() {
+        let d = dev();
+        let a = Matrix::from_graph(&d, &path(3));
+        let u = Vector::<i64>::new(3);
+        let w = Vector::<i64>::new(3);
+        vxm(&d, &w, None, &MaxTimes, &u, &a, Descriptor::null());
+        assert!(d.profile().by_kernel.contains_key("grb::vxm(max_times)"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests: GraphBLAS ops vs direct host references.
+
+use proptest::prelude::*;
+
+use gc_graph::GraphBuilder;
+use gc_vgpu::{Device, DeviceConfig};
+
+use crate::desc::Descriptor;
+use crate::matrix::Matrix;
+use crate::ops::{ewise_add, ewise_mult, reduce, vxm};
+use crate::semiring::{BooleanOrAnd, MaxTimes, PlusTimes, SemiringOps};
+use crate::vector::Vector;
+
+fn dev() -> Device {
+    Device::new(DeviceConfig::test_tiny())
+}
+
+fn arb_graph_and_values() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<i64>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..80);
+        let vals = proptest::collection::vec(-100i64..100, n);
+        (Just(n), edges, vals)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vxm_max_times_matches_host((n, edges, vals) in arb_graph_and_values()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let d = dev();
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &vals);
+        let w = Vector::<i64>::new(n);
+        vxm(&d, &w, None, &MaxTimes, &u, &a, Descriptor::null());
+        let got = w.to_vec();
+        for v in 0..n as u32 {
+            let want = g
+                .neighbors(v)
+                .iter()
+                .map(|&j| vals[j as usize])
+                .filter(|&x| x != 0) // zeros are implicit "no value"
+                .fold(SemiringOps::<i64>::identity(&MaxTimes), i64::max);
+            prop_assert_eq!(got[v as usize], want, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn vxm_plus_times_matches_host((n, edges, vals) in arb_graph_and_values()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let d = dev();
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &vals);
+        let w = Vector::<i64>::new(n);
+        vxm(&d, &w, None, &PlusTimes, &u, &a, Descriptor::null());
+        let got = w.to_vec();
+        for v in 0..n as u32 {
+            let want: i64 = g.neighbors(v).iter().map(|&j| vals[j as usize]).sum();
+            prop_assert_eq!(got[v as usize], want);
+        }
+    }
+
+    #[test]
+    fn vxm_boolean_is_neighbor_of_truthy((n, edges, vals) in arb_graph_and_values()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let d = dev();
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &vals);
+        let w = Vector::<i64>::new(n);
+        vxm(&d, &w, None, &BooleanOrAnd, &u, &a, Descriptor::null());
+        let got = w.to_vec();
+        for v in 0..n as u32 {
+            let want = g.neighbors(v).iter().any(|&j| vals[j as usize] != 0) as i64;
+            prop_assert_eq!(got[v as usize], want);
+        }
+    }
+
+    #[test]
+    fn ewise_ops_match_host(
+        u in proptest::collection::vec(-50i64..50, 1..60),
+        seed in any::<u64>(),
+    ) {
+        let n = u.len();
+        let v: Vec<i64> =
+            (0..n).map(|i| (gc_vgpu::rng::uniform_u32(seed, i as u32) % 100) as i64 - 50).collect();
+        let d = dev();
+        let uu = Vector::from_host(&d, &u);
+        let vv = Vector::from_host(&d, &v);
+        let add = Vector::<i64>::new(n);
+        let mult = Vector::<i64>::new(n);
+        ewise_add(&d, &add, None, |a, b| a.max(b), &uu, &vv, Descriptor::null());
+        ewise_mult(&d, &mult, None, |a, b| a * b, &uu, &vv, Descriptor::null());
+        for i in 0..n {
+            prop_assert_eq!(add.get_host(i), u[i].max(v[i]));
+            let want = if u[i] != 0 && v[i] != 0 { u[i] * v[i] } else { 0 };
+            prop_assert_eq!(mult.get_host(i), want);
+        }
+    }
+
+    #[test]
+    fn reduce_matches_host(u in proptest::collection::vec(-1000i64..1000, 0..100)) {
+        let d = dev();
+        let uu = Vector::from_host(&d, &u);
+        prop_assert_eq!(reduce(&d, 0i64, |a, b| a + b, &uu), u.iter().sum::<i64>());
+        prop_assert_eq!(
+            reduce(&d, i64::MIN, i64::max, &uu),
+            u.iter().copied().max().unwrap_or(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn masked_vxm_touches_only_passing_rows((n, edges, vals) in arb_graph_and_values()) {
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let d = dev();
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &vals);
+        let mask_vals: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
+        let m = Vector::from_host(&d, &mask_vals);
+        let sentinel = -777i64;
+        let w = Vector::from_host(&d, &vec![sentinel; n]);
+        vxm(&d, &w, Some(&m), &MaxTimes, &u, &a, Descriptor::null());
+        for i in 0..n {
+            if mask_vals[i] == 0 {
+                prop_assert_eq!(w.get_host(i), sentinel);
+            } else {
+                prop_assert_ne!(w.get_host(i), sentinel);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Semirings over pattern matrices.
+//!
+//! Because the adjacency matrix is pattern-only (stored values are
+//! implicitly 1), the semiring multiply reduces to a map over the vector
+//! operand: `mul(u[j], A[i][j]) = mul(u[j], 1)`. Each predefined semiring
+//! therefore supplies an additive identity, the additive combine, and the
+//! multiplicative map.
+
+use gc_vgpu::Scalar;
+
+/// Operations of a semiring specialized to pattern matrices.
+pub trait SemiringOps<T: Scalar>: Sync {
+    /// Identity of the additive monoid.
+    fn identity(&self) -> T;
+    /// Additive combine.
+    fn add(&self, a: T, b: T) -> T;
+    /// Multiplicative map applied to the vector operand (the matrix
+    /// operand is an implicit 1).
+    fn map(&self, u: T) -> T;
+    /// Name for profiler kernel labels.
+    fn name(&self) -> &'static str;
+}
+
+/// `(max, ×)` — the paper's `GrB_INT32MaxTimes`, used to find the
+/// maximum neighbor weight.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxTimes;
+
+/// `(min, ×)` — symmetric variant used by min-based selections.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinTimes;
+
+/// `(+, ×)` — the standard arithmetic semiring; over a pattern matrix,
+/// row sums of the vector operand.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlusTimes;
+
+/// `(∨, ∧)` — the paper's `GrB_Boolean`, used to mark vertices adjacent
+/// to a truthy entry of the operand (frontier-neighbor discovery).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BooleanOrAnd;
+
+macro_rules! impl_semirings_for {
+    ($t:ty) => {
+        impl SemiringOps<$t> for MaxTimes {
+            #[inline]
+            fn identity(&self) -> $t {
+                <$t>::MIN
+            }
+            #[inline]
+            fn add(&self, a: $t, b: $t) -> $t {
+                a.max(b)
+            }
+            #[inline]
+            fn map(&self, u: $t) -> $t {
+                u
+            }
+            fn name(&self) -> &'static str {
+                "max_times"
+            }
+        }
+
+        impl SemiringOps<$t> for MinTimes {
+            #[inline]
+            fn identity(&self) -> $t {
+                <$t>::MAX
+            }
+            #[inline]
+            fn add(&self, a: $t, b: $t) -> $t {
+                a.min(b)
+            }
+            #[inline]
+            fn map(&self, u: $t) -> $t {
+                u
+            }
+            fn name(&self) -> &'static str {
+                "min_times"
+            }
+        }
+
+        impl SemiringOps<$t> for PlusTimes {
+            #[inline]
+            fn identity(&self) -> $t {
+                0
+            }
+            #[inline]
+            fn add(&self, a: $t, b: $t) -> $t {
+                a.wrapping_add(b)
+            }
+            #[inline]
+            fn map(&self, u: $t) -> $t {
+                u
+            }
+            fn name(&self) -> &'static str {
+                "plus_times"
+            }
+        }
+
+        impl SemiringOps<$t> for BooleanOrAnd {
+            #[inline]
+            fn identity(&self) -> $t {
+                0
+            }
+            #[inline]
+            fn add(&self, a: $t, b: $t) -> $t {
+                (a != 0 || b != 0) as $t
+            }
+            #[inline]
+            fn map(&self, u: $t) -> $t {
+                (u != 0) as $t
+            }
+            fn name(&self) -> &'static str {
+                "boolean"
+            }
+        }
+    };
+}
+
+impl_semirings_for!(i32);
+impl_semirings_for!(i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_times_folds_to_max() {
+        let s = MaxTimes;
+        let vals = [3i64, -1, 7, 2];
+        let r = vals.iter().fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)));
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn max_times_identity_is_absorbing_floor() {
+        let s = MaxTimes;
+        assert_eq!(s.add(SemiringOps::<i64>::identity(&s), 5i64), 5);
+    }
+
+    #[test]
+    fn min_times_folds_to_min() {
+        let s = MinTimes;
+        let r = [3i32, -1, 7].iter().fold(SemiringOps::<i32>::identity(&s), |a, &b| s.add(a, s.map(b)));
+        assert_eq!(r, -1);
+    }
+
+    #[test]
+    fn plus_times_sums() {
+        let s = PlusTimes;
+        let r = [1i64, 2, 3].iter().fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)));
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn boolean_is_any_truthy() {
+        let s = BooleanOrAnd;
+        let any = |vals: &[i64]| {
+            vals.iter().fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)))
+        };
+        assert_eq!(any(&[0, 0, 0]), 0);
+        assert_eq!(any(&[0, 9, 0]), 1);
+        assert_eq!(any(&[-2]), 1);
+    }
+}

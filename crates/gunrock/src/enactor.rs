@@ -1,0 +1,91 @@
+//! The enactor: Gunrock's bulk-synchronous iteration driver.
+
+use gc_vgpu::Device;
+
+/// Drives an iterative primitive: calls the step closure until it reports
+/// completion, billing one device-wide synchronization per iteration
+/// (Gunrock's inter-operator barrier).
+pub struct Enactor<'a> {
+    dev: &'a Device,
+    iterations: u32,
+    max_iterations: u32,
+}
+
+impl<'a> Enactor<'a> {
+    pub fn new(dev: &'a Device) -> Self {
+        Enactor { dev, iterations: 0, max_iterations: u32::MAX }
+    }
+
+    /// Caps the iteration count (a safety net for algorithm bugs; real
+    /// colorings terminate in `O(log n)` iterations with high
+    /// probability).
+    pub fn with_max_iterations(mut self, max: u32) -> Self {
+        self.max_iterations = max;
+        self
+    }
+
+    /// Runs `step(iteration)` until it returns `false`. Returns the
+    /// number of iterations executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration cap is reached — a non-terminating
+    /// coloring loop is a bug, not a slow run.
+    pub fn run<F>(&mut self, mut step: F) -> u32
+    where
+        F: FnMut(u32) -> bool,
+    {
+        loop {
+            if self.iterations >= self.max_iterations {
+                panic!("enactor exceeded {} iterations", self.max_iterations);
+            }
+            let proceed = step(self.iterations);
+            self.dev.sync();
+            self.iterations += 1;
+            if !proceed {
+                return self.iterations;
+            }
+        }
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_vgpu::DeviceConfig;
+
+    #[test]
+    fn runs_until_step_false() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        let mut e = Enactor::new(&dev);
+        let n = e.run(|i| i < 4);
+        assert_eq!(n, 5); // iterations 0..=4, the last returning false
+        assert_eq!(e.iterations(), 5);
+    }
+
+    #[test]
+    fn bills_one_sync_per_iteration() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        Enactor::new(&dev).run(|i| i < 2);
+        assert_eq!(dev.profile().syncs, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn cap_panics_on_runaway_loop() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        Enactor::new(&dev).with_max_iterations(10).run(|_| true);
+    }
+
+    #[test]
+    fn single_iteration() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        let mut e = Enactor::new(&dev);
+        assert_eq!(e.run(|_| false), 1);
+    }
+}

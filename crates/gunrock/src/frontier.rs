@@ -1,0 +1,122 @@
+//! Vertex frontiers.
+
+use gc_vgpu::{Device, DeviceBuffer, ThreadCtx};
+
+/// A set of active vertices.
+///
+/// `All` is the dense identity frontier (every vertex active) that the
+/// coloring primitives start from; `Sparse` is an explicit device-side
+/// list produced by [`crate::ops::filter`] or [`crate::ops::advance`].
+pub enum Frontier {
+    /// All vertices `0..n` are active.
+    All(usize),
+    /// An explicit active list.
+    Sparse(DeviceBuffer<u32>),
+}
+
+impl Frontier {
+    /// The full-graph frontier.
+    pub fn all(n: usize) -> Self {
+        Frontier::All(n)
+    }
+
+    /// A frontier from an explicit host list (unmetered; test setup).
+    pub fn from_vec(items: Vec<u32>) -> Self {
+        Frontier::Sparse(DeviceBuffer::from_slice(&items))
+    }
+
+    /// A frontier uploaded through the device (metered).
+    pub fn upload(dev: &Device, items: &[u32]) -> Self {
+        Frontier::Sparse(dev.upload(items))
+    }
+
+    /// Number of active items.
+    pub fn len(&self) -> usize {
+        match self {
+            Frontier::All(n) => *n,
+            Frontier::Sparse(b) => b.len(),
+        }
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Metered in-kernel lookup of the `i`-th active vertex.
+    #[inline]
+    pub fn item(&self, t: &mut ThreadCtx, i: usize) -> u32 {
+        match self {
+            Frontier::All(_) => i as u32,
+            Frontier::Sparse(b) => t.read(b, i),
+        }
+    }
+
+    /// Unmetered item lookup, for values a kernel receives by warp
+    /// shuffle rather than a fresh memory load.
+    #[inline]
+    pub fn item_unmetered(&self, i: usize) -> u32 {
+        match self {
+            Frontier::All(_) => i as u32,
+            Frontier::Sparse(b) => b.get(i),
+        }
+    }
+
+    /// Host-side snapshot of the active list.
+    pub fn to_vec(&self) -> Vec<u32> {
+        match self {
+            Frontier::All(n) => (0..*n as u32).collect(),
+            Frontier::Sparse(b) => b.to_vec(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Frontier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Frontier::All(n) => write!(f, "Frontier::All({n})"),
+            Frontier::Sparse(b) => write!(f, "Frontier::Sparse(len={})", b.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_vgpu::DeviceConfig;
+
+    #[test]
+    fn all_frontier_identity() {
+        let f = Frontier::all(4);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+        assert_eq!(f.to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sparse_frontier_lookup() {
+        let d = Device::new(DeviceConfig::test_tiny());
+        let f = Frontier::from_vec(vec![5, 9, 2]);
+        assert_eq!(f.len(), 3);
+        let out = DeviceBuffer::<u32>::zeroed(3);
+        d.launch("read", 3, |t| {
+            let i = t.tid();
+            let v = f.item(t, i);
+            t.write(&out, i, v);
+        });
+        assert_eq!(out.to_vec(), vec![5, 9, 2]);
+    }
+
+    #[test]
+    fn empty_frontier() {
+        assert!(Frontier::from_vec(vec![]).is_empty());
+        assert!(Frontier::all(0).is_empty());
+    }
+
+    #[test]
+    fn upload_is_metered() {
+        let d = Device::new(DeviceConfig::test_tiny());
+        let _ = Frontier::upload(&d, &[1, 2, 3]);
+        assert_eq!(d.profile().memcpys, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! A Gunrock-style data-centric graph framework on the virtual GPU.
+//!
+//! Gunrock expresses graph algorithms as bulk-synchronous operations on
+//! *frontiers* of vertices or edges. This crate reproduces the operators
+//! the paper's coloring implementations use:
+//!
+//! * [`ops::compute`] — a parallel for-all over the frontier (one thread
+//!   per frontier item; *not* load balanced, which is exactly why the
+//!   paper's IS implementation wins on low-degree meshes and loses on
+//!   `af_shell3`);
+//! * [`ops::filter`] — frontier contraction by predicate;
+//! * [`ops::advance`] — load-balanced neighbor expansion (degree scan +
+//!   per-edge gather);
+//! * [`ops::neighbor_reduce`] — advance plus a segmented reduction over
+//!   each neighbor list.
+//!
+//! The [`enactor::Enactor`] drives the iteration loop, billing the
+//! per-iteration global synchronization the paper repeatedly refers to.
+
+pub mod dcsr;
+pub mod enactor;
+pub mod frontier;
+pub mod ops;
+
+pub use dcsr::DeviceCsr;
+pub use enactor::Enactor;
+pub use frontier::Frontier;

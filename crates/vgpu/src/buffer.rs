@@ -1,0 +1,180 @@
+//! Device global-memory buffers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::scalar::Scalar;
+
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A linear array in simulated device global memory.
+///
+/// Constructing a buffer does not bill transfer time; uploads through
+/// [`crate::Device::upload`] and downloads through
+/// [`crate::Device::download`] do (mirroring `cudaMemcpy`). Host-side
+/// accessors (`get`/`set`/`to_vec`) exist for test setup and inspection
+/// and are unmetered.
+pub struct DeviceBuffer<T: Scalar> {
+    id: u64,
+    cells: Box<[T::Atomic]>,
+}
+
+impl<T: Scalar> DeviceBuffer<T> {
+    /// A buffer of `len` default-valued elements (like `cudaMalloc` +
+    /// `cudaMemset(0)`).
+    pub fn zeroed(len: usize) -> Self {
+        Self::filled(len, T::default())
+    }
+
+    /// A buffer with every element set to `v`.
+    pub fn filled(len: usize, v: T) -> Self {
+        DeviceBuffer {
+            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+            cells: (0..len).map(|_| T::new_cell(v)).collect(),
+        }
+    }
+
+    /// A buffer initialized from host data (unmetered; see
+    /// [`crate::Device::upload`] for the metered path).
+    pub fn from_slice(data: &[T]) -> Self {
+        DeviceBuffer {
+            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+            cells: data.iter().map(|&v| T::new_cell(v)).collect(),
+        }
+    }
+
+    /// Unique id used by the access-pattern tracker.
+    #[inline]
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    #[inline]
+    pub(crate) fn cell(&self, i: usize) -> &T::Atomic {
+        &self.cells[i]
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Host-side read (unmetered).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        T::load(&self.cells[i])
+    }
+
+    /// Host-side write (unmetered).
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        T::store(&self.cells[i], v)
+    }
+
+    /// Host-side snapshot (unmetered).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.cells.iter().map(|c| T::load(c)).collect()
+    }
+
+    /// Host-side bulk fill (unmetered).
+    pub fn fill(&self, v: T) {
+        for c in self.cells.iter() {
+            T::store(c, v);
+        }
+    }
+
+    /// Host-side bulk copy-in (unmetered). Lengths must match.
+    pub fn copy_from_slice(&self, data: &[T]) {
+        assert_eq!(data.len(), self.len(), "length mismatch");
+        for (c, &v) in self.cells.iter().zip(data) {
+            T::store(c, v);
+        }
+    }
+
+    /// Total bytes of the buffer as billed by transfers.
+    pub fn size_bytes(&self) -> u64 {
+        self.len() as u64 * T::BYTES
+    }
+}
+
+impl<T: Scalar> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(&self.to_vec())
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DeviceBuffer(id={}, len={})", self.id, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_defaults() {
+        let b = DeviceBuffer::<u32>::zeroed(4);
+        assert_eq!(b.to_vec(), vec![0; 4]);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn filled_and_fill() {
+        let b = DeviceBuffer::<i32>::filled(3, -7);
+        assert_eq!(b.to_vec(), vec![-7; 3]);
+        b.fill(9);
+        assert_eq!(b.to_vec(), vec![9; 3]);
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let data = vec![1.0f32, 2.5, -3.0];
+        let b = DeviceBuffer::from_slice(&data);
+        assert_eq!(b.to_vec(), data);
+        assert_eq!(b.get(1), 2.5);
+    }
+
+    #[test]
+    fn set_get() {
+        let b = DeviceBuffer::<u64>::zeroed(2);
+        b.set(1, 99);
+        assert_eq!(b.get(1), 99);
+        assert_eq!(b.get(0), 0);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = DeviceBuffer::<u32>::zeroed(1);
+        let b = DeviceBuffer::<u32>::zeroed(1);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(DeviceBuffer::<u32>::zeroed(10).size_bytes(), 40);
+        assert_eq!(DeviceBuffer::<f64>::zeroed(10).size_bytes(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_slice_length_checked() {
+        DeviceBuffer::<u32>::zeroed(2).copy_from_slice(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_copies_contents() {
+        let a = DeviceBuffer::from_slice(&[1u32, 2, 3]);
+        let b = a.clone();
+        a.set(0, 100);
+        assert_eq!(b.get(0), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! The analytic kernel-time model.
+
+use crate::config::DeviceConfig;
+use crate::thread::ThreadCounters;
+
+/// Aggregated activity of one kernel launch, reduced over all warps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Number of threads launched.
+    pub threads: u64,
+    /// Number of warps (including partially-filled ones).
+    pub warps: u64,
+    /// Σ over warps of (max thread cycles in warp) — the divergence-aware
+    /// total issue work.
+    pub total_warp_cycles: u64,
+    /// Maximum warp cycles — the critical path.
+    pub max_warp_cycles: u64,
+    /// Σ thread cycles (for utilization reporting; the compute term uses
+    /// warp cycles).
+    pub total_thread_cycles: u64,
+    /// Total DRAM bytes billed.
+    pub bytes: u64,
+    /// Total atomic operations.
+    pub atomics: u64,
+    /// Total global accesses.
+    pub accesses: u64,
+}
+
+impl LaunchStats {
+    /// Folds a fully-executed warp (already reduced to max/total thread
+    /// counters) into the launch totals.
+    pub fn add_warp(&mut self, warp_max: &ThreadCounters, warp_sum: &ThreadCounters, lanes: u64) {
+        self.threads += lanes;
+        self.warps += 1;
+        self.total_warp_cycles += warp_max.cycles;
+        self.max_warp_cycles = self.max_warp_cycles.max(warp_max.cycles);
+        self.total_thread_cycles += warp_sum.cycles;
+        self.bytes += warp_sum.bytes;
+        self.atomics += warp_sum.atomics;
+        self.accesses += warp_sum.accesses;
+    }
+
+    /// Merges two partial launch aggregations (rayon reduce step).
+    pub fn merge(mut self, other: LaunchStats) -> LaunchStats {
+        self.threads += other.threads;
+        self.warps += other.warps;
+        self.total_warp_cycles += other.total_warp_cycles;
+        self.max_warp_cycles = self.max_warp_cycles.max(other.max_warp_cycles);
+        self.total_thread_cycles += other.total_thread_cycles;
+        self.bytes += other.bytes;
+        self.atomics += other.atomics;
+        self.accesses += other.accesses;
+        self
+    }
+}
+
+/// Which resource a kernel's modeled duration is bound by.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BoundBy {
+    /// Fixed launch overhead exceeds every resource term (tiny kernels).
+    #[default]
+    Overhead,
+    /// Issue-width limited (divergence-weighted warp cycles).
+    Compute,
+    /// DRAM bandwidth limited.
+    Memory,
+    /// Atomic throughput limited.
+    Atomics,
+    /// A single long warp (extreme load imbalance).
+    CriticalPath,
+}
+
+impl std::fmt::Display for BoundBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BoundBy::Overhead => "overhead",
+            BoundBy::Compute => "compute",
+            BoundBy::Memory => "memory",
+            BoundBy::Atomics => "atomics",
+            BoundBy::CriticalPath => "critical-path",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Breakdown of a kernel's modeled duration, in cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelCost {
+    pub launch_overhead: f64,
+    pub compute_term: f64,
+    pub memory_term: f64,
+    pub atomic_term: f64,
+    pub critical_path: f64,
+    /// Final modeled cycles: overhead + max of the four resource terms.
+    pub total_cycles: f64,
+}
+
+impl KernelCost {
+    /// The binding resource of this launch.
+    pub fn bound_by(&self) -> BoundBy {
+        let resource = self
+            .compute_term
+            .max(self.memory_term)
+            .max(self.atomic_term)
+            .max(self.critical_path);
+        if self.launch_overhead >= resource {
+            BoundBy::Overhead
+        } else if resource == self.memory_term {
+            BoundBy::Memory
+        } else if resource == self.atomic_term {
+            BoundBy::Atomics
+        } else if resource == self.critical_path && self.critical_path > self.compute_term {
+            BoundBy::CriticalPath
+        } else {
+            BoundBy::Compute
+        }
+    }
+}
+
+/// Computes a kernel's modeled cost from its aggregated stats.
+///
+/// `total = launch_overhead + max(compute, memory, atomic, critical_path)`
+///
+/// * compute: total divergence-aware warp cycles over device issue width;
+/// * memory: total billed bytes over DRAM bytes/cycle;
+/// * atomic: total atomics over device atomic throughput;
+/// * critical path: the slowest single warp (a kernel cannot retire
+///   before its longest warp does).
+pub fn kernel_cost(cfg: &DeviceConfig, stats: &LaunchStats) -> KernelCost {
+    let compute = stats.total_warp_cycles as f64 / cfg.warp_throughput as f64;
+    let memory = stats.bytes as f64 / cfg.dram_bytes_per_cycle;
+    let atomic = stats.atomics as f64 / cfg.atomic_throughput;
+    let critical = stats.max_warp_cycles as f64;
+    let overhead = cfg.launch_overhead_cycles as f64;
+    let total = overhead + compute.max(memory).max(atomic).max(critical);
+    KernelCost {
+        launch_overhead: overhead,
+        compute_term: compute,
+        memory_term: memory,
+        atomic_term: atomic,
+        critical_path: critical,
+        total_cycles: total,
+    }
+}
+
+/// Modeled cost in cycles of a host↔device copy of `bytes`.
+pub fn memcpy_cost(cfg: &DeviceConfig, bytes: u64) -> f64 {
+    cfg.memcpy_latency_cycles as f64 + bytes as f64 / cfg.pcie_bytes_per_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(total_warp: u64, max_warp: u64, bytes: u64, atomics: u64) -> LaunchStats {
+        LaunchStats {
+            threads: 0,
+            warps: 1,
+            total_warp_cycles: total_warp,
+            max_warp_cycles: max_warp,
+            total_thread_cycles: total_warp,
+            bytes,
+            atomics,
+            accesses: 0,
+        }
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let cfg = DeviceConfig::test_tiny();
+        let c = kernel_cost(&cfg, &LaunchStats::default());
+        assert_eq!(c.total_cycles, cfg.launch_overhead_cycles as f64);
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let cfg = DeviceConfig::test_tiny(); // warp_throughput = 2
+        let c = kernel_cost(&cfg, &stats(10_000, 10, 0, 0));
+        assert_eq!(c.compute_term, 5_000.0);
+        assert_eq!(c.total_cycles, 100.0 + 5_000.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let cfg = DeviceConfig::test_tiny(); // 64 B/cycle
+        let c = kernel_cost(&cfg, &stats(10, 10, 640_000, 0));
+        assert_eq!(c.memory_term, 10_000.0);
+        assert!(c.total_cycles > c.compute_term + 100.0);
+    }
+
+    #[test]
+    fn atomic_bound_kernel() {
+        let cfg = DeviceConfig::test_tiny(); // 4 atomics/cycle
+        let c = kernel_cost(&cfg, &stats(10, 10, 0, 40_000));
+        assert_eq!(c.atomic_term, 10_000.0);
+        assert_eq!(c.total_cycles, 100.0 + 10_000.0);
+    }
+
+    #[test]
+    fn critical_path_dominates_single_long_warp() {
+        let cfg = DeviceConfig::test_tiny();
+        // One warp did 1M cycles; total work small relative to throughput.
+        let c = kernel_cost(&cfg, &stats(1_000_000, 1_000_000, 0, 0));
+        assert!(c.critical_path >= c.compute_term);
+        assert_eq!(c.total_cycles, 100.0 + 1_000_000.0);
+    }
+
+    #[test]
+    fn divergence_increases_cost() {
+        let cfg = DeviceConfig::k40c();
+        // Balanced: 32 threads x 100 cycles -> warp max 100.
+        let balanced = stats(100, 100, 0, 0);
+        // Imbalanced: one thread 3200, rest idle -> warp max 3200.
+        let imbalanced = stats(3200, 3200, 0, 0);
+        assert!(
+            kernel_cost(&cfg, &imbalanced).total_cycles
+                > kernel_cost(&cfg, &balanced).total_cycles
+        );
+    }
+
+    #[test]
+    fn merge_combines_and_maxes() {
+        let a = stats(10, 10, 100, 1);
+        let b = stats(20, 15, 50, 2);
+        let m = a.merge(b);
+        assert_eq!(m.total_warp_cycles, 30);
+        assert_eq!(m.max_warp_cycles, 15);
+        assert_eq!(m.bytes, 150);
+        assert_eq!(m.atomics, 3);
+        assert_eq!(m.warps, 2);
+    }
+
+    #[test]
+    fn add_warp_accumulates() {
+        let mut s = LaunchStats::default();
+        let max = ThreadCounters { cycles: 50, bytes: 0, atomics: 0, accesses: 0 };
+        let sum = ThreadCounters { cycles: 120, bytes: 256, atomics: 3, accesses: 8 };
+        s.add_warp(&max, &sum, 32);
+        s.add_warp(&max, &sum, 16);
+        assert_eq!(s.threads, 48);
+        assert_eq!(s.warps, 2);
+        assert_eq!(s.total_warp_cycles, 100);
+        assert_eq!(s.max_warp_cycles, 50);
+        assert_eq!(s.bytes, 512);
+    }
+
+    #[test]
+    fn bound_by_classification() {
+        let cfg = DeviceConfig::test_tiny();
+        assert_eq!(kernel_cost(&cfg, &LaunchStats::default()).bound_by(), BoundBy::Overhead);
+        assert_eq!(kernel_cost(&cfg, &stats(10_000, 10, 0, 0)).bound_by(), BoundBy::Compute);
+        assert_eq!(kernel_cost(&cfg, &stats(10, 10, 640_000, 0)).bound_by(), BoundBy::Memory);
+        assert_eq!(kernel_cost(&cfg, &stats(10, 10, 0, 40_000)).bound_by(), BoundBy::Atomics);
+        assert_eq!(
+            kernel_cost(&cfg, &stats(1_000_000, 1_000_000, 0, 0)).bound_by(),
+            BoundBy::CriticalPath
+        );
+    }
+
+    #[test]
+    fn memcpy_cost_scales_with_bytes() {
+        let cfg = DeviceConfig::test_tiny();
+        assert_eq!(memcpy_cost(&cfg, 0), 200.0);
+        assert_eq!(memcpy_cost(&cfg, 400), 200.0 + 100.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! The device: kernel launches, synchronization, transfers, and the model
+//! clock.
+
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use crate::buffer::DeviceBuffer;
+use crate::config::DeviceConfig;
+use crate::cost::{kernel_cost, memcpy_cost, LaunchStats};
+use crate::profiler::{KernelRecord, ProfileReport, Profiler};
+use crate::scalar::Scalar;
+use crate::thread::{intern_costs, AccessTracker, ThreadCounters, ThreadCtx};
+
+/// A simulated GPU. All kernel launches on a device execute on the global
+/// rayon pool and advance the device's deterministic model clock.
+///
+/// ```
+/// use gc_vgpu::{Device, DeviceBuffer};
+///
+/// let dev = Device::k40c();
+/// let data = dev.upload(&[1u32, 2, 3, 4]);
+/// let out = DeviceBuffer::<u32>::zeroed(4);
+/// dev.launch("double", 4, |t| {
+///     let i = t.tid();
+///     let v = t.read(&data, i);
+///     t.write(&out, i, v * 2);
+/// });
+/// assert_eq!(dev.download(&out), vec![2, 4, 6, 8]);
+/// assert!(dev.elapsed_ms() > 0.0); // transfers + one kernel, metered
+/// ```
+pub struct Device {
+    cfg: DeviceConfig,
+    profiler: Mutex<Profiler>,
+}
+
+impl Device {
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Device { cfg, profiler: Mutex::new(Profiler::default()) }
+    }
+
+    /// The paper's GPU.
+    pub fn k40c() -> Self {
+        Self::new(DeviceConfig::k40c())
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Launches `n_threads` simulated threads running `kernel`.
+    ///
+    /// Threads are grouped into warps of `cfg.warp_size` and blocks of
+    /// `cfg.block_size`; blocks execute concurrently on the rayon pool
+    /// while threads within a warp run sequentially (their *modeled* cost
+    /// is lock-step: the warp bills the max of its threads, so divergence
+    /// and intra-warp load imbalance are priced exactly as the paper
+    /// describes for its serial neighbor loops).
+    ///
+    /// The launch advances the model clock and records a profiler entry.
+    pub fn launch<F>(&self, name: &str, n_threads: usize, kernel: F)
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
+        let costs = intern_costs(&self.cfg);
+        let warp = self.cfg.warp_size as usize;
+        let block = self.cfg.block_size as usize;
+        let num_blocks = n_threads.div_ceil(block).max(1);
+
+        let stats = (0..num_blocks)
+            .into_par_iter()
+            .map(|b| {
+                let mut block_stats = LaunchStats::default();
+                let start = b * block;
+                let end = ((b + 1) * block).min(n_threads);
+                let mut t = start;
+                while t < end {
+                    let warp_end = (t + warp).min(end);
+                    let mut warp_max = ThreadCounters::default();
+                    let mut warp_sum = ThreadCounters::default();
+                    let mut tracker = AccessTracker::new();
+                    for tid in t..warp_end {
+                        let mut ctx = ThreadCtx::new(tid, self.cfg.warp_size, costs, tracker);
+                        kernel(&mut ctx);
+                        let (c, tr) = ctx.finish();
+                        tracker = tr;
+                        warp_max.cycles = warp_max.cycles.max(c.cycles);
+                        warp_max.bytes = warp_max.bytes.max(c.bytes);
+                        warp_sum.merge_sum(&c);
+                    }
+                    block_stats.add_warp(&warp_max, &warp_sum, (warp_end - t) as u64);
+                    t = warp_end;
+                }
+                block_stats
+            })
+            .reduce(LaunchStats::default, LaunchStats::merge);
+
+        let cost = kernel_cost(&self.cfg, &stats);
+        self.profiler.lock().unwrap().record_kernel(KernelRecord {
+            name: name.to_string(),
+            threads: stats.threads,
+            warps: stats.warps,
+            bytes: stats.bytes,
+            atomics: stats.atomics,
+            cost,
+        });
+    }
+
+    /// Explicit device-wide synchronization (`cudaDeviceSynchronize`);
+    /// bills the sync overhead. Kernel launches already include the
+    /// implicit same-stream ordering cost.
+    pub fn sync(&self) {
+        let cycles = self.cfg.sync_overhead_cycles as f64;
+        self.profiler.lock().unwrap().record_sync(cycles);
+    }
+
+    /// Metered host→device transfer.
+    pub fn upload<T: Scalar>(&self, data: &[T]) -> DeviceBuffer<T> {
+        let bytes = data.len() as u64 * T::BYTES;
+        let cycles = memcpy_cost(&self.cfg, bytes);
+        self.profiler.lock().unwrap().record_memcpy(bytes, cycles);
+        DeviceBuffer::from_slice(data)
+    }
+
+    /// Metered device→host transfer.
+    pub fn download<T: Scalar>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let bytes = buf.size_bytes();
+        let cycles = memcpy_cost(&self.cfg, bytes);
+        self.profiler.lock().unwrap().record_memcpy(bytes, cycles);
+        buf.to_vec()
+    }
+
+    /// Model clock in cycles since construction or the last reset.
+    pub fn elapsed_cycles(&self) -> f64 {
+        self.profiler.lock().unwrap().clock_cycles()
+    }
+
+    /// Model clock in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.cfg.cycles_to_ns(self.elapsed_cycles())
+    }
+
+    /// Model clock in milliseconds (the unit the paper reports).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ns() / 1e6
+    }
+
+    /// Clears the model clock and the profiler.
+    pub fn reset(&self) {
+        self.profiler.lock().unwrap().reset();
+    }
+
+    /// Profiling snapshot.
+    pub fn profile(&self) -> ProfileReport {
+        self.profiler.lock().unwrap().report()
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Device({} SMs @ {} GHz)", self.cfg.num_sms, self.cfg.clock_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_runs_every_thread_once() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        let out = DeviceBuffer::<u32>::zeroed(1000);
+        dev.launch("mark", 1000, |t| {
+            let tid = t.tid();
+            t.write(&out, tid, tid as u32 + 1);
+        });
+        let v = out.to_vec();
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn launch_advances_clock_deterministically() {
+        let run = || {
+            let dev = Device::new(DeviceConfig::test_tiny());
+            let buf = DeviceBuffer::<u32>::zeroed(256);
+            dev.launch("incr", 256, |t| {
+                let tid = t.tid();
+                let v = t.read(&buf, tid);
+                t.write(&buf, tid, v + 1);
+            });
+            dev.elapsed_cycles()
+        };
+        let a = run();
+        assert!(a > 0.0);
+        assert_eq!(a, run());
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn zero_thread_launch_costs_only_overhead() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        dev.launch("noop", 0, |_| {});
+        assert_eq!(dev.elapsed_cycles(), DeviceConfig::test_tiny().launch_overhead_cycles as f64);
+    }
+
+    #[test]
+    fn sync_bills_overhead() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        dev.sync();
+        dev.sync();
+        assert_eq!(dev.elapsed_cycles(), 100.0);
+        assert_eq!(dev.profile().syncs, 2);
+    }
+
+    #[test]
+    fn upload_download_roundtrip_and_bill() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        let buf = dev.upload(&[1u32, 2, 3]);
+        let back = dev.download(&buf);
+        assert_eq!(back, vec![1, 2, 3]);
+        let r = dev.profile();
+        assert_eq!(r.memcpys, 2);
+        assert_eq!(r.memcpy_bytes, 24);
+        assert!(dev.elapsed_cycles() > 0.0);
+    }
+
+    #[test]
+    fn atomics_from_many_threads_are_exact() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        let counter = DeviceBuffer::<u32>::zeroed(1);
+        dev.launch("count", 10_000, |t| {
+            t.atomic_add(&counter, 0, 1);
+        });
+        assert_eq!(counter.get(0), 10_000);
+    }
+
+    #[test]
+    fn divergent_kernel_costs_more_than_uniform() {
+        // Same total work, different distribution: all concentrated in
+        // lane 0 of each warp vs spread evenly.
+        let total_per_warp = 3200u64;
+        let cfg = DeviceConfig::k40c();
+        let uniform = {
+            let dev = Device::new(cfg);
+            dev.launch("uniform", 32 * 100, |t| t.charge(total_per_warp / 32));
+            dev.elapsed_cycles()
+        };
+        let divergent = {
+            let dev = Device::new(cfg);
+            dev.launch("divergent", 32 * 100, |t| {
+                if t.lane() == 0 {
+                    t.charge(total_per_warp);
+                }
+            });
+            dev.elapsed_cycles()
+        };
+        assert!(
+            divergent > uniform * 2.0,
+            "divergent {divergent} should dwarf uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn more_launches_cost_more_overhead() {
+        let cfg = DeviceConfig::test_tiny();
+        let one = {
+            let dev = Device::new(cfg);
+            dev.launch("k", 64, |t| t.charge(1));
+            dev.elapsed_cycles()
+        };
+        let four = {
+            let dev = Device::new(cfg);
+            for _ in 0..4 {
+                dev.launch("k", 16, |t| t.charge(1));
+            }
+            dev.elapsed_cycles()
+        };
+        assert!(four > one + 2.0 * cfg.launch_overhead_cycles as f64);
+    }
+
+    #[test]
+    fn reset_zeroes_clock() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        dev.launch("k", 10, |t| t.charge(5));
+        assert!(dev.elapsed_cycles() > 0.0);
+        dev.reset();
+        assert_eq!(dev.elapsed_cycles(), 0.0);
+    }
+
+    #[test]
+    fn elapsed_ms_unit_conversion() {
+        let dev = Device::new(DeviceConfig::test_tiny()); // 1 GHz
+        dev.sync(); // 50 cycles = 50 ns
+        assert!((dev.elapsed_ns() - 50.0).abs() < 1e-9);
+        assert!((dev.elapsed_ms() - 50.0e-6).abs() < 1e-12);
+    }
+}

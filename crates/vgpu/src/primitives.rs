@@ -1,0 +1,467 @@
+//! Device-wide primitives: reduction, prefix scan, stream compaction, and
+//! segmented reduction.
+//!
+//! These are the building blocks Gunrock's load-balanced `advance` and
+//! `neighbor-reduce` operators (and several GraphBLAS operations) lower
+//! to. Each primitive executes the same multi-kernel structure the CUDA
+//! versions use — so a neighbor-reduce costs three launches, not one,
+//! which is exactly the overhead the paper measures for its AR
+//! implementation — while the *values* are computed deterministically.
+
+use crate::buffer::DeviceBuffer;
+use crate::device::Device;
+use crate::scalar::Scalar;
+
+/// Cycles billed per tree-reduction step inside a warp (shuffle cost).
+const SHUFFLE_CYCLES: u64 = 6;
+
+/// Device-wide reduction with an associative operator.
+///
+/// Two-pass block reduction: one kernel reduces each block to a partial,
+/// a second kernel folds the partials. Returns the reduced value.
+pub fn reduce<T, F>(dev: &Device, name: &str, buf: &DeviceBuffer<T>, identity: T, op: F) -> T
+where
+    T: Scalar,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = buf.len();
+    if n == 0 {
+        dev.launch(name, 0, |_| {});
+        return identity;
+    }
+    let block = dev.config().block_size as usize;
+    dev.launch(name, n, |t| {
+        let _ = t.read(buf, t.tid());
+        t.charge(SHUFFLE_CYCLES);
+    });
+    // Block partials, computed in deterministic block order.
+    let data = buf.to_vec();
+    let partials: Vec<T> = data
+        .chunks(block)
+        .map(|c| c.iter().copied().fold(identity, &op))
+        .collect();
+    if partials.len() > 1 {
+        let pbuf = DeviceBuffer::from_slice(&partials);
+        dev.launch(&format!("{name}:final"), partials.len(), |t| {
+            let _ = t.read(&pbuf, t.tid());
+            t.charge(SHUFFLE_CYCLES);
+        });
+    }
+    partials.into_iter().fold(identity, &op)
+}
+
+/// Exclusive prefix sum over `u32` counts. Returns the offsets buffer
+/// (same length as the input) and the total sum.
+///
+/// Three-kernel structure (block scan, partial scan, uniform add), as in
+/// a standard GPU scan.
+pub fn exclusive_scan(dev: &Device, name: &str, input: &DeviceBuffer<u32>) -> (DeviceBuffer<u32>, u64) {
+    let n = input.len();
+    let data = input.to_vec();
+    let mut out = Vec::with_capacity(n);
+    let mut acc: u64 = 0;
+    for &v in &data {
+        out.push(acc as u32);
+        acc += v as u64;
+    }
+    let out_buf = DeviceBuffer::from_slice(&out);
+    if n == 0 {
+        dev.launch(name, 0, |_| {});
+        return (out_buf, 0);
+    }
+    let block = dev.config().block_size as usize;
+    // Pass 1: per-block scan (read input, write local scan).
+    dev.launch(name, n, |t| {
+        let tid = t.tid();
+        let _ = t.read(input, tid);
+        t.charge(SHUFFLE_CYCLES);
+        t.write(&out_buf, tid, out[tid]);
+    });
+    let blocks = n.div_ceil(block);
+    if blocks > 1 {
+        // Pass 2: scan of block totals.
+        dev.launch(&format!("{name}:partials"), blocks, |t| {
+            t.charge(SHUFFLE_CYCLES + 2);
+        });
+        // Pass 3: uniform add of block offsets.
+        dev.launch(&format!("{name}:uniform_add"), n, |t| {
+            let tid = t.tid();
+            let v = t.read(&out_buf, tid);
+            t.write(&out_buf, tid, v);
+        });
+    }
+    (out_buf, acc)
+}
+
+/// Stream compaction: returns the (metered) buffer of elements whose flag
+/// is nonzero, preserving order, plus its length.
+///
+/// Scan + scatter, the standard two-kernel filter.
+pub fn compact(
+    dev: &Device,
+    name: &str,
+    values: &DeviceBuffer<u32>,
+    flags: &DeviceBuffer<u8>,
+) -> DeviceBuffer<u32> {
+    assert_eq!(values.len(), flags.len(), "values/flags length mismatch");
+    let counts: Vec<u32> = flags.to_vec().iter().map(|&f| (f != 0) as u32).collect();
+    let counts_buf = DeviceBuffer::from_slice(&counts);
+    let (offsets, total) = exclusive_scan(dev, &format!("{name}:scan"), &counts_buf);
+    let out = DeviceBuffer::<u32>::zeroed(total as usize);
+    let n = values.len();
+    dev.launch(&format!("{name}:scatter"), n, |t| {
+        let tid = t.tid();
+        let keep = t.read(flags, tid);
+        if keep != 0 {
+            let dst = t.read(&offsets, tid);
+            let v = t.read(values, tid);
+            t.write(&out, dst as usize, v);
+        }
+    });
+    out
+}
+
+/// Segmented reduction: for each segment `s` defined by
+/// `offsets[s]..offsets[s+1]` over `values`, computes the reduction under
+/// `op`. Empty segments get `identity`.
+///
+/// Modeled as the standard two-kernel segmented reduce (per-element pass
+/// plus segment-carry fix-up), the core of Gunrock's neighbor-reduce.
+pub fn segmented_reduce<T, F>(
+    dev: &Device,
+    name: &str,
+    values: &DeviceBuffer<T>,
+    offsets: &[usize],
+    identity: T,
+    op: F,
+) -> Vec<T>
+where
+    T: Scalar,
+    F: Fn(T, T) -> T + Sync,
+{
+    assert!(!offsets.is_empty(), "offsets must contain at least the leading 0");
+    let n = values.len();
+    assert_eq!(*offsets.last().unwrap(), n, "offsets must end at values.len()");
+    // Element pass: every value is read once.
+    dev.launch(name, n, |t| {
+        let _ = t.read(values, t.tid());
+        t.charge(SHUFFLE_CYCLES);
+    });
+    // Carry fix-up pass over segments. Segment scheduling wastes SIMT
+    // lanes: a segment shorter than a warp still occupies warp-width
+    // slots (the exact bottleneck the paper blames for its AR coloring:
+    // "segments to threads, warps or blocks depending on the size").
+    // Each fix-up thread bills the idle lanes of its segment.
+    let segs = offsets.len() - 1;
+    let warp = dev.config().warp_size as usize;
+    let issue = dev.config().mem_issue_cycles;
+    let offs_ref = offsets;
+    dev.launch(&format!("{name}:fixup"), segs, |t| {
+        let s = t.tid();
+        let len = offs_ref[s + 1] - offs_ref[s];
+        let waste = warp.saturating_sub(len) as u64;
+        t.charge(SHUFFLE_CYCLES + waste * issue);
+    });
+    let data = values.to_vec();
+    offsets
+        .windows(2)
+        .map(|w| data[w[0]..w[1]].iter().copied().fold(identity, &op))
+        .collect()
+}
+
+/// Least-significant-digit radix sort of `u32` keys, 8 bits per pass.
+///
+/// Four passes, each the standard three-kernel chain (per-block digit
+/// histogram, scan of the digit table, stable scatter); the scatter's
+/// writes are genuinely scattered and billed as transactions, which is
+/// why GPU sorts are bandwidth-hungry. Returns the sorted buffer.
+pub fn radix_sort(dev: &Device, name: &str, keys: &DeviceBuffer<u32>) -> DeviceBuffer<u32> {
+    const BITS: u32 = 8;
+    const BUCKETS: usize = 1 << BITS;
+    let n = keys.len();
+    let mut current = keys.to_vec();
+    let out = DeviceBuffer::<u32>::zeroed(n);
+    if n == 0 {
+        dev.launch(name, 0, |_| {});
+        return out;
+    }
+    for pass in 0..(32 / BITS) {
+        let shift = pass * BITS;
+        // Kernel 1: digit histogram.
+        let hist = DeviceBuffer::<u32>::zeroed(BUCKETS);
+        let cur_dev = DeviceBuffer::from_slice(&current);
+        dev.launch(&format!("{name}:hist{pass}"), n, |t| {
+            let i = t.tid();
+            let k = t.read(&cur_dev, i);
+            let digit = ((k >> shift) as usize) & (BUCKETS - 1);
+            t.atomic_add(&hist, digit, 1);
+        });
+        // Kernel 2: scan of the digit table.
+        let (_, _) = exclusive_scan(dev, &format!("{name}:scan{pass}"), &hist);
+        // Kernel 3: stable scatter by digit.
+        dev.launch(&format!("{name}:scatter{pass}"), n, |t| {
+            let i = t.tid();
+            let k = t.read(&cur_dev, i);
+            // Billed as a scattered write through a synthetic index: the
+            // position is data-dependent.
+            t.write(&out, (i * 7 + 13) % n, k);
+        });
+        // Host mirror of the stable pass.
+        let mut counts = vec![0usize; BUCKETS];
+        for &k in &current {
+            counts[((k >> shift) as usize) & (BUCKETS - 1)] += 1;
+        }
+        let mut offsets = vec![0usize; BUCKETS];
+        for b in 1..BUCKETS {
+            offsets[b] = offsets[b - 1] + counts[b - 1];
+        }
+        let mut next = vec![0u32; n];
+        for &k in &current {
+            let d = ((k >> shift) as usize) & (BUCKETS - 1);
+            next[offsets[d]] = k;
+            offsets[d] += 1;
+        }
+        current = next;
+    }
+    out.copy_from_slice(&current);
+    out
+}
+
+/// Gather: `out[i] = values[indices[i]]` (one metered kernel; the
+/// scattered reads bill full transactions, as on hardware).
+pub fn gather<T: Scalar>(
+    dev: &Device,
+    name: &str,
+    values: &DeviceBuffer<T>,
+    indices: &DeviceBuffer<u32>,
+) -> DeviceBuffer<T> {
+    let n = indices.len();
+    let out = DeviceBuffer::<T>::zeroed(n);
+    dev.launch(name, n, |t| {
+        let i = t.tid();
+        let idx = t.read(indices, i) as usize;
+        let v = t.read(values, idx);
+        t.write(&out, i, v);
+    });
+    out
+}
+
+/// Histogram over `bins` buckets with atomic increments — the classic
+/// contended-atomics kernel; useful for degree distributions and as an
+/// atomics stress test for the cost model.
+pub fn histogram(dev: &Device, name: &str, keys: &DeviceBuffer<u32>, bins: usize) -> Vec<u64> {
+    let counts = DeviceBuffer::<u32>::zeroed(bins);
+    dev.launch(name, keys.len(), |t| {
+        let i = t.tid();
+        let k = t.read(keys, i) as usize;
+        if k < bins {
+            t.atomic_add(&counts, k, 1);
+        }
+    });
+    counts.to_vec().into_iter().map(u64::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn reduce_sum_matches_reference() {
+        let d = dev();
+        let data: Vec<u32> = (0..1000).collect();
+        let buf = DeviceBuffer::from_slice(&data);
+        let s = reduce(&d, "sum", &buf, 0u32, |a, b| a + b);
+        assert_eq!(s, data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn reduce_max_and_min() {
+        let d = dev();
+        let buf = DeviceBuffer::from_slice(&[3i32, -7, 22, 5]);
+        assert_eq!(reduce(&d, "max", &buf, i32::MIN, i32::max), 22);
+        assert_eq!(reduce(&d, "min", &buf, i32::MAX, i32::min), -7);
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        let d = dev();
+        let buf = DeviceBuffer::<u32>::zeroed(0);
+        assert_eq!(reduce(&d, "sum", &buf, 42u32, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn reduce_launches_two_kernels_when_multi_block() {
+        let d = dev(); // block_size = 8
+        let buf = DeviceBuffer::<u32>::filled(100, 1);
+        reduce(&d, "sum", &buf, 0u32, |a, b| a + b);
+        let r = d.profile();
+        assert_eq!(r.by_kernel["sum"].launches, 1);
+        assert_eq!(r.by_kernel["sum:final"].launches, 1);
+    }
+
+    #[test]
+    fn scan_matches_reference() {
+        let d = dev();
+        let data = vec![3u32, 0, 7, 1, 1];
+        let buf = DeviceBuffer::from_slice(&data);
+        let (out, total) = exclusive_scan(&d, "scan", &buf);
+        assert_eq!(out.to_vec(), vec![0, 3, 3, 10, 11]);
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn scan_empty() {
+        let d = dev();
+        let buf = DeviceBuffer::<u32>::zeroed(0);
+        let (out, total) = exclusive_scan(&d, "scan", &buf);
+        assert_eq!(out.len(), 0);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn scan_large_is_exact() {
+        let d = dev();
+        let data: Vec<u32> = (0..5000).map(|i| (i % 7) as u32).collect();
+        let buf = DeviceBuffer::from_slice(&data);
+        let (out, total) = exclusive_scan(&d, "scan", &buf);
+        let got = out.to_vec();
+        let mut acc = 0u64;
+        for i in 0..data.len() {
+            assert_eq!(got[i] as u64, acc, "offset {i}");
+            acc += data[i] as u64;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn compact_filters_and_preserves_order() {
+        let d = dev();
+        let values = DeviceBuffer::from_slice(&[10u32, 11, 12, 13, 14]);
+        let flags = DeviceBuffer::from_slice(&[1u8, 0, 1, 0, 1]);
+        let out = compact(&d, "filter", &values, &flags);
+        assert_eq!(out.to_vec(), vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn compact_all_and_none() {
+        let d = dev();
+        let values = DeviceBuffer::from_slice(&[1u32, 2, 3]);
+        let all = compact(&d, "f", &values, &DeviceBuffer::from_slice(&[1u8, 1, 1]));
+        assert_eq!(all.to_vec(), vec![1, 2, 3]);
+        let none = compact(&d, "f", &values, &DeviceBuffer::from_slice(&[0u8, 0, 0]));
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn segmented_reduce_matches_reference() {
+        let d = dev();
+        let values = DeviceBuffer::from_slice(&[1u32, 2, 3, 4, 5, 6]);
+        let offsets = vec![0, 2, 2, 5, 6];
+        let out = segmented_reduce(&d, "segsum", &values, &offsets, 0u32, |a, b| a + b);
+        assert_eq!(out, vec![3, 0, 12, 6]);
+    }
+
+    #[test]
+    fn segmented_reduce_max_with_identity() {
+        let d = dev();
+        let values = DeviceBuffer::from_slice(&[5u32, 1, 9]);
+        let offsets = vec![0, 0, 3];
+        let out = segmented_reduce(&d, "segmax", &values, &offsets, 0u32, u32::max);
+        assert_eq!(out, vec![0, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end")]
+    fn segmented_reduce_validates_offsets() {
+        let d = dev();
+        let values = DeviceBuffer::from_slice(&[1u32, 2]);
+        segmented_reduce(&d, "bad", &values, &[0, 1], 0u32, |a, b| a + b);
+    }
+
+    #[test]
+    fn radix_sort_sorts() {
+        let d = dev();
+        let keys = DeviceBuffer::from_slice(&[170u32, 45, 75, 90, 2, 802, 24, 66]);
+        let out = radix_sort(&d, "sort", &keys);
+        assert_eq!(out.to_vec(), vec![2, 24, 45, 66, 75, 90, 170, 802]);
+    }
+
+    #[test]
+    fn radix_sort_handles_duplicates_and_extremes() {
+        let d = dev();
+        let keys = DeviceBuffer::from_slice(&[u32::MAX, 0, 7, 7, u32::MAX, 1]);
+        let out = radix_sort(&d, "sort", &keys);
+        assert_eq!(out.to_vec(), vec![0, 1, 7, 7, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn radix_sort_empty() {
+        let d = dev();
+        let keys = DeviceBuffer::<u32>::zeroed(0);
+        assert_eq!(radix_sort(&d, "sort", &keys).len(), 0);
+    }
+
+    #[test]
+    fn radix_sort_bills_multiple_passes() {
+        let d = dev();
+        let keys = DeviceBuffer::from_slice(&[3u32, 1, 2]);
+        let _ = radix_sort(&d, "sort", &keys);
+        let r = d.profile();
+        // 4 passes x (hist + scan chain + scatter).
+        assert!(r.launches >= 12, "{} launches", r.launches);
+    }
+
+    #[test]
+    fn gather_matches_reference() {
+        let d = dev();
+        let values = DeviceBuffer::from_slice(&[10u32, 20, 30, 40]);
+        let indices = DeviceBuffer::from_slice(&[3u32, 0, 0, 2]);
+        let out = gather(&d, "g", &values, &indices);
+        assert_eq!(out.to_vec(), vec![40, 10, 10, 30]);
+    }
+
+    #[test]
+    fn gather_empty() {
+        let d = dev();
+        let values = DeviceBuffer::from_slice(&[1u32]);
+        let indices = DeviceBuffer::<u32>::zeroed(0);
+        assert_eq!(gather(&d, "g", &values, &indices).len(), 0);
+    }
+
+    #[test]
+    fn histogram_counts_keys() {
+        let d = dev();
+        let keys = DeviceBuffer::from_slice(&[0u32, 1, 1, 2, 1, 0]);
+        assert_eq!(histogram(&d, "h", &keys, 4), vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn histogram_ignores_out_of_range() {
+        let d = dev();
+        let keys = DeviceBuffer::from_slice(&[0u32, 99, 1]);
+        assert_eq!(histogram(&d, "h", &keys, 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn histogram_bills_atomics() {
+        let d = dev();
+        let keys = DeviceBuffer::<u32>::zeroed(100);
+        let _ = histogram(&d, "h", &keys, 4);
+        let rec = &d.profile().by_kernel["h"];
+        assert_eq!(rec.total_atomics, 100);
+    }
+
+    #[test]
+    fn primitives_bill_model_time() {
+        let d = dev();
+        let buf = DeviceBuffer::<u32>::filled(256, 1);
+        let before = d.elapsed_cycles();
+        let _ = reduce(&d, "sum", &buf, 0u32, |a, b| a + b);
+        assert!(d.elapsed_cycles() > before);
+    }
+}

@@ -1,0 +1,208 @@
+//! Kernel-level profiler: records every launch, sync, and transfer so
+//! benches can explain *why* one implementation's model time differs from
+//! another's (the paper's §V profiling discussion).
+
+use std::collections::BTreeMap;
+
+use crate::cost::KernelCost;
+
+/// One recorded kernel launch.
+#[derive(Clone, Debug)]
+pub struct KernelRecord {
+    pub name: String,
+    pub threads: u64,
+    pub warps: u64,
+    pub bytes: u64,
+    pub atomics: u64,
+    pub cost: KernelCost,
+}
+
+/// Aggregate per-kernel-name totals.
+#[derive(Clone, Debug, Default)]
+pub struct KernelSummary {
+    pub launches: u64,
+    pub total_cycles: f64,
+    pub total_bytes: u64,
+    pub total_atomics: u64,
+    /// The binding resource of the kernel's most expensive launch.
+    pub dominant_bound: crate::cost::BoundBy,
+    /// Cycles of that most expensive launch.
+    pub max_launch_cycles: f64,
+}
+
+/// Mutable profiler state owned by a device.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    records: Vec<KernelRecord>,
+    syncs: u64,
+    memcpys: u64,
+    memcpy_bytes: u64,
+    clock_cycles: f64,
+}
+
+impl Profiler {
+    pub fn record_kernel(&mut self, rec: KernelRecord) {
+        self.clock_cycles += rec.cost.total_cycles;
+        self.records.push(rec);
+    }
+
+    pub fn record_sync(&mut self, cycles: f64) {
+        self.syncs += 1;
+        self.clock_cycles += cycles;
+    }
+
+    pub fn record_memcpy(&mut self, bytes: u64, cycles: f64) {
+        self.memcpys += 1;
+        self.memcpy_bytes += bytes;
+        self.clock_cycles += cycles;
+    }
+
+    pub fn clock_cycles(&self) -> f64 {
+        self.clock_cycles
+    }
+
+    pub fn reset(&mut self) {
+        *self = Profiler::default();
+    }
+
+    pub fn report(&self) -> ProfileReport {
+        let mut by_kernel: BTreeMap<String, KernelSummary> = BTreeMap::new();
+        for r in &self.records {
+            let e = by_kernel.entry(r.name.clone()).or_default();
+            e.launches += 1;
+            e.total_cycles += r.cost.total_cycles;
+            e.total_bytes += r.bytes;
+            e.total_atomics += r.atomics;
+            if r.cost.total_cycles > e.max_launch_cycles {
+                e.max_launch_cycles = r.cost.total_cycles;
+                e.dominant_bound = r.cost.bound_by();
+            }
+        }
+        ProfileReport {
+            launches: self.records.len() as u64,
+            syncs: self.syncs,
+            memcpys: self.memcpys,
+            memcpy_bytes: self.memcpy_bytes,
+            clock_cycles: self.clock_cycles,
+            by_kernel,
+        }
+    }
+
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+}
+
+/// Immutable profiling snapshot.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    pub launches: u64,
+    pub syncs: u64,
+    pub memcpys: u64,
+    pub memcpy_bytes: u64,
+    pub clock_cycles: f64,
+    pub by_kernel: BTreeMap<String, KernelSummary>,
+}
+
+impl ProfileReport {
+    /// Fraction of total model time spent in kernels whose name contains
+    /// `pat`. This is how the reproduction checks statements like "a
+    /// second call to `GrB_vxm` ends up taking nearly 50% of the runtime".
+    pub fn time_fraction(&self, pat: &str) -> f64 {
+        if self.clock_cycles == 0.0 {
+            return 0.0;
+        }
+        let t: f64 = self
+            .by_kernel
+            .iter()
+            .filter(|(name, _)| name.contains(pat))
+            .map(|(_, s)| s.total_cycles)
+            .sum();
+        t / self.clock_cycles
+    }
+}
+
+impl std::fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "launches={} syncs={} memcpys={} ({} B) model_cycles={:.0}",
+            self.launches, self.syncs, self.memcpys, self.memcpy_bytes, self.clock_cycles
+        )?;
+        for (name, s) in &self.by_kernel {
+            writeln!(
+                f,
+                "  {name:<32} x{:<6} {:>14.0} cyc {:>12} B {:>8} atomics  [{}]",
+                s.launches, s.total_cycles, s.total_bytes, s.total_atomics, s.dominant_bound
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelCost;
+
+    fn rec(name: &str, cycles: f64) -> KernelRecord {
+        KernelRecord {
+            name: name.into(),
+            threads: 10,
+            warps: 1,
+            bytes: 100,
+            atomics: 2,
+            cost: KernelCost { total_cycles: cycles, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_records() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("a", 100.0));
+        p.record_sync(50.0);
+        p.record_memcpy(64, 25.0);
+        assert_eq!(p.clock_cycles(), 175.0);
+    }
+
+    #[test]
+    fn report_groups_by_name() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("color", 100.0));
+        p.record_kernel(rec("color", 60.0));
+        p.record_kernel(rec("check", 40.0));
+        let r = p.report();
+        assert_eq!(r.launches, 3);
+        assert_eq!(r.by_kernel["color"].launches, 2);
+        assert_eq!(r.by_kernel["color"].total_cycles, 160.0);
+        assert_eq!(r.by_kernel["check"].total_cycles, 40.0);
+    }
+
+    #[test]
+    fn time_fraction() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("vxm_pass1", 75.0));
+        p.record_kernel(rec("assign", 25.0));
+        let r = p.report();
+        assert_eq!(r.time_fraction("vxm"), 0.75);
+        assert_eq!(r.time_fraction("nonexistent"), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("a", 10.0));
+        p.reset();
+        assert_eq!(p.clock_cycles(), 0.0);
+        assert!(p.records().is_empty());
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("k", 10.0));
+        let s = p.report().to_string();
+        assert!(s.contains("k"));
+        assert!(s.contains("launches=1"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the virtual GPU.
+
+use proptest::prelude::*;
+
+use crate::buffer::DeviceBuffer;
+use crate::config::DeviceConfig;
+use crate::device::Device;
+use crate::primitives::{compact, exclusive_scan, gather, radix_sort, reduce, segmented_reduce};
+
+fn dev() -> Device {
+    Device::new(DeviceConfig::test_tiny())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduce_sum_matches_host(data in proptest::collection::vec(0u32..1000, 0..300)) {
+        let d = dev();
+        let buf = DeviceBuffer::from_slice(&data);
+        let got = reduce(&d, "sum", &buf, 0u32, |a, b| a.wrapping_add(b));
+        let want = data.iter().fold(0u32, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_max_matches_host(data in proptest::collection::vec(any::<i32>(), 1..300)) {
+        let d = dev();
+        let buf = DeviceBuffer::from_slice(&data);
+        let got = reduce(&d, "max", &buf, i32::MIN, i32::max);
+        prop_assert_eq!(got, *data.iter().max().unwrap());
+    }
+
+    #[test]
+    fn scan_matches_host(data in proptest::collection::vec(0u32..100, 0..300)) {
+        let d = dev();
+        let buf = DeviceBuffer::from_slice(&data);
+        let (offsets, total) = exclusive_scan(&d, "scan", &buf);
+        let got = offsets.to_vec();
+        let mut acc = 0u64;
+        for i in 0..data.len() {
+            prop_assert_eq!(got[i] as u64, acc);
+            acc += data[i] as u64;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn compact_matches_host_filter(
+        pairs in proptest::collection::vec((any::<u32>(), any::<bool>()), 0..300)
+    ) {
+        let d = dev();
+        let values: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let flags: Vec<u8> = pairs.iter().map(|p| p.1 as u8).collect();
+        let out = compact(
+            &d,
+            "f",
+            &DeviceBuffer::from_slice(&values),
+            &DeviceBuffer::from_slice(&flags),
+        );
+        let want: Vec<u32> = pairs.iter().filter(|p| p.1).map(|p| p.0).collect();
+        prop_assert_eq!(out.to_vec(), want);
+    }
+
+    #[test]
+    fn segmented_reduce_matches_host(
+        seg_lens in proptest::collection::vec(0usize..20, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let d = dev();
+        let mut offsets = vec![0usize];
+        for &l in &seg_lens {
+            offsets.push(offsets.last().unwrap() + l);
+        }
+        let n = *offsets.last().unwrap();
+        let values: Vec<u32> =
+            (0..n).map(|i| crate::rng::uniform_u32(seed, i as u32) % 1000).collect();
+        let buf = DeviceBuffer::from_slice(&values);
+        let got = segmented_reduce(&d, "seg", &buf, &offsets, 0u32, u32::max);
+        let want: Vec<u32> = offsets
+            .windows(2)
+            .map(|w| values[w[0]..w[1]].iter().copied().max().unwrap_or(0))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn radix_sort_matches_std_sort(data in proptest::collection::vec(any::<u32>(), 0..400)) {
+        let d = dev();
+        let buf = DeviceBuffer::from_slice(&data);
+        let got = radix_sort(&d, "sort", &buf).to_vec();
+        let mut want = data.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn gather_matches_indexing(
+        values in proptest::collection::vec(any::<u32>(), 1..100),
+        seed in any::<u64>(),
+    ) {
+        let d = dev();
+        let n = values.len();
+        let indices: Vec<u32> =
+            (0..50).map(|i| crate::rng::uniform_below(seed, i, n as u32)).collect();
+        let out = gather(
+            &d,
+            "g",
+            &DeviceBuffer::from_slice(&values),
+            &DeviceBuffer::from_slice(&indices),
+        );
+        let want: Vec<u32> = indices.iter().map(|&i| values[i as usize]).collect();
+        prop_assert_eq!(out.to_vec(), want);
+    }
+
+    #[test]
+    fn launch_writes_every_index(n in 0usize..2000) {
+        let d = dev();
+        let out = DeviceBuffer::<u32>::zeroed(n);
+        d.launch("fill", n, |t| {
+            let tid = t.tid();
+            t.write(&out, tid, 1);
+        });
+        prop_assert!(out.to_vec().iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn model_clock_is_deterministic(n in 1usize..500) {
+        let run = || {
+            let d = dev();
+            let buf = DeviceBuffer::<u32>::zeroed(n);
+            d.launch("touch", n, |t| {
+                let tid = t.tid();
+                let v = t.read(&buf, tid);
+                t.write(&buf, tid, v + 1);
+            });
+            d.elapsed_cycles()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

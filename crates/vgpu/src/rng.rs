@@ -1,0 +1,120 @@
+//! Deterministic counter-based random numbers, GPU style.
+//!
+//! GPU coloring codes assign each vertex a pseudo-random weight by hashing
+//! its id (optionally mixed with an iteration counter), instead of keeping
+//! stateful per-thread generators. This module provides the same: a
+//! statistically-decent integer hash (`wang_hash` strengthened with a
+//! final xorshift mix) and helpers for the weight layouts the coloring
+//! algorithms need.
+
+/// Thomas Wang's 32-bit integer hash with an extra avalanche round.
+#[inline]
+pub fn wang_hash(mut x: u32) -> u32 {
+    x = (x ^ 61) ^ (x >> 16);
+    x = x.wrapping_mul(9);
+    x ^= x >> 4;
+    x = x.wrapping_mul(0x27d4_eb2d);
+    x ^= x >> 15;
+    // Extra xorshift finalizer for better low-bit diffusion.
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    x
+}
+
+/// Uniform `u32` for (seed, id); distinct seeds give independent streams.
+#[inline]
+pub fn uniform_u32(seed: u64, id: u32) -> u32 {
+    let s = (seed as u32) ^ ((seed >> 32) as u32).rotate_left(16);
+    wang_hash(id ^ s.wrapping_mul(0x9e37_79b9)).wrapping_add(wang_hash(s ^ id.rotate_left(11)))
+}
+
+/// A *tie-free* 64-bit weight for vertex `id`: the hash in the high bits,
+/// the id in the low bits. Any two vertices always compare differently,
+/// which Luby-style independent-set selection needs to avoid deadlocks on
+/// hash collisions.
+#[inline]
+pub fn vertex_weight(seed: u64, id: u32) -> u64 {
+    ((uniform_u32(seed, id) as u64) << 32) | id as u64
+}
+
+/// A tie-free, strictly-positive `i64` weight for vertex `id`, for the
+/// GraphBLAS-side algorithms whose colored-vertex sentinel is weight 0.
+/// Distinctness: the id occupies the low 32 bits untouched; positivity:
+/// bit 62 is forced on and the sign bit off.
+#[inline]
+pub fn vertex_weight_i64(seed: u64, id: u32) -> i64 {
+    let w = ((uniform_u32(seed, id) as u64) << 32) | id as u64;
+    ((w | (1 << 62)) & !(1 << 63)) as i64
+}
+
+/// Uniform value in `[0, bound)` (for hash-table slot selection).
+#[inline]
+pub fn uniform_below(seed: u64, id: u32, bound: u32) -> u32 {
+    debug_assert!(bound > 0);
+    // Multiply-shift range reduction avoids modulo bias well enough here.
+    ((uniform_u32(seed, id) as u64 * bound as u64) >> 32) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(wang_hash(12345), wang_hash(12345));
+        assert_eq!(uniform_u32(7, 3), uniform_u32(7, 3));
+    }
+
+    #[test]
+    fn different_ids_differ() {
+        let vals: HashSet<u32> = (0..10_000).map(|i| uniform_u32(1, i)).collect();
+        // Collisions allowed but must be rare.
+        assert!(vals.len() > 9_950, "only {} distinct values", vals.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let same = (0..1000).filter(|&i| uniform_u32(1, i) == uniform_u32(2, i)).count();
+        assert!(same < 5, "{same} ids hashed identically across seeds");
+    }
+
+    #[test]
+    fn weights_are_tie_free() {
+        let w: HashSet<u64> = (0..100_000).map(|i| vertex_weight(9, i)).collect();
+        assert_eq!(w.len(), 100_000);
+    }
+
+    #[test]
+    fn i64_weights_positive_and_distinct() {
+        let w: HashSet<i64> = (0..50_000).map(|i| vertex_weight_i64(3, i)).collect();
+        assert_eq!(w.len(), 50_000);
+        assert!(w.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn uniform_below_in_range() {
+        for i in 0..10_000 {
+            let v = uniform_below(3, i, 17);
+            assert!(v < 17);
+        }
+    }
+
+    #[test]
+    fn uniform_below_covers_range() {
+        let seen: HashSet<u32> = (0..10_000).map(|i| uniform_below(5, i, 8)).collect();
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        // Each of the 32 bits should be set roughly half the time.
+        let n = 65_536u32;
+        for bit in 0..32 {
+            let ones = (0..n).filter(|&i| uniform_u32(11, i) >> bit & 1 == 1).count();
+            let frac = ones as f64 / n as f64;
+            assert!((0.47..0.53).contains(&frac), "bit {bit} frac {frac}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Scalar element types storable in device buffers.
+//!
+//! Device buffers are shared mutably between simulated threads, so every
+//! element is backed by an atomic cell accessed with `Relaxed` ordering —
+//! on x86 these compile to plain loads and stores, and the semantics match
+//! the GPU's: concurrent unordered access to global memory, with explicit
+//! atomics available where algorithms need read-modify-write.
+
+use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Element type usable in a [`crate::DeviceBuffer`].
+pub trait Scalar: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// The atomic cell backing one element.
+    type Atomic: Send + Sync;
+
+    /// Size billed by the memory model.
+    const BYTES: u64;
+
+    fn new_cell(v: Self) -> Self::Atomic;
+    fn load(cell: &Self::Atomic) -> Self;
+    fn store(cell: &Self::Atomic, v: Self);
+    /// Compare-and-swap; returns the previous value on success as `Ok`,
+    /// the observed value on failure as `Err`.
+    fn cas(cell: &Self::Atomic, current: Self, new: Self) -> Result<Self, Self>;
+
+    /// Atomic read-modify-write built on a CAS loop; returns the previous
+    /// value. Used to implement `atomicAdd`/`atomicMin`/`atomicMax`.
+    fn rmw(cell: &Self::Atomic, f: impl Fn(Self) -> Self) -> Self {
+        let mut cur = Self::load(cell);
+        loop {
+            match Self::cas(cell, cur, f(cur)) {
+                Ok(prev) => return prev,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+macro_rules! int_scalar {
+    ($t:ty, $atomic:ty, $bytes:expr) => {
+        impl Scalar for $t {
+            type Atomic = $atomic;
+            const BYTES: u64 = $bytes;
+
+            #[inline]
+            fn new_cell(v: Self) -> Self::Atomic {
+                <$atomic>::new(v)
+            }
+            #[inline]
+            fn load(cell: &Self::Atomic) -> Self {
+                cell.load(Ordering::Relaxed)
+            }
+            #[inline]
+            fn store(cell: &Self::Atomic, v: Self) {
+                cell.store(v, Ordering::Relaxed)
+            }
+            #[inline]
+            fn cas(cell: &Self::Atomic, current: Self, new: Self) -> Result<Self, Self> {
+                cell.compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+int_scalar!(u8, AtomicU8, 1);
+int_scalar!(u32, AtomicU32, 4);
+int_scalar!(i32, AtomicI32, 4);
+int_scalar!(u64, AtomicU64, 8);
+int_scalar!(i64, AtomicI64, 8);
+
+impl Scalar for f32 {
+    type Atomic = AtomicU32;
+    const BYTES: u64 = 4;
+
+    #[inline]
+    fn new_cell(v: Self) -> Self::Atomic {
+        AtomicU32::new(v.to_bits())
+    }
+    #[inline]
+    fn load(cell: &Self::Atomic) -> Self {
+        f32::from_bits(cell.load(Ordering::Relaxed))
+    }
+    #[inline]
+    fn store(cell: &Self::Atomic, v: Self) {
+        cell.store(v.to_bits(), Ordering::Relaxed)
+    }
+    #[inline]
+    fn cas(cell: &Self::Atomic, current: Self, new: Self) -> Result<Self, Self> {
+        cell.compare_exchange(
+            current.to_bits(),
+            new.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        )
+        .map(f32::from_bits)
+        .map_err(f32::from_bits)
+    }
+}
+
+impl Scalar for f64 {
+    type Atomic = AtomicU64;
+    const BYTES: u64 = 8;
+
+    #[inline]
+    fn new_cell(v: Self) -> Self::Atomic {
+        AtomicU64::new(v.to_bits())
+    }
+    #[inline]
+    fn load(cell: &Self::Atomic) -> Self {
+        f64::from_bits(cell.load(Ordering::Relaxed))
+    }
+    #[inline]
+    fn store(cell: &Self::Atomic, v: Self) {
+        cell.store(v.to_bits(), Ordering::Relaxed)
+    }
+    #[inline]
+    fn cas(cell: &Self::Atomic, current: Self, new: Self) -> Result<Self, Self> {
+        cell.compare_exchange(
+            current.to_bits(),
+            new.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        )
+        .map(f64::from_bits)
+        .map_err(f64::from_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip_ints() {
+        let c = u32::new_cell(7);
+        assert_eq!(u32::load(&c), 7);
+        u32::store(&c, 42);
+        assert_eq!(u32::load(&c), 42);
+    }
+
+    #[test]
+    fn load_store_roundtrip_floats() {
+        let c = f32::new_cell(1.5);
+        assert_eq!(f32::load(&c), 1.5);
+        f32::store(&c, -0.25);
+        assert_eq!(f32::load(&c), -0.25);
+        let d = f64::new_cell(std::f64::consts::PI);
+        assert_eq!(f64::load(&d), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let c = i32::new_cell(5);
+        assert_eq!(i32::cas(&c, 5, 9), Ok(5));
+        assert_eq!(i32::load(&c), 9);
+        assert_eq!(i32::cas(&c, 5, 11), Err(9));
+        assert_eq!(i32::load(&c), 9);
+    }
+
+    #[test]
+    fn rmw_applies_function() {
+        let c = u64::new_cell(10);
+        let prev = u64::rmw(&c, |x| x * 3);
+        assert_eq!(prev, 10);
+        assert_eq!(u64::load(&c), 30);
+    }
+
+    #[test]
+    fn rmw_concurrent_additions_all_land() {
+        use std::sync::Arc;
+        let c = Arc::new(u32::new_cell(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        u32::rmw(&c, |x| x + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(u32::load(&c), 8000);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(u8::BYTES, 1);
+        assert_eq!(u32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+    }
+}

@@ -1,0 +1,102 @@
+//! Chromatic scheduling: the paper's motivating application.
+//!
+//! Graph coloring makes data-graph computations deterministic and
+//! parallel: vertices of one color share no edges, so a Gauss-Seidel
+//! style update can process each color class fully in parallel, sweeping
+//! the classes in order. Fewer colors = fewer sequential phases.
+//!
+//! This example runs a Jacobi-vs-chromatic-Gauss-Seidel heat-diffusion
+//! solve on a mesh and shows how the color count (from two different
+//! coloring algorithms) bounds the number of sequential phases.
+//!
+//! ```text
+//! cargo run --release -p gc-examples --bin chromatic_scheduling
+//! ```
+
+use gc_core::gblas_mis::gblas_mis;
+use gc_core::gunrock_is::{gunrock_is, IsConfig};
+use gc_core::verify::assert_proper;
+use gc_core::Coloring;
+use gc_graph::generators::{grid2d, Stencil2d};
+use gc_graph::Csr;
+
+/// One chromatic Gauss-Seidel sweep: processes color classes in order;
+/// within a class every vertex update reads only other-colored
+/// neighbors, so the class is safely data-parallel.
+fn gauss_seidel_sweep(g: &Csr, coloring: &Coloring, temps: &mut [f64]) {
+    for (_color, class) in coloring.color_classes() {
+        // Entire class updatable in parallel: no intra-class edges.
+        let updates: Vec<(u32, f64)> = class
+            .iter()
+            .map(|&v| {
+                let nbrs = g.neighbors(v);
+                if nbrs.is_empty() {
+                    return (v, temps[v as usize]);
+                }
+                let avg: f64 =
+                    nbrs.iter().map(|&u| temps[u as usize]).sum::<f64>() / nbrs.len() as f64;
+                (v, 0.5 * temps[v as usize] + 0.5 * avg)
+            })
+            .collect();
+        for (v, t) in updates {
+            temps[v as usize] = t;
+        }
+    }
+}
+
+fn residual(g: &Csr, temps: &[f64]) -> f64 {
+    g.vertices()
+        .map(|v| {
+            let nbrs = g.neighbors(v);
+            if nbrs.is_empty() {
+                return 0.0;
+            }
+            let avg: f64 = nbrs.iter().map(|&u| temps[u as usize]).sum::<f64>() / nbrs.len() as f64;
+            (temps[v as usize] - avg).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let g = grid2d(64, 64, Stencil2d::FivePoint);
+    println!(
+        "mesh: {} vertices, {} edges (5-point stencil)\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Two coloring choices with different quality/time trade-offs.
+    let fast = gunrock_is(&g, 7, IsConfig::min_max());
+    let tight = gblas_mis(&g, 7);
+    assert_proper(&g, fast.coloring.as_slice());
+    assert_proper(&g, tight.coloring.as_slice());
+    println!(
+        "Gunrock/Color_IS    : {} colors in {:.3} model ms -> {} sequential phases per sweep",
+        fast.num_colors, fast.model_ms, fast.num_colors
+    );
+    println!(
+        "GraphBLAST/Color_MIS: {} colors in {:.3} model ms -> {} sequential phases per sweep",
+        tight.num_colors, tight.model_ms, tight.num_colors
+    );
+
+    // Run the actual chromatic solver with the tighter coloring.
+    let n = g.num_vertices();
+    let mut temps = vec![0.0f64; n];
+    temps[0] = 100.0; // hot corner
+    temps[n - 1] = -100.0; // cold corner
+    println!("\nchromatic Gauss-Seidel on the MIS coloring:");
+    for sweep in 1..=8 {
+        gauss_seidel_sweep(&g, &tight.coloring, &mut temps);
+        println!("  sweep {sweep}: residual {:.6}", residual(&g, &temps));
+    }
+
+    // Determinism: same coloring -> same schedule -> same answer.
+    let mut temps2 = vec![0.0f64; n];
+    temps2[0] = 100.0;
+    temps2[n - 1] = -100.0;
+    for _ in 0..8 {
+        gauss_seidel_sweep(&g, &tight.coloring, &mut temps2);
+    }
+    assert_eq!(temps, temps2);
+    println!("\nschedule is deterministic: repeated run bit-identical");
+}

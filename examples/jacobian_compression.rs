@@ -1,0 +1,91 @@
+//! Sparse Jacobian compression via graph coloring ("What color is your
+//! Jacobian?", one of the paper's §I applications).
+//!
+//! To estimate a sparse Jacobian with finite differences, columns that
+//! share no row can be evaluated together: perturb all of them at once
+//! and read off disjoint entries. Valid groups are exactly color classes
+//! of the *column intersection graph* (columns adjacent iff some row has
+//! nonzeros in both). Colors used = function evaluations needed, versus
+//! one per column without coloring.
+//!
+//! ```text
+//! cargo run --release -p gc-examples --bin jacobian_compression
+//! ```
+
+use gc_core::gblas_mis::gblas_mis;
+use gc_core::greedy::{greedy, Ordering};
+use gc_core::verify::assert_proper;
+use gc_graph::{Csr, GraphBuilder};
+
+/// A synthetic banded sparse Jacobian pattern: `rows x cols`, each row
+/// touching a few nearby columns (a 1-D stencil discretization).
+struct SparsePattern {
+    rows: Vec<Vec<u32>>,
+    cols: usize,
+}
+
+fn make_stencil_jacobian(cols: usize, stencil: usize) -> SparsePattern {
+    let rows = (0..cols)
+        .map(|r| {
+            let lo = r.saturating_sub(stencil / 2);
+            let hi = (r + stencil / 2).min(cols - 1);
+            (lo as u32..=hi as u32).collect()
+        })
+        .collect();
+    SparsePattern { rows, cols }
+}
+
+/// Builds the column intersection graph.
+fn column_intersection_graph(p: &SparsePattern) -> Csr {
+    let mut b = GraphBuilder::new(p.cols);
+    for row in &p.rows {
+        for (i, &a) in row.iter().enumerate() {
+            for &c in &row[i + 1..] {
+                b.push(a, c);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Verifies a column grouping is a valid compression: within a group no
+/// two columns share a row.
+fn validate_groups(p: &SparsePattern, colors: &[u32]) {
+    for (r, row) in p.rows.iter().enumerate() {
+        let mut seen = std::collections::HashSet::new();
+        for &c in row {
+            assert!(
+                seen.insert(colors[c as usize]),
+                "row {r} has two columns of color {}",
+                colors[c as usize]
+            );
+        }
+    }
+}
+
+fn main() {
+    let cols = 4096;
+    let stencil = 7;
+    let p = make_stencil_jacobian(cols, stencil);
+    let g = column_intersection_graph(&p);
+    println!(
+        "Jacobian pattern: {cols} columns, stencil {stencil} -> intersection graph with {} edges, max degree {}",
+        g.num_edges(),
+        g.max_degree()
+    );
+
+    for (name, result) in [
+        ("sequential greedy", greedy(&g, Ordering::SmallestDegreeLast, 0)),
+        ("GraphBLAST MIS", gblas_mis(&g, 3)),
+    ] {
+        assert_proper(&g, result.coloring.as_slice());
+        validate_groups(&p, result.coloring.as_slice());
+        println!(
+            "{name:<18}: {} function evaluations instead of {cols} ({}x compression), {:.3} model ms",
+            result.num_colors,
+            cols as u32 / result.num_colors,
+            result.model_ms
+        );
+    }
+    println!("\nboth groupings verified: no row sees the same color twice");
+}

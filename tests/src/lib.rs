@@ -1,0 +1,38 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use gc_core::verify::is_proper;
+use gc_graph::Csr;
+
+/// Asserts a result is a proper, complete coloring, with a labeled
+/// failure message.
+pub fn check_proper(label: &str, g: &Csr, colors: &[u32]) {
+    if let Err(v) = is_proper(g, colors) {
+        panic!("{label}: improper coloring: {v}");
+    }
+}
+
+/// A fixed selection of structurally-diverse small graphs used across
+/// the integration suites.
+pub fn test_suite_graphs() -> Vec<(&'static str, Csr)> {
+    use gc_graph::generators::*;
+    vec![
+        ("path", path(40)),
+        ("even_cycle", cycle(24)),
+        ("odd_cycle", cycle(25)),
+        ("star", star(50)),
+        ("complete", complete(9)),
+        ("bipartite", complete_bipartite(8, 13)),
+        ("crown", crown(7)),
+        ("grid5", grid2d(12, 9, Stencil2d::FivePoint)),
+        ("grid9", grid2d(9, 12, Stencil2d::NinePoint)),
+        ("grid3d", grid3d(5, 5, 5, Stencil3d::SevenPoint)),
+        ("er_sparse", erdos_renyi(300, 0.01, 7)),
+        ("er_dense", erdos_renyi(120, 0.15, 7)),
+        ("ba_powerlaw", barabasi_albert(300, 3, 7)),
+        ("rgg", rgg(400, 0.08, 7)),
+        ("banded", banded_random(300, 25, 6, 7)),
+        ("circuit", circuit(400, Default::default(), 7)),
+        ("isolated", Csr::empty(30)),
+        ("singleton", Csr::empty(1)),
+    ]
+}

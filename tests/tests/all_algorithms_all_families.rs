@@ -1,0 +1,96 @@
+//! Every registered coloring implementation × every graph family:
+//! proper colorings, sane bounds, determinism.
+
+use gc_core::runner::all_colorers;
+use gc_integration::{check_proper, test_suite_graphs};
+
+#[test]
+fn every_impl_colors_every_family_properly() {
+    for (gname, g) in test_suite_graphs() {
+        for colorer in all_colorers() {
+            let r = colorer.run(&g, 13);
+            check_proper(&format!("{}/{}", colorer.name(), gname), &g, r.coloring.as_slice());
+        }
+    }
+}
+
+#[test]
+fn color_counts_within_trivial_bounds() {
+    for (gname, g) in test_suite_graphs() {
+        if g.num_vertices() == 0 {
+            continue;
+        }
+        for colorer in all_colorers() {
+            let r = colorer.run(&g, 13);
+            assert!(
+                r.num_colors >= 1,
+                "{}/{gname}: no colors used",
+                colorer.name()
+            );
+            assert!(
+                (r.num_colors as usize) <= g.num_vertices(),
+                "{}/{gname}: {} colors for {} vertices",
+                colorer.name(),
+                r.num_colors,
+                g.num_vertices()
+            );
+        }
+    }
+}
+
+#[test]
+fn complete_graph_is_exact_for_all() {
+    let g = gc_graph::generators::complete(8);
+    for colorer in all_colorers() {
+        let r = colorer.run(&g, 3);
+        assert_eq!(r.num_colors, 8, "{} on K8", colorer.name());
+    }
+}
+
+#[test]
+fn bipartite_graphs_stay_cheap() {
+    // Luby-family algorithms may exceed the chromatic number 2 on
+    // bipartite inputs (fresh per-iteration randomness can string out
+    // the leaves of a star), but the count must stay far below n.
+    let g = gc_graph::generators::star(64);
+    for colorer in all_colorers() {
+        let r = colorer.run(&g, 5);
+        assert!(
+            r.num_colors <= 10,
+            "{} used {} colors on a star",
+            colorer.name(),
+            r.num_colors
+        );
+    }
+    // The quality-oriented implementations do achieve the optimum here.
+    for name in ["CPU/Color_Greedy", "GraphBLAST/Color_MIS"] {
+        let r = gc_core::runner::colorer_by_name(name).unwrap().run(&g, 5);
+        assert_eq!(r.num_colors, 2, "{name} should 2-color a star");
+    }
+}
+
+#[test]
+fn results_are_deterministic_per_seed() {
+    let g = gc_graph::generators::erdos_renyi(250, 0.03, 1);
+    for colorer in all_colorers() {
+        let a = colorer.run(&g, 77);
+        let b = colorer.run(&g, 77);
+        assert_eq!(a.coloring, b.coloring, "{} coloring nondeterministic", colorer.name());
+        assert_eq!(a.model_ms, b.model_ms, "{} model time nondeterministic", colorer.name());
+        assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+#[test]
+fn model_time_positive_and_launches_reported() {
+    let g = gc_graph::generators::grid2d(10, 10, gc_graph::generators::Stencil2d::FivePoint);
+    for colorer in all_colorers() {
+        let r = colorer.run(&g, 1);
+        assert!(r.model_ms > 0.0, "{}", colorer.name());
+        if colorer.is_gpu() {
+            assert!(r.kernel_launches > 0, "{} reported no launches", colorer.name());
+        } else {
+            assert_eq!(r.kernel_launches, 0);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The paper's headline qualitative claims, asserted end-to-end against
+//! the reproduction at test scale. EXPERIMENTS.md records the measured
+//! values at the default harness scale.
+
+use gc_bench::experiments::{
+    self, geomean_color_ratio, geomean_speedup, ExperimentConfig,
+};
+
+fn fig1_data() -> Vec<gc_bench::experiments::Fig1Dataset> {
+    // Three structurally-diverse datasets keep this suite fast while
+    // still averaging over mesh, shell, and circuit behaviour. The scale
+    // sits above the smoke level because several of the paper's effects
+    // (the af_shell3 memory-bound penalty in particular) need kernels
+    // large enough that launch overhead stops dominating.
+    let cfg = ExperimentConfig { scale: 0.01, ..ExperimentConfig::smoke() };
+    ["ecology2", "af_shell3", "G3_circuit"]
+        .iter()
+        .map(|n| {
+            let spec = gc_datasets::dataset_by_name(n).unwrap();
+            experiments::fig1_dataset(&spec, &cfg)
+        })
+        .collect()
+}
+
+#[test]
+fn gunrock_is_beats_naumov_jpl_on_low_degree_meshes() {
+    // §V.B: "a peak performance of 2x on the parabolic_fem dataset" —
+    // the win comes from two independent sets per iteration.
+    let cfg = ExperimentConfig::smoke();
+    let spec = gc_datasets::dataset_by_name("parabolic_fem").unwrap();
+    let d = experiments::fig1_dataset(&spec, &cfg);
+    let s = d.speedup("Gunrock/Color_IS").unwrap();
+    assert!(s > 1.0, "expected Gunrock IS speedup > 1 on parabolic_fem, got {s:.2}");
+}
+
+#[test]
+fn af_shell3_is_gunrock_worst_case() {
+    // §V.B: the serial for-loop hurts most at the highest average degree
+    // (af_shell3, 0.47x). Require that the IS speedup on af_shell3 is
+    // the smallest across the three test datasets.
+    let data = fig1_data();
+    let shell = data.iter().find(|d| d.dataset == "af_shell3").unwrap();
+    let s_shell = shell.speedup("Gunrock/Color_IS").unwrap();
+    for d in &data {
+        if d.dataset != "af_shell3" {
+            let s = d.speedup("Gunrock/Color_IS").unwrap();
+            assert!(
+                s_shell < s,
+                "af_shell3 speedup {s_shell:.2} should be the worst; {} has {s:.2}",
+                d.dataset
+            );
+        }
+    }
+}
+
+#[test]
+fn graphblast_mis_has_best_color_count() {
+    // Abstract: MIS produces 1.9x fewer colors than Naumov and ~parity
+    // with sequential greedy (1.014x fewer).
+    let data = fig1_data();
+    for d in &data {
+        let mis = d.colors("GraphBLAST/Color_MIS").unwrap();
+        for name in [
+            "GraphBLAST/Color_IS",
+            "Gunrock/Color_IS",
+            "Gunrock/Color_AR",
+            "Naumov/Color_JPL",
+            "Naumov/Color_CC",
+        ] {
+            let other = d.colors(name).unwrap();
+            assert!(
+                mis <= other,
+                "{}: MIS {} should be <= {} {}",
+                d.dataset,
+                mis,
+                name,
+                other
+            );
+        }
+    }
+    let vs_naumov = geomean_color_ratio(&data, "Naumov/Color_JPL", "GraphBLAST/Color_MIS");
+    assert!(vs_naumov > 1.2, "Naumov JPL should need clearly more colors, ratio {vs_naumov:.2}");
+}
+
+#[test]
+fn mis_quality_is_near_sequential_greedy() {
+    let data = fig1_data();
+    let ratio = geomean_color_ratio(&data, "CPU/Color_Greedy", "GraphBLAST/Color_MIS");
+    // Paper: greedy/MIS ~ 1.014 (parity). The stand-ins carry mesh-
+    // regular vertex numberings that natural-order greedy exploits more
+    // than the real matrices allow, so the band is one-sidedly wider
+    // below parity (see EXPERIMENTS.md).
+    assert!(
+        (0.55..=1.4).contains(&ratio),
+        "greedy:MIS color ratio {ratio:.3} far from parity"
+    );
+    // On the irregular datasets the paper's parity claim shows directly.
+    for d in &data {
+        if d.dataset == "af_shell3" || d.dataset == "G3_circuit" {
+            let greedy = d.colors("CPU/Color_Greedy").unwrap() as f64;
+            let mis = d.colors("GraphBLAST/Color_MIS").unwrap() as f64;
+            assert!(
+                mis <= greedy * 1.5 && greedy <= mis * 1.5,
+                "{}: greedy {greedy} vs MIS {mis} out of parity band",
+                d.dataset
+            );
+        }
+    }
+}
+
+#[test]
+fn naumov_cc_is_fast_and_low_quality() {
+    // Abstract: 5.0x fewer colors vs CC (vs 1.9x vs JPL) — CC is the
+    // quality floor; it is also the fastest hardwired baseline.
+    let data = fig1_data();
+    let cc_vs_mis = geomean_color_ratio(&data, "Naumov/Color_CC", "GraphBLAST/Color_MIS");
+    let jpl_vs_mis = geomean_color_ratio(&data, "Naumov/Color_JPL", "GraphBLAST/Color_MIS");
+    assert!(
+        cc_vs_mis > jpl_vs_mis,
+        "CC ({cc_vs_mis:.2}x) should waste more colors than JPL ({jpl_vs_mis:.2}x)"
+    );
+    for d in &data {
+        let cc = d.results.iter().find(|(n, _)| n == "Naumov/Color_CC").unwrap();
+        let jpl = d.results.iter().find(|(n, _)| n == "Naumov/Color_JPL").unwrap();
+        assert!(cc.1.model_ms < jpl.1.model_ms, "{}: CC not faster than JPL", d.dataset);
+    }
+}
+
+#[test]
+fn graphblast_ordering_is_fastest_mis_best_quality() {
+    // §V.C: runtime slowest-to-fastest: MIS, JPL, IS; colors best-to-
+    // worst: MIS, JPL, IS.
+    let data = fig1_data();
+    for d in &data {
+        let time = |n: &str| {
+            d.results.iter().find(|(name, _)| name == n).map(|(_, r)| r.model_ms).unwrap()
+        };
+        let colors = |n: &str| d.colors(n).unwrap();
+        assert!(
+            time("GraphBLAST/Color_IS") < time("GraphBLAST/Color_MIS"),
+            "{}: IS should be faster than MIS",
+            d.dataset
+        );
+        assert!(
+            colors("GraphBLAST/Color_MIS") <= colors("GraphBLAST/Color_JPL"),
+            "{}: MIS should use no more colors than JPL",
+            d.dataset
+        );
+        assert!(
+            colors("GraphBLAST/Color_JPL") <= colors("GraphBLAST/Color_IS"),
+            "{}: JPL should use no more colors than IS",
+            d.dataset
+        );
+    }
+}
+
+#[test]
+fn gunrock_time_quality_tradeoff_holds() {
+    // Figure 2a: Hash spends more time for fewer colors than IS.
+    let data = fig1_data();
+    for d in &data {
+        let is = d.results.iter().find(|(n, _)| n == "Gunrock/Color_IS").unwrap();
+        let hash = d.results.iter().find(|(n, _)| n == "Gunrock/Color_Hash").unwrap();
+        assert!(hash.1.model_ms > is.1.model_ms, "{}: hash not slower", d.dataset);
+        assert!(hash.1.num_colors <= is.1.num_colors, "{}: hash not tighter", d.dataset);
+    }
+}
+
+#[test]
+fn ar_is_the_slowest_gunrock_variant() {
+    let data = fig1_data();
+    for d in &data {
+        let time = |n: &str| {
+            d.results.iter().find(|(name, _)| name == n).map(|(_, r)| r.model_ms).unwrap()
+        };
+        assert!(time("Gunrock/Color_AR") > time("Gunrock/Color_IS"), "{}", d.dataset);
+        assert!(time("Gunrock/Color_AR") > time("Gunrock/Color_Hash"), "{}", d.dataset);
+    }
+}
+
+#[test]
+fn geomean_speedup_is_positive_and_reported() {
+    let data = fig1_data();
+    let s = geomean_speedup(&data, "Gunrock/Color_IS");
+    assert!(s.is_finite() && s > 0.2, "geomean speedup {s}");
+}
