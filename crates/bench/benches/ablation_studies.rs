@@ -12,15 +12,28 @@ use gc_datasets::TEST_SCALE;
 use gc_graph::generators::{barabasi_albert, star};
 
 fn bench_ablations(c: &mut Criterion) {
-    let g3 = gc_datasets::dataset_by_name("G3_circuit").unwrap().generate(TEST_SCALE, 42);
+    let g3 = gc_datasets::dataset_by_name("G3_circuit")
+        .unwrap()
+        .generate(TEST_SCALE, 42);
 
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     // A: hash-table size.
     for hs in [1usize, 8, 32] {
         group.bench_with_input(BenchmarkId::new("hash_size", hs), &hs, |b, &hs| {
-            b.iter(|| gunrock_hash(&g3, 42, HashConfig { hash_size: hs, ..Default::default() }))
+            b.iter(|| {
+                gunrock_hash(
+                    &g3,
+                    42,
+                    HashConfig {
+                        hash_size: hs,
+                        ..Default::default()
+                    },
+                )
+            })
         });
     }
 

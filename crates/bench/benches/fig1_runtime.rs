@@ -11,9 +11,13 @@ use gc_datasets::TEST_SCALE;
 fn bench_fig1(c: &mut Criterion) {
     let datasets = ["ecology2", "af_shell3"];
     let mut group = c.benchmark_group("fig1");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for name in datasets {
-        let g = gc_datasets::dataset_by_name(name).unwrap().generate(TEST_SCALE, 42);
+        let g = gc_datasets::dataset_by_name(name)
+            .unwrap()
+            .generate(TEST_SCALE, 42);
         for colorer in all_colorers() {
             let r = colorer.run(&g, 42);
             eprintln!(

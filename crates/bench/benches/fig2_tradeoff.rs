@@ -9,9 +9,13 @@ use gc_core::runner::colorer_by_name;
 use gc_datasets::TEST_SCALE;
 
 fn bench_fig2(c: &mut Criterion) {
-    let g = gc_datasets::dataset_by_name("parabolic_fem").unwrap().generate(TEST_SCALE, 42);
+    let g = gc_datasets::dataset_by_name("parabolic_fem")
+        .unwrap()
+        .generate(TEST_SCALE, 42);
     let mut group = c.benchmark_group("fig2");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for name in FIG2_IMPLS {
         let colorer = colorer_by_name(name).expect("registered");
         let r = colorer.run(&g, 42);

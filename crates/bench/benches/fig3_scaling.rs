@@ -9,7 +9,9 @@ use gc_graph::generators::rgg_scale;
 
 fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for scale in [8u32, 10, 12] {
         let g = rgg_scale(scale, 42);
         let gr = gunrock_is(&g, 42, IsConfig::min_max());

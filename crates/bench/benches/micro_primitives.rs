@@ -13,7 +13,9 @@ use gc_vgpu::{Device, DeviceBuffer, DeviceConfig};
 
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for n in [1usize << 12, 1 << 16] {
         let dev = Device::new(DeviceConfig::k40c());

@@ -8,15 +8,21 @@ use gc_graph::stats::GraphStats;
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for spec in table1_real_world() {
         group.bench_with_input(BenchmarkId::new("generate", spec.name), &spec, |b, s| {
             b.iter(|| s.generate(TEST_SCALE, 42))
         });
     }
     // Statistics measurement on one representative dataset.
-    let g = gc_datasets::dataset_by_name("G3_circuit").unwrap().generate(TEST_SCALE, 42);
-    group.bench_function("stats/G3_circuit", |b| b.iter(|| GraphStats::measure(&g, 8)));
+    let g = gc_datasets::dataset_by_name("G3_circuit")
+        .unwrap()
+        .generate(TEST_SCALE, 42);
+    group.bench_function("stats/G3_circuit", |b| {
+        b.iter(|| GraphStats::measure(&g, 8))
+    });
     group.finish();
 }
 

@@ -9,7 +9,9 @@ use gc_core::runner::table2_variants;
 use gc_datasets::TEST_SCALE;
 
 fn bench_table2(c: &mut Criterion) {
-    let g = gc_datasets::dataset_by_name("G3_circuit").unwrap().generate(TEST_SCALE, 42);
+    let g = gc_datasets::dataset_by_name("G3_circuit")
+        .unwrap()
+        .generate(TEST_SCALE, 42);
 
     // Print the regenerated table once so `cargo bench` output carries
     // the reproduction numbers alongside the wall times.
@@ -21,11 +23,15 @@ fn bench_table2(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("table2");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for variant in table2_variants() {
-        group.bench_with_input(BenchmarkId::new("variant", variant.name()), &variant, |b, v| {
-            b.iter(|| v.run(&g, 42))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("variant", variant.name()),
+            &variant,
+            |b, v| b.iter(|| v.run(&g, 42)),
+        );
     }
     group.finish();
 }

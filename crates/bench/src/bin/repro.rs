@@ -1,8 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1|table2|fig1|fig2|fig3|all] [--scale F] [--seed N]
-//!       [--rgg MIN:MAX] [--diameter-samples N] [--full] [--csv DIR]
+//! repro [table1|table2|fig1|fig2|fig3|ablation|powerlaw|serve-bench|all]
+//!       [--scale F] [--seed N] [--rgg MIN:MAX] [--diameter-samples N]
+//!       [--full] [--csv DIR] [--workers N]
 //! ```
 //!
 //! Default scale synthesizes each dataset at 2% of the paper's vertex
@@ -14,11 +15,13 @@ use std::process::ExitCode;
 
 use gc_bench::experiments::{self, ExperimentConfig};
 use gc_bench::format;
+use gc_bench::serve;
 
 struct Args {
     command: String,
     cfg: ExperimentConfig,
     csv_dir: Option<String>,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,11 +29,12 @@ fn parse_args() -> Result<Args, String> {
     let mut command = String::from("all");
     let mut cfg = ExperimentConfig::default();
     let mut csv_dir = None;
+    let mut workers = 4;
     let mut first = true;
     while let Some(a) = args.next() {
         match a.as_str() {
             "table1" | "table2" | "fig1" | "fig1a" | "fig1b" | "fig2" | "fig3" | "ablation"
-            | "powerlaw" | "all"
+            | "powerlaw" | "serve-bench" | "all"
                 if first =>
             {
                 command = a;
@@ -64,11 +68,23 @@ fn parse_args() -> Result<Args, String> {
             }
             "--full" => cfg = ExperimentConfig::full(),
             "--csv" => csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
         first = false;
     }
-    Ok(Args { command, cfg, csv_dir })
+    Ok(Args {
+        command,
+        cfg,
+        csv_dir,
+        workers,
+    })
 }
 
 fn main() -> ExitCode {
@@ -77,8 +93,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro [table1|table2|fig1|fig2|fig3|ablation|all] [--scale F] \
-                 [--seed N] [--rgg MIN:MAX] [--diameter-samples N] [--full] [--csv DIR]"
+                "usage: repro [table1|table2|fig1|fig2|fig3|ablation|powerlaw|serve-bench|all] \
+                 [--scale F] [--seed N] [--rgg MIN:MAX] [--diameter-samples N] [--full] \
+                 [--csv DIR] [--workers N]"
             );
             return ExitCode::FAILURE;
         }
@@ -97,11 +114,13 @@ fn main() -> ExitCode {
     if want("table2") {
         println!("{}", format::render_table2(&experiments::table2(&cfg)));
     }
-    let need_fig1 = want("fig1")
-        || args.command == "fig1a"
-        || args.command == "fig1b"
-        || want("fig2");
-    let fig1_data = if need_fig1 { Some(experiments::fig1(&cfg)) } else { None };
+    let need_fig1 =
+        want("fig1") || args.command == "fig1a" || args.command == "fig1b" || want("fig2");
+    let fig1_data = if need_fig1 {
+        Some(experiments::fig1(&cfg))
+    } else {
+        None
+    };
     if let Some(data) = &fig1_data {
         if want("fig1") || args.command == "fig1a" {
             println!("{}", format::render_fig1a(data));
@@ -123,12 +142,28 @@ fn main() -> ExitCode {
                 &experiments::ablation_extensions(&cfg),
             )
         );
-        println!("{}", format::render_devices(&experiments::ablation_devices(&cfg)));
+        println!(
+            "{}",
+            format::render_devices(&experiments::ablation_devices(&cfg))
+        );
     }
     if want("powerlaw") {
-        println!("{}", format::render_powerlaw(&experiments::ext_powerlaw(&cfg)));
+        println!(
+            "{}",
+            format::render_powerlaw(&experiments::ext_powerlaw(&cfg))
+        );
     }
-    let fig3_data = if want("fig3") { Some(experiments::fig3(&cfg)) } else { None };
+    if want("serve-bench") {
+        println!(
+            "{}",
+            format::render_serve_bench(&serve::serve_bench(&cfg, args.workers.max(1)))
+        );
+    }
+    let fig3_data = if want("fig3") {
+        Some(experiments::fig3(&cfg))
+    } else {
+        None
+    };
     if let Some(rows) = &fig3_data {
         println!("{}", format::render_fig3(rows));
     }

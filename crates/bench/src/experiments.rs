@@ -174,7 +174,10 @@ impl Fig1Dataset {
 
     /// Figure 1b color count of `name`.
     pub fn colors(&self, name: &str) -> Option<u32> {
-        self.results.iter().find(|(n, _)| n == name).map(|(_, r)| r.num_colors)
+        self.results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r.num_colors)
     }
 }
 
@@ -193,14 +196,20 @@ pub fn fig1_dataset(spec: &DatasetSpec, cfg: &ExperimentConfig) -> Fig1Dataset {
         .into_iter()
         .map(|c| (c.name().to_string(), c.run(&g, cfg.seed)))
         .collect();
-    Fig1Dataset { dataset: spec.name.to_string(), results }
+    Fig1Dataset {
+        dataset: spec.name.to_string(),
+        results,
+    }
 }
 
 /// Geometric mean of per-dataset speedups of `name` vs Naumov/JPL — the
 /// paper's headline aggregation.
 pub fn geomean_speedup(data: &[Fig1Dataset], name: &str) -> f64 {
-    let logs: Vec<f64> =
-        data.iter().filter_map(|d| d.speedup(name)).map(|s| s.ln()).collect();
+    let logs: Vec<f64> = data
+        .iter()
+        .filter_map(|d| d.speedup(name))
+        .map(|s| s.ln())
+        .collect();
     (logs.iter().sum::<f64>() / logs.len() as f64).exp()
 }
 
@@ -322,7 +331,14 @@ pub fn ablation_hash_size(cfg: &ExperimentConfig) -> Vec<HashSizeRow> {
     [1usize, 2, 4, 8, 16, 32]
         .into_iter()
         .map(|hash_size| {
-            let r = gunrock_hash(&g, cfg.seed, HashConfig { hash_size, ..Default::default() });
+            let r = gunrock_hash(
+                &g,
+                cfg.seed,
+                HashConfig {
+                    hash_size,
+                    ..Default::default()
+                },
+            );
             HashSizeRow {
                 hash_size,
                 model_ms: r.model_ms,
@@ -354,9 +370,10 @@ pub fn ablation_weight_mode(cfg: &ExperimentConfig) -> Vec<WeightModeRow> {
     let mesh = gc_graph::generators::grid2d(side, side, gc_graph::generators::Stencil2d::NinePoint);
     let mut rows = Vec::new();
     for (gname, g) in [("powerlaw(BA)", &powerlaw), ("mesh(9pt)", &mesh)] {
-        for (mode, c) in
-            [("random", IsConfig::min_max()), ("largest-degree-first", IsConfig::largest_degree_first())]
-        {
+        for (mode, c) in [
+            ("random", IsConfig::min_max()),
+            ("largest-degree-first", IsConfig::largest_degree_first()),
+        ] {
             let r = gunrock_is(g, cfg.seed, c);
             rows.push(WeightModeRow {
                 graph: gname,
@@ -387,7 +404,9 @@ pub fn ablation_load_balance(cfg: &ExperimentConfig) -> Vec<LoadBalanceRow> {
     use gc_core::gunrock_is::{gunrock_is, IsConfig};
     let mut cases: Vec<(&'static str, Csr)> = Vec::new();
     for name in ["ecology2", "af_shell3"] {
-        let g = gc_datasets::dataset_by_name(name).expect("registry row").generate(cfg.scale, cfg.seed);
+        let g = gc_datasets::dataset_by_name(name)
+            .expect("registry row")
+            .generate(cfg.scale, cfg.seed);
         cases.push((name, g));
     }
     // A hub-dominated input (clock-tree-like): the case where the
@@ -423,7 +442,10 @@ pub fn ablation_extensions(cfg: &ExperimentConfig) -> Vec<(String, ColoringResul
         .filter(|c| {
             matches!(
                 c.name(),
-                "Gunrock/Color_IS" | "GraphBLAST/Color_MIS" | "Naumov/Color_JPL" | "CPU/Color_Greedy"
+                "Gunrock/Color_IS"
+                    | "GraphBLAST/Color_MIS"
+                    | "Naumov/Color_JPL"
+                    | "CPU/Color_Greedy"
             )
         })
         .collect();
@@ -489,7 +511,10 @@ pub fn ablation_devices(cfg: &ExperimentConfig) -> Vec<DeviceRow> {
         .expect("registry row")
         .generate(cfg.scale, cfg.seed);
     let mut rows = Vec::new();
-    for (dname, dcfg) in [("K40c", DeviceConfig::k40c()), ("V100", DeviceConfig::v100())] {
+    for (dname, dcfg) in [
+        ("K40c", DeviceConfig::k40c()),
+        ("V100", DeviceConfig::v100()),
+    ] {
         let runs: [(&'static str, gc_core::ColoringResult); 3] = [
             ("Gunrock/Color_IS", {
                 let dev = Device::new(dcfg);
@@ -524,22 +549,48 @@ mod tests {
     fn powerlaw_study_runs_registry_and_extensions() {
         let rows = ext_powerlaw(&ExperimentConfig::smoke());
         assert!(rows.len() >= 12);
-        assert!(rows.iter().any(|r| r.implementation == "Extension/Color_IS_LDF"));
+        assert!(rows
+            .iter()
+            .any(|r| r.implementation == "Extension/Color_IS_LDF"));
         // The paper's hypothesis: LDF at least matches random priorities
         // on power-law inputs.
-        let ldf = rows.iter().find(|r| r.implementation == "Extension/Color_IS_LDF").unwrap();
-        let rnd = rows.iter().find(|r| r.implementation == "Gunrock/Color_IS").unwrap();
-        assert!(ldf.colors <= rnd.colors + 2, "LDF {} vs random {}", ldf.colors, rnd.colors);
+        let ldf = rows
+            .iter()
+            .find(|r| r.implementation == "Extension/Color_IS_LDF")
+            .unwrap();
+        let rnd = rows
+            .iter()
+            .find(|r| r.implementation == "Gunrock/Color_IS")
+            .unwrap();
+        assert!(
+            ldf.colors <= rnd.colors + 2,
+            "LDF {} vs random {}",
+            ldf.colors,
+            rnd.colors
+        );
     }
 
     #[test]
     fn device_ablation_only_changes_timing() {
         let rows = ablation_devices(&ExperimentConfig::smoke());
         assert_eq!(rows.len(), 6);
-        for name in ["Gunrock/Color_IS", "Naumov/Color_JPL", "GraphBLAST/Color_MIS"] {
-            let k = rows.iter().find(|r| r.device == "K40c" && r.implementation == name).unwrap();
-            let v = rows.iter().find(|r| r.device == "V100" && r.implementation == name).unwrap();
-            assert_eq!(k.colors, v.colors, "{name}: colors must not depend on the device model");
+        for name in [
+            "Gunrock/Color_IS",
+            "Naumov/Color_JPL",
+            "GraphBLAST/Color_MIS",
+        ] {
+            let k = rows
+                .iter()
+                .find(|r| r.device == "K40c" && r.implementation == name)
+                .unwrap();
+            let v = rows
+                .iter()
+                .find(|r| r.device == "V100" && r.implementation == name)
+                .unwrap();
+            assert_eq!(
+                k.colors, v.colors,
+                "{name}: colors must not depend on the device model"
+            );
             assert!(v.model_ms < k.model_ms, "{name}: V100 should be faster");
         }
     }
@@ -615,10 +666,17 @@ mod tests {
             .iter()
             .find(|r| r.graph == "powerlaw(BA)" && r.mode == "largest-degree-first")
             .unwrap();
-        let rnd_pl =
-            rows.iter().find(|r| r.graph == "powerlaw(BA)" && r.mode == "random").unwrap();
+        let rnd_pl = rows
+            .iter()
+            .find(|r| r.graph == "powerlaw(BA)" && r.mode == "random")
+            .unwrap();
         // §VI hypothesis: degree priorities help quality on power law.
-        assert!(ldf_pl.colors <= rnd_pl.colors + 2, "{} vs {}", ldf_pl.colors, rnd_pl.colors);
+        assert!(
+            ldf_pl.colors <= rnd_pl.colors + 2,
+            "{} vs {}",
+            ldf_pl.colors,
+            rnd_pl.colors
+        );
     }
 
     #[test]

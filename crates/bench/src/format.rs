@@ -14,8 +14,16 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     out.push_str("TABLE I: Dataset Description (paper -> stand-in)\n");
     out.push_str(&format!(
         "{:<18}{:>5} | {:>12}{:>14}{:>9}{:>9} | {:>10}{:>12}{:>8}{:>7}\n",
-        "Dataset", "Type", "Paper |V|", "Paper |E|", "PaperDeg", "PaperDia", "Gen |V|", "Gen |E|",
-        "GenDeg", "GenDia"
+        "Dataset",
+        "Type",
+        "Paper |V|",
+        "Paper |E|",
+        "PaperDeg",
+        "PaperDia",
+        "Gen |V|",
+        "Gen |E|",
+        "GenDeg",
+        "GenDia"
     ));
     out.push_str(&hr(118));
     out.push('\n');
@@ -48,7 +56,11 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     out.push_str(&hr(91));
     out.push('\n');
     for (i, r) in rows.iter().enumerate() {
-        let speedup = if i == 0 { "—".to_string() } else { format!("{:.2}x", r.step_speedup) };
+        let speedup = if i == 0 {
+            "—".to_string()
+        } else {
+            format!("{:.2}x", r.step_speedup)
+        };
         out.push_str(&format!(
             "{:<36}{:>14.3}{:>10}{:>8}{:>11}{:>12.2}\n",
             r.optimization, r.model_ms, speedup, r.colors, r.iterations, r.paper_ms
@@ -155,7 +167,12 @@ pub fn render_fig3(rows: &[Fig3Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<7}{:>12}{:>13}{:>14.3}{:>14.3}{:>10}{:>10}\n",
-            r.scale, r.vertices, r.edges, r.gunrock_ms, r.graphblast_ms, r.gunrock_colors,
+            r.scale,
+            r.vertices,
+            r.edges,
+            r.gunrock_ms,
+            r.graphblast_ms,
+            r.gunrock_colors,
             r.graphblast_colors
         ));
     }
@@ -184,7 +201,12 @@ pub fn fig3_csv(rows: &[Fig3Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{},{},{},{},{},{},{}\n",
-            r.scale, r.vertices, r.edges, r.gunrock_ms, r.gunrock_colors, r.graphblast_ms,
+            r.scale,
+            r.vertices,
+            r.edges,
+            r.gunrock_ms,
+            r.gunrock_colors,
+            r.graphblast_ms,
             r.graphblast_colors
         ));
     }
@@ -200,7 +222,10 @@ pub fn render_ablations(
 ) -> String {
     let mut out = String::new();
     out.push_str("ABLATION A: Gunrock hash-table size (G3_circuit stand-in)\n");
-    out.push_str(&format!("{:<12}{:>14}{:>9}{:>9}\n", "Table size", "Model (ms)", "Colors", "Iters"));
+    out.push_str(&format!(
+        "{:<12}{:>14}{:>9}{:>9}\n",
+        "Table size", "Model (ms)", "Colors", "Iters"
+    ));
     out.push_str(&hr(44));
     out.push('\n');
     for r in hash {
@@ -235,7 +260,9 @@ pub fn render_ablations(
             r.dataset, r.strategy, r.model_ms, r.colors
         ));
     }
-    out.push_str("\nABLATION D: future-work extensions vs the paper's best (G3_circuit stand-in)\n");
+    out.push_str(
+        "\nABLATION D: future-work extensions vs the paper's best (G3_circuit stand-in)\n",
+    );
     out.push_str(&format!(
         "{:<26}{:>14}{:>9}{:>9}\n",
         "Implementation", "Model (ms)", "Colors", "Iters"
@@ -284,6 +311,54 @@ pub fn render_devices(rows: &[crate::experiments::DeviceRow]) -> String {
         out.push_str(&format!(
             "{:<8}{:<24}{:>14.3}{:>9}\n",
             r.device, r.implementation, r.model_ms, r.colors
+        ));
+    }
+    out
+}
+
+/// Renders the `serve-bench` throughput/quality table.
+pub fn render_serve_bench(report: &crate::serve::ServeBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("SERVE-BENCH: gc-service throughput/quality (two-wave workload)\n");
+    out.push_str(&format!(
+        "{:<16}{:>10}{:>12}{:>16}{:>13}  {}\n",
+        "Objective", "Requests", "CacheHits", "Mean model-ms", "Mean colors", "Colorers"
+    ));
+    out.push_str(&hr(92));
+    out.push('\n');
+    for r in &report.rows {
+        let colorers = r
+            .colorers
+            .iter()
+            .map(|c| short(c))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "{:<16}{:>10}{:>12}{:>16.3}{:>13.1}  {}\n",
+            r.objective, r.requests, r.cache_hits, r.mean_model_ms, r.mean_colors, colorers
+        ));
+    }
+    let s = &report.snapshot;
+    out.push_str(&format!(
+        "\nservice: served={} cache_hits={} ({:.0}%) shed={} rejected={} failed={} \
+         improper={} wall={:.0} ms\n",
+        s.served,
+        s.cache_hits,
+        s.cache_hit_rate() * 100.0,
+        s.shed,
+        s.rejected,
+        s.failed,
+        report.improper,
+        report.wall_ms,
+    ));
+    for (name, h) in &s.latency_by_colorer {
+        out.push_str(&format!(
+            "latency {:<24} n={:<3} mean={:.3} ms max={:.3} ms {}\n",
+            short(name),
+            h.samples,
+            h.mean_ms(),
+            h.max_ms,
+            h.brief()
         ));
     }
     out

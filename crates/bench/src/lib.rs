@@ -7,5 +7,6 @@
 
 pub mod experiments;
 pub mod format;
+pub mod serve;
 
 pub use experiments::*;

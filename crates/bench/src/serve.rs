@@ -1,0 +1,185 @@
+//! Throughput/quality benchmark of the `gc-service` serving layer
+//! (`repro serve-bench`).
+//!
+//! The workload replays Table I stand-ins through every service
+//! objective twice: the first wave runs the algorithms (cold cache), the
+//! second wave repeats each request verbatim and must be served from the
+//! result cache. A few zero-deadline probes exercise load shedding. The
+//! report aggregates per-objective latency/quality plus the service's
+//! own counters.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gc_core::verify::is_proper;
+use gc_service::{
+    ColorRequest, ColoringService, Objective, ServiceConfig, ServiceError, StatsSnapshot,
+};
+
+use crate::experiments::ExperimentConfig;
+
+/// One per-objective row of the serve-bench table.
+#[derive(Clone, Debug)]
+pub struct ServeBenchRow {
+    pub objective: String,
+    pub requests: u64,
+    pub cache_hits: u64,
+    /// Mean model-ms across non-cached runs of this objective.
+    pub mean_model_ms: f64,
+    pub mean_colors: f64,
+    /// Distinct implementations the policy engine picked.
+    pub colorers: Vec<&'static str>,
+}
+
+/// Full serve-bench outcome: table rows plus service counters.
+#[derive(Clone, Debug)]
+pub struct ServeBenchReport {
+    pub rows: Vec<ServeBenchRow>,
+    pub snapshot: StatsSnapshot,
+    /// Responses whose coloring failed host-side re-verification
+    /// (must be 0 — the service verifies before replying).
+    pub improper: u64,
+    /// Requests shed via the zero-deadline probes.
+    pub shed_probes: u64,
+    pub wall_ms: f64,
+    pub total_requests: u64,
+}
+
+const OBJECTIVES: [Objective; 3] = [
+    Objective::Fastest,
+    Objective::FewestColors,
+    Objective::Balanced,
+];
+
+/// Datasets replayed by the workload: one mesh, one shell, one circuit —
+/// the same structural spread the paper's figures average over.
+const WORKLOAD_DATASETS: [&str; 3] = ["ecology2", "af_shell3", "G3_circuit"];
+
+/// Runs the serving-layer benchmark on `workers` device workers.
+pub fn serve_bench(cfg: &ExperimentConfig, workers: usize) -> ServeBenchReport {
+    let graphs: Vec<(&str, Arc<gc_graph::Csr>)> = WORKLOAD_DATASETS
+        .iter()
+        .map(|n| {
+            let spec = gc_datasets::dataset_by_name(n).expect("workload dataset registered");
+            (*n, Arc::new(spec.generate(cfg.scale, cfg.seed)))
+        })
+        .collect();
+
+    let svc = ColoringService::start(ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_capacity: 128,
+    });
+    let handle = svc.handle();
+    let started = Instant::now();
+
+    // Two identical waves: wave 0 fills the cache, wave 1 must hit it.
+    // The recv barrier between waves matters — without it a slow wave-0
+    // job can still be in flight on one worker when its wave-1 twin is
+    // dequeued by another, and the twin would miss the cache.
+    let mut outcomes = Vec::new();
+    for _wave in 0..2 {
+        let mut tickets = Vec::new();
+        for (name, g) in &graphs {
+            for obj in &OBJECTIVES {
+                let req = ColorRequest::new(Arc::clone(g), obj.clone()).with_seed(cfg.seed);
+                tickets.push((*name, obj.clone(), Arc::clone(g), handle.submit(req)));
+            }
+        }
+        for (name, obj, g, ticket) in tickets {
+            outcomes.push((name, obj, g, ticket.recv()));
+        }
+    }
+    // Shedding probes: already expired on arrival, so workers drop them.
+    let mut shed_probes = 0u64;
+    for (_, g) in graphs.iter().take(2) {
+        let req = ColorRequest::new(Arc::clone(g), Objective::Fastest)
+            .with_seed(cfg.seed)
+            .with_deadline(Duration::ZERO);
+        match handle.submit(req).recv() {
+            Err(ServiceError::DeadlineExceeded { .. }) => shed_probes += 1,
+            other => panic!("zero-deadline probe should be shed, got {other:?}"),
+        }
+    }
+
+    let mut rows: Vec<ServeBenchRow> = OBJECTIVES
+        .iter()
+        .map(|o| ServeBenchRow {
+            objective: o.label().to_string(),
+            requests: 0,
+            cache_hits: 0,
+            mean_model_ms: 0.0,
+            mean_colors: 0.0,
+            colorers: Vec::new(),
+        })
+        .collect();
+    let mut improper = 0u64;
+    let mut total = 0u64;
+    for (_name, obj, g, outcome) in outcomes {
+        let resp = outcome.expect("workload request should succeed");
+        total += 1;
+        if is_proper(&g, resp.coloring.as_slice()).is_err() {
+            improper += 1;
+        }
+        let row = rows
+            .iter_mut()
+            .find(|r| r.objective == obj.label())
+            .unwrap();
+        row.requests += 1;
+        if resp.cache_hit {
+            row.cache_hits += 1;
+        } else {
+            row.mean_model_ms += resp.model_ms;
+            row.mean_colors += resp.num_colors as f64;
+        }
+        if !row.colorers.contains(&resp.colorer) {
+            row.colorers.push(resp.colorer);
+        }
+    }
+    for row in &mut rows {
+        let runs = (row.requests - row.cache_hits).max(1) as f64;
+        row.mean_model_ms /= runs;
+        row.mean_colors /= runs;
+    }
+
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let snapshot = svc.stats();
+    svc.shutdown();
+    ServeBenchReport {
+        rows,
+        snapshot,
+        improper,
+        shed_probes,
+        wall_ms,
+        total_requests: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_smoke() {
+        let cfg = ExperimentConfig::smoke();
+        let report = serve_bench(&cfg, 2);
+        assert_eq!(report.improper, 0);
+        assert_eq!(report.shed_probes, 2);
+        assert!(
+            report.snapshot.cache_hits > 0,
+            "second wave should hit the cache"
+        );
+        assert_eq!(report.total_requests, 18);
+        for row in &report.rows {
+            assert_eq!(row.requests, 6);
+            assert!(
+                row.cache_hits >= 3,
+                "{}: {} hits",
+                row.objective,
+                row.cache_hits
+            );
+            assert!(row.mean_model_ms > 0.0);
+            assert!(!row.colorers.is_empty());
+        }
+    }
+}

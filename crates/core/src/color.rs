@@ -89,13 +89,30 @@ pub struct ColoringResult {
     pub model_ms: f64,
     /// Kernel launches performed (0 for CPU baselines).
     pub kernel_launches: u64,
+    /// Kernel-level profile of the run (GPU implementations attach their
+    /// device's snapshot; CPU baselines report `None`). The serving layer
+    /// derives its per-request metrics from this.
+    pub profile: Option<gc_vgpu::ProfileReport>,
 }
 
 impl ColoringResult {
     pub fn new(colors: Vec<u32>, iterations: u32, model_ms: f64, kernel_launches: u64) -> Self {
         let coloring = Coloring::new(colors);
         let num_colors = coloring.num_colors();
-        ColoringResult { coloring, num_colors, iterations, model_ms, kernel_launches }
+        ColoringResult {
+            coloring,
+            num_colors,
+            iterations,
+            model_ms,
+            kernel_launches,
+            profile: None,
+        }
+    }
+
+    /// Attaches the device profile snapshot for the run.
+    pub fn with_profile(mut self, profile: gc_vgpu::ProfileReport) -> Self {
+        self.profile = Some(profile);
+        self
     }
 }
 

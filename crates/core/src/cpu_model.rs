@@ -20,7 +20,11 @@ pub struct CpuModel {
 impl CpuModel {
     /// Xeon E5-2637 v2-like constants.
     pub fn xeon_e5() -> Self {
-        CpuModel { clock_ghz: 3.5, cycles_per_vertex: 14.0, cycles_per_edge: 26.0 }
+        CpuModel {
+            clock_ghz: 3.5,
+            cycles_per_vertex: 14.0,
+            cycles_per_edge: 26.0,
+        }
     }
 
     /// Modeled milliseconds for an algorithm that touched `vertices`

@@ -81,7 +81,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
     let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
-    ColoringResult::new(colors, iterations, model_ms, launches)
+    ColoringResult::new(colors, iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 #[cfg(test)]

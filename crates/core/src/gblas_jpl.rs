@@ -12,7 +12,7 @@
 //! *reuse* colors across iterations and beat Algorithm 2's quality.
 
 use gc_graph::Csr;
-use gc_graphblas::{ops, Descriptor, Matrix, MaxTimes, BooleanOrAnd, Vector};
+use gc_graphblas::{ops, BooleanOrAnd, Descriptor, Matrix, MaxTimes, Vector};
 use gc_vgpu::rng::vertex_weight_i64;
 use gc_vgpu::Device;
 
@@ -37,12 +37,16 @@ pub struct JplConfig {
 impl JplConfig {
     /// The paper's implementation as profiled (memcpy-backed setElement).
     pub fn paper() -> Self {
-        JplConfig { assign_instead_of_set_element: false }
+        JplConfig {
+            assign_instead_of_set_element: false,
+        }
     }
 
     /// With the paper's suggested optimization applied.
     pub fn optimized() -> Self {
-        JplConfig { assign_instead_of_set_element: true }
+        JplConfig {
+            assign_instead_of_set_element: true,
+        }
     }
 }
 
@@ -179,7 +183,7 @@ pub fn run_on_with(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> Coloring
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
     let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
-    ColoringResult::new(colors, iterations, model_ms, launches)
+    ColoringResult::new(colors, iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 #[cfg(test)]
@@ -252,7 +256,12 @@ mod tests {
         let paper = gblas_jpl_with(&g, 2, JplConfig::paper());
         let opt = gblas_jpl_with(&g, 2, JplConfig::optimized());
         assert_eq!(paper.coloring, opt.coloring);
-        assert!(opt.model_ms < paper.model_ms, "{} vs {}", opt.model_ms, paper.model_ms);
+        assert!(
+            opt.model_ms < paper.model_ms,
+            "{} vs {}",
+            opt.model_ms,
+            paper.model_ms
+        );
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
     let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
-    ColoringResult::new(colors, iterations, model_ms, launches)
+    ColoringResult::new(colors, iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 /// Standalone maximal-independent-set computation (exposed for tests and
@@ -159,7 +159,10 @@ mod tests {
     fn assert_maximal_is(g: &Csr, mis: &[bool]) {
         // Independence.
         for (u, v) in g.edges() {
-            assert!(!(mis[u as usize] && mis[v as usize]), "edge ({u},{v}) inside MIS");
+            assert!(
+                !(mis[u as usize] && mis[v as usize]),
+                "edge ({u},{v}) inside MIS"
+            );
         }
         // Maximality: every non-member has a member neighbor.
         for v in g.vertices() {
@@ -174,7 +177,13 @@ mod tests {
 
     #[test]
     fn mis_is_independent_and_maximal() {
-        for g in [path(20), cycle(9), star(15), complete(7), erdos_renyi(200, 0.03, 1)] {
+        for g in [
+            path(20),
+            cycle(9),
+            star(15),
+            complete(7),
+            erdos_renyi(200, 0.03, 1),
+        ] {
             let mis = maximal_independent_set(&g, 5);
             assert_maximal_is(&g, &mis);
         }

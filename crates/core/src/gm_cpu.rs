@@ -26,8 +26,9 @@ const MAX_ROUNDS: u32 = 100_000;
 /// Runs shared-memory Gebremedhin-Manne, returning a proper coloring.
 pub fn gebremedhin_manne_cpu(g: &Csr, seed: u64) -> ColoringResult {
     let n = g.num_vertices();
-    let weights: Vec<u64> =
-        (0..n as u32).map(|v| gc_vgpu::rng::vertex_weight(seed, v)).collect();
+    let weights: Vec<u64> = (0..n as u32)
+        .map(|v| gc_vgpu::rng::vertex_weight(seed, v))
+        .collect();
     let mut colors = vec![0u32; n];
     let mut pending: Vec<VertexId> = (0..n as VertexId).collect();
     let mut rounds = 0u32;
@@ -76,13 +77,15 @@ pub fn gebremedhin_manne_cpu(g: &Csr, seed: u64) -> ColoringResult {
             .par_iter()
             .filter_map(|&(v, c)| {
                 let lose = g.neighbors(v).iter().any(|&u| {
-                    colors_snapshot[u as usize] == c
-                        && weights[u as usize] > weights[v as usize]
+                    colors_snapshot[u as usize] == c && weights[u as usize] > weights[v as usize]
                 });
                 lose.then_some(v)
             })
             .collect();
-        edge_visits += proposals.iter().map(|&(v, _)| g.degree(v) as u64).sum::<u64>();
+        edge_visits += proposals
+            .iter()
+            .map(|&(v, _)| g.degree(v) as u64)
+            .sum::<u64>();
 
         // Phase 3: resolution.
         for &v in &losers {
@@ -164,7 +167,12 @@ mod tests {
         let g = grid2d(120, 120, Stencil2d::NinePoint);
         let gm = gebremedhin_manne_cpu(&g, 1);
         let gr = greedy(&g, Ordering::Natural, 0);
-        assert!(gm.model_ms < gr.model_ms, "{} vs {}", gm.model_ms, gr.model_ms);
+        assert!(
+            gm.model_ms < gr.model_ms,
+            "{} vs {}",
+            gm.model_ms,
+            gr.model_ms
+        );
     }
 
     #[test]

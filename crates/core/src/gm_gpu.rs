@@ -142,7 +142,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
 
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
-    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches)
+    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 #[cfg(test)]
@@ -183,8 +183,18 @@ mod tests {
         let gm = gebremedhin_manne(&g, 4);
         let gr = greedy(&g, Ordering::Natural, 0);
         let is = gblas_is(&g, 4);
-        assert!(gm.num_colors <= gr.num_colors + 3, "GM {} greedy {}", gm.num_colors, gr.num_colors);
-        assert!(gm.num_colors < is.num_colors, "GM {} IS {}", gm.num_colors, is.num_colors);
+        assert!(
+            gm.num_colors <= gr.num_colors + 3,
+            "GM {} greedy {}",
+            gm.num_colors,
+            gr.num_colors
+        );
+        assert!(
+            gm.num_colors < is.num_colors,
+            "GM {} IS {}",
+            gm.num_colors,
+            is.num_colors
+        );
     }
 
     #[test]
@@ -197,7 +207,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = erdos_renyi(250, 0.04, 8);
-        assert_eq!(gebremedhin_manne(&g, 1).coloring, gebremedhin_manne(&g, 1).coloring);
+        assert_eq!(
+            gebremedhin_manne(&g, 1).coloring,
+            gebremedhin_manne(&g, 1).coloring
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ pub fn greedy(g: &Csr, ordering: Ordering, seed: u64) -> ColoringResult {
 /// Greedy coloring visiting vertices exactly in `order`.
 pub fn greedy_in_order(g: &Csr, order: &[VertexId]) -> ColoringResult {
     let n = g.num_vertices();
-    assert_eq!(order.len(), n, "order must be a permutation of the vertices");
+    assert_eq!(
+        order.len(),
+        n,
+        "order must be a permutation of the vertices"
+    );
     let mut colors = vec![0u32; n];
     // Reusable mark array: forbidden[c] == v means color c is taken by a
     // neighbor of the vertex currently being colored.
@@ -217,8 +221,14 @@ mod tests {
     #[test]
     fn random_order_deterministic_by_seed() {
         let g = path(50);
-        assert_eq!(vertex_order(&g, Ordering::Random, 9), vertex_order(&g, Ordering::Random, 9));
-        assert_ne!(vertex_order(&g, Ordering::Random, 9), vertex_order(&g, Ordering::Random, 10));
+        assert_eq!(
+            vertex_order(&g, Ordering::Random, 9),
+            vertex_order(&g, Ordering::Random, 9)
+        );
+        assert_ne!(
+            vertex_order(&g, Ordering::Random, 9),
+            vertex_order(&g, Ordering::Random, 10)
+        );
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
 
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
-    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches)
+    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 #[cfg(test)]

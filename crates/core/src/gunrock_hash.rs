@@ -31,7 +31,10 @@ pub struct HashConfig {
 
 impl Default for HashConfig {
     fn default() -> Self {
-        HashConfig { hash_size: 8, max_iterations: 100_000 }
+        HashConfig {
+            hash_size: 8,
+            max_iterations: 100_000,
+        }
     }
 }
 
@@ -219,7 +222,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResu
 
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
-    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches)
+    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 #[cfg(test)]
@@ -292,14 +295,26 @@ mod tests {
         let g = erdos_renyi(600, 0.02, 13);
         let hash = gunrock_hash(&g, 3, HashConfig::default());
         let is = gunrock_is::gunrock_is(&g, 3, IsConfig::min_max());
-        assert!(hash.model_ms > is.model_ms, "hash {} vs IS {}", hash.model_ms, is.model_ms);
+        assert!(
+            hash.model_ms > is.model_ms,
+            "hash {} vs IS {}",
+            hash.model_ms,
+            is.model_ms
+        );
     }
 
     #[test]
     fn larger_hash_table_never_hurts_validity() {
         let g = erdos_renyi(300, 0.03, 2);
         for hs in [1, 2, 4, 16] {
-            let r = gunrock_hash(&g, 1, HashConfig { hash_size: hs, ..Default::default() });
+            let r = gunrock_hash(
+                &g,
+                1,
+                HashConfig {
+                    hash_size: hs,
+                    ..Default::default()
+                },
+            );
             assert_proper(&g, r.coloring.as_slice());
         }
     }

@@ -76,12 +76,20 @@ impl Default for IsConfig {
 impl IsConfig {
     /// Table II row "Independent Set with Atomics".
     pub fn single_set_atomics() -> Self {
-        IsConfig { min_max: false, use_atomics: true, ..Default::default() }
+        IsConfig {
+            min_max: false,
+            use_atomics: true,
+            ..Default::default()
+        }
     }
 
     /// Table II row "Independent Set without Atomics".
     pub fn single_set_no_atomics() -> Self {
-        IsConfig { min_max: false, use_atomics: false, ..Default::default() }
+        IsConfig {
+            min_max: false,
+            use_atomics: false,
+            ..Default::default()
+        }
     }
 
     /// Table II row "Min-Max Independent Set".
@@ -91,12 +99,18 @@ impl IsConfig {
 
     /// The §VI future-work variant: largest-degree-first priorities.
     pub fn largest_degree_first() -> Self {
-        IsConfig { weight_mode: WeightMode::LargestDegreeFirst, ..Default::default() }
+        IsConfig {
+            weight_mode: WeightMode::LargestDegreeFirst,
+            ..Default::default()
+        }
     }
 
     /// Warp-cooperative (load-balanced) min-max IS.
     pub fn min_max_load_balanced() -> Self {
-        IsConfig { load_balance: true, ..Default::default() }
+        IsConfig {
+            load_balance: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -150,7 +164,11 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
     let remaining = DeviceBuffer::<u32>::zeroed(1);
     let mut enactor = Enactor::new(dev).with_max_iterations(cfg.max_iterations);
     let iterations = enactor.run(|iteration| {
-        let base = if cfg.min_max { 2 * iteration } else { iteration };
+        let base = if cfg.min_max {
+            2 * iteration
+        } else {
+            iteration
+        };
         let color_max = base + 1;
         let color_min = base + 2;
 
@@ -278,7 +296,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
 
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
-    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches)
+    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 #[cfg(test)]

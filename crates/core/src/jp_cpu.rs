@@ -100,6 +100,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = erdos_renyi(200, 0.05, 2);
-        assert_eq!(jones_plassmann_cpu(&g, 8).coloring, jones_plassmann_cpu(&g, 8).coloring);
+        assert_eq!(
+            jones_plassmann_cpu(&g, 8).coloring,
+            jones_plassmann_cpu(&g, 8).coloring
+        );
     }
 }

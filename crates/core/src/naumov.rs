@@ -102,7 +102,7 @@ pub fn jpl_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
 
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
-    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches)
+    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 /// Number of hash functions per `Color_CC` iteration.
@@ -192,7 +192,7 @@ pub fn cc_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
 
     let model_ms = dev.elapsed_ms();
     let launches = dev.profile().launches - launches_before;
-    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches)
+    ColoringResult::new(colors.to_vec(), iterations, model_ms, launches).with_profile(dev.profile())
 }
 
 #[cfg(test)]
@@ -243,7 +243,12 @@ mod tests {
         let g = erdos_renyi(600, 0.02, 7);
         let jpl = naumov_jpl(&g, 3);
         let cc = naumov_cc(&g, 3);
-        assert!(cc.iterations < jpl.iterations, "CC {} vs JPL {}", cc.iterations, jpl.iterations);
+        assert!(
+            cc.iterations < jpl.iterations,
+            "CC {} vs JPL {}",
+            cc.iterations,
+            jpl.iterations
+        );
     }
 
     #[test]
@@ -264,6 +269,11 @@ mod tests {
         let g = erdos_renyi(800, 0.01, 5);
         let jpl = naumov_jpl(&g, 3);
         let cc = naumov_cc(&g, 3);
-        assert!(cc.model_ms < jpl.model_ms, "CC {} vs JPL {}", cc.model_ms, jpl.model_ms);
+        assert!(
+            cc.model_ms < jpl.model_ms,
+            "CC {} vs JPL {}",
+            cc.model_ms,
+            jpl.model_ms
+        );
     }
 }

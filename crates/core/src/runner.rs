@@ -101,13 +101,22 @@ impl Colorer {
 /// ```
 pub fn all_colorers() -> Vec<Colorer> {
     vec![
-        Colorer::new("CPU/Color_Greedy", ColorerKind::CpuGreedy(Ordering::Natural)),
+        Colorer::new(
+            "CPU/Color_Greedy",
+            ColorerKind::CpuGreedy(Ordering::Natural),
+        ),
         Colorer::new("GraphBLAST/Color_IS", ColorerKind::GblasIs),
         Colorer::new("GraphBLAST/Color_JPL", ColorerKind::GblasJpl),
         Colorer::new("GraphBLAST/Color_MIS", ColorerKind::GblasMis),
         Colorer::new("Gunrock/Color_AR", ColorerKind::GunrockAr),
-        Colorer::new("Gunrock/Color_Hash", ColorerKind::GunrockHash(HashConfig::default())),
-        Colorer::new("Gunrock/Color_IS", ColorerKind::GunrockIs(IsConfig::min_max())),
+        Colorer::new(
+            "Gunrock/Color_Hash",
+            ColorerKind::GunrockHash(HashConfig::default()),
+        ),
+        Colorer::new(
+            "Gunrock/Color_IS",
+            ColorerKind::GunrockIs(IsConfig::min_max()),
+        ),
         Colorer::new("Naumov/Color_CC", ColorerKind::NaumovCc),
         Colorer::new("Naumov/Color_JPL", ColorerKind::NaumovJpl),
     ]
@@ -136,16 +145,35 @@ pub fn extension_colorers() -> Vec<Colorer> {
     ]
 }
 
-/// Looks up a colorer by its Figure 1 legend name.
+/// Looks up a colorer by name, searching the Figure 1 legend first and
+/// the §VI extension registry second (so `"CPU/Color_JP"`,
+/// `"Extension/Color_GM"`, etc. resolve too). This is the service
+/// layer's explicit-override path: any registered implementation can be
+/// requested by name.
 pub fn colorer_by_name(name: &str) -> Option<Colorer> {
-    all_colorers().into_iter().find(|c| c.name() == name)
+    all_colorers()
+        .into_iter()
+        .chain(extension_colorers())
+        .find(|c| c.name() == name)
+}
+
+/// Every registered implementation: the Figure 1 legend plus the §VI
+/// extensions, in registry order.
+pub fn all_known_colorers() -> Vec<Colorer> {
+    all_colorers()
+        .into_iter()
+        .chain(extension_colorers())
+        .collect()
 }
 
 /// The Table II ladder of Gunrock optimizations, slowest first.
 pub fn table2_variants() -> Vec<Colorer> {
     vec![
         Colorer::new("Baseline (Advance-Reduce)", ColorerKind::GunrockAr),
-        Colorer::new("Hash Color", ColorerKind::GunrockHash(HashConfig::default())),
+        Colorer::new(
+            "Hash Color",
+            ColorerKind::GunrockHash(HashConfig::default()),
+        ),
         Colorer::new(
             "Independent Set with Atomics",
             ColorerKind::GunrockIs(IsConfig::single_set_atomics()),
@@ -154,7 +182,10 @@ pub fn table2_variants() -> Vec<Colorer> {
             "Independent Set without Atomics",
             ColorerKind::GunrockIs(IsConfig::single_set_no_atomics()),
         ),
-        Colorer::new("Min-Max Independent Set", ColorerKind::GunrockIs(IsConfig::min_max())),
+        Colorer::new(
+            "Min-Max Independent Set",
+            ColorerKind::GunrockIs(IsConfig::min_max()),
+        ),
     ]
 }
 
@@ -194,6 +225,28 @@ mod tests {
     fn lookup_by_name() {
         assert!(colorer_by_name("Gunrock/Color_Hash").is_some());
         assert!(colorer_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn lookup_resolves_extension_names() {
+        for ext in extension_colorers() {
+            let found = colorer_by_name(ext.name())
+                .unwrap_or_else(|| panic!("{} did not resolve", ext.name()));
+            assert_eq!(found.kind(), ext.kind());
+        }
+        assert!(colorer_by_name("CPU/Color_JP").is_some());
+        assert!(colorer_by_name("Extension/Color_GM").is_some());
+    }
+
+    #[test]
+    fn all_known_covers_both_registries() {
+        let known = all_known_colorers();
+        assert_eq!(
+            known.len(),
+            all_colorers().len() + extension_colorers().len()
+        );
+        let names: std::collections::HashSet<_> = known.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), known.len(), "registry names must be unique");
     }
 
     #[test]

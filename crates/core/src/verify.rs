@@ -24,7 +24,11 @@ impl std::fmt::Display for Violation {
 
 /// Validates a coloring; `Ok(())` when proper and complete.
 pub fn is_proper(g: &Csr, colors: &[u32]) -> Result<(), Violation> {
-    assert_eq!(colors.len(), g.num_vertices(), "color array length mismatch");
+    assert_eq!(
+        colors.len(),
+        g.num_vertices(),
+        "color array length mismatch"
+    );
     for (v, &c) in colors.iter().enumerate() {
         if c == 0 {
             return Err(Violation::Uncolored(v as u32));

@@ -31,7 +31,10 @@ pub fn table1_real_world() -> Vec<DatasetSpec> {
             paper_avg_degree: 35.84,
             paper_diameter: "485*",
             graph_type: RealUndirected,
-            family: F::Shell { layers: 3, extra_per_vertex: 6 },
+            family: F::Shell {
+                layers: 3,
+                extra_per_vertex: 6,
+            },
         },
         DatasetSpec {
             name: "parabolic_fem",
@@ -49,7 +52,9 @@ pub fn table1_real_world() -> Vec<DatasetSpec> {
             paper_avg_degree: 7.74,
             paper_diameter: "449*",
             graph_type: RealUndirected,
-            family: F::Mesh3d { extra_per_vertex: 0.9 },
+            family: F::Mesh3d {
+                extra_per_vertex: 0.9,
+            },
         },
         DatasetSpec {
             name: "ecology2",
@@ -61,7 +66,9 @@ pub fn table1_real_world() -> Vec<DatasetSpec> {
             // A small random-coupling fraction keeps the stand-in from
             // being perfectly bipartite (the pure 7-point grid is, which
             // makes natural-order greedy unrealistically optimal).
-            family: F::Mesh3d { extra_per_vertex: 0.3 },
+            family: F::Mesh3d {
+                extra_per_vertex: 0.3,
+            },
         },
         DatasetSpec {
             name: "thermal2",
@@ -79,7 +86,10 @@ pub fn table1_real_world() -> Vec<DatasetSpec> {
             paper_avg_degree: 5.83,
             paper_diameter: "515*",
             graph_type: RealUndirected,
-            family: F::Circuit { local: 2, long_fraction: 0.9 },
+            family: F::Circuit {
+                local: 2,
+                long_fraction: 0.9,
+            },
         },
         DatasetSpec {
             name: "FEM_3D_thermal2",
@@ -97,7 +107,10 @@ pub fn table1_real_world() -> Vec<DatasetSpec> {
             paper_avg_degree: 14.93,
             paper_diameter: "647*",
             graph_type: RealDirected,
-            family: F::Banded { bandwidth: 60, edges_per_vertex: 8 },
+            family: F::Banded {
+                bandwidth: 60,
+                edges_per_vertex: 8,
+            },
         },
         DatasetSpec {
             name: "ASIC_320ks",
@@ -106,7 +119,10 @@ pub fn table1_real_world() -> Vec<DatasetSpec> {
             paper_avg_degree: 6.68,
             paper_diameter: "45",
             graph_type: RealDirected,
-            family: F::Circuit { local: 2, long_fraction: 1.0 },
+            family: F::Circuit {
+                local: 2,
+                long_fraction: 1.0,
+            },
         },
         DatasetSpec {
             name: "cage13",
@@ -115,7 +131,10 @@ pub fn table1_real_world() -> Vec<DatasetSpec> {
             paper_avg_degree: 17.8,
             paper_diameter: "42*",
             graph_type: RealDirected,
-            family: F::Banded { bandwidth: 200, edges_per_vertex: 9 },
+            family: F::Banded {
+                bandwidth: 200,
+                edges_per_vertex: 9,
+            },
         },
         DatasetSpec {
             name: "atmosmodd",
@@ -124,7 +143,9 @@ pub fn table1_real_world() -> Vec<DatasetSpec> {
             paper_avg_degree: 7.94,
             paper_diameter: "351*",
             graph_type: RealDirected,
-            family: F::Mesh3d { extra_per_vertex: 1.0 },
+            family: F::Mesh3d {
+                extra_per_vertex: 1.0,
+            },
         },
     ]
 }
@@ -182,12 +203,18 @@ mod tests {
     fn af_shell3_has_highest_degree() {
         // The paper's af_shell3 slowdown discussion rests on this.
         let rows = table1_real_world();
-        let shell_deg =
-            dataset_by_name("af_shell3").unwrap().generate(TEST_SCALE, 1).avg_degree();
+        let shell_deg = dataset_by_name("af_shell3")
+            .unwrap()
+            .generate(TEST_SCALE, 1)
+            .avg_degree();
         for d in &rows {
             if d.name != "af_shell3" {
                 let deg = d.generate(TEST_SCALE, 1).avg_degree();
-                assert!(shell_deg > deg, "{} degree {deg:.1} >= af_shell3 {shell_deg:.1}", d.name);
+                assert!(
+                    shell_deg > deg,
+                    "{} degree {deg:.1} >= af_shell3 {shell_deg:.1}",
+                    d.name
+                );
             }
         }
     }

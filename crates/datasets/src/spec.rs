@@ -39,12 +39,18 @@ pub enum Family {
     /// `FEM_3D_thermal2`).
     Slab27 { layers: usize },
     /// Slab plus random short-range FEM couplings (`af_shell3`).
-    Shell { layers: usize, extra_per_vertex: usize },
+    Shell {
+        layers: usize,
+        extra_per_vertex: usize,
+    },
     /// Circuit: local wiring + sparse long nets + high-fanout hubs
     /// (`G3_circuit`, `ASIC_320ks`).
     Circuit { local: usize, long_fraction: f64 },
     /// Banded random matrix (`cage13`, `thermomech_dK`).
-    Banded { bandwidth: usize, edges_per_vertex: usize },
+    Banded {
+        bandwidth: usize,
+        edges_per_vertex: usize,
+    },
 }
 
 /// One Table I row.
@@ -88,13 +94,24 @@ impl DatasetSpec {
             }
             Family::Slab27 { layers } => {
                 let side = ((n_target / layers) as f64).sqrt().round() as usize;
-                grid3d(side.max(2), side.max(2), layers, Stencil3d::TwentySevenPoint)
+                grid3d(
+                    side.max(2),
+                    side.max(2),
+                    layers,
+                    Stencil3d::TwentySevenPoint,
+                )
             }
-            Family::Shell { layers, extra_per_vertex } => {
+            Family::Shell {
+                layers,
+                extra_per_vertex,
+            } => {
                 let side = ((n_target / layers) as f64).sqrt().round() as usize;
                 shell3d(side.max(2), side.max(2), layers, extra_per_vertex, seed)
             }
-            Family::Circuit { local, long_fraction } => circuit(
+            Family::Circuit {
+                local,
+                long_fraction,
+            } => circuit(
                 n_target,
                 CircuitParams {
                     local_per_vertex: local,
@@ -104,9 +121,10 @@ impl DatasetSpec {
                 },
                 seed,
             ),
-            Family::Banded { bandwidth, edges_per_vertex } => {
-                banded_random(n_target, bandwidth, edges_per_vertex, seed)
-            }
+            Family::Banded {
+                bandwidth,
+                edges_per_vertex,
+            } => banded_random(n_target, bandwidth, edges_per_vertex, seed),
         }
     }
 }
@@ -157,7 +175,10 @@ mod tests {
 
     #[test]
     fn mesh3d_degree_with_extras() {
-        let g = spec(Family::Mesh3d { extra_per_vertex: 0.9 }).generate(0.05, 1);
+        let g = spec(Family::Mesh3d {
+            extra_per_vertex: 0.9,
+        })
+        .generate(0.05, 1);
         assert!((6.0..8.5).contains(&g.avg_degree()), "{}", g.avg_degree());
     }
 
@@ -169,7 +190,11 @@ mod tests {
 
     #[test]
     fn shell_degree_near_36() {
-        let g = spec(Family::Shell { layers: 3, extra_per_vertex: 6 }).generate(0.05, 1);
+        let g = spec(Family::Shell {
+            layers: 3,
+            extra_per_vertex: 6,
+        })
+        .generate(0.05, 1);
         assert!((30.0..40.0).contains(&g.avg_degree()), "{}", g.avg_degree());
     }
 
@@ -182,8 +207,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = spec(Family::Banded { bandwidth: 40, edges_per_vertex: 8 }).generate(0.02, 3);
-        let b = spec(Family::Banded { bandwidth: 40, edges_per_vertex: 8 }).generate(0.02, 3);
+        let a = spec(Family::Banded {
+            bandwidth: 40,
+            edges_per_vertex: 8,
+        })
+        .generate(0.02, 3);
+        let b = spec(Family::Banded {
+            bandwidth: 40,
+            edges_per_vertex: 8,
+        })
+        .generate(0.02, 3);
         assert_eq!(a, b);
     }
 

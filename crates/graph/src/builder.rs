@@ -35,8 +35,14 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` vertices.
     pub fn new(n: usize) -> Self {
-        assert!(n <= VertexId::MAX as usize, "vertex count exceeds u32 range");
-        Self { n, arcs: Vec::new() }
+        assert!(
+            n <= VertexId::MAX as usize,
+            "vertex count exceeds u32 range"
+        );
+        Self {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Number of vertices the final graph will have.
@@ -60,8 +66,16 @@ impl GraphBuilder {
 
     /// Adds a single edge in place (non-consuming form of [`Self::edge`]).
     pub fn push(&mut self, u: VertexId, v: VertexId) {
-        assert!((u as usize) < self.n, "edge endpoint {u} out of range (n = {})", self.n);
-        assert!((v as usize) < self.n, "edge endpoint {v} out of range (n = {})", self.n);
+        assert!(
+            (u as usize) < self.n,
+            "edge endpoint {u} out of range (n = {})",
+            self.n
+        );
+        assert!(
+            (v as usize) < self.n,
+            "edge endpoint {v} out of range (n = {})",
+            self.n
+        );
         self.arcs.push((u, v));
     }
 
@@ -123,9 +137,7 @@ mod tests {
 
     #[test]
     fn removes_duplicates_both_directions() {
-        let g = GraphBuilder::new(2)
-            .edges([(0, 1), (0, 1), (1, 0)])
-            .build();
+        let g = GraphBuilder::new(2).edges([(0, 1), (0, 1), (1, 0)]).build();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.degree(1), 1);

@@ -35,14 +35,22 @@ impl Csr {
     /// type-level invariants). Use [`crate::GraphBuilder`] to construct a
     /// graph from an arbitrary edge list instead.
     pub fn from_raw(n: usize, row_offsets: Vec<usize>, col_indices: Vec<VertexId>) -> Self {
-        let g = Self { n, row_offsets, col_indices };
+        let g = Self {
+            n,
+            row_offsets,
+            col_indices,
+        };
         g.validate().expect("invalid CSR arrays");
         g
     }
 
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        Self { n, row_offsets: vec![0; n + 1], col_indices: Vec::new() }
+        Self {
+            n,
+            row_offsets: vec![0; n + 1],
+            col_indices: Vec::new(),
+        }
     }
 
     /// Number of vertices `n = |V|`.
@@ -159,7 +167,10 @@ impl Csr {
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> usize {
-        (0..self.n as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `nnz / n`.

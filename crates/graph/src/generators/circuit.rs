@@ -27,7 +27,12 @@ pub struct CircuitParams {
 
 impl Default for CircuitParams {
     fn default() -> Self {
-        Self { local_per_vertex: 2, long_range_fraction: 0.25, hubs: 4, hub_fanout: 64 }
+        Self {
+            local_per_vertex: 2,
+            long_range_fraction: 0.25,
+            hubs: 4,
+            hub_fanout: 64,
+        }
     }
 }
 
@@ -86,7 +91,11 @@ mod tests {
 
     #[test]
     fn circuit_has_high_fanout_hubs() {
-        let p = CircuitParams { hubs: 2, hub_fanout: 200, ..Default::default() };
+        let p = CircuitParams {
+            hubs: 2,
+            hub_fanout: 200,
+            ..Default::default()
+        };
         let g = circuit(10_000, p, 5);
         assert!(g.max_degree() >= 150, "max degree {}", g.max_degree());
     }

@@ -94,7 +94,10 @@ pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Csr {
 /// A near-`d`-regular random graph built from `d/2` random permutation
 /// cycles (degrees can be slightly below `d` after deduplication).
 pub fn random_near_regular(n: usize, d: usize, seed: u64) -> Csr {
-    assert!(d.is_multiple_of(2), "degree must be even for the union-of-cycles construction");
+    assert!(
+        d.is_multiple_of(2),
+        "degree must be even for the union-of-cycles construction"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     if n < 3 {
@@ -137,7 +140,10 @@ mod tests {
         let g = erdos_renyi(n, p, 42);
         let expected = (n * (n - 1) / 2) as f64 * p;
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < expected * 0.15, "got {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.15,
+            "got {got}, expected ~{expected}"
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ use crate::csr::{Csr, VertexId};
 pub fn rgg(n: usize, radius: f64, seed: u64) -> Csr {
     assert!(radius > 0.0 && radius < 1.0, "radius must lie in (0, 1)");
     let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
 
     let cells_per_side = ((1.0 / radius).floor() as usize).max(1);
     let cell_of = |x: f64, y: f64| {
@@ -50,7 +52,10 @@ pub fn rgg(n: usize, radius: f64, seed: u64) -> Csr {
             // Forward-neighbor cells (E, S, SW, SE) to visit each pair once.
             for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
                 let (tx, ty) = (cx as isize + dx, cy as isize + dy);
-                if tx < 0 || ty < 0 || tx as usize >= cells_per_side || ty as usize >= cells_per_side
+                if tx < 0
+                    || ty < 0
+                    || tx as usize >= cells_per_side
+                    || ty as usize >= cells_per_side
                 {
                     continue;
                 }
@@ -114,7 +119,10 @@ mod tests {
         // Paper Table I: scale 15 has average degree 9.78.
         let g = rgg_scale(12, 0);
         let d = g.avg_degree();
-        assert!((6.0..14.0).contains(&d), "avg degree {d} out of expected band");
+        assert!(
+            (6.0..14.0).contains(&d),
+            "avg degree {d} out of expected band"
+        );
     }
 
     #[test]

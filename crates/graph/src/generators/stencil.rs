@@ -86,8 +86,7 @@ pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil3d) -> Csr {
         for y in 0..ny {
             for x in 0..nx {
                 for &(dx, dy, dz) in offsets {
-                    let (tx, ty, tz) =
-                        (x as isize + dx, y as isize + dy, z as isize + dz);
+                    let (tx, ty, tz) = (x as isize + dx, y as isize + dy, z as isize + dz);
                     if tx >= 0
                         && ty >= 0
                         && tz >= 0

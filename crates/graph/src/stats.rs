@@ -40,14 +40,28 @@ pub const DIAMETER_SAMPLES: usize = 10_000;
 pub fn degree_stats(g: &Csr) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, avg: 0.0, std_dev: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            avg: 0.0,
+            std_dev: 0.0,
+        };
     }
     let degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
     let min = *degrees.iter().min().unwrap();
     let max = *degrees.iter().max().unwrap();
     let avg = degrees.iter().sum::<usize>() as f64 / n as f64;
-    let var = degrees.iter().map(|&d| (d as f64 - avg).powi(2)).sum::<f64>() / n as f64;
-    DegreeStats { min, max, avg, std_dev: var.sqrt() }
+    let var = degrees
+        .iter()
+        .map(|&d| (d as f64 - avg).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    DegreeStats {
+        min,
+        max,
+        avg,
+        std_dev: var.sqrt(),
+    }
 }
 
 /// Diameter estimated as the maximum eccentricity over `samples`
@@ -120,7 +134,10 @@ mod tests {
         let sampled = estimate_diameter(&g, 5);
         let exact = estimate_diameter(&g, 100);
         assert!(sampled <= exact);
-        assert!(sampled >= exact / 2, "a strided sample of a path sees most of it");
+        assert!(
+            sampled >= exact / 2,
+            "a strided sample of a path sees most of it"
+        );
     }
 
     #[test]

@@ -18,16 +18,19 @@ use crate::traversal::connected_components;
 pub fn relabel(g: &Csr, perm: &[VertexId]) -> Csr {
     let n = g.num_vertices();
     assert_eq!(perm.len(), n, "permutation length mismatch");
-    debug_assert!({
-        let mut seen = vec![false; n];
-        perm.iter().all(|&p| {
-            let ok = (p as usize) < n && !seen[p as usize];
-            if ok {
-                seen[p as usize] = true;
-            }
-            ok
-        })
-    }, "not a permutation");
+    debug_assert!(
+        {
+            let mut seen = vec![false; n];
+            perm.iter().all(|&p| {
+                let ok = (p as usize) < n && !seen[p as usize];
+                if ok {
+                    seen[p as usize] = true;
+                }
+                ok
+            })
+        },
+        "not a permutation"
+    );
     let mut b = GraphBuilder::new(n);
     b.reserve(g.num_edges());
     for (u, v) in g.edges() {
@@ -54,7 +57,11 @@ pub fn induced_subgraph(g: &Csr, keep: &[VertexId]) -> (Csr, Vec<VertexId>) {
     let mut new_id = vec![VertexId::MAX; n];
     for (i, &v) in keep.iter().enumerate() {
         assert!((v as usize) < n, "vertex {v} out of range");
-        assert_eq!(new_id[v as usize], VertexId::MAX, "duplicate vertex {v} in keep list");
+        assert_eq!(
+            new_id[v as usize],
+            VertexId::MAX,
+            "duplicate vertex {v} in keep list"
+        );
         new_id[v as usize] = i as VertexId;
     }
     let mut b = GraphBuilder::new(keep.len());
@@ -85,8 +92,9 @@ pub fn largest_component(g: &Csr) -> (Csr, Vec<VertexId>) {
         .max_by_key(|&(_, s)| *s)
         .map(|(i, _)| i as u32)
         .unwrap();
-    let keep: Vec<VertexId> =
-        (0..g.num_vertices() as VertexId).filter(|&v| comp[v as usize] == biggest).collect();
+    let keep: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| comp[v as usize] == biggest)
+        .collect();
     induced_subgraph(g, &keep)
 }
 

@@ -19,12 +19,18 @@ impl Descriptor {
 
     /// Structural-complement descriptor.
     pub fn complement() -> Self {
-        Descriptor { mask_complement: true, replace: false }
+        Descriptor {
+            mask_complement: true,
+            replace: false,
+        }
     }
 
     /// Replace descriptor.
     pub fn replace() -> Self {
-        Descriptor { mask_complement: false, replace: true }
+        Descriptor {
+            mask_complement: false,
+            replace: true,
+        }
     }
 
     /// Whether a mask value `truthy` lets the computation through under

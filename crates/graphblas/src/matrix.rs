@@ -15,7 +15,10 @@ pub struct Matrix {
 impl Matrix {
     /// `GrB_Matrix_build` from a host graph (bills the uploads).
     pub fn from_graph(dev: &Device, g: &Csr) -> Self {
-        assert!(g.num_directed_edges() <= u32::MAX as usize, "nnz exceeds 32-bit offsets");
+        assert!(
+            g.num_directed_edges() <= u32::MAX as usize,
+            "nnz exceeds 32-bit offsets"
+        );
         let offsets: Vec<u32> = g.row_offsets().iter().map(|&o| o as u32).collect();
         Matrix {
             n: g.num_vertices(),

@@ -106,8 +106,7 @@ mod tests {
         let n = 500;
         let w1 = Vector::<i64>::new(n);
         let w2 = Vector::<i64>::new(n);
-        let set_random =
-            |i: usize, _| gc_vgpu::rng::vertex_weight(42, i as u32) as i64 & i64::MAX;
+        let set_random = |i: usize, _| gc_vgpu::rng::vertex_weight(42, i as u32) as i64 & i64::MAX;
         apply_indexed(&d, &w1, None, set_random, &w1, Descriptor::null());
         apply_indexed(&d, &w2, None, set_random, &w2, Descriptor::null());
         let v1 = w1.to_vec();

@@ -78,7 +78,13 @@ pub fn ewise_mult<T: Scalar, F>(
         "grb::ewise_mult",
         w,
         mask,
-        move |a, b| if a != zero && b != zero { f(a, b) } else { zero },
+        move |a, b| {
+            if a != zero && b != zero {
+                f(a, b)
+            } else {
+                zero
+            }
+        },
         u,
         v,
         desc,
@@ -101,7 +107,15 @@ mod tests {
         let weight = Vector::from_host(&d, &[5i64, 2, 9]);
         let maxn = Vector::from_host(&d, &[3i64, 7, 9]);
         let frontier = Vector::<i64>::new(3);
-        ewise_add(&d, &frontier, None, |a, b| (a > b) as i64, &weight, &maxn, Descriptor::null());
+        ewise_add(
+            &d,
+            &frontier,
+            None,
+            |a, b| (a > b) as i64,
+            &weight,
+            &maxn,
+            Descriptor::null(),
+        );
         assert_eq!(frontier.to_vec(), vec![1, 0, 0]);
     }
 

@@ -10,7 +10,11 @@ use crate::vector::Vector;
 pub fn extract<T: Scalar>(dev: &Device, w: &Vector<T>, u: &Vector<T>, indices: &[usize]) {
     assert_eq!(w.size(), indices.len(), "w/indices dimension mismatch");
     for &i in indices {
-        assert!(i < u.size(), "index {i} out of range for u of size {}", u.size());
+        assert!(
+            i < u.size(),
+            "index {i} out of range for u of size {}",
+            u.size()
+        );
     }
     let idx: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
     let idx_dev = DeviceBuffer::from_slice(&idx);

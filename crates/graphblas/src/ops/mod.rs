@@ -11,7 +11,7 @@ mod vxm;
 pub use apply::{apply, apply_indexed};
 pub use assign::assign_scalar;
 pub use ewise::{ewise_add, ewise_mult};
+pub use extract::{extract, select};
 pub use reduce::reduce;
 pub use scatter::scatter;
-pub use extract::{extract, select};
 pub use vxm::{mxv, vxm, vxm_direction_opt, vxm_push, PUSH_THRESHOLD};

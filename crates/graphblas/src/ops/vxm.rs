@@ -240,7 +240,15 @@ mod tests {
         let a = Matrix::from_graph(&d, &g);
         let frontier = Vector::from_host(&d, &[0i64, 0, 1, 0, 0]);
         let w = Vector::<i64>::new(5);
-        vxm(&d, &w, None, &BooleanOrAnd, &frontier, &a, Descriptor::null());
+        vxm(
+            &d,
+            &w,
+            None,
+            &BooleanOrAnd,
+            &frontier,
+            &a,
+            Descriptor::null(),
+        );
         assert_eq!(w.to_vec(), vec![0, 1, 0, 1, 0]);
     }
 
@@ -290,7 +298,11 @@ mod tests {
         vxm(&d, &w1, None, &MaxTimes, &u, &a, Descriptor::null());
         mxv(&d, &w2, None, &MaxTimes, &a, &u, Descriptor::null());
         assert_eq!(w1.to_vec(), w2.to_vec());
-        assert!(d.profile().by_kernel.keys().any(|k| k.starts_with("grb::mxv")));
+        assert!(d
+            .profile()
+            .by_kernel
+            .keys()
+            .any(|k| k.starts_with("grb::mxv")));
     }
 
     #[test]
@@ -301,8 +313,24 @@ mod tests {
         let frontier = Vector::from_host(&d, &[0i64, 0, 1, 0, 1, 0]);
         let pull = Vector::<i64>::new(6);
         let push = Vector::<i64>::new(6);
-        vxm(&d, &pull, None, &BooleanOrAnd, &frontier, &a, Descriptor::null());
-        vxm_push(&d, &push, None, &BooleanOrAnd, &frontier, &a, Descriptor::null());
+        vxm(
+            &d,
+            &pull,
+            None,
+            &BooleanOrAnd,
+            &frontier,
+            &a,
+            Descriptor::null(),
+        );
+        vxm_push(
+            &d,
+            &push,
+            None,
+            &BooleanOrAnd,
+            &frontier,
+            &a,
+            Descriptor::null(),
+        );
         assert_eq!(pull.to_vec(), push.to_vec());
     }
 
@@ -330,7 +358,7 @@ mod tests {
         let u = Vector::from_host(&d, &[0i64, 9, 0, 0, 0]);
         let m = Vector::from_host(&d, &[1i64, 1, 0, 1, 1]);
         let sentinel = -5i64;
-        let w = Vector::from_host(&d, &vec![sentinel; 5]);
+        let w = Vector::from_host(&d, &[sentinel; 5]);
         vxm_push(&d, &w, Some(&m), &BooleanOrAnd, &u, &a, Descriptor::null());
         // Row 2 is masked out and must keep its sentinel.
         assert_eq!(w.get_host(2), sentinel);
@@ -354,15 +382,30 @@ mod tests {
         let a2 = Matrix::from_graph(&d2, &path(64));
         let dense = Vector::from_host(&d2, &vec![1i64; 64]);
         let w2 = Vector::<i64>::new(64);
-        vxm_direction_opt(&d2, &w2, None, &BooleanOrAnd, &dense, &a2, Descriptor::null());
-        assert!(!d2.profile().by_kernel.keys().any(|k| k.contains("vxm_push")));
-        assert!(d2.profile().by_kernel.keys().any(|k| k.starts_with("grb::vxm(")));
+        vxm_direction_opt(
+            &d2,
+            &w2,
+            None,
+            &BooleanOrAnd,
+            &dense,
+            &a2,
+            Descriptor::null(),
+        );
+        assert!(!d2
+            .profile()
+            .by_kernel
+            .keys()
+            .any(|k| k.contains("vxm_push")));
+        assert!(d2
+            .profile()
+            .by_kernel
+            .keys()
+            .any(|k| k.starts_with("grb::vxm(")));
     }
 
     #[test]
     fn push_is_cheaper_for_tiny_frontiers_on_big_graphs() {
-        let g =
-            gc_graph::generators::grid2d(512, 512, gc_graph::generators::Stencil2d::FivePoint);
+        let g = gc_graph::generators::grid2d(512, 512, gc_graph::generators::Stencil2d::FivePoint);
         let n = g.num_vertices();
         let mut vals = vec![0i64; n];
         vals[17] = 5;

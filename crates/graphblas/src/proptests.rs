@@ -120,8 +120,8 @@ proptest! {
         let sentinel = -777i64;
         let w = Vector::from_host(&d, &vec![sentinel; n]);
         vxm(&d, &w, Some(&m), &MaxTimes, &u, &a, Descriptor::null());
-        for i in 0..n {
-            if mask_vals[i] == 0 {
+        for (i, &mv) in mask_vals.iter().enumerate() {
+            if mv == 0 {
                 prop_assert_eq!(w.get_host(i), sentinel);
             } else {
                 prop_assert_ne!(w.get_host(i), sentinel);

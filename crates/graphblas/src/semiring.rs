@@ -127,7 +127,9 @@ mod tests {
     fn max_times_folds_to_max() {
         let s = MaxTimes;
         let vals = [3i64, -1, 7, 2];
-        let r = vals.iter().fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)));
+        let r = vals
+            .iter()
+            .fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)));
         assert_eq!(r, 7);
     }
 
@@ -140,14 +142,18 @@ mod tests {
     #[test]
     fn min_times_folds_to_min() {
         let s = MinTimes;
-        let r = [3i32, -1, 7].iter().fold(SemiringOps::<i32>::identity(&s), |a, &b| s.add(a, s.map(b)));
+        let r = [3i32, -1, 7]
+            .iter()
+            .fold(SemiringOps::<i32>::identity(&s), |a, &b| s.add(a, s.map(b)));
         assert_eq!(r, -1);
     }
 
     #[test]
     fn plus_times_sums() {
         let s = PlusTimes;
-        let r = [1i64, 2, 3].iter().fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)));
+        let r = [1i64, 2, 3]
+            .iter()
+            .fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)));
         assert_eq!(r, 6);
     }
 
@@ -155,7 +161,8 @@ mod tests {
     fn boolean_is_any_truthy() {
         let s = BooleanOrAnd;
         let any = |vals: &[i64]| {
-            vals.iter().fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)))
+            vals.iter()
+                .fold(SemiringOps::<i64>::identity(&s), |a, &b| s.add(a, s.map(b)))
         };
         assert_eq!(any(&[0, 0, 0]), 0);
         assert_eq!(any(&[0, 9, 0]), 1);

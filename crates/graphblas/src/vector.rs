@@ -18,12 +18,16 @@ pub struct Vector<T: Scalar> {
 impl<T: Scalar> Vector<T> {
     /// `GrB_Vector_new`: an all-zero vector of size `n`.
     pub fn new(n: usize) -> Self {
-        Vector { data: DeviceBuffer::zeroed(n) }
+        Vector {
+            data: DeviceBuffer::zeroed(n),
+        }
     }
 
     /// Builds from host values, billing the host→device transfer.
     pub fn from_host(dev: &Device, values: &[T]) -> Self {
-        Vector { data: dev.upload(values) }
+        Vector {
+            data: dev.upload(values),
+        }
     }
 
     /// `GrB_Vector_size`.
@@ -108,7 +112,9 @@ impl<T: Scalar> Vector<T> {
 
 impl<T: Scalar> Clone for Vector<T> {
     fn clone(&self) -> Self {
-        Vector { data: self.data.clone() }
+        Vector {
+            data: self.data.clone(),
+        }
     }
 }
 

@@ -120,7 +120,10 @@ mod tests {
         assert_eq!(dg.num_directed_edges(), 20);
         assert_eq!(
             dg.row_offsets().to_vec(),
-            g.row_offsets().iter().map(|&o| o as u32).collect::<Vec<_>>()
+            g.row_offsets()
+                .iter()
+                .map(|&o| o as u32)
+                .collect::<Vec<_>>()
         );
         assert_eq!(dg.col_indices().to_vec(), g.col_indices().to_vec());
     }

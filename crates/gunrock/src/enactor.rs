@@ -13,7 +13,11 @@ pub struct Enactor<'a> {
 
 impl<'a> Enactor<'a> {
     pub fn new(dev: &'a Device) -> Self {
-        Enactor { dev, iterations: 0, max_iterations: u32::MAX }
+        Enactor {
+            dev,
+            iterations: 0,
+            max_iterations: u32::MAX,
+        }
     }
 
     /// Caps the iteration count (a safety net for algorithm bugs; real

@@ -115,7 +115,11 @@ pub fn advance(dev: &Device, name: &str, csr: &DeviceCsr, frontier: &Frontier) -
         t.write(&neighbors, slot, nbr);
     });
 
-    AdvanceResult { neighbors, sources, seg_offsets }
+    AdvanceResult {
+        neighbors,
+        sources,
+        seg_offsets,
+    }
 }
 
 /// Neighbor-reduce operator: for every frontier item, reduces a mapped
@@ -149,7 +153,14 @@ where
         let v = map(t, src, dst);
         t.write(&values, slot, v);
     });
-    segmented_reduce(dev, &format!("{name}:reduce"), &values, &adv.seg_offsets, identity, op)
+    segmented_reduce(
+        dev,
+        &format!("{name}:reduce"),
+        &values,
+        &adv.seg_offsets,
+        identity,
+        op,
+    )
 }
 
 /// Warp-cooperative neighbor reduction (CSR-vector style): a whole warp
@@ -320,7 +331,15 @@ mod tests {
         let d = dev();
         let g = complete(4);
         let csr = DeviceCsr::upload(&d, &g);
-        let out = neighbor_reduce(&d, "nr", &csr, &Frontier::all(4), |_, _, _| 1u32, 0, |a, b| a + b);
+        let out = neighbor_reduce(
+            &d,
+            "nr",
+            &csr,
+            &Frontier::all(4),
+            |_, _, _| 1u32,
+            0,
+            |a, b| a + b,
+        );
         assert_eq!(out, vec![3, 3, 3, 3]);
     }
 
@@ -438,6 +457,9 @@ mod tests {
             }
         });
         let cmp_launches = d2.profile().launches;
-        assert!(adv_launches > cmp_launches, "{adv_launches} vs {cmp_launches}");
+        assert!(
+            adv_launches > cmp_launches,
+            "{adv_launches} vs {cmp_launches}"
+        );
     }
 }

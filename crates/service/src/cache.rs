@@ -1,0 +1,248 @@
+//! Fingerprint-keyed LRU result cache.
+//!
+//! Production coloring workloads repeat: the same Jacobian sparsity
+//! pattern, the same circuit netlist, the same mesh arrives again and
+//! again. Every algorithm here is deterministic given (graph, seed), so
+//! a repeated request can be served without recomputation. The key is a
+//! 64-bit FNV-1a fingerprint of the CSR structure (vertex count, row
+//! offsets, column indices) combined with the resolved implementation
+//! name and seed — two graphs that differ anywhere in their adjacency
+//! structure fingerprint differently.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use gc_graph::Csr;
+
+/// 64-bit FNV-1a over the CSR structure. Stable across runs (no
+/// per-process hash seeding), so cache behaviour is reproducible.
+pub fn graph_fingerprint(g: &Csr) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(g.num_vertices() as u64);
+    for &r in g.row_offsets() {
+        h.write_u64(r as u64);
+    }
+    for &c in g.col_indices() {
+        h.write_u64(c as u64);
+    }
+    h.finish()
+}
+
+/// Full cache key: graph structure + implementation + seed.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub graph_fp: u64,
+    pub colorer: &'static str,
+    pub seed: u64,
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Thread-safe LRU map with bounded capacity.
+///
+/// Recency is tracked with a monotonically-stamped queue: each `get` or
+/// `insert` pushes a fresh `(key, stamp)` entry, and eviction pops stale
+/// queue entries until it finds one whose stamp matches the live map —
+/// amortized O(1) per operation without a linked list.
+pub struct LruCache<V> {
+    inner: Mutex<LruInner<V>>,
+    capacity: usize,
+}
+
+struct LruInner<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+    recency: VecDeque<(CacheKey, u64)>,
+    clock: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// Capacity 0 disables caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                recency: VecDeque::new(),
+                clock: 0,
+            }),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let hit = match inner.map.get_mut(key) {
+            Some(e) => {
+                e.stamp = stamp;
+                Some(e.value.clone())
+            }
+            None => None,
+        };
+        if hit.is_some() {
+            inner.recency.push_back((key.clone(), stamp));
+        }
+        hit
+    }
+
+    pub fn insert(&self, key: CacheKey, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(key.clone(), Entry { value, stamp });
+        inner.recency.push_back((key, stamp));
+        while inner.map.len() > self.capacity {
+            let Some((old_key, old_stamp)) = inner.recency.pop_front() else {
+                break;
+            };
+            // Stale queue entry: the key was touched again later (or
+            // already evicted); only a matching stamp is the true LRU.
+            let is_current = inner
+                .map
+                .get(&old_key)
+                .is_some_and(|e| e.stamp == old_stamp);
+            if is_current {
+                inner.map.remove(&old_key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::generators::{cycle, path};
+
+    fn key(fp: u64) -> CacheKey {
+        CacheKey {
+            graph_fp: fp,
+            colorer: "T",
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let a = graph_fingerprint(&cycle(10));
+        let b = graph_fingerprint(&path(10));
+        let c = graph_fingerprint(&cycle(11));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic across calls.
+        assert_eq!(a, graph_fingerprint(&cycle(10)));
+    }
+
+    #[test]
+    fn get_returns_inserted_value() {
+        let cache = LruCache::new(4);
+        cache.insert(key(1), "one");
+        assert_eq!(cache.get(&key(1)), Some("one"));
+        assert_eq!(cache.get(&key(2)), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = LruCache::new(2);
+        cache.insert(key(1), 1);
+        cache.insert(key(2), 2);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(cache.get(&key(1)), Some(1));
+        cache.insert(key(3), 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(2)), None, "LRU entry should be evicted");
+        assert_eq!(cache.get(&key(1)), Some(1));
+        assert_eq!(cache.get(&key(3)), Some(3));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let cache = LruCache::new(2);
+        cache.insert(key(1), 1);
+        cache.insert(key(1), 10);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(1)), Some(10));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = LruCache::new(0);
+        cache.insert(key(1), 1);
+        assert_eq!(cache.get(&key(1)), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn key_includes_colorer_and_seed() {
+        let cache = LruCache::new(8);
+        cache.insert(
+            CacheKey {
+                graph_fp: 1,
+                colorer: "A",
+                seed: 0,
+            },
+            1,
+        );
+        assert_eq!(
+            cache.get(&CacheKey {
+                graph_fp: 1,
+                colorer: "B",
+                seed: 0
+            }),
+            None
+        );
+        assert_eq!(
+            cache.get(&CacheKey {
+                graph_fp: 1,
+                colorer: "A",
+                seed: 1
+            }),
+            None
+        );
+        assert_eq!(
+            cache.get(&CacheKey {
+                graph_fp: 1,
+                colorer: "A",
+                seed: 0
+            }),
+            Some(1)
+        );
+    }
+}

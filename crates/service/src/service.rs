@@ -1,0 +1,466 @@
+//! The coloring service proper: a bounded admission queue feeding a pool
+//! of worker threads, each owning a `gc_vgpu::Device`.
+//!
+//! Lifecycle of a request:
+//!
+//! 1. A [`ServiceHandle`] submits it. `try_submit` fails fast with
+//!    [`ServiceError::QueueFull`] when the bounded queue is full;
+//!    `submit` blocks, applying backpressure to the producer.
+//! 2. A worker dequeues it. If the request carried a deadline and has
+//!    already waited past it, the worker sheds it with
+//!    [`ServiceError::DeadlineExceeded`] without touching a device —
+//!    shedding at dequeue keeps the queue drain rate up under overload,
+//!    which is the whole point of deadline-based admission control.
+//! 3. The policy engine resolves the objective to an implementation;
+//!    the result cache is consulted; on a miss the algorithm runs and
+//!    the coloring is verified proper on the host before it is returned
+//!    and cached.
+//!
+//! All coordination is `std::sync::mpsc` + `Mutex`; the crate pulls in
+//! no dependencies beyond the workspace's own graph/core/vgpu crates.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use gc_core::verify::is_proper;
+
+use crate::cache::{graph_fingerprint, CacheKey, LruCache};
+use crate::policy;
+use crate::request::{ColorRequest, ColorResponse, RequestMetrics, ServiceError};
+use crate::stats::{ServiceStats, StatsSnapshot};
+
+/// Tuning knobs for [`ColoringService::start`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads, each with its own virtual device.
+    pub workers: usize,
+    /// Bounded admission-queue capacity. `try_submit` rejects beyond
+    /// this; `submit` blocks.
+    pub queue_capacity: usize,
+    /// Result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// One queued unit of work: the request plus its reply channel and the
+/// submission timestamp the deadline is measured from.
+struct WorkItem {
+    request: ColorRequest,
+    submitted_at: Instant,
+    reply: SyncSender<Result<ColorResponse, ServiceError>>,
+}
+
+/// Queue protocol. `Stop` is a poison pill: shutdown enqueues one per
+/// worker *behind* all pending work, so the queue drains before the
+/// pool exits. (Relying on sender-disconnect instead would deadlock —
+/// every live `ServiceHandle` keeps the channel connected.)
+enum Job {
+    Work(WorkItem),
+    Stop,
+}
+
+type SharedReceiver = Arc<Mutex<Receiver<Job>>>;
+type ResultCache = Arc<LruCache<Arc<ColorResponse>>>;
+
+/// An in-process graph-coloring service. Create with [`start`], hand
+/// out clonable [`ServiceHandle`]s, and call [`shutdown`] (or drop) to
+/// join the workers.
+///
+/// [`start`]: ColoringService::start
+/// [`shutdown`]: ColoringService::shutdown
+pub struct ColoringService {
+    tx: SyncSender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServiceStats>,
+    cache: ResultCache,
+    queue_capacity: usize,
+}
+
+impl ColoringService {
+    pub fn start(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx: SharedReceiver = Arc::new(Mutex::new(rx));
+        let stats = Arc::new(ServiceStats::new());
+        let cache: ResultCache = Arc::new(LruCache::new(config.cache_capacity));
+
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let stats = Arc::clone(&stats);
+                let cache = Arc::clone(&cache);
+                std::thread::Builder::new()
+                    .name(format!("gc-service-worker-{i}"))
+                    .spawn(move || worker_loop(rx, stats, cache))
+                    .expect("spawn service worker")
+            })
+            .collect();
+
+        ColoringService {
+            tx,
+            workers: handles,
+            stats,
+            cache,
+            queue_capacity: config.queue_capacity.max(1),
+        }
+    }
+
+    /// A clonable submission handle. Handles stay valid until the
+    /// service shuts down; submissions after that fail with
+    /// [`ServiceError::ShuttingDown`].
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            tx: self.tx.clone(),
+            stats: Arc::clone(&self.stats),
+            queue_capacity: self.queue_capacity,
+        }
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Entries currently held by the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drains the queue (workers finish in-flight jobs) and joins every
+    /// worker thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        // One poison pill per worker, queued behind all pending work.
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Job::Stop);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ColoringService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Clonable submission endpoint for a running [`ColoringService`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    tx: SyncSender<Job>,
+    stats: Arc<ServiceStats>,
+    queue_capacity: usize,
+}
+
+/// A pending response. `recv` blocks until the worker replies.
+pub struct ResponseTicket {
+    rx: Receiver<Result<ColorResponse, ServiceError>>,
+}
+
+impl ResponseTicket {
+    pub fn recv(self) -> Result<ColorResponse, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+}
+
+impl ServiceHandle {
+    /// Submits a request, blocking while the admission queue is full
+    /// (producer-side backpressure).
+    pub fn submit(&self, request: ColorRequest) -> ResponseTicket {
+        let (item, ticket) = self.package(request);
+        self.stats.on_submitted();
+        if self.tx.send(Job::Work(item)).is_err() {
+            // Service dropped; the reply channel inside the job is gone,
+            // so the ticket will yield ShuttingDown.
+            self.stats.on_failed();
+        }
+        ticket
+    }
+
+    /// Submits without blocking; a full queue returns
+    /// [`ServiceError::QueueFull`] and the request back to the caller.
+    pub fn try_submit(
+        &self,
+        request: ColorRequest,
+    ) -> Result<ResponseTicket, (ColorRequest, ServiceError)> {
+        let (item, ticket) = self.package(request);
+        match self.tx.try_send(Job::Work(item)) {
+            Ok(()) => {
+                self.stats.on_submitted();
+                Ok(ticket)
+            }
+            Err(e) => {
+                let (job, err) = match e {
+                    TrySendError::Full(job) => {
+                        self.stats.on_rejected();
+                        (
+                            job,
+                            ServiceError::QueueFull {
+                                capacity: self.queue_capacity,
+                            },
+                        )
+                    }
+                    TrySendError::Disconnected(job) => (job, ServiceError::ShuttingDown),
+                };
+                let Job::Work(item) = job else {
+                    unreachable!("handles only send work")
+                };
+                Err((item.request, err))
+            }
+        }
+    }
+
+    /// Convenience: submit and wait for the response.
+    pub fn color(&self, request: ColorRequest) -> Result<ColorResponse, ServiceError> {
+        self.submit(request).recv()
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn package(&self, request: ColorRequest) -> (WorkItem, ResponseTicket) {
+        let (reply, rx) = sync_channel(1);
+        let item = WorkItem {
+            request,
+            submitted_at: Instant::now(),
+            reply,
+        };
+        (item, ResponseTicket { rx })
+    }
+}
+
+fn worker_loop(rx: SharedReceiver, stats: Arc<ServiceStats>, cache: ResultCache) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself so other
+        // workers can pull jobs while this one colors.
+        let job = {
+            let guard = rx.lock().unwrap();
+            guard.recv()
+        };
+        let item = match job {
+            Ok(Job::Work(item)) => item,
+            // Poison pill, or the whole service (and its receiver
+            // keep-alive) was dropped: exit.
+            Ok(Job::Stop) | Err(_) => return,
+        };
+        let outcome = handle_job(&item, &stats, &cache);
+        // A dropped ticket just means the caller stopped waiting.
+        let _ = item.reply.send(outcome);
+    }
+}
+
+fn handle_job(
+    job: &WorkItem,
+    stats: &ServiceStats,
+    cache: &ResultCache,
+) -> Result<ColorResponse, ServiceError> {
+    let queued = job.submitted_at.elapsed();
+    if let Some(deadline) = job.request.deadline {
+        if queued >= deadline {
+            stats.on_shed();
+            return Err(ServiceError::DeadlineExceeded {
+                queued_ms: queued.as_millis() as u64,
+            });
+        }
+    }
+
+    let req = &job.request;
+    let feats = policy::features(&req.graph);
+    let colorer = match policy::choose(&feats, &req.objective) {
+        Ok(c) => c,
+        Err(e) => {
+            stats.on_failed();
+            return Err(e);
+        }
+    };
+
+    let key = CacheKey {
+        graph_fp: graph_fingerprint(&req.graph),
+        colorer: colorer.name(),
+        seed: req.seed,
+    };
+    if let Some(cached) = cache.get(&key) {
+        let mut resp = (*cached).clone();
+        resp.cache_hit = true;
+        resp.objective = req.objective.clone();
+        stats.on_served(colorer.name(), resp.model_ms, true);
+        return Ok(resp);
+    }
+
+    let result = colorer.run(&req.graph, req.seed);
+    if let Err(v) = is_proper(&req.graph, result.coloring.as_slice()) {
+        stats.on_failed();
+        return Err(ServiceError::ImproperColoring(v));
+    }
+
+    let metrics = result
+        .profile
+        .as_ref()
+        .map(RequestMetrics::from_profile)
+        .unwrap_or_default();
+    let resp = ColorResponse {
+        coloring: result.coloring,
+        num_colors: result.num_colors,
+        colorer: colorer.name(),
+        objective: req.objective.clone(),
+        model_ms: result.model_ms,
+        iterations: result.iterations,
+        cache_hit: false,
+        verified: true,
+        metrics,
+    };
+    cache.insert(key, Arc::new(resp.clone()));
+    stats.on_served(colorer.name(), resp.model_ms, false);
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Objective;
+    use gc_graph::generators::{cycle, grid2d, Stencil2d};
+    use std::time::Duration;
+
+    fn mesh() -> Arc<gc_graph::Csr> {
+        Arc::new(grid2d(60, 60, Stencil2d::FivePoint))
+    }
+
+    #[test]
+    fn colors_a_graph_end_to_end() {
+        let svc = ColoringService::start(ServiceConfig::default());
+        let h = svc.handle();
+        let resp = h
+            .color(ColorRequest::new(mesh(), Objective::Balanced))
+            .unwrap();
+        assert!(resp.verified);
+        assert!(!resp.cache_hit);
+        assert!(resp.num_colors >= 2);
+        assert!(resp.model_ms > 0.0);
+        assert_eq!(resp.colorer, "Gunrock/Color_IS");
+        assert!(resp.metrics.kernel_launches > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn repeat_request_hits_cache_with_identical_coloring() {
+        let svc = ColoringService::start(ServiceConfig::default());
+        let h = svc.handle();
+        let g = mesh();
+        let first = h
+            .color(ColorRequest::new(Arc::clone(&g), Objective::Fastest))
+            .unwrap();
+        let second = h.color(ColorRequest::new(g, Objective::Fastest)).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(first.coloring.as_slice(), second.coloring.as_slice());
+        assert_eq!(first.model_ms, second.model_ms);
+        let snap = svc.stats();
+        assert_eq!(snap.served, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(svc.cache_len(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_requests_are_shed() {
+        let svc = ColoringService::start(ServiceConfig::default());
+        let h = svc.handle();
+        let err = h
+            .color(ColorRequest::new(mesh(), Objective::Fastest).with_deadline(Duration::ZERO))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::DeadlineExceeded { .. }),
+            "{err}"
+        );
+        assert_eq!(svc.stats().shed, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unknown_explicit_colorer_fails_cleanly() {
+        let svc = ColoringService::start(ServiceConfig::default());
+        let h = svc.handle();
+        let err = h
+            .color(ColorRequest::new(
+                Arc::new(cycle(16)),
+                Objective::Explicit("NoSuch/Colorer".into()),
+            ))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownColorer("NoSuch/Colorer".into()));
+        assert_eq!(svc.stats().failed, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn try_submit_rejects_when_queue_full() {
+        // One worker, capacity-1 queue: park the worker on a slow job,
+        // fill the queue, then the next try_submit must bounce.
+        let svc = ColoringService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+        });
+        let h = svc.handle();
+        let g = mesh();
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        // Keep pushing until the queue bounces one; the worker can drain
+        // at most one job between pushes, so 16 attempts are plenty.
+        for i in 0..16 {
+            match h
+                .try_submit(ColorRequest::new(Arc::clone(&g), Objective::FewestColors).with_seed(i))
+            {
+                Ok(t) => tickets.push(t),
+                Err((_, ServiceError::QueueFull { capacity })) => {
+                    assert_eq!(capacity, 1);
+                    rejected += 1;
+                    break;
+                }
+                Err((_, e)) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected > 0, "queue never filled");
+        assert_eq!(svc.stats().rejected, 1);
+        for t in tickets {
+            t.recv().unwrap();
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_drains_queue() {
+        let svc = ColoringService::start(ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        });
+        let h = svc.handle();
+        let g = mesh();
+        let tickets: Vec<_> = (0..6)
+            .map(|i| h.submit(ColorRequest::new(Arc::clone(&g), Objective::Fastest).with_seed(i)))
+            .collect();
+        svc.shutdown();
+        // Every already-queued job was still answered.
+        for t in tickets {
+            t.recv().unwrap();
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Service-wide counters and per-colorer latency histograms.
+//!
+//! Counters are lock-free atomics updated on the hot path; the latency
+//! histograms (bucketed in model-ms, the unit the paper reports) sit
+//! behind a mutex that is only taken once per completed request.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper edges (model-ms) of the latency histogram buckets; the last
+/// bucket is open-ended. Spans launch-overhead-bound tiny runs (<0.01ms)
+/// through Table 1-scale graphs (hundreds of ms).
+pub const LATENCY_BUCKET_EDGES_MS: [f64; 10] =
+    [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0];
+
+/// A fixed-bucket histogram of model-ms latencies.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyHistogram {
+    /// `counts[i]` counts samples `<= LATENCY_BUCKET_EDGES_MS[i]`;
+    /// `counts[10]` is the overflow bucket.
+    pub counts: [u64; 11],
+    pub samples: u64,
+    pub total_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencyHistogram {
+    pub fn record(&mut self, model_ms: f64) {
+        let idx = LATENCY_BUCKET_EDGES_MS
+            .iter()
+            .position(|&edge| model_ms <= edge)
+            .unwrap_or(LATENCY_BUCKET_EDGES_MS.len());
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.total_ms += model_ms;
+        if model_ms > self.max_ms {
+            self.max_ms = model_ms;
+        }
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_ms / self.samples as f64
+        }
+    }
+
+    /// Render like `[0.1: 3] [1: 12] [+inf: 1]`, skipping empty buckets.
+    pub fn brief(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            match LATENCY_BUCKET_EDGES_MS.get(i) {
+                Some(edge) => parts.push(format!("[{edge}: {c}]")),
+                None => parts.push(format!("[+inf: {c}]")),
+            }
+        }
+        if parts.is_empty() {
+            "(empty)".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// Point-in-time snapshot of service activity, taken with
+/// [`ServiceStats::snapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct StatsSnapshot {
+    pub submitted: u64,
+    /// Requests answered with a coloring (cache hits included).
+    pub served: u64,
+    pub cache_hits: u64,
+    /// Requests dropped at dequeue because their deadline had passed.
+    pub shed: u64,
+    /// `try_submit` rejections from a full queue.
+    pub rejected: u64,
+    /// Requests that failed (unknown colorer, improper coloring, ...).
+    pub failed: u64,
+    /// Requests currently admitted but not yet answered.
+    pub queue_depth: u64,
+    /// Per-colorer model-ms latency of actual runs (cache hits excluded —
+    /// a hit costs no model time).
+    pub latency_by_colorer: BTreeMap<String, LatencyHistogram>,
+}
+
+impl StatsSnapshot {
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.served as f64
+        }
+    }
+}
+
+/// Shared, thread-safe counters. One instance per service, shared by all
+/// workers and by every handle.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    cache_hits: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    queue_depth: AtomicI64,
+    latency: Mutex<BTreeMap<String, LatencyHistogram>>,
+}
+
+impl ServiceStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn on_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn on_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn on_served(&self, colorer: &str, model_ms: f64, cache_hit: bool) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let mut latency = self.latency.lock().unwrap();
+            latency
+                .entry(colorer.to_string())
+                .or_default()
+                .record(model_ms);
+        }
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            latency_by_colorer: self.latency.lock().unwrap().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = LatencyHistogram::default();
+        h.record(0.005); // bucket 0 (<= 0.01)
+        h.record(0.5); // bucket 4 (<= 1.0)
+        h.record(1000.0); // overflow
+        assert_eq!(h.samples, 3);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.counts[10], 1);
+        assert!((h.mean_ms() - (0.005 + 0.5 + 1000.0) / 3.0).abs() < 1e-9);
+        assert_eq!(h.max_ms, 1000.0);
+        let brief = h.brief();
+        assert!(brief.contains("[0.01: 1]"), "{brief}");
+        assert!(brief.contains("[+inf: 1]"), "{brief}");
+    }
+
+    #[test]
+    fn snapshot_reflects_lifecycle() {
+        let s = ServiceStats::new();
+        for _ in 0..4 {
+            s.on_submitted();
+        }
+        s.on_served("Naumov/Color_CC", 1.5, false);
+        s.on_served("Naumov/Color_CC", 0.0, true);
+        s.on_shed();
+        s.on_rejected();
+        let snap = s.snapshot();
+        assert_eq!(snap.submitted, 4);
+        assert_eq!(snap.served, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queue_depth, 1);
+        // Cache hits don't pollute the latency histogram.
+        let h = &snap.latency_by_colorer["Naumov/Color_CC"];
+        assert_eq!(h.samples, 1);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -162,7 +162,11 @@ mod tests {
 
     #[test]
     fn block_size_is_warp_multiple() {
-        for c in [DeviceConfig::k40c(), DeviceConfig::v100(), DeviceConfig::test_tiny()] {
+        for c in [
+            DeviceConfig::k40c(),
+            DeviceConfig::v100(),
+            DeviceConfig::test_tiny(),
+        ] {
             assert_eq!(c.block_size % c.warp_size, 0);
         }
     }

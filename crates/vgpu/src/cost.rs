@@ -213,8 +213,7 @@ mod tests {
         // Imbalanced: one thread 3200, rest idle -> warp max 3200.
         let imbalanced = stats(3200, 3200, 0, 0);
         assert!(
-            kernel_cost(&cfg, &imbalanced).total_cycles
-                > kernel_cost(&cfg, &balanced).total_cycles
+            kernel_cost(&cfg, &imbalanced).total_cycles > kernel_cost(&cfg, &balanced).total_cycles
         );
     }
 
@@ -233,8 +232,18 @@ mod tests {
     #[test]
     fn add_warp_accumulates() {
         let mut s = LaunchStats::default();
-        let max = ThreadCounters { cycles: 50, bytes: 0, atomics: 0, accesses: 0 };
-        let sum = ThreadCounters { cycles: 120, bytes: 256, atomics: 3, accesses: 8 };
+        let max = ThreadCounters {
+            cycles: 50,
+            bytes: 0,
+            atomics: 0,
+            accesses: 0,
+        };
+        let sum = ThreadCounters {
+            cycles: 120,
+            bytes: 256,
+            atomics: 3,
+            accesses: 8,
+        };
         s.add_warp(&max, &sum, 32);
         s.add_warp(&max, &sum, 16);
         assert_eq!(s.threads, 48);
@@ -247,10 +256,22 @@ mod tests {
     #[test]
     fn bound_by_classification() {
         let cfg = DeviceConfig::test_tiny();
-        assert_eq!(kernel_cost(&cfg, &LaunchStats::default()).bound_by(), BoundBy::Overhead);
-        assert_eq!(kernel_cost(&cfg, &stats(10_000, 10, 0, 0)).bound_by(), BoundBy::Compute);
-        assert_eq!(kernel_cost(&cfg, &stats(10, 10, 640_000, 0)).bound_by(), BoundBy::Memory);
-        assert_eq!(kernel_cost(&cfg, &stats(10, 10, 0, 40_000)).bound_by(), BoundBy::Atomics);
+        assert_eq!(
+            kernel_cost(&cfg, &LaunchStats::default()).bound_by(),
+            BoundBy::Overhead
+        );
+        assert_eq!(
+            kernel_cost(&cfg, &stats(10_000, 10, 0, 0)).bound_by(),
+            BoundBy::Compute
+        );
+        assert_eq!(
+            kernel_cost(&cfg, &stats(10, 10, 640_000, 0)).bound_by(),
+            BoundBy::Memory
+        );
+        assert_eq!(
+            kernel_cost(&cfg, &stats(10, 10, 0, 40_000)).bound_by(),
+            BoundBy::Atomics
+        );
         assert_eq!(
             kernel_cost(&cfg, &stats(1_000_000, 1_000_000, 0, 0)).bound_by(),
             BoundBy::CriticalPath

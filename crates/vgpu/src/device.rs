@@ -36,7 +36,10 @@ pub struct Device {
 
 impl Device {
     pub fn new(cfg: DeviceConfig) -> Self {
-        Device { cfg, profiler: Mutex::new(Profiler::default()) }
+        Device {
+            cfg,
+            profiler: Mutex::new(Profiler::default()),
+        }
     }
 
     /// The paper's GPU.
@@ -158,7 +161,11 @@ impl Device {
 
 impl std::fmt::Debug for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Device({} SMs @ {} GHz)", self.cfg.num_sms, self.cfg.clock_ghz)
+        write!(
+            f,
+            "Device({} SMs @ {} GHz)",
+            self.cfg.num_sms, self.cfg.clock_ghz
+        )
     }
 }
 
@@ -202,7 +209,10 @@ mod tests {
     fn zero_thread_launch_costs_only_overhead() {
         let dev = Device::new(DeviceConfig::test_tiny());
         dev.launch("noop", 0, |_| {});
-        assert_eq!(dev.elapsed_cycles(), DeviceConfig::test_tiny().launch_overhead_cycles as f64);
+        assert_eq!(
+            dev.elapsed_cycles(),
+            DeviceConfig::test_tiny().launch_overhead_cycles as f64
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ where
 ///
 /// Three-kernel structure (block scan, partial scan, uniform add), as in
 /// a standard GPU scan.
-pub fn exclusive_scan(dev: &Device, name: &str, input: &DeviceBuffer<u32>) -> (DeviceBuffer<u32>, u64) {
+pub fn exclusive_scan(
+    dev: &Device,
+    name: &str,
+    input: &DeviceBuffer<u32>,
+) -> (DeviceBuffer<u32>, u64) {
     let n = input.len();
     let data = input.to_vec();
     let mut out = Vec::with_capacity(n);
@@ -139,9 +143,16 @@ where
     T: Scalar,
     F: Fn(T, T) -> T + Sync,
 {
-    assert!(!offsets.is_empty(), "offsets must contain at least the leading 0");
+    assert!(
+        !offsets.is_empty(),
+        "offsets must contain at least the leading 0"
+    );
     let n = values.len();
-    assert_eq!(*offsets.last().unwrap(), n, "offsets must end at values.len()");
+    assert_eq!(
+        *offsets.last().unwrap(),
+        n,
+        "offsets must end at values.len()"
+    );
     // Element pass: every value is read once.
     dev.launch(name, n, |t| {
         let _ = t.read(values, t.tid());

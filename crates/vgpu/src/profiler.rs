@@ -105,6 +105,53 @@ pub struct ProfileReport {
 }
 
 impl ProfileReport {
+    /// Machine-readable CSV: one header row, one row per kernel, and a
+    /// final `_total` row carrying the launch/sync/transfer aggregates.
+    /// Shares its column vocabulary with [`ProfileReport::to_kv`] so the
+    /// bench harness and the serving layer emit one format.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("kernel,launches,total_cycles,total_bytes,total_atomics,dominant_bound\n");
+        for (name, s) in &self.by_kernel {
+            out.push_str(&format!(
+                "{},{},{:.0},{},{},{}\n",
+                name, s.launches, s.total_cycles, s.total_bytes, s.total_atomics, s.dominant_bound
+            ));
+        }
+        let atomics: u64 = self.by_kernel.values().map(|s| s.total_atomics).sum();
+        out.push_str(&format!(
+            "_total,{},{:.0},{},{},-\n",
+            self.launches, self.clock_cycles, self.memcpy_bytes, atomics
+        ));
+        out
+    }
+
+    /// Line-delimited `key=value` dump: the report's scalar aggregates
+    /// followed by per-kernel entries under `kernel.<name>.<field>` keys.
+    pub fn to_kv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("launches={}\n", self.launches));
+        out.push_str(&format!("syncs={}\n", self.syncs));
+        out.push_str(&format!("memcpys={}\n", self.memcpys));
+        out.push_str(&format!("memcpy_bytes={}\n", self.memcpy_bytes));
+        out.push_str(&format!("model_cycles={:.0}\n", self.clock_cycles));
+        for (name, s) in &self.by_kernel {
+            let key = name.replace([' ', '='], "_");
+            out.push_str(&format!("kernel.{key}.launches={}\n", s.launches));
+            out.push_str(&format!(
+                "kernel.{key}.total_cycles={:.0}\n",
+                s.total_cycles
+            ));
+            out.push_str(&format!("kernel.{key}.total_bytes={}\n", s.total_bytes));
+            out.push_str(&format!("kernel.{key}.total_atomics={}\n", s.total_atomics));
+            out.push_str(&format!(
+                "kernel.{key}.dominant_bound={}\n",
+                s.dominant_bound
+            ));
+        }
+        out
+    }
+
     /// Fraction of total model time spent in kernels whose name contains
     /// `pat`. This is how the reproduction checks statements like "a
     /// second call to `GrB_vxm` ends up taking nearly 50% of the runtime".
@@ -152,7 +199,10 @@ mod tests {
             warps: 1,
             bytes: 100,
             atomics: 2,
-            cost: KernelCost { total_cycles: cycles, ..Default::default() },
+            cost: KernelCost {
+                total_cycles: cycles,
+                ..Default::default()
+            },
         }
     }
 
@@ -204,5 +254,55 @@ mod tests {
         let s = p.report().to_string();
         assert!(s.contains("k"));
         assert!(s.contains("launches=1"));
+    }
+
+    #[test]
+    fn csv_has_header_kernel_rows_and_total() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("color", 100.0));
+        p.record_kernel(rec("color", 60.0));
+        p.record_kernel(rec("check", 40.0));
+        p.record_memcpy(64, 25.0);
+        let csv = p.report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "kernel,launches,total_cycles,total_bytes,total_atomics,dominant_bound"
+        );
+        // BTreeMap ordering: "check" before "color", then the total row.
+        assert!(lines[1].starts_with("check,1,40,"));
+        assert!(lines[2].starts_with("color,2,160,"));
+        assert!(lines[3].starts_with("_total,3,225,64,6,"));
+        assert_eq!(lines.len(), 4);
+        // Every row has the same column count as the header.
+        for l in &lines {
+            assert_eq!(l.split(',').count(), 6, "bad row: {l}");
+        }
+    }
+
+    #[test]
+    fn kv_dump_is_line_delimited_pairs() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("vxm pass", 75.0));
+        p.record_sync(5.0);
+        let kv = p.report().to_kv();
+        assert!(kv.contains("launches=1\n"));
+        assert!(kv.contains("syncs=1\n"));
+        assert!(kv.contains("model_cycles=80\n"));
+        // Kernel names are sanitized so keys stay parseable.
+        assert!(kv.contains("kernel.vxm_pass.total_cycles=75\n"));
+        for line in kv.lines() {
+            assert_eq!(line.split('=').count(), 2, "bad kv line: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_report_exports_cleanly() {
+        let p = Profiler::default();
+        let csv = p.report().to_csv();
+        assert_eq!(csv.lines().count(), 2); // header + _total
+        let kv = p.report().to_kv();
+        assert!(kv.contains("launches=0\n"));
+        assert!(kv.contains("model_cycles=0\n"));
     }
 }

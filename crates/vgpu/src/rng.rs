@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let same = (0..1000).filter(|&i| uniform_u32(1, i) == uniform_u32(2, i)).count();
+        let same = (0..1000)
+            .filter(|&i| uniform_u32(1, i) == uniform_u32(2, i))
+            .count();
         assert!(same < 5, "{same} ids hashed identically across seeds");
     }
 
@@ -112,7 +114,9 @@ mod tests {
         // Each of the 32 bits should be set roughly half the time.
         let n = 65_536u32;
         for bit in 0..32 {
-            let ones = (0..n).filter(|&i| uniform_u32(11, i) >> bit & 1 == 1).count();
+            let ones = (0..n)
+                .filter(|&i| uniform_u32(11, i) >> bit & 1 == 1)
+                .count();
             let frac = ones as f64 / n as f64;
             assert!((0.47..0.53).contains(&frac), "bit {bit} frac {frac}");
         }

@@ -43,7 +43,9 @@ pub(crate) struct AccessTracker {
 
 impl AccessTracker {
     pub(crate) fn new() -> Self {
-        AccessTracker { entries: [(0, u64::MAX); 4] }
+        AccessTracker {
+            entries: [(0, u64::MAX); 4],
+        }
     }
 
     /// Returns `true` if this access continues a sequential run over the
@@ -91,8 +93,8 @@ impl ConfigCosts {
 // One leaked copy per distinct config; launches are frequent, configs are
 // not, so interning through a leak is fine and keeps ThreadCtx cheap.
 pub(crate) fn intern_costs(cfg: &DeviceConfig) -> &'static ConfigCosts {
-    use std::sync::OnceLock;
     use std::sync::Mutex;
+    use std::sync::OnceLock;
     static CACHE: OnceLock<Mutex<Vec<&'static ConfigCosts>>> = OnceLock::new();
     let want = ConfigCosts::from_config(cfg);
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
@@ -184,7 +186,11 @@ impl ThreadCtx {
         let seq = self.tracker.observe(buf_id, i);
         self.counters.cycles += self.cfg.mem_issue_cycles;
         self.counters.accesses += 1;
-        self.counters.bytes += if seq { T::BYTES } else { self.cfg.transaction_bytes };
+        self.counters.bytes += if seq {
+            T::BYTES
+        } else {
+            self.cfg.transaction_bytes
+        };
     }
 
     #[inline]

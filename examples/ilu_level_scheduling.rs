@@ -32,7 +32,11 @@ fn main() {
         "coloring", "stages", "avg parallelism", "model (ms)"
     );
     println!("{}", "-".repeat(69));
-    for name in ["Naumov/Color_CC", "Naumov/Color_JPL", "GraphBLAST/Color_MIS"] {
+    for name in [
+        "Naumov/Color_CC",
+        "Naumov/Color_JPL",
+        "GraphBLAST/Color_MIS",
+    ] {
         let result = if name == "Naumov/Color_CC" {
             naumov_cc(&g, 11)
         } else {
@@ -43,8 +47,7 @@ fn main() {
         // Reorder by color: each color class is one parallel stage of the
         // triangular solve.
         let classes = result.coloring.color_classes();
-        let avg_parallelism =
-            g.num_vertices() as f64 / classes.len() as f64;
+        let avg_parallelism = g.num_vertices() as f64 / classes.len() as f64;
         println!(
             "{:<24}{:>9}{:>22.1}{:>14.3}",
             name,

@@ -75,7 +75,10 @@ fn main() {
     );
 
     for (name, result) in [
-        ("sequential greedy", greedy(&g, Ordering::SmallestDegreeLast, 0)),
+        (
+            "sequential greedy",
+            greedy(&g, Ordering::SmallestDegreeLast, 0),
+        ),
         ("GraphBLAST MIS", gblas_mis(&g, 3)),
     ] {
         assert_proper(&g, result.coloring.as_slice());

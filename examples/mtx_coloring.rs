@@ -61,7 +61,10 @@ fn main() {
         None => all_colorers(),
     };
 
-    println!("{:<24}{:>12}{:>9}{:>9}", "implementation", "model(ms)", "colors", "valid");
+    println!(
+        "{:<24}{:>12}{:>9}{:>9}",
+        "implementation", "model(ms)", "colors", "valid"
+    );
     println!("{}", "-".repeat(54));
     for c in colorers {
         let r = c.run(&g, 42);

@@ -11,7 +11,10 @@ use gc_datasets::{dataset_by_name, DEFAULT_SCALE};
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "G3_circuit".to_string());
-    let scale: f64 = args.next().map(|s| s.parse().expect("scale must be a float")).unwrap_or(DEFAULT_SCALE);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a float"))
+        .unwrap_or(DEFAULT_SCALE);
 
     let spec = dataset_by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown dataset '{name}'; available:");

@@ -28,14 +28,19 @@ struct LiveRange {
 fn make_live_ranges(count: usize, program_len: u32, max_span: u32) -> Vec<LiveRange> {
     let mut state = 0x2545_f491_4f6c_dd1du64;
     let mut next = |bound: u32| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as u32) % bound
     };
     (0..count)
         .map(|_| {
             let start = next(program_len - 1);
             let span = 1 + next(max_span);
-            LiveRange { start, end: (start + span).min(program_len) }
+            LiveRange {
+                start,
+                end: (start + span).min(program_len),
+            }
         })
         .collect()
 }
@@ -80,7 +85,10 @@ fn main() {
     );
 
     for (name, r) in [
-        ("sequential greedy (SDL)", greedy(&g, Ordering::SmallestDegreeLast, 0)),
+        (
+            "sequential greedy (SDL)",
+            greedy(&g, Ordering::SmallestDegreeLast, 0),
+        ),
         ("GPU Gebremedhin-Manne", gebremedhin_manne(&g, 7)),
     ] {
         assert_proper(&g, r.coloring.as_slice());

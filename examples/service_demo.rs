@@ -1,0 +1,123 @@
+//! Service demo: drive the `gc-service` coloring service from several
+//! client threads with mixed objectives, deadlines, and repeats.
+//!
+//! ```text
+//! cargo run --release -p gc-examples --bin service_demo [scale] [workers]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gc_datasets::TEST_SCALE;
+use gc_service::{ColorRequest, ColoringService, Objective, ServiceConfig, ServiceError};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a float"))
+        .unwrap_or(TEST_SCALE * 5.0);
+    let workers: usize = args
+        .next()
+        .map(|s| s.parse().expect("workers must be an integer"))
+        .unwrap_or(3);
+
+    let datasets = ["ecology2", "af_shell3", "G3_circuit"];
+    let graphs: Vec<(String, Arc<gc_graph::Csr>)> = datasets
+        .iter()
+        .map(|n| {
+            let spec = gc_datasets::dataset_by_name(n).expect("registered dataset");
+            (n.to_string(), Arc::new(spec.generate(scale, 42)))
+        })
+        .collect();
+    for (name, g) in &graphs {
+        println!(
+            "loaded {name}: {} vertices, {} edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
+    }
+
+    let svc = ColoringService::start(ServiceConfig {
+        workers,
+        queue_capacity: 32,
+        cache_capacity: 64,
+    });
+    println!("\nservice up: {workers} device workers, queue 32, cache 64\n");
+
+    // Three client threads, one per objective, each sending every graph
+    // twice — the second pass should be served from the result cache.
+    let objectives = [
+        Objective::Fastest,
+        Objective::FewestColors,
+        Objective::Balanced,
+    ];
+    std::thread::scope(|scope| {
+        for objective in &objectives {
+            let handle = svc.handle();
+            let graphs = &graphs;
+            scope.spawn(move || {
+                for pass in 0..2 {
+                    for (name, g) in graphs {
+                        let req = ColorRequest::new(Arc::clone(g), objective.clone()).with_seed(42);
+                        match handle.color(req) {
+                            Ok(r) => println!(
+                                "{:<14} {:<12} -> {:<24} {:>4} colors {:>9.3} ms{}{}",
+                                objective.label(),
+                                name,
+                                r.colorer,
+                                r.num_colors,
+                                r.model_ms,
+                                if r.cache_hit { "  [cache]" } else { "" },
+                                if pass == 0 && !r.cache_hit {
+                                    format!(
+                                        "  (hottest kernel: {})",
+                                        r.metrics.hottest_kernel.as_deref().unwrap_or("-")
+                                    )
+                                } else {
+                                    String::new()
+                                },
+                            ),
+                            Err(e) => {
+                                println!("{:<14} {:<12} -> error: {e}", objective.label(), name)
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // A deadline the queue has already blown demonstrates shedding.
+    let (name, g) = &graphs[0];
+    let req = ColorRequest::new(Arc::clone(g), Objective::Fastest).with_deadline(Duration::ZERO);
+    match svc.handle().color(req) {
+        Err(ServiceError::DeadlineExceeded { queued_ms }) => {
+            println!("\nzero-deadline request on {name} shed after {queued_ms} ms (as intended)");
+        }
+        other => println!("\nunexpected outcome for zero-deadline request: {other:?}"),
+    }
+
+    let stats = svc.stats();
+    println!(
+        "\nstats: submitted={} served={} cache_hits={} ({:.0}%) shed={} failed={}",
+        stats.submitted,
+        stats.served,
+        stats.cache_hits,
+        stats.cache_hit_rate() * 100.0,
+        stats.shed,
+        stats.failed
+    );
+    for (colorer, h) in &stats.latency_by_colorer {
+        println!(
+            "  {:<28} n={:<3} mean={:.3} ms max={:.3} ms {}",
+            colorer,
+            h.samples,
+            h.mean_ms(),
+            h.max_ms,
+            h.brief()
+        );
+    }
+    svc.shutdown();
+    println!("service drained and shut down");
+}

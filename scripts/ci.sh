@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from anywhere; operates on the workspace root.
+#
+#   scripts/ci.sh          # fmt + clippy + tier-1 (build + tests)
+#   scripts/ci.sh --quick  # skip the release build, debug tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+  echo "==> tier-1: cargo build --release"
+  cargo build --release
+fi
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

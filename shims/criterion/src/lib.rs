@@ -1,0 +1,278 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace uses (see `shims/` in the repository root for why these
+//! exist).
+//!
+//! Statistical machinery (warm-up, outlier rejection, HTML reports) is
+//! replaced with a plain timing loop: each benchmark runs `sample_size`
+//! iterations, or as many as fit in `measurement_time`, and prints the
+//! mean, min, and max wall-clock time per iteration. Good enough to spot
+//! regressions by eye; the paper-facing numbers come from the *model*
+//! clock printed by the benches themselves, not from wall time.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = self.qualify(id.into_benchmark_id());
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            stats: None,
+        };
+        f(&mut b);
+        report(&label, b.stats);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = self.qualify(id.into_benchmark_id());
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            stats: None,
+        };
+        f(&mut b, input);
+        report(&label, b.stats);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn qualify(&self, id: BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.0
+        } else {
+            format!("{}/{}", self.name, id.0)
+        }
+    }
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    stats: Option<SampleStats>,
+}
+
+#[derive(Clone, Copy)]
+struct SampleStats {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let budget = Instant::now();
+        let mut stats = SampleStats {
+            iters: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+        };
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            stats.iters += 1;
+            stats.total += dt;
+            stats.min = stats.min.min(dt);
+            stats.max = stats.max.max(dt);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        self.stats = Some(stats);
+    }
+}
+
+fn report(label: &str, stats: Option<SampleStats>) {
+    match stats {
+        Some(s) if s.iters > 0 => {
+            let mean = s.total / s.iters as u32;
+            println!(
+                "bench {label:<48} {:>12} mean {:>12} min {:>12} max ({} iters)",
+                format_duration(mean),
+                format_duration(s.min),
+                format_duration(s.max),
+                s.iters
+            );
+        }
+        _ => println!("bench {label:<48} (no samples)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Two-part benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Declared-throughput marker; accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_secs(1));
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 5 samples + 1 warm-up.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::new("id", 7), &41u64, |b, &x| {
+            b.iter(|| seen = x + 1)
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").0, "p");
+    }
+}

@@ -9,7 +9,11 @@ fn every_impl_colors_every_family_properly() {
     for (gname, g) in test_suite_graphs() {
         for colorer in all_colorers() {
             let r = colorer.run(&g, 13);
-            check_proper(&format!("{}/{}", colorer.name(), gname), &g, r.coloring.as_slice());
+            check_proper(
+                &format!("{}/{}", colorer.name(), gname),
+                &g,
+                r.coloring.as_slice(),
+            );
         }
     }
 }
@@ -75,8 +79,18 @@ fn results_are_deterministic_per_seed() {
     for colorer in all_colorers() {
         let a = colorer.run(&g, 77);
         let b = colorer.run(&g, 77);
-        assert_eq!(a.coloring, b.coloring, "{} coloring nondeterministic", colorer.name());
-        assert_eq!(a.model_ms, b.model_ms, "{} model time nondeterministic", colorer.name());
+        assert_eq!(
+            a.coloring,
+            b.coloring,
+            "{} coloring nondeterministic",
+            colorer.name()
+        );
+        assert_eq!(
+            a.model_ms,
+            b.model_ms,
+            "{} model time nondeterministic",
+            colorer.name()
+        );
         assert_eq!(a.iterations, b.iterations);
     }
 }
@@ -88,7 +102,11 @@ fn model_time_positive_and_launches_reported() {
         let r = colorer.run(&g, 1);
         assert!(r.model_ms > 0.0, "{}", colorer.name());
         if colorer.is_gpu() {
-            assert!(r.kernel_launches > 0, "{} reported no launches", colorer.name());
+            assert!(
+                r.kernel_launches > 0,
+                "{} reported no launches",
+                colorer.name()
+            );
         } else {
             assert_eq!(r.kernel_launches, 0);
         }

@@ -38,7 +38,10 @@ fn randomized_gpu_coloring_is_insensitive_to_numbering() {
     let a = gunrock_is(&g, 3, IsConfig::min_max());
     let b = gunrock_is(&shuffled, 3, IsConfig::min_max());
     let (x, y) = (a.num_colors as i64, b.num_colors as i64);
-    assert!((x - y).abs() <= 4, "IS colors moved {x} -> {y} under relabeling");
+    assert!(
+        (x - y).abs() <= 4,
+        "IS colors moved {x} -> {y} under relabeling"
+    );
 }
 
 #[test]
@@ -67,7 +70,9 @@ fn mis_quality_holds_on_permuted_meshes() {
     let g = grid2d(30, 30, Stencil2d::NinePoint);
     let (shuffled, _) = permute_vertices(&g, 11);
     let greedy_r = greedy(&shuffled, Ordering::Natural, 0);
-    let mis = colorer_by_name("GraphBLAST/Color_MIS").unwrap().run(&shuffled, 3);
+    let mis = colorer_by_name("GraphBLAST/Color_MIS")
+        .unwrap()
+        .run(&shuffled, 3);
     assert!(
         mis.num_colors <= greedy_r.num_colors + 1,
         "MIS {} vs permuted-greedy {}",

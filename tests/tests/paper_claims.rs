@@ -2,17 +2,19 @@
 //! the reproduction at test scale. EXPERIMENTS.md records the measured
 //! values at the default harness scale.
 
-use gc_bench::experiments::{
-    self, geomean_color_ratio, geomean_speedup, ExperimentConfig,
-};
+use gc_bench::experiments::{self, geomean_color_ratio, geomean_speedup, ExperimentConfig};
 
 fn fig1_data() -> Vec<gc_bench::experiments::Fig1Dataset> {
     // Three structurally-diverse datasets keep this suite fast while
     // still averaging over mesh, shell, and circuit behaviour. The scale
     // sits above the smoke level because several of the paper's effects
     // (the af_shell3 memory-bound penalty in particular) need kernels
-    // large enough that launch overhead stops dominating.
-    let cfg = ExperimentConfig { scale: 0.01, ..ExperimentConfig::smoke() };
+    // large enough that launch overhead stops dominating; below 0.015
+    // the IS-vs-JPL ordering on af_shell3 is within generator noise.
+    let cfg = ExperimentConfig {
+        scale: 0.015,
+        ..ExperimentConfig::smoke()
+    };
     ["ecology2", "af_shell3", "G3_circuit"]
         .iter()
         .map(|n| {
@@ -30,7 +32,10 @@ fn gunrock_is_beats_naumov_jpl_on_low_degree_meshes() {
     let spec = gc_datasets::dataset_by_name("parabolic_fem").unwrap();
     let d = experiments::fig1_dataset(&spec, &cfg);
     let s = d.speedup("Gunrock/Color_IS").unwrap();
-    assert!(s > 1.0, "expected Gunrock IS speedup > 1 on parabolic_fem, got {s:.2}");
+    assert!(
+        s > 1.0,
+        "expected Gunrock IS speedup > 1 on parabolic_fem, got {s:.2}"
+    );
 }
 
 #[test]
@@ -79,7 +84,10 @@ fn graphblast_mis_has_best_color_count() {
         }
     }
     let vs_naumov = geomean_color_ratio(&data, "Naumov/Color_JPL", "GraphBLAST/Color_MIS");
-    assert!(vs_naumov > 1.2, "Naumov JPL should need clearly more colors, ratio {vs_naumov:.2}");
+    assert!(
+        vs_naumov > 1.2,
+        "Naumov JPL should need clearly more colors, ratio {vs_naumov:.2}"
+    );
 }
 
 #[test]
@@ -120,9 +128,21 @@ fn naumov_cc_is_fast_and_low_quality() {
         "CC ({cc_vs_mis:.2}x) should waste more colors than JPL ({jpl_vs_mis:.2}x)"
     );
     for d in &data {
-        let cc = d.results.iter().find(|(n, _)| n == "Naumov/Color_CC").unwrap();
-        let jpl = d.results.iter().find(|(n, _)| n == "Naumov/Color_JPL").unwrap();
-        assert!(cc.1.model_ms < jpl.1.model_ms, "{}: CC not faster than JPL", d.dataset);
+        let cc = d
+            .results
+            .iter()
+            .find(|(n, _)| n == "Naumov/Color_CC")
+            .unwrap();
+        let jpl = d
+            .results
+            .iter()
+            .find(|(n, _)| n == "Naumov/Color_JPL")
+            .unwrap();
+        assert!(
+            cc.1.model_ms < jpl.1.model_ms,
+            "{}: CC not faster than JPL",
+            d.dataset
+        );
     }
 }
 
@@ -133,7 +153,11 @@ fn graphblast_ordering_is_fastest_mis_best_quality() {
     let data = fig1_data();
     for d in &data {
         let time = |n: &str| {
-            d.results.iter().find(|(name, _)| name == n).map(|(_, r)| r.model_ms).unwrap()
+            d.results
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, r)| r.model_ms)
+                .unwrap()
         };
         let colors = |n: &str| d.colors(n).unwrap();
         assert!(
@@ -159,10 +183,26 @@ fn gunrock_time_quality_tradeoff_holds() {
     // Figure 2a: Hash spends more time for fewer colors than IS.
     let data = fig1_data();
     for d in &data {
-        let is = d.results.iter().find(|(n, _)| n == "Gunrock/Color_IS").unwrap();
-        let hash = d.results.iter().find(|(n, _)| n == "Gunrock/Color_Hash").unwrap();
-        assert!(hash.1.model_ms > is.1.model_ms, "{}: hash not slower", d.dataset);
-        assert!(hash.1.num_colors <= is.1.num_colors, "{}: hash not tighter", d.dataset);
+        let is = d
+            .results
+            .iter()
+            .find(|(n, _)| n == "Gunrock/Color_IS")
+            .unwrap();
+        let hash = d
+            .results
+            .iter()
+            .find(|(n, _)| n == "Gunrock/Color_Hash")
+            .unwrap();
+        assert!(
+            hash.1.model_ms > is.1.model_ms,
+            "{}: hash not slower",
+            d.dataset
+        );
+        assert!(
+            hash.1.num_colors <= is.1.num_colors,
+            "{}: hash not tighter",
+            d.dataset
+        );
     }
 }
 
@@ -171,10 +211,22 @@ fn ar_is_the_slowest_gunrock_variant() {
     let data = fig1_data();
     for d in &data {
         let time = |n: &str| {
-            d.results.iter().find(|(name, _)| name == n).map(|(_, r)| r.model_ms).unwrap()
+            d.results
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, r)| r.model_ms)
+                .unwrap()
         };
-        assert!(time("Gunrock/Color_AR") > time("Gunrock/Color_IS"), "{}", d.dataset);
-        assert!(time("Gunrock/Color_AR") > time("Gunrock/Color_Hash"), "{}", d.dataset);
+        assert!(
+            time("Gunrock/Color_AR") > time("Gunrock/Color_IS"),
+            "{}",
+            d.dataset
+        );
+        assert!(
+            time("Gunrock/Color_AR") > time("Gunrock/Color_Hash"),
+            "{}",
+            d.dataset
+        );
     }
 }
 

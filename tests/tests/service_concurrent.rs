@@ -1,0 +1,214 @@
+//! Concurrency and determinism tests for the `gc-service` serving layer:
+//! a mixed multi-producer workload where every returned coloring must be
+//! proper, cache hits must be bit-identical to the original run, shed
+//! requests must surface the dedicated error variant, and the whole
+//! workload must be reproducible run to run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gc_core::verify::is_proper;
+use gc_graph::generators::{barabasi_albert, cycle, grid2d, Stencil2d};
+use gc_graph::Csr;
+use gc_service::{ColorRequest, ColoringService, Objective, ServiceConfig, ServiceError};
+
+fn workload_graphs() -> Vec<Arc<Csr>> {
+    vec![
+        Arc::new(grid2d(48, 48, Stencil2d::FivePoint)),
+        Arc::new(grid2d(31, 71, Stencil2d::NinePoint)),
+        Arc::new(barabasi_albert(2_500, 4, 11)),
+        Arc::new(cycle(301)),
+    ]
+}
+
+fn objectives() -> [Objective; 4] {
+    [
+        Objective::Fastest,
+        Objective::FewestColors,
+        Objective::Balanced,
+        Objective::Explicit("Gunrock/Color_Hash".to_string()),
+    ]
+}
+
+/// Outcome of one deterministic mixed workload run: (request id, colorer,
+/// colors, cache_hit) per success, plus shed count.
+struct RunOutcome {
+    successes: Vec<(usize, &'static str, u32, Vec<u32>, bool)>,
+    shed: u64,
+}
+
+/// 36 coloring requests + 4 zero-deadline probes from 4 producer
+/// threads. Request ids are stable so two runs can be compared.
+fn run_mixed_workload() -> RunOutcome {
+    let graphs = workload_graphs();
+    let objectives = objectives();
+    let svc = ColoringService::start(ServiceConfig {
+        workers: 3,
+        queue_capacity: 16,
+        cache_capacity: 64,
+    });
+
+    // Producer p sends 9 requests: ids p*9..p*9+9 over (graph, objective,
+    // repeat) combinations. Repeats of the same (graph, objective, seed)
+    // triple are the cache-hit candidates.
+    let mut joined: Vec<(usize, Result<gc_service::ColorResponse, ServiceError>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for p in 0..4usize {
+            let handle = svc.handle();
+            let graphs = &graphs;
+            let objectives = &objectives;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for k in 0..9usize {
+                    let id = p * 9 + k;
+                    let g = &graphs[(p + k) % graphs.len()];
+                    let obj = objectives[k % objectives.len()].clone();
+                    let req = ColorRequest::new(Arc::clone(g), obj).with_seed(7 + (k % 2) as u64);
+                    out.push((id, handle.color(req)));
+                }
+                // One deliberately-expired request per producer.
+                let req = ColorRequest::new(Arc::clone(&graphs[p]), Objective::Balanced)
+                    .with_deadline(Duration::ZERO);
+                out.push((1000 + p, handle.color(req)));
+                out
+            }));
+        }
+        for h in handles {
+            joined.extend(h.join().unwrap());
+        }
+    });
+
+    let mut successes = Vec::new();
+    let mut shed = 0;
+    for (id, outcome) in joined {
+        if id >= 1000 {
+            // The zero-deadline probes must shed with the dedicated
+            // variant — not fail some other way, and never color.
+            match outcome {
+                Err(ServiceError::DeadlineExceeded { .. }) => shed += 1,
+                other => panic!("probe {id} should be shed, got {other:?}"),
+            }
+            continue;
+        }
+        let resp = match outcome {
+            Ok(r) => r,
+            Err(e) => panic!("request {id} failed: {e}"),
+        };
+        successes.push((
+            id,
+            resp.colorer,
+            resp.num_colors,
+            resp.coloring.as_slice().to_vec(),
+            resp.cache_hit,
+        ));
+    }
+    successes.sort_by_key(|(id, ..)| *id);
+
+    let stats = svc.stats();
+    assert_eq!(stats.served, 36);
+    assert_eq!(stats.shed, 4);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    svc.shutdown();
+    RunOutcome { successes, shed }
+}
+
+#[test]
+fn mixed_concurrent_workload_is_proper_cached_and_shed_correctly() {
+    let graphs = workload_graphs();
+    let outcome = run_mixed_workload();
+    assert_eq!(outcome.successes.len(), 36);
+    assert_eq!(outcome.shed, 4);
+
+    // Every returned coloring is proper on its graph.
+    for (id, _, num_colors, colors, _) in &outcome.successes {
+        let g = &graphs[(id / 9 + id % 9) % graphs.len()];
+        assert_eq!(colors.len(), g.num_vertices(), "request {id}");
+        assert!(is_proper(g, colors).is_ok(), "request {id} improper");
+        assert!(*num_colors >= 2, "request {id}");
+    }
+
+    // The workload repeats every (graph, objective, seed) triple across
+    // producers, so the cache must have been hit...
+    let hits = outcome.successes.iter().filter(|(.., hit)| *hit).count();
+    assert!(hits > 0, "no cache hits in a workload full of repeats");
+
+    // ...and every hit must be bit-identical to the miss that filled the
+    // cache entry (same colorer, same coloring).
+    for (id, colorer, _, colors, hit) in &outcome.successes {
+        if !*hit {
+            continue;
+        }
+        let original = outcome
+            .successes
+            .iter()
+            .find(|(oid, ocolorer, _, ocolors, ohit)| {
+                !*ohit && ocolorer == colorer && ocolors == colors && oid != id
+            });
+        assert!(
+            original.is_some(),
+            "cache hit {id} has no identical non-cached origin"
+        );
+    }
+}
+
+#[test]
+fn workload_is_deterministic_across_runs() {
+    // Scheduling (which worker runs what, who hits the cache) may differ
+    // between runs, but the colorings themselves are pure functions of
+    // (graph, objective, seed): per-request colorer and color arrays
+    // must match exactly.
+    let a = run_mixed_workload();
+    let b = run_mixed_workload();
+    assert_eq!(a.successes.len(), b.successes.len());
+    for ((ida, ca, na, colsa, _), (idb, cb, nb, colsb, _)) in
+        a.successes.iter().zip(b.successes.iter())
+    {
+        assert_eq!(ida, idb);
+        assert_eq!(ca, cb, "request {ida} ran different colorers");
+        assert_eq!(na, nb, "request {ida} color counts differ");
+        assert_eq!(colsa, colsb, "request {ida} colorings differ");
+    }
+}
+
+#[test]
+fn backpressure_queue_rejects_then_recovers() {
+    let g = Arc::new(grid2d(40, 40, Stencil2d::FivePoint));
+    let svc = ColoringService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        cache_capacity: 0,
+    });
+    let handle = svc.handle();
+
+    let mut tickets = Vec::new();
+    let mut saw_full = false;
+    for seed in 0..32u64 {
+        match handle
+            .try_submit(ColorRequest::new(Arc::clone(&g), Objective::FewestColors).with_seed(seed))
+        {
+            Ok(t) => tickets.push(t),
+            Err((req, ServiceError::QueueFull { capacity })) => {
+                assert_eq!(capacity, 2);
+                assert_eq!(req.seed, seed, "rejected request comes back intact");
+                saw_full = true;
+                break;
+            }
+            Err((_, e)) => panic!("unexpected {e}"),
+        }
+    }
+    assert!(saw_full, "a capacity-2 queue never filled under a burst");
+
+    // Blocking submit still works after the rejection (backpressure, not
+    // failure) and the queue drains.
+    let resp = handle
+        .color(ColorRequest::new(Arc::clone(&g), Objective::Fastest))
+        .unwrap();
+    assert!(is_proper(&g, resp.coloring.as_slice()).is_ok());
+    for t in tickets {
+        t.recv().unwrap();
+    }
+    assert!(svc.stats().rejected >= 1);
+    svc.shutdown();
+}

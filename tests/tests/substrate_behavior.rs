@@ -69,7 +69,12 @@ fn mtx_roundtrip_through_every_colorer() {
         let a = c.run(&g, 17);
         let b = c.run(&h, 17);
         check_proper(c.name(), &h, b.coloring.as_slice());
-        assert_eq!(a.coloring, b.coloring, "{} differs after mtx round trip", c.name());
+        assert_eq!(
+            a.coloring,
+            b.coloring,
+            "{} differs after mtx round trip",
+            c.name()
+        );
     }
 }
 
@@ -84,7 +89,10 @@ fn profiler_accounts_for_every_launch() {
     // memcpys add more).
     let kernel_cycles: f64 = profile.by_kernel.values().map(|s| s.total_cycles).sum();
     assert!(kernel_cycles <= profile.clock_cycles + 1e-6);
-    assert!(profile.memcpys > 0, "per-iteration reduce readbacks must be billed");
+    assert!(
+        profile.memcpys > 0,
+        "per-iteration reduce readbacks must be billed"
+    );
 }
 
 #[test]
@@ -94,7 +102,12 @@ fn chromatic_schedule_statistics_are_consistent() {
     let (min, max, mean) = r.coloring.class_size_stats();
     assert!(min >= 1);
     assert!(max <= g.num_vertices());
-    let total: usize = r.coloring.color_classes().iter().map(|(_, c)| c.len()).sum();
+    let total: usize = r
+        .coloring
+        .color_classes()
+        .iter()
+        .map(|(_, c)| c.len())
+        .sum();
     assert_eq!(total, g.num_vertices());
     assert!((mean * r.num_colors as f64 - g.num_vertices() as f64).abs() < 1e-6);
 }
