@@ -4,11 +4,21 @@
 //! repro [table1|table2|fig1|fig2|fig3|ablation|powerlaw|serve-bench|all]
 //!       [--scale F] [--seed N] [--rgg MIN:MAX] [--diameter-samples N]
 //!       [--full] [--csv DIR] [--workers N]
+//!       [--trace FILE] [--jsonl FILE] [--metrics FILE]
+//! repro trace <colorer> <dataset> [--scale F] [--seed N]
+//!       [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]
 //! ```
 //!
 //! Default scale synthesizes each dataset at 2% of the paper's vertex
 //! count, which preserves every qualitative comparison while keeping the
 //! sweep interactive. `--full` uses the paper's extents (slow).
+//!
+//! Observability: `--trace` writes a Chrome trace-event JSON (load at
+//! `ui.perfetto.dev`), `--jsonl` a newline-delimited span log, and
+//! `--metrics` a Prometheus text dump. With `serve-bench` they capture
+//! the whole service workload; the `trace` subcommand captures one
+//! colorer × dataset run (files default to `trace.json`/`trace.jsonl`
+//! when the flags are omitted).
 
 use std::fs;
 use std::process::ExitCode;
@@ -22,6 +32,12 @@ struct Args {
     cfg: ExperimentConfig,
     csv_dir: Option<String>,
     workers: usize,
+    trace_out: Option<String>,
+    jsonl_out: Option<String>,
+    metrics_out: Option<String>,
+    model_clock: bool,
+    /// Positional operands of the `trace` subcommand.
+    operands: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,11 +46,16 @@ fn parse_args() -> Result<Args, String> {
     let mut cfg = ExperimentConfig::default();
     let mut csv_dir = None;
     let mut workers = 4;
+    let mut trace_out = None;
+    let mut jsonl_out = None;
+    let mut metrics_out = None;
+    let mut model_clock = false;
+    let mut operands = Vec::new();
     let mut first = true;
     while let Some(a) = args.next() {
         match a.as_str() {
             "table1" | "table2" | "fig1" | "fig1a" | "fig1b" | "fig2" | "fig3" | "ablation"
-            | "powerlaw" | "serve-bench" | "all"
+            | "powerlaw" | "serve-bench" | "trace" | "all"
                 if first =>
             {
                 command = a;
@@ -75,6 +96,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --workers: {e}"))?;
             }
+            "--trace" => trace_out = Some(args.next().ok_or("--trace needs a file")?),
+            "--jsonl" => jsonl_out = Some(args.next().ok_or("--jsonl needs a file")?),
+            "--metrics" => metrics_out = Some(args.next().ok_or("--metrics needs a file")?),
+            "--model-clock" => model_clock = true,
+            other if command == "trace" && !other.starts_with('-') => {
+                operands.push(other.to_string());
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
         first = false;
@@ -84,7 +112,19 @@ fn parse_args() -> Result<Args, String> {
         cfg,
         csv_dir,
         workers,
+        trace_out,
+        jsonl_out,
+        metrics_out,
+        model_clock,
+        operands,
     })
+}
+
+/// Writes `content` to `path`, reporting the artifact on stdout.
+fn write_artifact(path: &str, what: &str, content: &str) -> Result<(), String> {
+    fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("{what} written to {path}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -95,7 +135,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [table1|table2|fig1|fig2|fig3|ablation|powerlaw|serve-bench|all] \
                  [--scale F] [--seed N] [--rgg MIN:MAX] [--diameter-samples N] [--full] \
-                 [--csv DIR] [--workers N]"
+                 [--csv DIR] [--workers N] [--trace FILE] [--jsonl FILE] [--metrics FILE]\n\
+                 \x20      repro trace <colorer> <dataset> [--scale F] [--seed N] \
+                 [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]"
             );
             return ExitCode::FAILURE;
         }
@@ -153,11 +195,88 @@ fn main() -> ExitCode {
             format::render_powerlaw(&experiments::ext_powerlaw(&cfg))
         );
     }
+    if args.command == "trace" {
+        let [colorer, dataset] = args.operands.as_slice() else {
+            eprintln!(
+                "error: trace needs exactly <colorer> <dataset>, got {:?}",
+                args.operands
+            );
+            return ExitCode::FAILURE;
+        };
+        let cap = match gc_bench::trace::trace_colorer(colorer, dataset, &cfg) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", format::render_trace_summary(&cap));
+        let chrome = if args.model_clock {
+            &cap.chrome_trace_model
+        } else {
+            &cap.chrome_trace
+        };
+        let trace_path = args.trace_out.as_deref().unwrap_or("trace.json");
+        let jsonl_path = args.jsonl_out.as_deref().unwrap_or("trace.jsonl");
+        let mut writes = vec![
+            write_artifact(trace_path, "chrome trace", chrome),
+            write_artifact(jsonl_path, "span log", &cap.jsonl),
+        ];
+        if let Some(p) = &args.metrics_out {
+            writes.push(write_artifact(p, "metrics", &cap.prometheus));
+        }
+        for w in writes {
+            if let Err(e) = w {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if want("serve-bench") {
-        println!(
-            "{}",
-            format::render_serve_bench(&serve::serve_bench(&cfg, args.workers.max(1)))
-        );
+        let tracer =
+            (args.trace_out.is_some() || args.jsonl_out.is_some()).then(gc_telemetry::Tracer::new);
+        let metrics = args
+            .metrics_out
+            .as_ref()
+            .map(|_| gc_telemetry::MetricsRegistry::new());
+        let report =
+            serve::serve_bench_with(&cfg, args.workers.max(1), tracer.clone(), metrics.clone());
+        println!("{}", format::render_serve_bench(&report));
+        let clock = if args.model_clock {
+            gc_telemetry::ClockKind::Model
+        } else {
+            gc_telemetry::ClockKind::Wall
+        };
+        let mut writes = Vec::new();
+        if let (Some(path), Some(t)) = (&args.trace_out, &tracer) {
+            writes.push(write_artifact(
+                path,
+                "chrome trace",
+                &gc_telemetry::to_chrome_trace(t, clock),
+            ));
+        }
+        if let (Some(path), Some(t)) = (&args.jsonl_out, &tracer) {
+            writes.push(write_artifact(
+                path,
+                "span log",
+                &gc_telemetry::to_jsonl(&t.records()),
+            ));
+        }
+        if let (Some(path), Some(m)) = (&args.metrics_out, &metrics) {
+            writes.push(write_artifact(
+                path,
+                "metrics",
+                &gc_telemetry::to_prometheus(m),
+            ));
+        }
+        for w in writes {
+            if let Err(e) = w {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let fig3_data = if want("fig3") {
         Some(experiments::fig3(&cfg))

@@ -353,12 +353,43 @@ pub fn render_serve_bench(report: &crate::serve::ServeBenchReport) -> String {
     ));
     for (name, h) in &s.latency_by_colorer {
         out.push_str(&format!(
-            "latency {:<24} n={:<3} mean={:.3} ms max={:.3} ms {}\n",
+            "latency {:<24} n={:<3} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3} ms {}\n",
             short(name),
             h.samples,
             h.mean_ms(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
             h.max_ms,
             h.brief()
+        ));
+    }
+    out
+}
+
+/// Renders the `repro trace` per-span-name summary table.
+pub fn render_trace_summary(cap: &crate::trace::TraceCapture) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "TRACE: {} on {} ({} vertices, {} edges) — {} colors, {} iterations, {:.3} model-ms\n",
+        cap.colorer,
+        cap.dataset,
+        cap.vertices,
+        cap.edges,
+        cap.num_colors,
+        cap.iterations,
+        cap.model_ms
+    ));
+    out.push_str(&format!(
+        "{:<32}{:>8}{:>14}{:>14}\n",
+        "Span", "Count", "Wall (µs)", "Model (ms)"
+    ));
+    out.push_str(&hr(68));
+    out.push('\n');
+    for (name, count, wall_us, model_ms) in &cap.summary {
+        out.push_str(&format!(
+            "{:<32}{:>8}{:>14}{:>14.3}\n",
+            name, count, wall_us, model_ms
         ));
     }
     out

@@ -8,5 +8,6 @@
 pub mod experiments;
 pub mod format;
 pub mod serve;
+pub mod trace;
 
 pub use experiments::*;

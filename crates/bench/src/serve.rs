@@ -57,6 +57,19 @@ const WORKLOAD_DATASETS: [&str; 3] = ["ecology2", "af_shell3", "G3_circuit"];
 
 /// Runs the serving-layer benchmark on `workers` device workers.
 pub fn serve_bench(cfg: &ExperimentConfig, workers: usize) -> ServeBenchReport {
+    serve_bench_with(cfg, workers, None, None)
+}
+
+/// [`serve_bench`] with observability attached: when `tracer` is given
+/// the whole workload is traced (worker request spans plus submit-side
+/// admit/reject instants on the driver's lane), and when `metrics` is
+/// given the service publishes its counters/gauges/histograms there.
+pub fn serve_bench_with(
+    cfg: &ExperimentConfig,
+    workers: usize,
+    tracer: Option<gc_telemetry::Tracer>,
+    metrics: Option<gc_telemetry::MetricsRegistry>,
+) -> ServeBenchReport {
     let graphs: Vec<(&str, Arc<gc_graph::Csr>)> = WORKLOAD_DATASETS
         .iter()
         .map(|n| {
@@ -65,10 +78,16 @@ pub fn serve_bench(cfg: &ExperimentConfig, workers: usize) -> ServeBenchReport {
         })
         .collect();
 
+    // Install the tracer on the driver thread too, so the submit-side
+    // `admitted`/`rejected` instants land on their own lane.
+    let _driver_tracing = tracer.as_ref().map(|t| t.make_current());
+
     let svc = ColoringService::start(ServiceConfig {
         workers,
         queue_capacity: 64,
         cache_capacity: 128,
+        tracer,
+        metrics,
     });
     let handle = svc.handle();
     let started = Instant::now();

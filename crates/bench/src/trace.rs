@@ -1,0 +1,134 @@
+//! `repro trace` — single-run trace capture.
+//!
+//! Runs one registered colorer on one registered dataset under a fresh
+//! [`gc_telemetry::Tracer`] and packages every exporter's view of the
+//! run: a Chrome trace-event JSON (load it at `ui.perfetto.dev` or
+//! `chrome://tracing` to see request → iteration → kernel attribution),
+//! a JSONL event log for scripted analysis, and a Prometheus text dump
+//! of the run's metrics.
+
+use gc_core::runner::colorer_by_name;
+use gc_telemetry::{ClockKind, MetricsRegistry, Tracer};
+
+use crate::experiments::ExperimentConfig;
+
+/// Everything captured by one traced run.
+#[derive(Clone, Debug)]
+pub struct TraceCapture {
+    pub colorer: String,
+    pub dataset: String,
+    pub vertices: usize,
+    pub edges: usize,
+    pub num_colors: u32,
+    pub iterations: u32,
+    pub model_ms: f64,
+    /// Chrome trace-event JSON on the wall clock.
+    pub chrome_trace: String,
+    /// Chrome trace-event JSON on the vgpu model clock.
+    pub chrome_trace_model: String,
+    /// One JSON object per finished span/instant, newline-delimited.
+    pub jsonl: String,
+    /// Prometheus text exposition of the run's metrics.
+    pub prometheus: String,
+    /// Per-span-name `(name, count, total wall µs, total model-ms)`.
+    pub summary: Vec<(String, u64, u64, f64)>,
+}
+
+/// Runs `colorer_name` on `dataset_name` (generated at `cfg.scale`)
+/// under a fresh tracer and returns every export format at once.
+pub fn trace_colorer(
+    colorer_name: &str,
+    dataset_name: &str,
+    cfg: &ExperimentConfig,
+) -> Result<TraceCapture, String> {
+    let colorer = colorer_by_name(colorer_name).ok_or_else(|| {
+        format!(
+            "unknown colorer {colorer_name:?} (try e.g. \"Gunrock/Color_IS\" \
+             or \"Naumov/Color_JPL\")"
+        )
+    })?;
+    let spec = gc_datasets::dataset_by_name(dataset_name)
+        .ok_or_else(|| format!("unknown dataset {dataset_name:?} (try e.g. \"ecology2\")"))?;
+    let g = spec.generate(cfg.scale, cfg.seed);
+
+    let tracer = Tracer::new();
+    let metrics = MetricsRegistry::new();
+    let result = {
+        let _cur = tracer.make_current();
+        colorer.run(&g, cfg.seed)
+    };
+
+    metrics.counter("gc_trace_runs_total").inc();
+    metrics
+        .histogram_with("gc_color_model_ms", &[("colorer", colorer.name())])
+        .observe(result.model_ms);
+    metrics
+        .gauge_with("gc_color_num_colors", &[("colorer", colorer.name())])
+        .set(result.num_colors as i64);
+
+    let records = tracer.records();
+    Ok(TraceCapture {
+        colorer: colorer.name().to_string(),
+        dataset: dataset_name.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        num_colors: result.num_colors,
+        iterations: result.iterations,
+        model_ms: result.model_ms,
+        chrome_trace: gc_telemetry::to_chrome_trace(&tracer, ClockKind::Wall),
+        chrome_trace_model: gc_telemetry::to_chrome_trace(&tracer, ClockKind::Model),
+        jsonl: gc_telemetry::to_jsonl(&records),
+        prometheus: gc_telemetry::to_prometheus(&metrics),
+        summary: gc_telemetry::summarize_by_name(&records),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_telemetry::json;
+
+    #[test]
+    fn capture_produces_all_export_formats() {
+        let cfg = ExperimentConfig::smoke();
+        let cap = trace_colorer("Gunrock/Color_IS", "ecology2", &cfg).unwrap();
+        assert_eq!(cap.colorer, "Gunrock/Color_IS");
+        assert!(cap.num_colors >= 2);
+        assert!(cap.model_ms > 0.0);
+
+        // Chrome trace parses and contains the span chain's names.
+        let doc = json::parse(&cap.chrome_trace).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert!(!events.is_empty());
+        let names: Vec<String> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.iter().any(|n| n == "color"));
+        assert!(names.iter().any(|n| n == "iteration"));
+        assert!(names.iter().any(|n| n.starts_with("is::")));
+
+        // Every JSONL line parses on its own.
+        assert!(cap.jsonl.lines().count() > 2);
+        for line in cap.jsonl.lines() {
+            json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line}: {e}"));
+        }
+
+        // The prometheus dump carries the run counter and histogram.
+        assert!(cap.prometheus.contains("gc_trace_runs_total 1"));
+        assert!(cap.prometheus.contains("gc_color_model_ms"));
+
+        // The summary aggregates by span name.
+        assert!(cap
+            .summary
+            .iter()
+            .any(|(n, c, _, _)| n == "iteration" && *c >= 1));
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let cfg = ExperimentConfig::smoke();
+        assert!(trace_colorer("No/Such", "ecology2", &cfg).is_err());
+        assert!(trace_colorer("Gunrock/Color_IS", "no_such", &cfg).is_err());
+    }
+}

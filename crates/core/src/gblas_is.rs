@@ -52,6 +52,15 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let mut finished = false;
     for color in 1..=(MAX_COLORS as i64) {
         iterations += 1;
+        // One span per outer (color) iteration: kernel events emitted by
+        // the device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations - 1);
         // Find max of neighbors.
         ops::vxm(dev, &max, None, &MaxTimes, &weight, &a, desc);
         // Find all largest uncolored nodes. Under the dense encoding the
@@ -68,6 +77,11 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
         );
         // Stop when the frontier is empty.
         let succ = ops::reduce(dev, 0i64, |x, y| x + y, &frontier);
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_size", succ);
+            iter_span.attr("colors_so_far", color);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
         if succ == 0 {
             finished = true;
             break;

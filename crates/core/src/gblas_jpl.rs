@@ -149,6 +149,15 @@ pub fn run_on_with(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> Coloring
     loop {
         assert!(iterations < MAX_ITERATIONS, "JPL failed to terminate");
         iterations += 1;
+        // One span per outer iteration: kernel events emitted by the
+        // device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations - 1);
         ops::vxm(dev, &max, None, &MaxTimes, &weight, &a, desc);
         ops::ewise_add(
             dev,
@@ -160,6 +169,10 @@ pub fn run_on_with(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> Coloring
             desc,
         );
         let succ = ops::reduce(dev, 0i64, |x, y| x + y, &frontier);
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_size", succ);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
         if succ == 0 {
             break;
         }
@@ -178,6 +191,10 @@ pub fn run_on_with(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> Coloring
         debug_assert!((1..TAKEN).contains(&min_color));
         ops::assign_scalar(dev, &c, Some(&frontier), min_color, desc);
         ops::assign_scalar(dev, &weight, Some(&frontier), 0, desc);
+        if iter_span.is_recording() {
+            iter_span.attr("min_color", min_color);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
     }
 
     let model_ms = dev.elapsed_ms();

@@ -106,8 +106,22 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let mut finished = false;
     for color in 1..=(MAX_COLORS as i64) {
         iterations += 1;
+        // One span per outer (color) iteration: the inner do-while's
+        // kernel events nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations - 1);
         mis_inner(dev, &a, &weight, &mis, &work, &max, &frontier, &nbr);
         let size = ops::reduce(dev, 0i64, |x, y| x + y, &mis);
+        if iter_span.is_recording() {
+            iter_span.attr("mis_size", size);
+            iter_span.attr("colors_so_far", color);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
         if size == 0 {
             finished = true;
             break;

@@ -43,6 +43,15 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let mut frontier = Frontier::all(n);
     let mut enactor = Enactor::new(dev).with_max_iterations(MAX_ITERATIONS);
     let iterations = enactor.run(|iteration| {
+        // One span per bulk-synchronous iteration: kernel events emitted
+        // by the device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iteration);
         let color = iteration + 1;
 
         // Neighbor-reduce: max random number among *uncolored* neighbors
@@ -80,6 +89,11 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
         frontier = ops::filter(dev, "ar::filter_uncolored", &frontier, |t, v| {
             t.read(&colors, v as usize) == 0
         });
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_uncolored", frontier.len());
+            iter_span.attr("colors_so_far", color);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
         !frontier.is_empty()
     });
 

@@ -69,6 +69,15 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResu
     let mut enactor = Enactor::new(dev).with_max_iterations(cfg.max_iterations);
 
     let iterations = enactor.run(|iteration| {
+        // One span per bulk-synchronous iteration: kernel events emitted
+        // by the device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iteration);
         let color_max = 2 * iteration + 1;
         let color_min = 2 * iteration + 2;
         let used_colors = color_min; // colors 1..=used_colors exist so far
@@ -217,7 +226,13 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResu
                 t.atomic_add(&remaining, 0, 1);
             }
         });
-        dev.download(&remaining)[0] > 0
+        let left = dev.download(&remaining)[0];
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_uncolored", left);
+            iter_span.attr("colors_so_far", used_colors);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
+        left > 0
     });
 
     let model_ms = dev.elapsed_ms();

@@ -164,6 +164,15 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
     let remaining = DeviceBuffer::<u32>::zeroed(1);
     let mut enactor = Enactor::new(dev).with_max_iterations(cfg.max_iterations);
     let iterations = enactor.run(|iteration| {
+        // One span per bulk-synchronous iteration: kernel events emitted
+        // by the device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iteration);
         let base = if cfg.min_max {
             2 * iteration
         } else {
@@ -234,7 +243,16 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
                     t.atomic_add(&remaining, 0, 1);
                 }
             });
-            return dev.download(&remaining)[0] > 0;
+            let left = dev.download(&remaining)[0];
+            if iter_span.is_recording() {
+                iter_span.attr("frontier_uncolored", left);
+                iter_span.attr(
+                    "colors_so_far",
+                    if cfg.min_max { color_min } else { color_max },
+                );
+                iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+            }
+            return left > 0;
         }
 
         ops::compute(dev, "is::color_op", &frontier, |t, v| {
@@ -291,6 +309,14 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
             }
         });
         let left = dev.download(&remaining)[0];
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_uncolored", left);
+            iter_span.attr(
+                "colors_so_far",
+                if cfg.min_max { color_min } else { color_max },
+            );
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
         left > 0
     });
 

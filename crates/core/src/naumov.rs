@@ -54,6 +54,15 @@ pub fn jpl_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let mut iterations = 0u32;
     loop {
         assert!(iterations < MAX_ITERATIONS, "JPL failed to terminate");
+        // One span per bulk-synchronous iteration: kernel events emitted
+        // by the device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations);
         let color = iterations + 1;
         dev.launch("naumov::jpl_kernel", n, |t| {
             let v = t.tid() as u32;
@@ -94,6 +103,11 @@ pub fn jpl_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
         });
         let left = dev.download(&remaining)[0];
         dev.sync();
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_uncolored", left);
+            iter_span.attr("colors_so_far", color);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
         iterations += 1;
         if left == 0 {
             break;
@@ -126,6 +140,14 @@ pub fn cc_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let mut iterations = 0u32;
     loop {
         assert!(iterations < MAX_ITERATIONS, "CC failed to terminate");
+        // One span per bulk-synchronous iteration (see `jpl_on`).
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations);
         let base = iterations * 2 * CC_HASHES;
         dev.launch("naumov::cc_kernel", n, |t| {
             let v = t.tid() as u32;
@@ -184,6 +206,11 @@ pub fn cc_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
         });
         let left = dev.download(&remaining)[0];
         dev.sync();
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_uncolored", left);
+            iter_span.attr("colors_so_far", base + 2 * CC_HASHES);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
         iterations += 1;
         if left == 0 {
             break;

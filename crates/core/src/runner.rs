@@ -67,8 +67,27 @@ impl Colorer {
         )
     }
 
-    /// Runs the algorithm.
+    /// Runs the algorithm. When the calling thread has a current
+    /// `gc_telemetry::Tracer`, the whole run is wrapped in a `color`
+    /// span (the parent of the implementation's per-iteration spans and
+    /// the device's kernel events) carrying the run's headline metrics
+    /// as attributes.
     pub fn run(&self, g: &Csr, seed: u64) -> ColoringResult {
+        let mut span = gc_telemetry::span("color");
+        span.attr("colorer", self.name);
+        span.attr("vertices", g.num_vertices());
+        span.attr("edges", g.num_edges());
+        let result = self.run_inner(g, seed);
+        if span.is_recording() {
+            span.attr("iterations", result.iterations);
+            span.attr("num_colors", result.num_colors);
+            span.attr("kernel_launches", result.kernel_launches);
+            span.set_model_range(0.0, result.model_ms);
+        }
+        result
+    }
+
+    fn run_inner(&self, g: &Csr, seed: u64) -> ColoringResult {
         match self.kind {
             ColorerKind::CpuGreedy(ord) => greedy::greedy(g, ord, seed),
             ColorerKind::CpuJonesPlassmann => jp_cpu::jones_plassmann_cpu(g, seed),
@@ -252,5 +271,64 @@ mod tests {
     #[test]
     fn table2_ladder_has_five_rows() {
         assert_eq!(table2_variants().len(), 5);
+    }
+
+    #[test]
+    fn traced_run_nests_iterations_and_kernels_under_color_span() {
+        let g = erdos_renyi(80, 0.05, 11);
+        let tracer = gc_telemetry::Tracer::new();
+        {
+            let _cur = tracer.make_current();
+            let r = colorer_by_name("Gunrock/Color_IS").unwrap().run(&g, 3);
+            assert_proper(&g, r.coloring.as_slice());
+        }
+        let records = tracer.records();
+        let color = records
+            .iter()
+            .find(|r| r.name == "color")
+            .expect("color span");
+        assert!(color
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "colorer" && v == "Gunrock/Color_IS"));
+        assert!(color.attrs.iter().any(|(k, _)| k == "iterations"));
+        assert!(color.model_dur_ms.unwrap() > 0.0);
+        let iter = records
+            .iter()
+            .find(|r| r.name == "iteration")
+            .expect("iteration span");
+        assert_eq!(iter.parent, Some(color.id), "iteration nests under color");
+        assert!(iter.attrs.iter().any(|(k, _)| k == "frontier_uncolored"));
+        let kernel = records
+            .iter()
+            .find(|r| r.name.starts_with("is::") && r.parent == Some(iter.id))
+            .unwrap_or_else(|| panic!("no kernel event under iteration {}", iter.id));
+        assert!(kernel.attrs.iter().any(|(k, _)| k == "threads"));
+    }
+
+    #[test]
+    fn every_gpu_colorer_emits_iteration_spans_when_traced() {
+        let g = erdos_renyi(60, 0.06, 2);
+        for c in all_colorers().into_iter().filter(|c| c.is_gpu()) {
+            let tracer = gc_telemetry::Tracer::new();
+            {
+                let _cur = tracer.make_current();
+                c.run(&g, 5);
+            }
+            let records = tracer.records();
+            assert!(
+                records.iter().any(|r| r.name == "iteration"),
+                "{} emitted no iteration span",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_run_records_nothing() {
+        let g = erdos_renyi(40, 0.05, 1);
+        let tracer = gc_telemetry::Tracer::new();
+        colorer_by_name("Naumov/Color_JPL").unwrap().run(&g, 1);
+        assert!(tracer.records().is_empty());
     }
 }

@@ -16,7 +16,14 @@
 //!   operationalised;
 //! * a fingerprint-keyed LRU [result cache](cache), exploiting the
 //!   determinism of every implementation given (graph, seed);
-//! * [`ServiceStats`] with per-colorer model-ms latency histograms.
+//! * [`ServiceStats`] with per-colorer model-ms latency histograms;
+//! * optional end-to-end observability: start the service with a
+//!   [`gc_telemetry::Tracer`] and/or
+//!   [`gc_telemetry::MetricsRegistry`] (see [`ServiceConfig`]) and every
+//!   request becomes a span tree — `request` → `queue_wait` /
+//!   `policy_decide` / `color` (iteration spans and kernel events
+//!   inside) / `verify` / `cache_insert` — while counters, queue
+//!   gauges, and latency histograms stream into the registry.
 //!
 //! ```
 //! use std::sync::Arc;

@@ -41,6 +41,14 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Result-cache entries (0 disables caching).
     pub cache_capacity: usize,
+    /// When set, every worker installs this tracer and each request is
+    /// recorded as a span tree: `request` → `queue_wait` /
+    /// `policy_decide` / `color` (with the colorer's per-iteration spans
+    /// and kernel events inside) / `verify` / `cache_insert`.
+    pub tracer: Option<gc_telemetry::Tracer>,
+    /// When set, service counters, queue gauges, and per-colorer latency
+    /// histograms are published here (see [`crate::stats`]).
+    pub metrics: Option<gc_telemetry::MetricsRegistry>,
 }
 
 impl Default for ServiceConfig {
@@ -49,7 +57,23 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_capacity: 64,
             cache_capacity: 128,
+            tracer: None,
+            metrics: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Traces every request through this tracer.
+    pub fn with_tracer(mut self, tracer: gc_telemetry::Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Publishes service metrics into this registry.
+    pub fn with_metrics(mut self, metrics: gc_telemetry::MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 }
 
@@ -92,7 +116,10 @@ impl ColoringService {
         let workers = config.workers.max(1);
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
         let rx: SharedReceiver = Arc::new(Mutex::new(rx));
-        let stats = Arc::new(ServiceStats::new());
+        let stats = Arc::new(match config.metrics {
+            Some(registry) => ServiceStats::with_registry(registry),
+            None => ServiceStats::new(),
+        });
         let cache: ResultCache = Arc::new(LruCache::new(config.cache_capacity));
 
         let handles = (0..workers)
@@ -100,9 +127,10 @@ impl ColoringService {
                 let rx = Arc::clone(&rx);
                 let stats = Arc::clone(&stats);
                 let cache = Arc::clone(&cache);
+                let tracer = config.tracer.clone();
                 std::thread::Builder::new()
                     .name(format!("gc-service-worker-{i}"))
-                    .spawn(move || worker_loop(rx, stats, cache))
+                    .spawn(move || worker_loop(rx, stats, cache, tracer))
                     .expect("spawn service worker")
             })
             .collect();
@@ -187,10 +215,11 @@ impl ServiceHandle {
     pub fn submit(&self, request: ColorRequest) -> ResponseTicket {
         let (item, ticket) = self.package(request);
         self.stats.on_submitted();
+        gc_telemetry::instant("admitted", &[]);
         if self.tx.send(Job::Work(item)).is_err() {
             // Service dropped; the reply channel inside the job is gone,
             // so the ticket will yield ShuttingDown.
-            self.stats.on_failed();
+            self.stats.on_failed_at_submit();
         }
         ticket
     }
@@ -205,12 +234,17 @@ impl ServiceHandle {
         match self.tx.try_send(Job::Work(item)) {
             Ok(()) => {
                 self.stats.on_submitted();
+                gc_telemetry::instant("admitted", &[]);
                 Ok(ticket)
             }
             Err(e) => {
                 let (job, err) = match e {
                     TrySendError::Full(job) => {
                         self.stats.on_rejected();
+                        gc_telemetry::instant(
+                            "rejected",
+                            &[("capacity", self.queue_capacity.to_string())],
+                        );
                         (
                             job,
                             ServiceError::QueueFull {
@@ -248,7 +282,17 @@ impl ServiceHandle {
     }
 }
 
-fn worker_loop(rx: SharedReceiver, stats: Arc<ServiceStats>, cache: ResultCache) {
+fn worker_loop(
+    rx: SharedReceiver,
+    stats: Arc<ServiceStats>,
+    cache: ResultCache,
+    tracer: Option<gc_telemetry::Tracer>,
+) {
+    // Install the tracer once per worker: each worker gets its own lane
+    // (named after the thread), and every span opened below — including
+    // the colorer's iteration spans and the device's kernel events —
+    // lands on it.
+    let _tracing = tracer.as_ref().map(|t| t.make_current());
     loop {
         // Hold the receiver lock only for the dequeue itself so other
         // workers can pull jobs while this one colors.
@@ -273,25 +317,49 @@ fn handle_job(
     stats: &ServiceStats,
     cache: &ResultCache,
 ) -> Result<ColorResponse, ServiceError> {
-    let queued = job.submitted_at.elapsed();
+    let dequeued_at = Instant::now();
+    stats.on_dequeued();
+
+    // The request span covers the whole lifecycle, backdated to the
+    // submission instant so the queue-wait child sits inside it.
+    let mut req_span = gc_telemetry::span("request");
+    if req_span.is_recording() {
+        req_span.set_wall_start(job.submitted_at);
+        req_span.attr("objective", &job.request.objective);
+        req_span.attr("vertices", job.request.graph.num_vertices());
+        req_span.attr("seed", job.request.seed);
+        gc_telemetry::record_complete("queue_wait", job.submitted_at, dequeued_at, None, &[]);
+    }
+
+    let queued = dequeued_at.duration_since(job.submitted_at);
     if let Some(deadline) = job.request.deadline {
         if queued >= deadline {
             stats.on_shed();
-            return Err(ServiceError::DeadlineExceeded {
-                queued_ms: queued.as_millis() as u64,
-            });
+            let queued_ms = queued.as_millis() as u64;
+            req_span.attr("outcome", "shed");
+            gc_telemetry::instant("shed", &[("queued_ms", queued_ms.to_string())]);
+            return Err(ServiceError::DeadlineExceeded { queued_ms });
         }
     }
 
     let req = &job.request;
-    let feats = policy::features(&req.graph);
-    let colorer = match policy::choose(&feats, &req.objective) {
-        Ok(c) => c,
-        Err(e) => {
-            stats.on_failed();
-            return Err(e);
+    let colorer = {
+        let mut decide = gc_telemetry::span("policy_decide");
+        let feats = policy::features(&req.graph);
+        match policy::choose(&feats, &req.objective) {
+            Ok(c) => {
+                decide.attr("colorer", c.name());
+                c
+            }
+            Err(e) => {
+                drop(decide);
+                stats.on_failed();
+                req_span.attr("outcome", "failed");
+                return Err(e);
+            }
         }
     };
+    req_span.attr("colorer", colorer.name());
 
     let key = CacheKey {
         graph_fp: graph_fingerprint(&req.graph),
@@ -303,12 +371,22 @@ fn handle_job(
         resp.cache_hit = true;
         resp.objective = req.objective.clone();
         stats.on_served(colorer.name(), resp.model_ms, true);
+        req_span.attr("outcome", "cache_hit");
+        gc_telemetry::instant("cache_hit", &[]);
         return Ok(resp);
     }
 
+    // `Colorer::run` opens the `color` span (carrying the iteration
+    // spans and kernel events) as a child of the request span.
     let result = colorer.run(&req.graph, req.seed);
-    if let Err(v) = is_proper(&req.graph, result.coloring.as_slice()) {
+
+    let verified = {
+        let _verify = gc_telemetry::span("verify");
+        is_proper(&req.graph, result.coloring.as_slice())
+    };
+    if let Err(v) = verified {
         stats.on_failed();
+        req_span.attr("outcome", "improper");
         return Err(ServiceError::ImproperColoring(v));
     }
 
@@ -328,8 +406,16 @@ fn handle_job(
         verified: true,
         metrics,
     };
-    cache.insert(key, Arc::new(resp.clone()));
+    {
+        let _insert = gc_telemetry::span("cache_insert");
+        cache.insert(key, Arc::new(resp.clone()));
+    }
     stats.on_served(colorer.name(), resp.model_ms, false);
+    if req_span.is_recording() {
+        req_span.attr("outcome", "served");
+        req_span.attr("num_colors", resp.num_colors);
+        req_span.set_model_range(0.0, resp.model_ms);
+    }
     Ok(resp)
 }
 
@@ -418,6 +504,7 @@ mod tests {
             workers: 1,
             queue_capacity: 1,
             cache_capacity: 0,
+            ..ServiceConfig::default()
         });
         let h = svc.handle();
         let g = mesh();
@@ -444,6 +531,102 @@ mod tests {
             t.recv().unwrap();
         }
         svc.shutdown();
+    }
+
+    #[test]
+    fn traced_service_records_request_lifecycle_spans() {
+        let tracer = gc_telemetry::Tracer::new();
+        let metrics = gc_telemetry::MetricsRegistry::new();
+        let svc = ColoringService::start(
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            }
+            .with_tracer(tracer.clone())
+            .with_metrics(metrics.clone()),
+        );
+        let h = svc.handle();
+        let g = mesh();
+        h.color(ColorRequest::new(Arc::clone(&g), Objective::Fastest))
+            .unwrap();
+        // Same (graph, seed, colorer): a cache hit.
+        h.color(ColorRequest::new(g, Objective::Fastest)).unwrap();
+        svc.shutdown();
+
+        let records = tracer.records();
+        let request = records
+            .iter()
+            .find(|r| {
+                r.name == "request" && r.attrs.iter().any(|(k, v)| k == "outcome" && v == "served")
+            })
+            .expect("served request span");
+        // The lifecycle stages hang off the request span.
+        for child in [
+            "queue_wait",
+            "policy_decide",
+            "color",
+            "verify",
+            "cache_insert",
+        ] {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.name == child && r.parent == Some(request.id)),
+                "missing {child} under request {}",
+                request.id
+            );
+        }
+        // The queue-wait child is contained in the backdated request span.
+        let qw = records
+            .iter()
+            .find(|r| r.name == "queue_wait" && r.parent == Some(request.id))
+            .unwrap();
+        assert!(qw.wall_start_us >= request.wall_start_us);
+        // The colorer's iteration spans nest under its color span, and
+        // kernel events under those — one chain from request to kernel.
+        let color = records
+            .iter()
+            .find(|r| r.name == "color" && r.parent == Some(request.id))
+            .unwrap();
+        let iter = records
+            .iter()
+            .find(|r| r.name == "iteration" && r.parent == Some(color.id))
+            .expect("iteration span under color");
+        assert!(
+            records.iter().any(|r| r.parent == Some(iter.id)),
+            "no kernel events under iteration"
+        );
+        // The second request shows up as a cache-hit marker.
+        assert!(records
+            .iter()
+            .any(|r| r.name == "cache_hit" && r.kind == gc_telemetry::EventKind::Instant));
+        // Worker lanes carry the thread name.
+        assert!(tracer
+            .lane_names()
+            .iter()
+            .any(|(_, n)| n == "gc-service-worker-0"));
+        // The registry mirrored the lifecycle.
+        assert_eq!(metrics.counter("gc_service_requests_served_total").get(), 2);
+        assert_eq!(metrics.counter("gc_service_cache_hits_total").get(), 1);
+        assert_eq!(metrics.gauge("gc_service_queued").get(), 0);
+        assert_eq!(metrics.gauge("gc_service_in_flight").get(), 0);
+        let hists = metrics.histograms();
+        assert!(hists
+            .iter()
+            .any(|((name, labels), h)| name == "gc_service_request_model_ms"
+                && labels.iter().any(|(k, _)| k == "colorer")
+                && h.samples == 1));
+    }
+
+    #[test]
+    fn untraced_service_stays_silent() {
+        let tracer = gc_telemetry::Tracer::new();
+        let svc = ColoringService::start(ServiceConfig::default());
+        let h = svc.handle();
+        h.color(ColorRequest::new(mesh(), Objective::Fastest))
+            .unwrap();
+        svc.shutdown();
+        assert!(tracer.records().is_empty());
     }
 
     #[test]

@@ -3,69 +3,24 @@
 //! Counters are lock-free atomics updated on the hot path; the latency
 //! histograms (bucketed in model-ms, the unit the paper reports) sit
 //! behind a mutex that is only taken once per completed request.
+//!
+//! When the service is started with a [`gc_telemetry::MetricsRegistry`],
+//! every lifecycle hook also publishes to it (`gc_service_*` counters
+//! and gauges plus a per-colorer `gc_service_request_model_ms`
+//! histogram), so a Prometheus dump of the registry mirrors the
+//! [`StatsSnapshot`] without a second bookkeeping path.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Upper edges (model-ms) of the latency histogram buckets; the last
-/// bucket is open-ended. Spans launch-overhead-bound tiny runs (<0.01ms)
-/// through Table 1-scale graphs (hundreds of ms).
-pub const LATENCY_BUCKET_EDGES_MS: [f64; 10] =
-    [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0];
+use gc_telemetry::{Counter, Gauge, MetricsRegistry};
 
-/// A fixed-bucket histogram of model-ms latencies.
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct LatencyHistogram {
-    /// `counts[i]` counts samples `<= LATENCY_BUCKET_EDGES_MS[i]`;
-    /// `counts[10]` is the overflow bucket.
-    pub counts: [u64; 11],
-    pub samples: u64,
-    pub total_ms: f64,
-    pub max_ms: f64,
-}
-
-impl LatencyHistogram {
-    pub fn record(&mut self, model_ms: f64) {
-        let idx = LATENCY_BUCKET_EDGES_MS
-            .iter()
-            .position(|&edge| model_ms <= edge)
-            .unwrap_or(LATENCY_BUCKET_EDGES_MS.len());
-        self.counts[idx] += 1;
-        self.samples += 1;
-        self.total_ms += model_ms;
-        if model_ms > self.max_ms {
-            self.max_ms = model_ms;
-        }
-    }
-
-    pub fn mean_ms(&self) -> f64 {
-        if self.samples == 0 {
-            0.0
-        } else {
-            self.total_ms / self.samples as f64
-        }
-    }
-
-    /// Render like `[0.1: 3] [1: 12] [+inf: 1]`, skipping empty buckets.
-    pub fn brief(&self) -> String {
-        let mut parts = Vec::new();
-        for (i, &c) in self.counts.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            match LATENCY_BUCKET_EDGES_MS.get(i) {
-                Some(edge) => parts.push(format!("[{edge}: {c}]")),
-                None => parts.push(format!("[+inf: {c}]")),
-            }
-        }
-        if parts.is_empty() {
-            "(empty)".to_string()
-        } else {
-            parts.join(" ")
-        }
-    }
-}
+// The histogram moved to `gc-telemetry` so the bench harness and the
+// trace subcommand share one bucket layout and quantile estimator;
+// re-exported here so existing `gc_service::stats::LatencyHistogram`
+// users keep compiling.
+pub use gc_telemetry::{LatencyHistogram, LATENCY_BUCKET_EDGES_MS};
 
 /// Point-in-time snapshot of service activity, taken with
 /// [`ServiceStats::snapshot`].
@@ -81,7 +36,12 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Requests that failed (unknown colorer, improper coloring, ...).
     pub failed: u64,
-    /// Requests currently admitted but not yet answered.
+    /// Requests admitted to the queue but not yet dequeued by a worker.
+    pub queued: u64,
+    /// Requests dequeued and currently running on a worker.
+    pub in_flight: u64,
+    /// Requests currently admitted but not yet answered — always
+    /// `queued + in_flight`, kept for snapshot compatibility.
     pub queue_depth: u64,
     /// Per-colorer model-ms latency of actual runs (cache hits excluded —
     /// a hit costs no model time).
@@ -98,9 +58,39 @@ impl StatsSnapshot {
     }
 }
 
+/// Pre-interned registry handles, resolved once at service start so the
+/// per-request hooks never take the registry's intern locks.
+struct MetricHandles {
+    registry: MetricsRegistry,
+    submitted: Counter,
+    served: Counter,
+    cache_hits: Counter,
+    shed: Counter,
+    rejected: Counter,
+    failed: Counter,
+    queued: Gauge,
+    in_flight: Gauge,
+}
+
+impl MetricHandles {
+    fn new(registry: MetricsRegistry) -> Self {
+        MetricHandles {
+            submitted: registry.counter("gc_service_requests_submitted_total"),
+            served: registry.counter("gc_service_requests_served_total"),
+            cache_hits: registry.counter("gc_service_cache_hits_total"),
+            shed: registry.counter("gc_service_requests_shed_total"),
+            rejected: registry.counter("gc_service_requests_rejected_total"),
+            failed: registry.counter("gc_service_requests_failed_total"),
+            queued: registry.gauge("gc_service_queued"),
+            in_flight: registry.gauge("gc_service_in_flight"),
+            registry,
+        }
+    }
+}
+
 /// Shared, thread-safe counters. One instance per service, shared by all
 /// workers and by every handle.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ServiceStats {
     submitted: AtomicU64,
     served: AtomicU64,
@@ -108,8 +98,12 @@ pub struct ServiceStats {
     shed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
-    queue_depth: AtomicI64,
+    /// Admitted, not yet dequeued.
+    queued: AtomicI64,
+    /// Dequeued, currently running on a worker.
+    in_flight: AtomicI64,
     latency: Mutex<BTreeMap<String, LatencyHistogram>>,
+    metrics: Option<MetricHandles>,
 }
 
 impl ServiceStats {
@@ -117,40 +111,99 @@ impl ServiceStats {
         Self::default()
     }
 
+    /// A stats instance that mirrors every update into `registry`.
+    pub fn with_registry(registry: MetricsRegistry) -> Self {
+        ServiceStats {
+            metrics: Some(MetricHandles::new(registry)),
+            ..Default::default()
+        }
+    }
+
     pub fn on_submitted(&self) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.submitted.inc();
+            m.queued.add(1);
+        }
     }
 
     pub fn on_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.rejected.inc();
+        }
+    }
+
+    /// A worker pulled the request off the queue and owns it now.
+    pub fn on_dequeued(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.queued.sub(1);
+            m.in_flight.add(1);
+        }
     }
 
     pub fn on_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.shed.inc();
+            m.in_flight.sub(1);
+        }
     }
 
     pub fn on_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.failed.inc();
+            m.in_flight.sub(1);
+        }
+    }
+
+    /// Failure before any worker dequeued the request (the service shut
+    /// down under a submitted job) — decrements `queued`, not
+    /// `in_flight`.
+    pub fn on_failed_at_submit(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.failed.inc();
+            m.queued.sub(1);
+        }
     }
 
     pub fn on_served(&self, colorer: &str, model_ms: f64, cache_hit: bool) {
         self.served.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.served.inc();
+            m.in_flight.sub(1);
+        }
         if cache_hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.cache_hits.inc();
+            }
         } else {
             let mut latency = self.latency.lock().unwrap();
             latency
                 .entry(colorer.to_string())
                 .or_default()
                 .record(model_ms);
+            if let Some(m) = &self.metrics {
+                m.registry
+                    .histogram_with("gc_service_request_model_ms", &[("colorer", colorer)])
+                    .observe(model_ms);
+            }
         }
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
+        let queued = self.queued.load(Ordering::Relaxed).max(0) as u64;
+        let in_flight = self.in_flight.load(Ordering::Relaxed).max(0) as u64;
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
@@ -158,9 +211,17 @@ impl ServiceStats {
             shed: self.shed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            queued,
+            in_flight,
+            queue_depth: queued + in_flight,
             latency_by_colorer: self.latency.lock().unwrap().clone(),
         }
+    }
+}
+
+impl std::fmt::Debug for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
     }
 }
 
@@ -191,8 +252,11 @@ mod tests {
         for _ in 0..4 {
             s.on_submitted();
         }
+        s.on_dequeued();
         s.on_served("Naumov/Color_CC", 1.5, false);
+        s.on_dequeued();
         s.on_served("Naumov/Color_CC", 0.0, true);
+        s.on_dequeued();
         s.on_shed();
         s.on_rejected();
         let snap = s.snapshot();
@@ -201,10 +265,64 @@ mod tests {
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.shed, 1);
         assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queued, 1);
+        assert_eq!(snap.in_flight, 0);
         assert_eq!(snap.queue_depth, 1);
         // Cache hits don't pollute the latency histogram.
         let h = &snap.latency_by_colorer["Naumov/Color_CC"];
         assert_eq!(h.samples, 1);
         assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queued_and_in_flight_track_dequeue() {
+        let s = ServiceStats::new();
+        s.on_submitted();
+        s.on_submitted();
+        let snap = s.snapshot();
+        assert_eq!((snap.queued, snap.in_flight), (2, 0));
+        s.on_dequeued();
+        let snap = s.snapshot();
+        assert_eq!((snap.queued, snap.in_flight), (1, 1));
+        assert_eq!(snap.queue_depth, 2);
+        s.on_served("X", 1.0, false);
+        let snap = s.snapshot();
+        assert_eq!((snap.queued, snap.in_flight), (1, 0));
+        assert_eq!(snap.queue_depth, 1);
+    }
+
+    #[test]
+    fn failed_at_submit_drains_queued_not_in_flight() {
+        let s = ServiceStats::new();
+        s.on_submitted();
+        s.on_failed_at_submit();
+        let snap = s.snapshot();
+        assert_eq!(snap.failed, 1);
+        assert_eq!((snap.queued, snap.in_flight), (0, 0));
+    }
+
+    #[test]
+    fn registry_mirror_matches_snapshot() {
+        let reg = MetricsRegistry::new();
+        let s = ServiceStats::with_registry(reg.clone());
+        s.on_submitted();
+        s.on_dequeued();
+        s.on_served("Gunrock/Color_IS", 2.5, false);
+        s.on_rejected();
+        let counters: BTreeMap<String, u64> = reg
+            .counters()
+            .into_iter()
+            .map(|((name, _), v)| (name, v))
+            .collect();
+        assert_eq!(counters["gc_service_requests_submitted_total"], 1);
+        assert_eq!(counters["gc_service_requests_served_total"], 1);
+        assert_eq!(counters["gc_service_requests_rejected_total"], 1);
+        assert_eq!(reg.gauge("gc_service_queued").get(), 0);
+        assert_eq!(reg.gauge("gc_service_in_flight").get(), 0);
+        let hists = reg.histograms();
+        let (key, h) = &hists[0];
+        assert_eq!(key.0, "gc_service_request_model_ms");
+        assert_eq!(key.1, vec![("colorer".into(), "Gunrock/Color_IS".into())]);
+        assert_eq!(h.samples, 1);
     }
 }

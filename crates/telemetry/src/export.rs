@@ -1,0 +1,395 @@
+//! Exporters: JSONL event log, Chrome trace-event JSON (loadable in
+//! Perfetto / `chrome://tracing`), and Prometheus text exposition.
+//!
+//! All JSON is emitted by hand (the workspace builds offline, without
+//! serde); [`crate::json`] provides the matching parser the tests use to
+//! prove the output is well-formed.
+
+use crate::metrics::{MetricsRegistry, LATENCY_BUCKET_EDGES_MS};
+use crate::span::{EventKind, SpanRecord, Tracer};
+
+/// Which timeline the Chrome exporter places events on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Host wall clock (every event has one).
+    #[default]
+    Wall,
+    /// The vgpu model clock, in model-µs. Events that never touched a
+    /// metered device carry no model extent and are skipped.
+    Model,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn attrs_json(attrs: &[(String, String)]) -> String {
+    let fields: Vec<String> = attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// One JSON object per line, one line per recorded event. Stable keys:
+/// `id`, `parent`, `lane`, `name`, `kind`, `wall_start_us`,
+/// `wall_dur_us`, and, when present, `model_start_ms` / `model_dur_ms`
+/// and an `attrs` object.
+pub fn to_jsonl(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "{{\"id\":{},\"parent\":{},\"lane\":{},\"name\":\"{}\",\"kind\":\"{}\",\
+             \"wall_start_us\":{},\"wall_dur_us\":{}",
+            r.id,
+            r.parent
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".into()),
+            r.lane,
+            escape_json(&r.name),
+            match r.kind {
+                EventKind::Span => "span",
+                EventKind::Instant => "instant",
+            },
+            r.wall_start_us,
+            r.wall_dur_us,
+        ));
+        if let (Some(s), Some(d)) = (r.model_start_ms, r.model_dur_ms) {
+            out.push_str(&format!(",\"model_start_ms\":{s},\"model_dur_ms\":{d}"));
+        }
+        if !r.attrs.is_empty() {
+            out.push_str(&format!(",\"attrs\":{}", attrs_json(&r.attrs)));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Chrome trace-event JSON: an object with a `traceEvents` array of
+/// complete (`"ph":"X"`) events — one lane per worker/device thread —
+/// plus instant (`"ph":"i"`) markers and `thread_name` metadata, all
+/// under a single pid. Open the file in Perfetto (ui.perfetto.dev) or
+/// `chrome://tracing`.
+pub fn to_chrome_trace(tracer: &Tracer, clock: ClockKind) -> String {
+    let records = tracer.records();
+    let mut events: Vec<String> = Vec::new();
+    for (lane, name) in tracer.lane_names() {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(&name)
+        ));
+    }
+    for r in &records {
+        let (ts, dur) = match clock {
+            ClockKind::Wall => (r.wall_start_us as f64, r.wall_dur_us as f64),
+            ClockKind::Model => match (r.model_start_ms, r.model_dur_ms) {
+                // Model-ms → trace-µs keeps Perfetto's units readable.
+                (Some(s), Some(d)) => (s * 1e3, d * 1e3),
+                _ => continue,
+            },
+        };
+        let mut args = vec![format!("\"span_id\":\"{}\"", r.id)];
+        if let Some(p) = r.parent {
+            args.push(format!("\"parent_id\":\"{p}\""));
+        }
+        if let (Some(s), Some(d)) = (r.model_start_ms, r.model_dur_ms) {
+            args.push(format!("\"model_start_ms\":{s},\"model_dur_ms\":{d}"));
+        }
+        for (k, v) in &r.attrs {
+            args.push(format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+        }
+        let args = args.join(",");
+        match r.kind {
+            EventKind::Span => events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{ts},\"dur\":{dur},\
+                 \"name\":\"{}\",\"cat\":\"gc\",\"args\":{{{args}}}}}",
+                r.lane,
+                escape_json(&r.name)
+            )),
+            EventKind::Instant => events.push(format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{ts},\"s\":\"t\",\
+                 \"name\":\"{}\",\"cat\":\"gc\",\"args\":{{{args}}}}}",
+                r.lane,
+                escape_json(&r.name)
+            )),
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn label_str(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}=\"{}\"",
+                sanitize_metric_name(k),
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Prometheus text exposition (format version 0.0.4): every counter,
+/// gauge, and histogram in the registry, exactly one `# TYPE` line per
+/// metric name. Histograms emit cumulative `_bucket{le=...}` series plus
+/// `_sum`/`_count`, the standard shape Prometheus computes quantiles
+/// from; pre-computed p50/p95/p99 are additionally exposed as a
+/// `<name>_quantile` gauge so a plain-text dump already answers tail-
+/// latency questions without a query engine.
+pub fn to_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+
+    let mut last_type_line: Option<String> = None;
+    let mut emit_type = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if last_type_line.as_deref() != Some(line.as_str()) {
+            out.push_str(&line);
+            last_type_line = Some(line);
+        }
+    };
+
+    for ((name, labels), value) in registry.counters() {
+        let name = sanitize_metric_name(&name);
+        emit_type(&mut out, &name, "counter");
+        out.push_str(&format!("{name}{} {value}\n", label_str(&labels, None)));
+    }
+    for ((name, labels), value) in registry.gauges() {
+        let name = sanitize_metric_name(&name);
+        emit_type(&mut out, &name, "gauge");
+        out.push_str(&format!("{name}{} {value}\n", label_str(&labels, None)));
+    }
+    let histograms = registry.histograms();
+    for ((name, labels), h) in &histograms {
+        let name = sanitize_metric_name(name);
+        emit_type(&mut out, &name, "histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.counts.iter().enumerate() {
+            cum += c;
+            let le = match LATENCY_BUCKET_EDGES_MS.get(i) {
+                Some(edge) => edge.to_string(),
+                None => "+Inf".to_string(),
+            };
+            out.push_str(&format!(
+                "{name}_bucket{} {cum}\n",
+                label_str(labels, Some(("le", le)))
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            label_str(labels, None),
+            h.total_ms
+        ));
+        out.push_str(&format!(
+            "{name}_count{} {}\n",
+            label_str(labels, None),
+            h.samples
+        ));
+    }
+    for ((name, labels), h) in &histograms {
+        let qname = format!("{}_quantile", sanitize_metric_name(name));
+        emit_type(&mut out, &qname, "gauge");
+        for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+            out.push_str(&format!(
+                "{qname}{} {v}\n",
+                label_str(labels, Some(("quantile", q.to_string())))
+            ));
+        }
+    }
+    out
+}
+
+/// Per-event summary row used by text reports: `(name, count, total
+/// wall-µs, total model-ms)` aggregated over all records with that name.
+pub fn summarize_by_name(records: &[SpanRecord]) -> Vec<(String, u64, u64, f64)> {
+    let mut map = std::collections::BTreeMap::<String, (u64, u64, f64)>::new();
+    for r in records {
+        let e = map.entry(r.name.clone()).or_default();
+        e.0 += 1;
+        e.1 += r.wall_dur_us;
+        e.2 += r.model_dur_ms.unwrap_or(0.0);
+    }
+    map.into_iter()
+        .map(|(name, (n, wall, model))| (name, n, wall, model))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::span;
+
+    fn sample_tracer() -> Tracer {
+        let tracer = Tracer::new();
+        {
+            let _cur = tracer.make_current();
+            let mut outer = span::span("request");
+            outer.attr("objective", "balanced \"quoted\"");
+            {
+                let mut inner = span::span("iteration");
+                inner.set_model_range(0.5, 1.25);
+                span::instant("shed", &[("reason", "deadline".into())]);
+            }
+            drop(outer);
+        }
+        tracer
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_roundtrip_fields() {
+        let tracer = sample_tracer();
+        let jsonl = to_jsonl(&tracer.records());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = parse(line).expect("line parses");
+            let obj = v.as_object().unwrap();
+            assert!(obj.contains_key("id"));
+            assert!(obj.contains_key("name"));
+            assert!(obj.contains_key("wall_start_us"));
+        }
+        // The attr with embedded quotes survives the round-trip.
+        let req = lines
+            .iter()
+            .map(|l| parse(l).unwrap())
+            .find(|v| v.get("name").and_then(Json::as_str) == Some("request".to_string()))
+            .unwrap();
+        assert_eq!(
+            req.get("attrs").unwrap().get("objective").unwrap().as_str(),
+            Some("balanced \"quoted\"".to_string())
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_nested() {
+        let tracer = sample_tracer();
+        let json = to_chrome_trace(&tracer, ClockKind::Wall);
+        let v = parse(&json).expect("chrome trace parses");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let mut x = 0;
+        let mut i = 0;
+        let mut m = 0;
+        for e in &events {
+            match e.get("ph").unwrap().as_str().unwrap().as_str() {
+                "X" => {
+                    x += 1;
+                    assert!(e.get("ts").unwrap().as_f64().is_some());
+                    assert!(e.get("dur").unwrap().as_f64().is_some());
+                }
+                "i" => i += 1,
+                "M" => m += 1,
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert_eq!((x, i), (2, 1));
+        assert!(m >= 1, "lane metadata expected");
+        // The iteration event names its parent span id.
+        let iter = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str().unwrap() == "iteration")
+            .unwrap();
+        let req = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str().unwrap() == "request")
+            .unwrap();
+        assert_eq!(
+            iter.get("args").unwrap().get("parent_id").unwrap().as_str(),
+            req.get("args").unwrap().get("span_id").unwrap().as_str()
+        );
+    }
+
+    #[test]
+    fn chrome_model_clock_skips_unmetered_events() {
+        let tracer = sample_tracer();
+        let json = to_chrome_trace(&tracer, ClockKind::Model);
+        let v = parse(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let x: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str().unwrap() == "X")
+            .collect();
+        assert_eq!(x.len(), 1, "only the metered iteration span remains");
+        assert_eq!(x[0].get("name").unwrap().as_str().unwrap(), "iteration");
+        assert!((x[0].get("ts").unwrap().as_f64().unwrap() - 500.0).abs() < 1e-9);
+        assert!((x[0].get("dur").unwrap().as_f64().unwrap() - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_text_has_one_type_per_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter("gc_requests_total").add(7);
+        reg.counter_with("gc_outcomes_total", &[("outcome", "served")])
+            .add(5);
+        reg.counter_with("gc_outcomes_total", &[("outcome", "shed")])
+            .add(2);
+        reg.gauge("gc_queue_depth").set(3);
+        reg.histogram_with("gc_latency_ms", &[("colorer", "Gunrock/Color_IS")])
+            .observe(0.2);
+        let text = to_prometheus(&reg);
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        assert_eq!(type_lines.len(), 5, "{type_lines:?}");
+        let unique: std::collections::HashSet<&&str> = type_lines.iter().collect();
+        assert_eq!(unique.len(), type_lines.len(), "duplicate TYPE lines");
+        assert!(text.contains("gc_requests_total 7"));
+        assert!(text.contains("gc_outcomes_total{outcome=\"served\"} 5"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(
+            text.contains("gc_latency_ms_quantile{colorer=\"Gunrock/Color_IS\",quantile=\"0.99\"}")
+        );
+        // Metric names never contain the raw '/' from colorer names.
+        for l in text.lines() {
+            if let Some(name) = l.split(['{', ' ']).next() {
+                if !l.starts_with('#') {
+                    assert!(
+                        name.chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                        "bad metric name in {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summarize_aggregates_by_name() {
+        let tracer = sample_tracer();
+        let rows = summarize_by_name(&tracer.records());
+        let iter = rows.iter().find(|r| r.0 == "iteration").unwrap();
+        assert_eq!(iter.1, 1);
+        assert!((iter.3 - 0.75).abs() < 1e-9);
+    }
+}

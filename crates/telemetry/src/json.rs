@@ -1,0 +1,249 @@
+//! A minimal JSON parser, just enough to *validate* what the exporters
+//! emit. The workspace builds offline (no serde); the exporter tests and
+//! the cross-crate integration tests parse their own output with this
+//! module to prove the files are well-formed before a browser or
+//! Perfetto ever sees them. Not a general-purpose parser: numbers are
+//! `f64`, object keys collapse duplicates (last wins).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<Vec<Json>> {
+        match self {
+            Json::Array(v) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<String> {
+        match self {
+            Json::String(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Parses one complete JSON document; trailing garbage is an error.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut p = Parser {
+        chars: &bytes,
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing characters at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!("expected {c:?}, got {got:?} at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::String(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            got => Err(format!("unexpected {got:?} at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Object(map)),
+                got => return Err(format!("expected ',' or '}}', got {got:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Array(items)),
+                got => return Err(format!("expected ',' or ']', got {got:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump().ok_or("truncated \\u escape")?;
+                            code =
+                                code * 16 + c.to_digit(16).ok_or(format!("bad hex digit {c:?}"))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    got => return Err(format!("bad escape {got:?}")),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err(format!("raw control character {c:?} in string"))
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || "+-.eE".contains(c)) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-2.5e2").unwrap(), Json::Number(-250.0));
+        assert_eq!(
+            parse("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::String("a\n\"bA".into())
+        );
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"d"}"#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("d".to_string()));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let v = parse(" {\n \"k\" : [ 1 , 2 ] \t}\r\n").unwrap();
+        assert_eq!(v.get("k").unwrap().as_array().unwrap().len(), 2);
+    }
+}

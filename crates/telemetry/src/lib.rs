@@ -1,0 +1,54 @@
+//! `gc-telemetry` — the observability layer of the reproduction: span
+//! tracing plus a metrics registry, with three exporters.
+//!
+//! The paper's §V analysis lives on being able to say *where time goes*
+//! ("a second call to `GrB_vxm` ends up taking nearly 50% of the
+//! runtime"). The kernel-level `gc_vgpu::Profiler` and the request-level
+//! `gc-service` counters each answer that at one altitude; this crate
+//! connects them: a single trace shows a service request span, the
+//! colorer's per-iteration spans nested inside it, and the virtual
+//! device's kernel/sync/memcpy events nested inside those — on both the
+//! host wall clock and the deterministic model clock.
+//!
+//! * [`Tracer`] / [`span()`] / [`SpanGuard`] — nested spans with
+//!   key=value attributes, propagated through thread-local "current
+//!   tracer" state (see [`span`](mod@span) module docs) so lower layers
+//!   need no handle plumbing. No current tracer ⇒ every call is a no-op.
+//! * [`MetricsRegistry`] — named counters, gauges, and
+//!   [`LatencyHistogram`]s (with p50/p95/p99 bucket-interpolated
+//!   quantiles), optionally labeled.
+//! * Exporters — [`to_jsonl`] (one event per line), [`to_chrome_trace`]
+//!   (Perfetto / `chrome://tracing`, one lane per worker thread, wall or
+//!   model timeline), and [`to_prometheus`] (text exposition 0.0.4).
+//!
+//! ```
+//! use gc_telemetry::{span, Tracer, MetricsRegistry};
+//!
+//! let tracer = Tracer::new();
+//! let metrics = MetricsRegistry::new();
+//! {
+//!     let _cur = tracer.make_current();
+//!     let mut request = span::span("request");
+//!     request.attr("objective", "balanced");
+//!     {
+//!         let mut iter = span::span("iteration");
+//!         iter.set_model_range(0.0, 0.42); // model-ms
+//!     }
+//!     metrics.counter("requests_total").inc();
+//! }
+//! assert_eq!(tracer.records().len(), 2);
+//! assert!(gc_telemetry::to_prometheus(&metrics).contains("requests_total 1"));
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use export::{summarize_by_name, to_chrome_trace, to_jsonl, to_prometheus, ClockKind};
+pub use metrics::{
+    Counter, Gauge, Histogram, LatencyHistogram, MetricsRegistry, LATENCY_BUCKET_EDGES_MS,
+};
+pub use span::{
+    enabled, instant, record_complete, span, CurrentGuard, EventKind, SpanGuard, SpanRecord, Tracer,
+};

@@ -1,0 +1,386 @@
+//! Named counters, gauges, and latency histograms behind one registry,
+//! exportable as Prometheus text exposition.
+//!
+//! [`LatencyHistogram`] began life inside `gc-service`'s stats module;
+//! it lives here now so the service, the bench harness, and the trace
+//! subcommand all share one bucket layout and one quantile estimator
+//! (`gc-service` re-exports it for compatibility).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Upper edges (model-ms) of the latency histogram buckets; the last
+/// bucket is open-ended. Spans launch-overhead-bound tiny runs (<0.01ms)
+/// through Table 1-scale graphs (hundreds of ms).
+pub const LATENCY_BUCKET_EDGES_MS: [f64; 10] =
+    [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0];
+
+/// A fixed-bucket histogram of model-ms latencies.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyHistogram {
+    /// `counts[i]` counts samples `<= LATENCY_BUCKET_EDGES_MS[i]`;
+    /// `counts[10]` is the overflow bucket.
+    pub counts: [u64; 11],
+    pub samples: u64,
+    pub total_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencyHistogram {
+    pub fn record(&mut self, model_ms: f64) {
+        let idx = LATENCY_BUCKET_EDGES_MS
+            .iter()
+            .position(|&edge| model_ms <= edge)
+            .unwrap_or(LATENCY_BUCKET_EDGES_MS.len());
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.total_ms += model_ms;
+        if model_ms > self.max_ms {
+            self.max_ms = model_ms;
+        }
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_ms / self.samples as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket containing the target rank. The first bucket
+    /// interpolates from 0; ranks landing in the open overflow bucket
+    /// report `max_ms` (the only finite statement the histogram can make
+    /// there). Results are clamped to `max_ms` so a sparse bucket never
+    /// reports a latency above the worst observed sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.samples as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let est = match LATENCY_BUCKET_EDGES_MS.get(i) {
+                    Some(&upper) => {
+                        let lower = if i == 0 {
+                            0.0
+                        } else {
+                            LATENCY_BUCKET_EDGES_MS[i - 1]
+                        };
+                        lower + (upper - lower) * ((rank - cum as f64) / c as f64)
+                    }
+                    // Open-ended overflow bucket.
+                    None => self.max_ms,
+                };
+                return est.min(self.max_ms);
+            }
+            cum = next;
+        }
+        self.max_ms
+    }
+
+    /// Median latency estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Tail latency estimates — `mean`/`max` alone hide the tail.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Render like `[0.1: 3] [1: 12] [+inf: 1]`, skipping empty buckets.
+    pub fn brief(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            match LATENCY_BUCKET_EDGES_MS.get(i) {
+                Some(edge) => parts.push(format!("[{edge}: {c}]")),
+                None => parts.push(format!("[+inf: {c}]")),
+            }
+        }
+        if parts.is_empty() {
+            "(empty)".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// A metric identity: name plus sorted label pairs.
+pub type MetricKey = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (a value that can go up and down).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<Mutex<LatencyHistogram>>);
+
+impl Histogram {
+    pub fn observe(&self, ms: f64) {
+        self.0.lock().unwrap().record(ms);
+    }
+
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<MetricKey, Counter>>,
+    gauges: Mutex<BTreeMap<MetricKey, Gauge>>,
+    histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
+}
+
+/// A shareable (cheaply clonable) registry of named metrics. Handles
+/// returned by the accessors are interned: asking twice for the same
+/// (name, labels) yields the same underlying cell.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.inner.counters.lock().unwrap().len())
+            .field("gauges", &self.inner.gauges.lock().unwrap().len())
+            .field("histograms", &self.inner.histograms.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .entry(key(name, labels))
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .entry(key(name, labels))
+            .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .entry(key(name, labels))
+            .or_insert_with(|| Histogram(Arc::new(Mutex::new(LatencyHistogram::default()))))
+            .clone()
+    }
+
+    /// Every counter as `(key, value)`, name-sorted.
+    pub fn counters(&self) -> Vec<(MetricKey, u64)> {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Every gauge as `(key, value)`, name-sorted.
+    pub fn gauges(&self) -> Vec<(MetricKey, i64)> {
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+
+    /// Every histogram as `(key, snapshot)`, name-sorted.
+    pub fn histograms(&self) -> Vec<(MetricKey, LatencyHistogram)> {
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = LatencyHistogram::default();
+        h.record(0.005); // bucket 0 (<= 0.01)
+        h.record(0.5); // bucket 4 (<= 1.0)
+        h.record(1000.0); // overflow
+        assert_eq!(h.samples, 3);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.counts[10], 1);
+        assert!((h.mean_ms() - (0.005 + 0.5 + 1000.0) / 3.0).abs() < 1e-9);
+        assert_eq!(h.max_ms, 1000.0);
+        let brief = h.brief();
+        assert!(brief.contains("[0.01: 1]"), "{brief}");
+        assert!(brief.contains("[+inf: 1]"), "{brief}");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = LatencyHistogram::default();
+        // 100 samples in the (0.3, 1.0] bucket.
+        for _ in 0..100 {
+            h.record(0.65);
+        }
+        // p50 rank = 50 of 100 → 0.3 + 0.7 * 0.5 = 0.65.
+        assert!((h.p50() - 0.65).abs() < 1e-9, "{}", h.p50());
+        assert!(h.p95() > h.p50());
+        // Clamped: interpolation cannot exceed the observed max.
+        assert!(h.p99() <= h.max_ms);
+    }
+
+    #[test]
+    fn quantiles_across_buckets_are_monotone() {
+        let mut h = LatencyHistogram::default();
+        for ms in [0.005, 0.02, 0.05, 0.2, 0.8, 2.0, 8.0, 20.0, 80.0, 200.0] {
+            h.record(ms);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max_ms);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_max() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..10 {
+            h.record(5000.0);
+        }
+        assert_eq!(h.p50(), 5000.0);
+        assert_eq!(h.p99(), 5000.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(LatencyHistogram::default().p99(), 0.0);
+    }
+
+    #[test]
+    fn registry_interns_handles() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total").inc();
+        reg.counter("requests_total").add(2);
+        assert_eq!(reg.counter("requests_total").get(), 3);
+
+        reg.gauge("depth").set(5);
+        reg.gauge("depth").sub(2);
+        assert_eq!(reg.gauge("depth").get(), 3);
+
+        reg.histogram_with("latency_ms", &[("colorer", "X")])
+            .observe(0.5);
+        reg.histogram_with("latency_ms", &[("colorer", "X")])
+            .observe(1.5);
+        reg.histogram_with("latency_ms", &[("colorer", "Y")])
+            .observe(9.0);
+        let hists = reg.histograms();
+        assert_eq!(hists.len(), 2);
+        assert_eq!(hists[0].1.samples, 2);
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("c", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter_with("c", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.counters().len(), 1);
+        assert_eq!(reg.counters()[0].1, 2);
+    }
+}

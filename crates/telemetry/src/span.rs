@@ -1,0 +1,489 @@
+//! Span tracing: a [`Tracer`] collects nested [`SpanRecord`]s carrying
+//! key=value attributes on two timelines at once — host wall clock
+//! (microseconds since the tracer's epoch) and the vgpu model clock
+//! (model milliseconds), the unit the paper reports.
+//!
+//! ## Propagation
+//!
+//! Lower layers (the colorers, the virtual device) must not thread a
+//! tracer handle through every call, so the crate follows the `log`/
+//! `tracing` dispatch pattern: a thread installs a tracer as *current*
+//! with [`Tracer::make_current`], and the free functions [`span`],
+//! [`instant`], and [`record_complete`] resolve it through thread-local
+//! state. With no current tracer every call is a cheap no-op, which is
+//! what keeps the hot paths untraced by default.
+//!
+//! Each thread that installs a tracer gets its own *lane* (one row in
+//! the Chrome-trace view); spans opened on a thread nest by a per-thread
+//! stack, so a service request span, the colorer iteration spans inside
+//! it, and the kernel events inside those form one parent chain without
+//! any cross-crate plumbing.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Whether a record is a real span or a zero-duration marker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    Span,
+    Instant,
+}
+
+/// One finished span or instant event.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Unique within the tracer, in completion order.
+    pub id: u64,
+    /// Enclosing span at open time, if any.
+    pub parent: Option<u64>,
+    /// The lane (worker thread / device row) the event belongs to.
+    pub lane: u64,
+    pub name: String,
+    pub kind: EventKind,
+    /// Microseconds since the tracer's epoch.
+    pub wall_start_us: u64,
+    /// Zero for instants.
+    pub wall_dur_us: u64,
+    /// Model-clock start in model-ms, when the layer that emitted the
+    /// span runs on a metered device.
+    pub model_start_ms: Option<f64>,
+    pub model_dur_ms: Option<f64>,
+    pub attrs: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct TraceState {
+    finished: Vec<SpanRecord>,
+    lane_names: Vec<(u64, String)>,
+}
+
+struct TracerInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    next_lane: AtomicU64,
+    state: Mutex<TraceState>,
+}
+
+/// A shareable (cheaply clonable) span collector.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock().unwrap();
+        f.debug_struct("Tracer")
+            .field("finished", &st.finished.len())
+            .finish_non_exhaustive()
+    }
+}
+
+struct ThreadCtx {
+    tracer: Tracer,
+    lane: u64,
+    /// Ids of the open spans on this thread, innermost last.
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<ThreadCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                next_lane: AtomicU64::new(1),
+                state: Mutex::new(TraceState::default()),
+            }),
+        }
+    }
+
+    /// Microseconds between the tracer's epoch and `at` (0 if `at`
+    /// precedes the epoch).
+    pub fn us_since_epoch(&self, at: Instant) -> u64 {
+        at.checked_duration_since(self.inner.epoch)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Installs this tracer as the calling thread's current tracer and
+    /// assigns the thread a fresh lane, named after the thread when it
+    /// has a name. Restores the previous current tracer when the guard
+    /// drops, so scopes nest.
+    pub fn make_current(&self) -> CurrentGuard {
+        let lane = self.inner.next_lane.fetch_add(1, Ordering::Relaxed);
+        if let Some(name) = std::thread::current().name() {
+            let mut st = self.inner.state.lock().unwrap();
+            st.lane_names.push((lane, name.to_string()));
+        }
+        CURRENT.with(|c| {
+            c.borrow_mut().push(ThreadCtx {
+                tracer: self.clone(),
+                lane,
+                stack: Vec::new(),
+            })
+        });
+        CurrentGuard { _private: () }
+    }
+
+    /// Names the given lane (overrides any thread-derived name).
+    pub fn name_lane(&self, lane: u64, name: &str) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.lane_names.push((lane, name.to_string()));
+    }
+
+    /// All finished records, in completion order. Children therefore
+    /// appear *before* their parent; consumers that need open-order
+    /// should sort by `wall_start_us`.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.state.lock().unwrap().finished.clone()
+    }
+
+    /// Lane-id → display-name pairs (last name set wins per lane).
+    pub fn lane_names(&self) -> Vec<(u64, String)> {
+        self.inner.state.lock().unwrap().lane_names.clone()
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn push(&self, rec: SpanRecord) {
+        self.inner.state.lock().unwrap().finished.push(rec);
+    }
+
+    fn same_tracer(&self, other: &Tracer) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Uninstalls the thread's current tracer on drop.
+pub struct CurrentGuard {
+    _private: (),
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// True when the calling thread has a current tracer. Callers measuring
+/// extra state for attributes (e.g. `Instant::now` per kernel launch)
+/// should gate on this.
+pub fn enabled() -> bool {
+    CURRENT.with(|c| !c.borrow().is_empty())
+}
+
+fn with_ctx<R>(f: impl FnOnce(&mut ThreadCtx) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow_mut().last_mut().map(f))
+}
+
+/// An open span. Records itself on drop; attributes and model-clock
+/// bounds are attached while it is open. All methods are no-ops when the
+/// guard was created without a current tracer.
+#[must_use = "a span measures the scope it lives in"]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+    lane: u64,
+    name: String,
+    started: Instant,
+    /// Overrides `started` for retroactive spans (e.g. a request span
+    /// that began at submission on another thread).
+    wall_start_override: Option<Instant>,
+    model_start_ms: Option<f64>,
+    model_end_ms: Option<f64>,
+    attrs: Vec<(String, String)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing.
+    pub fn disabled() -> Self {
+        SpanGuard { open: None }
+    }
+
+    /// Whether this guard will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Attaches a key=value attribute.
+    pub fn attr(&mut self, key: &str, value: impl std::fmt::Display) {
+        if let Some(o) = self.open.as_mut() {
+            o.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Sets the span's model-clock extent, in model-ms.
+    pub fn set_model_range(&mut self, start_ms: f64, end_ms: f64) {
+        if let Some(o) = self.open.as_mut() {
+            o.model_start_ms = Some(start_ms);
+            o.model_end_ms = Some(end_ms);
+        }
+    }
+
+    /// Backdates the span's wall start (the duration still ends at drop
+    /// time). Used for lifecycle spans that logically began on another
+    /// thread, like request spans measured from submission.
+    pub fn set_wall_start(&mut self, at: Instant) {
+        if let Some(o) = self.open.as_mut() {
+            o.wall_start_override = Some(at);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(o) = self.open.take() else { return };
+        let end = Instant::now();
+        let start = o.wall_start_override.unwrap_or(o.started);
+        let wall_start_us = o.tracer.us_since_epoch(start);
+        let wall_end_us = o.tracer.us_since_epoch(end);
+        with_ctx(|ctx| {
+            if ctx.tracer.same_tracer(&o.tracer) {
+                // Pop this span (and anything a buggy caller leaked
+                // above it) off the thread's open stack.
+                if let Some(pos) = ctx.stack.iter().rposition(|&id| id == o.id) {
+                    ctx.stack.truncate(pos);
+                }
+            }
+        });
+        o.tracer.push(SpanRecord {
+            id: o.id,
+            parent: o.parent,
+            lane: o.lane,
+            name: o.name,
+            kind: EventKind::Span,
+            wall_start_us,
+            wall_dur_us: wall_end_us.saturating_sub(wall_start_us),
+            model_start_ms: o.model_start_ms,
+            model_dur_ms: match (o.model_start_ms, o.model_end_ms) {
+                (Some(s), Some(e)) => Some((e - s).max(0.0)),
+                _ => None,
+            },
+            attrs: o.attrs,
+        });
+    }
+}
+
+/// Opens a span under the calling thread's current tracer (no-op guard
+/// when tracing is off). The span becomes the parent of everything
+/// opened on this thread until it drops.
+pub fn span(name: &str) -> SpanGuard {
+    let open = with_ctx(|ctx| {
+        let id = ctx.tracer.fresh_id();
+        let parent = ctx.stack.last().copied();
+        ctx.stack.push(id);
+        OpenSpan {
+            tracer: ctx.tracer.clone(),
+            id,
+            parent,
+            lane: ctx.lane,
+            name: name.to_string(),
+            started: Instant::now(),
+            wall_start_override: None,
+            model_start_ms: None,
+            model_end_ms: None,
+            attrs: Vec::new(),
+        }
+    });
+    SpanGuard { open }
+}
+
+/// Records a zero-duration marker under the current span.
+pub fn instant(name: &str, attrs: &[(&str, String)]) {
+    with_ctx(|ctx| {
+        let id = ctx.tracer.fresh_id();
+        let rec = SpanRecord {
+            id,
+            parent: ctx.stack.last().copied(),
+            lane: ctx.lane,
+            name: name.to_string(),
+            kind: EventKind::Instant,
+            wall_start_us: ctx.tracer.us_since_epoch(Instant::now()),
+            wall_dur_us: 0,
+            model_start_ms: None,
+            model_dur_ms: None,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        ctx.tracer.push(rec);
+    });
+}
+
+/// Records an already-measured span (child of the current span) with
+/// explicit wall bounds and an optional model-clock extent. This is the
+/// bridge the virtual device uses: the launch is timed inline, then
+/// reported as one completed child event.
+pub fn record_complete(
+    name: &str,
+    wall_start: Instant,
+    wall_end: Instant,
+    model_range_ms: Option<(f64, f64)>,
+    attrs: &[(&str, String)],
+) {
+    with_ctx(|ctx| {
+        let id = ctx.tracer.fresh_id();
+        let start_us = ctx.tracer.us_since_epoch(wall_start);
+        let end_us = ctx.tracer.us_since_epoch(wall_end);
+        let rec = SpanRecord {
+            id,
+            parent: ctx.stack.last().copied(),
+            lane: ctx.lane,
+            name: name.to_string(),
+            kind: EventKind::Span,
+            wall_start_us: start_us,
+            wall_dur_us: end_us.saturating_sub(start_us),
+            model_start_ms: model_range_ms.map(|(s, _)| s),
+            model_dur_ms: model_range_ms.map(|(s, e)| (e - s).max(0.0)),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        ctx.tracer.push(rec);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_current_tracer_is_a_noop() {
+        assert!(!enabled());
+        let mut s = span("orphan");
+        s.attr("k", "v");
+        drop(s);
+        instant("nothing", &[]);
+    }
+
+    #[test]
+    fn spans_nest_by_thread_stack() {
+        let tracer = Tracer::new();
+        {
+            let _cur = tracer.make_current();
+            let outer = span("outer");
+            {
+                let mut inner = span("inner");
+                inner.attr("depth", 2);
+                instant("marker", &[("at", "inner".into())]);
+            }
+            drop(outer);
+        }
+        let recs = tracer.records();
+        assert_eq!(recs.len(), 3);
+        let outer = recs.iter().find(|r| r.name == "outer").unwrap();
+        let inner = recs.iter().find(|r| r.name == "inner").unwrap();
+        let marker = recs.iter().find(|r| r.name == "marker").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(marker.parent, Some(inner.id));
+        assert_eq!(marker.kind, EventKind::Instant);
+        assert_eq!(inner.attrs, vec![("depth".to_string(), "2".to_string())]);
+    }
+
+    #[test]
+    fn model_range_and_backdated_start() {
+        let tracer = Tracer::new();
+        let before = Instant::now();
+        {
+            let _cur = tracer.make_current();
+            let mut s = span("work");
+            s.set_model_range(1.5, 4.0);
+            s.set_wall_start(before);
+        }
+        let rec = &tracer.records()[0];
+        assert_eq!(rec.model_start_ms, Some(1.5));
+        assert!((rec.model_dur_ms.unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(rec.wall_start_us, tracer.us_since_epoch(before));
+    }
+
+    #[test]
+    fn record_complete_attaches_to_current_parent() {
+        let tracer = Tracer::new();
+        {
+            let _cur = tracer.make_current();
+            let parent = span("parent");
+            let t0 = Instant::now();
+            record_complete(
+                "kernel",
+                t0,
+                t0,
+                Some((0.0, 0.25)),
+                &[("threads", "64".into())],
+            );
+            drop(parent);
+        }
+        let recs = tracer.records();
+        let parent = recs.iter().find(|r| r.name == "parent").unwrap();
+        let kernel = recs.iter().find(|r| r.name == "kernel").unwrap();
+        assert_eq!(kernel.parent, Some(parent.id));
+        assert_eq!(kernel.model_dur_ms, Some(0.25));
+    }
+
+    #[test]
+    fn lanes_are_distinct_per_thread() {
+        let tracer = Tracer::new();
+        let t2 = {
+            let tracer = tracer.clone();
+            std::thread::Builder::new()
+                .name("lane-test".into())
+                .spawn(move || {
+                    let _cur = tracer.make_current();
+                    drop(span("on-thread"));
+                })
+                .unwrap()
+        };
+        {
+            let _cur = tracer.make_current();
+            drop(span("on-main"));
+        }
+        t2.join().unwrap();
+        let recs = tracer.records();
+        let a = recs.iter().find(|r| r.name == "on-thread").unwrap();
+        let b = recs.iter().find(|r| r.name == "on-main").unwrap();
+        assert_ne!(a.lane, b.lane);
+        assert!(tracer
+            .lane_names()
+            .iter()
+            .any(|(l, n)| *l == a.lane && n == "lane-test"));
+    }
+
+    #[test]
+    fn make_current_scopes_nest_and_restore() {
+        let outer = Tracer::new();
+        let inner = Tracer::new();
+        let _a = outer.make_current();
+        {
+            let _b = inner.make_current();
+            drop(span("inner-span"));
+        }
+        drop(span("outer-span"));
+        assert_eq!(inner.records().len(), 1);
+        assert_eq!(outer.records().len(), 1);
+        assert_eq!(outer.records()[0].name, "outer-span");
+    }
+}

@@ -1,7 +1,15 @@
 //! The device: kernel launches, synchronization, transfers, and the model
 //! clock.
+//!
+//! When the calling thread has a current `gc_telemetry::Tracer`, every
+//! launch, sync, and transfer is also reported as a completed child span
+//! of whatever span that thread has open (a colorer iteration, a service
+//! request), carrying both its wall time and its model-clock extent —
+//! the bottom layer of the request → iteration → kernel attribution
+//! chain. Without a tracer the only overhead is one boolean check.
 
 use std::sync::Mutex;
+use std::time::Instant;
 
 use rayon::prelude::*;
 
@@ -65,6 +73,8 @@ impl Device {
     where
         F: Fn(&mut ThreadCtx) + Sync,
     {
+        let traced = gc_telemetry::enabled();
+        let trace_start = traced.then(|| (Instant::now(), self.elapsed_ms()));
         let costs = intern_costs(&self.cfg);
         let warp = self.cfg.warp_size as usize;
         let block = self.cfg.block_size as usize;
@@ -99,6 +109,7 @@ impl Device {
             .reduce(LaunchStats::default, LaunchStats::merge);
 
         let cost = kernel_cost(&self.cfg, &stats);
+        let cost_cycles = cost.total_cycles;
         self.profiler.lock().unwrap().record_kernel(KernelRecord {
             name: name.to_string(),
             threads: stats.threads,
@@ -107,30 +118,70 @@ impl Device {
             atomics: stats.atomics,
             cost,
         });
+        if let Some((wall0, model0)) = trace_start {
+            gc_telemetry::record_complete(
+                name,
+                wall0,
+                Instant::now(),
+                Some((model0, self.elapsed_ms())),
+                &[
+                    ("threads", stats.threads.to_string()),
+                    ("bytes", stats.bytes.to_string()),
+                    ("atomics", stats.atomics.to_string()),
+                    ("cycles", format!("{cost_cycles:.0}")),
+                ],
+            );
+        }
     }
 
     /// Explicit device-wide synchronization (`cudaDeviceSynchronize`);
     /// bills the sync overhead. Kernel launches already include the
     /// implicit same-stream ordering cost.
     pub fn sync(&self) {
+        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
         let cycles = self.cfg.sync_overhead_cycles as f64;
         self.profiler.lock().unwrap().record_sync(cycles);
+        if let Some((wall0, model0)) = trace_start {
+            gc_telemetry::record_complete(
+                "vgpu::sync",
+                wall0,
+                Instant::now(),
+                Some((model0, self.elapsed_ms())),
+                &[],
+            );
+        }
     }
 
     /// Metered host→device transfer.
     pub fn upload<T: Scalar>(&self, data: &[T]) -> DeviceBuffer<T> {
+        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
         let bytes = data.len() as u64 * T::BYTES;
         let cycles = memcpy_cost(&self.cfg, bytes);
         self.profiler.lock().unwrap().record_memcpy(bytes, cycles);
+        self.trace_memcpy("vgpu::memcpy_h2d", trace_start, bytes);
         DeviceBuffer::from_slice(data)
     }
 
     /// Metered device→host transfer.
     pub fn download<T: Scalar>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
         let bytes = buf.size_bytes();
         let cycles = memcpy_cost(&self.cfg, bytes);
         self.profiler.lock().unwrap().record_memcpy(bytes, cycles);
+        self.trace_memcpy("vgpu::memcpy_d2h", trace_start, bytes);
         buf.to_vec()
+    }
+
+    fn trace_memcpy(&self, name: &str, trace_start: Option<(Instant, f64)>, bytes: u64) {
+        if let Some((wall0, model0)) = trace_start {
+            gc_telemetry::record_complete(
+                name,
+                wall0,
+                Instant::now(),
+                Some((model0, self.elapsed_ms())),
+                &[("bytes", bytes.to_string())],
+            );
+        }
     }
 
     /// Model clock in cycles since construction or the last reset.
@@ -297,6 +348,49 @@ mod tests {
         assert!(dev.elapsed_cycles() > 0.0);
         dev.reset();
         assert_eq!(dev.elapsed_cycles(), 0.0);
+    }
+
+    #[test]
+    fn traced_device_emits_kernel_sync_and_memcpy_events() {
+        let tracer = gc_telemetry::Tracer::new();
+        {
+            let _cur = tracer.make_current();
+            let dev = Device::new(DeviceConfig::test_tiny());
+            let parent = gc_telemetry::span("iteration");
+            let buf = dev.upload(&[1u32, 2, 3]);
+            dev.launch("traced_kernel", 3, |t| {
+                let i = t.tid();
+                let v = t.read(&buf, i);
+                t.write(&buf, i, v + 1);
+            });
+            dev.sync();
+            let _ = dev.download(&buf);
+            drop(parent);
+        }
+        let recs = tracer.records();
+        let names: Vec<&str> = recs.iter().map(|r| r.name.as_str()).collect();
+        for expect in [
+            "vgpu::memcpy_h2d",
+            "traced_kernel",
+            "vgpu::sync",
+            "vgpu::memcpy_d2h",
+        ] {
+            assert!(names.contains(&expect), "missing {expect} in {names:?}");
+        }
+        let parent_id = recs.iter().find(|r| r.name == "iteration").unwrap().id;
+        let kernel = recs.iter().find(|r| r.name == "traced_kernel").unwrap();
+        assert_eq!(kernel.parent, Some(parent_id));
+        assert!(kernel.model_dur_ms.unwrap() > 0.0);
+        assert!(kernel.attrs.iter().any(|(k, v)| k == "threads" && v == "3"));
+    }
+
+    #[test]
+    fn untraced_device_emits_nothing() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        dev.launch("quiet", 8, |t| t.charge(1));
+        // No current tracer: nothing to observe beyond the profiler, and
+        // the launch must not panic reaching for one.
+        assert_eq!(dev.profile().launches, 1);
     }
 
     #[test]

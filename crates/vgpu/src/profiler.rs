@@ -109,19 +109,27 @@ impl ProfileReport {
     /// final `_total` row carrying the launch/sync/transfer aggregates.
     /// Shares its column vocabulary with [`ProfileReport::to_kv`] so the
     /// bench harness and the serving layer emit one format.
+    ///
+    /// Kernel global-memory traffic and host↔device transfer traffic are
+    /// different quantities, so they get distinct columns: kernel rows
+    /// fill `kernel_bytes` (their global-memory bytes) and report 0
+    /// under `memcpy_bytes` (transfers are never attributed to a
+    /// kernel); the `_total` row carries both sums.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("kernel,launches,total_cycles,total_bytes,total_atomics,dominant_bound\n");
+        let mut out = String::from(
+            "kernel,launches,total_cycles,kernel_bytes,memcpy_bytes,total_atomics,dominant_bound\n",
+        );
         for (name, s) in &self.by_kernel {
             out.push_str(&format!(
-                "{},{},{:.0},{},{},{}\n",
+                "{},{},{:.0},{},0,{},{}\n",
                 name, s.launches, s.total_cycles, s.total_bytes, s.total_atomics, s.dominant_bound
             ));
         }
         let atomics: u64 = self.by_kernel.values().map(|s| s.total_atomics).sum();
+        let kernel_bytes: u64 = self.by_kernel.values().map(|s| s.total_bytes).sum();
         out.push_str(&format!(
-            "_total,{},{:.0},{},{},-\n",
-            self.launches, self.clock_cycles, self.memcpy_bytes, atomics
+            "_total,{},{:.0},{},{},{},-\n",
+            self.launches, self.clock_cycles, kernel_bytes, self.memcpy_bytes, atomics
         ));
         out
     }
@@ -267,16 +275,18 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(
             lines[0],
-            "kernel,launches,total_cycles,total_bytes,total_atomics,dominant_bound"
+            "kernel,launches,total_cycles,kernel_bytes,memcpy_bytes,total_atomics,dominant_bound"
         );
         // BTreeMap ordering: "check" before "color", then the total row.
-        assert!(lines[1].starts_with("check,1,40,"));
-        assert!(lines[2].starts_with("color,2,160,"));
-        assert!(lines[3].starts_with("_total,3,225,64,6,"));
+        // Kernel rows: own bytes under kernel_bytes, 0 under memcpy_bytes.
+        assert!(lines[1].starts_with("check,1,40,100,0,"));
+        assert!(lines[2].starts_with("color,2,160,200,0,"));
+        // _total: kernel-byte sum and memcpy-byte sum in distinct columns.
+        assert!(lines[3].starts_with("_total,3,225,300,64,6,"));
         assert_eq!(lines.len(), 4);
         // Every row has the same column count as the header.
         for l in &lines {
-            assert_eq!(l.split(',').count(), 6, "bad row: {l}");
+            assert_eq!(l.split(',').count(), 7, "bad row: {l}");
         }
     }
 

@@ -42,6 +42,7 @@ fn main() {
         workers,
         queue_capacity: 32,
         cache_capacity: 64,
+        ..ServiceConfig::default()
     });
     println!("\nservice up: {workers} device workers, queue 32, cache 64\n");
 

@@ -1,0 +1,102 @@
+//! Trace demo: run a traced request through the coloring service and
+//! write a Perfetto-loadable Chrome trace plus a Prometheus metrics
+//! dump.
+//!
+//! ```text
+//! cargo run --release -p gc-examples --bin trace_demo [scale] [out_dir]
+//! ```
+//!
+//! Open the emitted `trace.json` at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): each service worker is one lane, and every
+//! request shows as a `request` span containing `queue_wait`,
+//! `policy_decide`, the colorer's `color` span (with one `iteration`
+//! span per bulk-synchronous step and the virtual device's kernel /
+//! memcpy events inside), `verify`, and `cache_insert`.
+
+use std::sync::Arc;
+
+use gc_datasets::TEST_SCALE;
+use gc_service::{ColorRequest, ColoringService, Objective, ServiceConfig};
+use gc_telemetry::{ClockKind, MetricsRegistry, Tracer};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a float"))
+        .unwrap_or(TEST_SCALE * 5.0);
+    let out_dir = args.next().unwrap_or_else(|| ".".to_string());
+
+    let tracer = Tracer::new();
+    let metrics = MetricsRegistry::new();
+    let svc = ColoringService::start(
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        }
+        .with_tracer(tracer.clone())
+        .with_metrics(metrics.clone()),
+    );
+    let handle = svc.handle();
+
+    // A small mixed workload: three datasets × three objectives, then a
+    // repeat of the first request to show a cache hit in the trace.
+    let objectives = [
+        Objective::Fastest,
+        Objective::FewestColors,
+        Objective::Balanced,
+    ];
+    let mut tickets = Vec::new();
+    for name in ["ecology2", "af_shell3", "G3_circuit"] {
+        let spec = gc_datasets::dataset_by_name(name).expect("registered dataset");
+        let g = Arc::new(spec.generate(scale, 42));
+        for obj in &objectives {
+            let req = ColorRequest::new(Arc::clone(&g), obj.clone()).with_seed(7);
+            tickets.push((name, obj.clone(), handle.submit(req)));
+        }
+        let repeat = ColorRequest::new(g, Objective::Fastest).with_seed(7);
+        tickets.push((name, Objective::Fastest, handle.submit(repeat)));
+    }
+    for (name, obj, ticket) in tickets {
+        let resp = ticket.recv().expect("request served");
+        println!(
+            "{name:<12} {obj:<14} -> {:<22} {} colors, {:.3} model-ms{}",
+            resp.colorer,
+            resp.num_colors,
+            resp.model_ms,
+            if resp.cache_hit { " (cache hit)" } else { "" }
+        );
+    }
+    svc.shutdown();
+
+    // Exporters: Chrome trace (wall clock), span log, Prometheus text.
+    let trace_path = format!("{out_dir}/trace.json");
+    let jsonl_path = format!("{out_dir}/trace.jsonl");
+    let prom_path = format!("{out_dir}/metrics.prom");
+    std::fs::write(
+        &trace_path,
+        gc_telemetry::to_chrome_trace(&tracer, ClockKind::Wall),
+    )
+    .expect("write chrome trace");
+    std::fs::write(&jsonl_path, gc_telemetry::to_jsonl(&tracer.records())).expect("write span log");
+    std::fs::write(&prom_path, gc_telemetry::to_prometheus(&metrics)).expect("write metrics");
+
+    let records = tracer.records();
+    println!(
+        "\ncaptured {} spans/events across {} lanes",
+        records.len(),
+        {
+            let mut lanes: Vec<u64> = records.iter().map(|r| r.lane).collect();
+            lanes.sort_unstable();
+            lanes.dedup();
+            lanes.len()
+        }
+    );
+    println!("span breakdown (name, count, wall µs, model-ms):");
+    for (name, count, wall_us, model_ms) in gc_telemetry::summarize_by_name(&records) {
+        println!("  {name:<28} x{count:<5} {wall_us:>10} µs {model_ms:>10.3} model-ms");
+    }
+    println!("\nchrome trace -> {trace_path}  (open at https://ui.perfetto.dev)");
+    println!("span log     -> {jsonl_path}");
+    println!("metrics      -> {prom_path}");
+}

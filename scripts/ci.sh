@@ -23,4 +23,30 @@ fi
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> observability smoke: repro trace on a small graph"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --release -q -p gc-bench --bin repro -- \
+  trace "Gunrock/Color_IS" ecology2 --scale 0.002 \
+  --trace "$trace_dir/trace.json" \
+  --jsonl "$trace_dir/trace.jsonl" \
+  --metrics "$trace_dir/metrics.prom"
+python3 - "$trace_dir" <<'PY'
+import json, sys
+d = sys.argv[1]
+events = json.load(open(f"{d}/trace.json"))["traceEvents"]
+names = {e["name"] for e in events}
+for expected in ("color", "iteration"):
+    assert expected in names, f"trace.json missing {expected!r} spans"
+assert any(n.startswith("is::") for n in names), "trace.json missing kernel events"
+lines = open(f"{d}/trace.jsonl").read().splitlines()
+assert lines, "trace.jsonl is empty"
+for line in lines:
+    json.loads(line)
+prom = open(f"{d}/metrics.prom").read()
+assert "gc_trace_runs_total 1" in prom, "metrics.prom missing run counter"
+assert "gc_color_model_ms_quantile" in prom, "metrics.prom missing quantiles"
+print(f"trace artifacts OK: {len(events)} events, {len(lines)} spans")
+PY
+
 echo "CI gate passed."

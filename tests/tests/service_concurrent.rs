@@ -46,6 +46,7 @@ fn run_mixed_workload() -> RunOutcome {
         workers: 3,
         queue_capacity: 16,
         cache_capacity: 64,
+        ..ServiceConfig::default()
     });
 
     // Producer p sends 9 requests: ids p*9..p*9+9 over (graph, objective,
@@ -179,6 +180,7 @@ fn backpressure_queue_rejects_then_recovers() {
         workers: 1,
         queue_capacity: 2,
         cache_capacity: 0,
+        ..ServiceConfig::default()
     });
     let handle = svc.handle();
 
