@@ -7,6 +7,8 @@
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE]
 //! repro trace <colorer> <dataset> [--scale F] [--seed N]
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]
+//! repro bench [--scale F] [--seed N] [--out FILE]
+//! repro bench-check <FILE>
 //! ```
 //!
 //! Default scale synthesizes each dataset at 2% of the paper's vertex
@@ -19,6 +21,13 @@
 //! the whole service workload; the `trace` subcommand captures one
 //! colorer × dataset run (files default to `trace.json`/`trace.jsonl`
 //! when the flags are omitted).
+//!
+//! `bench` runs every Figure 1 colorer twice per dataset — once with
+//! full-width (pre-compaction) frontiers, once with today's compacted
+//! path — and writes the before/after matrix as a
+//! `gc-bench-coloring/v1` JSON document (default `BENCH_coloring.json`,
+//! override with `--out`). `bench-check FILE` re-validates such a
+//! document and exits non-zero when it is malformed (the CI smoke step).
 
 use std::fs;
 use std::process::ExitCode;
@@ -35,8 +44,10 @@ struct Args {
     trace_out: Option<String>,
     jsonl_out: Option<String>,
     metrics_out: Option<String>,
+    /// Output file of the `bench` subcommand.
+    out: Option<String>,
     model_clock: bool,
-    /// Positional operands of the `trace` subcommand.
+    /// Positional operands of the `trace`/`bench-check` subcommands.
     operands: Vec<String>,
 }
 
@@ -49,13 +60,14 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_out = None;
     let mut jsonl_out = None;
     let mut metrics_out = None;
+    let mut out = None;
     let mut model_clock = false;
     let mut operands = Vec::new();
     let mut first = true;
     while let Some(a) = args.next() {
         match a.as_str() {
             "table1" | "table2" | "fig1" | "fig1a" | "fig1b" | "fig2" | "fig3" | "ablation"
-            | "powerlaw" | "serve-bench" | "trace" | "all"
+            | "powerlaw" | "serve-bench" | "trace" | "bench" | "bench-check" | "all"
                 if first =>
             {
                 command = a;
@@ -99,8 +111,11 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => trace_out = Some(args.next().ok_or("--trace needs a file")?),
             "--jsonl" => jsonl_out = Some(args.next().ok_or("--jsonl needs a file")?),
             "--metrics" => metrics_out = Some(args.next().ok_or("--metrics needs a file")?),
+            "--out" => out = Some(args.next().ok_or("--out needs a file")?),
             "--model-clock" => model_clock = true,
-            other if command == "trace" && !other.starts_with('-') => {
+            other
+                if (command == "trace" || command == "bench-check") && !other.starts_with('-') =>
+            {
                 operands.push(other.to_string());
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -115,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
         trace_out,
         jsonl_out,
         metrics_out,
+        out,
         model_clock,
         operands,
     })
@@ -137,7 +153,9 @@ fn main() -> ExitCode {
                  [--scale F] [--seed N] [--rgg MIN:MAX] [--diameter-samples N] [--full] \
                  [--csv DIR] [--workers N] [--trace FILE] [--jsonl FILE] [--metrics FILE]\n\
                  \x20      repro trace <colorer> <dataset> [--scale F] [--seed N] \
-                 [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]"
+                 [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]\n\
+                 \x20      repro bench [--scale F] [--seed N] [--out FILE]\n\
+                 \x20      repro bench-check <FILE>"
             );
             return ExitCode::FAILURE;
         }
@@ -232,6 +250,52 @@ fn main() -> ExitCode {
             }
         }
         return ExitCode::SUCCESS;
+    }
+
+    if args.command == "bench" {
+        let report = gc_bench::coloring_bench::coloring_bench(&cfg);
+        println!("{}", format::render_coloring_bench(&report));
+        let json = gc_bench::coloring_bench::to_json(&report);
+        if let Err(e) = gc_bench::coloring_bench::validate_report_json(&json) {
+            eprintln!("error: emitted JSON failed self-validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = args.out.as_deref().unwrap_or("BENCH_coloring.json");
+        if let Err(e) = write_artifact(path, "coloring bench report", &json) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.command == "bench-check" {
+        let [path] = args.operands.as_slice() else {
+            eprintln!(
+                "error: bench-check needs exactly one FILE operand, got {:?}",
+                args.operands
+            );
+            return ExitCode::FAILURE;
+        };
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match gc_bench::coloring_bench::validate_report_json(&text) {
+            Ok(()) => {
+                println!(
+                    "{path}: valid {} document",
+                    gc_bench::coloring_bench::SCHEMA
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if want("serve-bench") {

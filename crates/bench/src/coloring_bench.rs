@@ -1,0 +1,309 @@
+//! Before/after benchmark of the frontier-compaction work (`repro bench`).
+//!
+//! Every Figure 1 colorer runs twice per dataset: once through its
+//! pre-compaction baseline (full-width frontiers — every kernel spans
+//! all `n` vertices every iteration) and once through today's default
+//! compacted path. Each side reports model-ms, wall-ms, simulated
+//! thread-executions, kernel launches, and iteration count; the row also
+//! records whether the two sides produced bit-identical colorings
+//! (compaction is a pure work optimization, so they must).
+//!
+//! `to_json` emits the `gc-bench-coloring/v1` document committed as
+//! `BENCH_coloring.json`, the artifact that anchors the perf trajectory:
+//! future optimization PRs regenerate it and diff the counters.
+//! `validate_report_json` re-parses a document with the gc-telemetry
+//! JSON parser and checks the schema's shape — `repro bench` self-checks
+//! its own output through it, and `repro bench-check FILE` exposes it to
+//! CI.
+
+use std::time::Instant;
+
+use gc_core::gblas_jpl::JplConfig;
+use gc_core::gunrock_hash::HashConfig;
+use gc_core::gunrock_is::IsConfig;
+use gc_core::runner::{all_colorers, Colorer, ColorerKind};
+use gc_core::{gblas_is, gblas_jpl, gblas_mis, gunrock_hash, gunrock_is, naumov, ColoringResult};
+use gc_graph::Csr;
+use gc_vgpu::Device;
+
+use crate::experiments::ExperimentConfig;
+
+/// The document's `schema` field.
+pub const SCHEMA: &str = "gc-bench-coloring/v1";
+
+/// Datasets the bench sweeps: the road-like sparse mesh the acceptance
+/// tracking cares about first, then a 3-D mesh, a circuit, and a
+/// thermal problem — the structural spread of Table I.
+pub const BENCH_DATASETS: [&str; 4] = ["ecology2", "offshore", "G3_circuit", "thermomech_dK"];
+
+/// Counters from one side (baseline or compacted) of one matrix cell.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchSide {
+    pub model_ms: f64,
+    pub wall_ms: f64,
+    /// Simulated thread executions (0 for host-only colorers).
+    pub thread_executions: u64,
+    pub launches: u64,
+    pub iterations: u32,
+}
+
+/// One colorer × dataset cell of the benchmark matrix.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    pub colorer: String,
+    pub dataset: String,
+    pub vertices: usize,
+    pub edges: usize,
+    /// Colors used (both sides agree whenever `identical_coloring`).
+    pub colors: u32,
+    /// Did baseline and compacted produce the same assignment?
+    pub identical_coloring: bool,
+    pub before: BenchSide,
+    pub after: BenchSide,
+}
+
+/// Full benchmark outcome: the colorer × dataset matrix plus the knobs
+/// that generated it.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    pub scale: f64,
+    pub seed: u64,
+    pub rows: Vec<BenchRow>,
+}
+
+/// Runs `colorer`'s pre-compaction twin: full-width frontiers, the
+/// paper's transcription before this repo's compaction pass.
+/// `Gunrock/Color_AR` and the host greedy never had a frontier to
+/// compact, so their baseline is the colorer itself.
+fn run_baseline(colorer: &Colorer, g: &Csr, seed: u64) -> ColoringResult {
+    match colorer.kind() {
+        ColorerKind::GblasIs => gblas_is::run_on_full(&Device::k40c(), g, seed),
+        ColorerKind::GblasMis => gblas_mis::run_on_full(&Device::k40c(), g, seed),
+        ColorerKind::GblasJpl => gblas_jpl::gblas_jpl_with(g, seed, JplConfig::full_width()),
+        ColorerKind::GunrockIs(cfg) => gunrock_is::gunrock_is(
+            g,
+            seed,
+            IsConfig {
+                compact_frontier: false,
+                ..cfg
+            },
+        ),
+        ColorerKind::GunrockHash(cfg) => gunrock_hash::gunrock_hash(
+            g,
+            seed,
+            HashConfig {
+                compact_frontier: false,
+                ..cfg
+            },
+        ),
+        ColorerKind::NaumovJpl => naumov::jpl_on_full(&Device::k40c(), g, seed),
+        ColorerKind::NaumovCc => naumov::cc_on_full(&Device::k40c(), g, seed),
+        _ => colorer.run(g, seed),
+    }
+}
+
+fn timed(f: impl FnOnce() -> ColoringResult) -> (ColoringResult, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn side_of(r: &ColoringResult, wall_ms: f64) -> BenchSide {
+    BenchSide {
+        model_ms: r.model_ms,
+        wall_ms,
+        thread_executions: r.profile.as_ref().map_or(0, |p| p.thread_executions),
+        launches: r.kernel_launches,
+        iterations: r.iterations,
+    }
+}
+
+/// Runs the full before/after matrix over [`BENCH_DATASETS`].
+pub fn coloring_bench(cfg: &ExperimentConfig) -> BenchReport {
+    coloring_bench_on(cfg, &BENCH_DATASETS)
+}
+
+/// [`coloring_bench`] over an explicit dataset list (tests and the CI
+/// smoke step run a single small dataset).
+pub fn coloring_bench_on(cfg: &ExperimentConfig, datasets: &[&str]) -> BenchReport {
+    let mut rows = Vec::new();
+    for name in datasets {
+        let spec = gc_datasets::dataset_by_name(name).expect("bench dataset registered");
+        let g = spec.generate(cfg.scale, cfg.seed);
+        for colorer in all_colorers() {
+            let (before_r, before_wall) = timed(|| run_baseline(&colorer, &g, cfg.seed));
+            let (after_r, after_wall) = timed(|| colorer.run(&g, cfg.seed));
+            rows.push(BenchRow {
+                colorer: colorer.name().to_string(),
+                dataset: name.to_string(),
+                vertices: g.num_vertices(),
+                edges: g.num_edges(),
+                colors: after_r.num_colors,
+                identical_coloring: before_r.coloring == after_r.coloring,
+                before: side_of(&before_r, before_wall),
+                after: side_of(&after_r, after_wall),
+            });
+        }
+    }
+    BenchReport {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        rows,
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_side(s: &BenchSide) -> String {
+    format!(
+        "{{\"model_ms\": {:.4}, \"wall_ms\": {:.4}, \"thread_executions\": {}, \
+         \"launches\": {}, \"iterations\": {}}}",
+        s.model_ms, s.wall_ms, s.thread_executions, s.launches, s.iterations
+    )
+}
+
+/// Serializes a report as a `gc-bench-coloring/v1` JSON document.
+pub fn to_json(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"scale\": {},\n", report.scale));
+    out.push_str(&format!("  \"seed\": {},\n", report.seed));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"colorer\": \"{}\", \"dataset\": \"{}\", \"vertices\": {}, \
+             \"edges\": {}, \"colors\": {}, \"identical_coloring\": {},\n      \
+             \"before\": {},\n      \"after\": {}}}{}\n",
+            esc(&r.colorer),
+            esc(&r.dataset),
+            r.vertices,
+            r.edges,
+            r.colors,
+            r.identical_coloring,
+            json_side(&r.before),
+            json_side(&r.after),
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a `gc-bench-coloring/v1` document: parses it with the
+/// gc-telemetry JSON parser and checks every field the schema promises.
+pub fn validate_report_json(text: &str) -> Result<(), String> {
+    use gc_telemetry::json::{parse, Json};
+    let doc = parse(text)?;
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        other => return Err(format!("schema must be {SCHEMA:?}, got {other:?}")),
+    }
+    for f in ["scale", "seed"] {
+        doc.get(f)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing numeric {f}"))?;
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or("missing rows array")?;
+    if rows.is_empty() {
+        return Err("rows must be non-empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let missing = |f: &str| format!("row {i}: missing or mistyped {f}");
+        row.get("colorer")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| missing("colorer"))?;
+        row.get("dataset")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| missing("dataset"))?;
+        for f in ["vertices", "edges", "colors"] {
+            row.get(f)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| missing(f))?;
+        }
+        match row.get("identical_coloring") {
+            Some(Json::Bool(_)) => {}
+            _ => return Err(missing("identical_coloring")),
+        }
+        for side in ["before", "after"] {
+            let s = row.get(side).ok_or_else(|| missing(side))?;
+            for f in [
+                "model_ms",
+                "wall_ms",
+                "thread_executions",
+                "launches",
+                "iterations",
+            ] {
+                s.get(f)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| missing(&format!("{side}.{f}")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn before_and_after_colorings_agree_and_json_validates() {
+        let report = coloring_bench_on(&ExperimentConfig::smoke(), &["ecology2"]);
+        assert_eq!(report.rows.len(), 9);
+        for r in &report.rows {
+            assert!(r.identical_coloring, "{} changed its coloring", r.colorer);
+            assert!(r.before.model_ms > 0.0 && r.after.model_ms > 0.0);
+            assert!(r.colors > 0);
+        }
+        // The acceptance criterion's shape, at smoke scale: on the
+        // road-like mesh, at least two iterative colorers drop simulated
+        // thread-executions by >= 1.5x with identical colorings.
+        let reduced = report
+            .rows
+            .iter()
+            .filter(|r| {
+                r.after.thread_executions > 0
+                    && r.before.thread_executions as f64 >= 1.5 * r.after.thread_executions as f64
+            })
+            .count();
+        assert!(
+            reduced >= 2,
+            "only {reduced} colorers saw a >=1.5x thread-execution reduction"
+        );
+        validate_report_json(&to_json(&report)).expect("emitted JSON validates");
+    }
+
+    const MINI: &str = r#"{"schema": "gc-bench-coloring/v1", "scale": 0.002, "seed": 42,
+      "rows": [{"colorer": "X", "dataset": "d", "vertices": 1, "edges": 0, "colors": 1,
+      "identical_coloring": true,
+      "before": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 1, "iterations": 1},
+      "after": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 1, "iterations": 1}}]}"#;
+
+    #[test]
+    fn validator_accepts_minimal_document_and_rejects_mutations() {
+        validate_report_json(MINI).expect("minimal document validates");
+        assert!(validate_report_json("not json").is_err());
+        assert!(validate_report_json("{}").is_err());
+        assert!(validate_report_json(&MINI.replace("gc-bench-coloring/v1", "v0")).is_err());
+        assert!(validate_report_json(
+            &MINI.replace("\"identical_coloring\": true", "\"identical_coloring\": 1")
+        )
+        .is_err());
+        assert!(validate_report_json(&MINI.replace("\"wall_ms\": 1.0, ", "")).is_err());
+        assert!(
+            validate_report_json(&MINI.replace("\"rows\": [{", "\"rows\": [], \"x\": [{")).is_err()
+        );
+    }
+}

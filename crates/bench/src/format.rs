@@ -367,6 +367,47 @@ pub fn render_serve_bench(report: &crate::serve::ServeBenchReport) -> String {
     out
 }
 
+/// Renders the `repro bench` before/after compaction matrix.
+pub fn render_coloring_bench(report: &crate::coloring_bench::BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("BENCH: frontier compaction before/after (full colorer matrix)\n");
+    out.push_str(&format!(
+        "{:<16}{:<12}{:>14}{:>14}{:>8}{:>13}{:>13}{:>6}\n",
+        "Dataset",
+        "Colorer",
+        "ThreadEx(b)",
+        "ThreadEx(a)",
+        "Work/x",
+        "Model(b)ms",
+        "Model(a)ms",
+        "Same"
+    ));
+    out.push_str(&hr(96));
+    out.push('\n');
+    for r in &report.rows {
+        let ratio = if r.after.thread_executions == 0 {
+            "—".to_string()
+        } else {
+            format!(
+                "{:.2}x",
+                r.before.thread_executions as f64 / r.after.thread_executions as f64
+            )
+        };
+        out.push_str(&format!(
+            "{:<16}{:<12}{:>14}{:>14}{:>8}{:>13.3}{:>13.3}{:>6}\n",
+            r.dataset,
+            short(&r.colorer),
+            r.before.thread_executions,
+            r.after.thread_executions,
+            ratio,
+            r.before.model_ms,
+            r.after.model_ms,
+            if r.identical_coloring { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
 /// Renders the `repro trace` per-span-name summary table.
 pub fn render_trace_summary(cap: &crate::trace::TraceCapture) -> String {
     let mut out = String::new();

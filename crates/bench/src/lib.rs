@@ -5,6 +5,7 @@
 //! underlying simulations, and the integration tests assert the paper's
 //! qualitative claims against them.
 
+pub mod coloring_bench;
 pub mod experiments;
 pub mod format;
 pub mod serve;

@@ -88,6 +88,7 @@ pub fn serve_bench_with(
         cache_capacity: 128,
         tracer,
         metrics,
+        ..ServiceConfig::default()
     });
     let handle = svc.handle();
     let started = Instant::now();

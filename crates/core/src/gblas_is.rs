@@ -7,9 +7,17 @@
 //! neighborhood with an `eWiseAdd(GT)`, stops when a `reduce(+)` says the
 //! frontier is empty, and otherwise colors the frontier and zeroes its
 //! weights with two masked `assign`s.
+//!
+//! The default path keeps a compacted [`ActiveList`] of still-uncolored
+//! vertices and runs the list-restricted ops over it, so each round's
+//! work shrinks with the candidate set; the new-member contraction's
+//! output length doubles as the empty-frontier test, replacing the
+//! full-width `reduce`. [`run_on_full`] preserves the paper's full-width
+//! transcription for comparison (every op spans all `n` rows every
+//! round).
 
 use gc_graph::Csr;
-use gc_graphblas::{ops, Descriptor, Matrix, MaxTimes, Vector};
+use gc_graphblas::{ops, ActiveList, Descriptor, Matrix, MaxTimes, Vector};
 use gc_vgpu::rng::vertex_weight_i64;
 use gc_vgpu::Device;
 
@@ -24,7 +32,16 @@ pub fn gblas_is(g: &Csr, seed: u64) -> ColoringResult {
     run_on(&dev, g, seed)
 }
 
-/// Runs Algorithm 2 on the provided device.
+/// Runs Algorithm 2 on the provided device with the compacted
+/// active-vertex list (the default path).
+///
+/// Per round, `vxm_list`/`ewise_add_list` span only the uncolored
+/// vertices, the new Luby members are contracted out of the list (their
+/// count is the old `reduce(+)` frontier size, fused into the
+/// compaction), and two list-restricted assigns color them. The max at
+/// a listed row only combines neighbors with live weights — exactly
+/// what the full-width masked product computes there — so colorings are
+/// bit-identical to [`run_on_full`].
 pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let n = g.num_vertices();
     let a = Matrix::from_graph(dev, g);
@@ -48,6 +65,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
         desc,
     );
 
+    let mut active = ActiveList::all(n);
     let mut iterations = 0u32;
     let mut finished = false;
     for color in 1..=(MAX_COLORS as i64) {
@@ -61,11 +79,85 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
             0.0
         };
         iter_span.attr("iteration", iterations - 1);
-        // Find max of neighbors.
-        ops::vxm(dev, &max, None, &MaxTimes, &weight, &a, desc);
+        // Find max of neighbors among the still-uncolored vertices.
+        ops::vxm_list(dev, &max, &MaxTimes, &weight, &a, &active);
         // Find all largest uncolored nodes. Under the dense encoding the
         // zero weight of a colored vertex is the "no value" sentinel, so
         // the GT test also requires a live weight.
+        ops::ewise_add_list(
+            dev,
+            &frontier,
+            |w, m| (w != 0 && w > m) as i64,
+            &weight,
+            &max,
+            &active,
+        );
+        // New Luby members: the contraction's length is the frontier
+        // size, so the empty test costs a scalar readback, not a pass.
+        let members = active.contract(dev, "grb::is_members", |t, v| {
+            frontier.truthy(t, v as usize)
+        });
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_size", members.len() as i64);
+            iter_span.attr("colors_so_far", color);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
+        if members.read_len(dev) == 0 {
+            finished = true;
+            break;
+        }
+        // Assign new color; remove colored nodes from the candidate list.
+        ops::assign_scalar_list(dev, &c, color, &members);
+        ops::assign_scalar_list(dev, &weight, 0, &members);
+        active = active.contract(dev, "grb::is_active", |t, v| weight.truthy(t, v as usize));
+    }
+
+    assert!(finished, "IS coloring exceeded the {MAX_COLORS}-color cap");
+    let model_ms = dev.elapsed_ms();
+    let launches = dev.profile().launches - launches_before;
+    let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
+    ColoringResult::new(colors, iterations, model_ms, launches).with_profile(dev.profile())
+}
+
+/// Runs Algorithm 2 full-width, as the paper transcribes it: every op
+/// spans all `n` rows every round and a full-width `reduce(+)` tests
+/// frontier emptiness. Kept as the pre-compaction baseline for the
+/// benchmark harness and the equivalence tests.
+pub fn run_on_full(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    let n = g.num_vertices();
+    let a = Matrix::from_graph(dev, g);
+    let c = Vector::<i64>::new(n);
+    let weight = Vector::<i64>::new(n);
+    let max = Vector::<i64>::new(n);
+    let frontier = Vector::<i64>::new(n);
+    dev.reset();
+    let launches_before = dev.profile().launches;
+    let desc = Descriptor::null();
+
+    ops::assign_scalar(dev, &c, None, 0, desc);
+    ops::apply_indexed(
+        dev,
+        &weight,
+        None,
+        |i, _| vertex_weight_i64(seed, i as u32),
+        &weight,
+        desc,
+    );
+
+    let mut iterations = 0u32;
+    let mut finished = false;
+    for color in 1..=(MAX_COLORS as i64) {
+        iterations += 1;
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations - 1);
+        // Find max of neighbors.
+        ops::vxm(dev, &max, None, &MaxTimes, &weight, &a, desc);
+        // Find all largest uncolored nodes.
         ops::ewise_add(
             dev,
             &frontier,
@@ -157,5 +249,32 @@ mod tests {
         let g = erdos_renyi(200, 0.05, 4);
         let r = gblas_is(&g, 2);
         assert_eq!(r.num_colors + 1, r.iterations);
+    }
+
+    #[test]
+    fn compacted_matches_full_width() {
+        for g in [
+            erdos_renyi(300, 0.02, 5),
+            grid2d(16, 16, Stencil2d::FivePoint),
+            star(21),
+            complete(6),
+        ] {
+            let compacted = gblas_is(&g, 9);
+            let full = run_on_full(&Device::k40c(), &g, 9);
+            assert_eq!(compacted.coloring, full.coloring);
+            assert_eq!(compacted.iterations, full.iterations);
+        }
+    }
+
+    #[test]
+    fn compacted_does_less_simulated_work() {
+        let g = erdos_renyi(600, 0.01, 3);
+        let compacted = gblas_is(&g, 9);
+        let full = run_on_full(&Device::k40c(), &g, 9);
+        let (c, f) = (
+            compacted.profile.unwrap().thread_executions,
+            full.profile.unwrap().thread_executions,
+        );
+        assert!(c < f, "compacted {c} vs full {f} thread executions");
     }
 }

@@ -11,8 +11,18 @@
 //! independent set — takes that single color, which is what lets JPL
 //! *reuse* colors across iterations and beat Algorithm 2's quality.
 
+//! The default path keeps a compacted `ActiveList` of uncolored
+//! vertices; the helper then runs push-mode — the frontier's neighbor
+//! colors are scattered by one kernel over the frontier's own edges
+//! ([`ops::scatter_adj`] replaces the Boolean `vxm` + `eWiseMult` +
+//! full-width `GxB_scatter` chain), and the possible-colors machinery
+//! spans only a prefix of the color array sized by the iteration count
+//! (at most `iterations` distinct colors can exist, so the minimum free
+//! color always lands inside the prefix). [`JplConfig::full_width`]
+//! preserves the paper's transcription.
+
 use gc_graph::Csr;
-use gc_graphblas::{ops, BooleanOrAnd, Descriptor, Matrix, MaxTimes, Vector};
+use gc_graphblas::{ops, ActiveList, BooleanOrAnd, Descriptor, Matrix, MaxTimes, Vector};
 use gc_vgpu::rng::vertex_weight_i64;
 use gc_vgpu::Device;
 
@@ -26,26 +36,47 @@ const MAX_ITERATIONS: u32 = 100_000;
 const TAKEN: i64 = i64::MAX / 2;
 
 /// JPL variant knobs.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct JplConfig {
     /// Use the §V.C-suggested optimization: knock out slot 0 of the
     /// min-array with a one-thread `GrB_assign` kernel instead of the
     /// `setElement` host→device copy the paper's profile flags.
     pub assign_instead_of_set_element: bool,
+    /// Keep a compacted active-vertex list and run the push-mode,
+    /// prefix-limited inner helper (the default). Disable for the
+    /// paper's full-width transcription.
+    pub compact_frontier: bool,
+}
+
+impl Default for JplConfig {
+    fn default() -> Self {
+        JplConfig {
+            assign_instead_of_set_element: false,
+            compact_frontier: true,
+        }
+    }
 }
 
 impl JplConfig {
     /// The paper's implementation as profiled (memcpy-backed setElement).
     pub fn paper() -> Self {
-        JplConfig {
-            assign_instead_of_set_element: false,
-        }
+        JplConfig::default()
     }
 
     /// With the paper's suggested optimization applied.
     pub fn optimized() -> Self {
         JplConfig {
             assign_instead_of_set_element: true,
+            ..JplConfig::default()
+        }
+    }
+
+    /// The pre-compaction baseline: every op spans all `n` rows (or all
+    /// `max_colors` slots) every iteration.
+    pub fn full_width() -> Self {
+        JplConfig {
+            assign_instead_of_set_element: false,
+            compact_frontier: false,
         }
     }
 }
@@ -107,6 +138,56 @@ fn jp_inner(
     ops::reduce(dev, i64::MAX, i64::min, min_array)
 }
 
+/// GRAPHBLASJPINNER, push-mode: the minimum color unused by every
+/// neighbor of `members` (the frontier as a compacted list).
+///
+/// One [`ops::scatter_adj`] kernel over the frontier's edges marks the
+/// neighbor colors directly — the same set the full-width chain (Boolean
+/// `vxm`, `eWiseMult` against `c`, `GxB_scatter`) marks, since both
+/// visit exactly the positive colors adjacent to the frontier. The
+/// reset/compare/reduce trio spans only `limit` slots: at most
+/// `iteration` distinct colors exist when round `iteration` runs (each
+/// round assigns one color, at most one above the previous maximum), so
+/// with `limit = iteration + 2` the minimum free color is always inside
+/// the prefix, and every slot a past round dirtied is re-zeroed (the
+/// prefix only grows). Entries past the prefix are never read.
+#[allow(clippy::too_many_arguments)]
+fn jp_inner_list(
+    dev: &Device,
+    a: &Matrix,
+    c: &Vector<i64>,
+    members: &ActiveList,
+    colors_arr: &Vector<i64>,
+    min_array: &Vector<i64>,
+    ascending: &Vector<i64>,
+    limit: usize,
+    cfg: JplConfig,
+) -> i64 {
+    let prefix = ActiveList::all(limit);
+    // Reset the possible-colors prefix and scatter the colors in use
+    // around the frontier into it.
+    ops::assign_scalar_list(dev, colors_arr, 0, &prefix);
+    ops::scatter_adj(dev, colors_arr, c, 1, a, members);
+    // Map free slots to their index, taken slots to the sentinel.
+    ops::ewise_add_list(
+        dev,
+        min_array,
+        |used, asc| if used == 0 { asc } else { TAKEN },
+        colors_arr,
+        ascending,
+        &prefix,
+    );
+    // Color 0 is not a real color (the paper's setElement call; the
+    // optimized variant uses the in-device assign instead).
+    if cfg.assign_instead_of_set_element {
+        min_array.assign_element(dev, 0, TAKEN);
+    } else {
+        min_array.set_element(dev, 0, TAKEN);
+    }
+    // Compute min color over the prefix.
+    ops::reduce_list(dev, i64::MAX, i64::min, min_array, &prefix)
+}
+
 /// Runs the JPL coloring on the provided device.
 pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     run_on_with(dev, g, seed, JplConfig::paper())
@@ -115,6 +196,109 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
 /// Runs the JPL coloring with explicit variant knobs on the provided
 /// device.
 pub fn run_on_with(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> ColoringResult {
+    if cfg.compact_frontier {
+        run_compacted(dev, g, seed, cfg)
+    } else {
+        run_full(dev, g, seed, cfg)
+    }
+}
+
+/// The compacted-frontier path: Luby selection over the active list (as
+/// in Algorithm 2's compacted form) plus the push-mode, prefix-limited
+/// [`jp_inner_list`]. Colorings are bit-identical to [`run_full`].
+fn run_compacted(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> ColoringResult {
+    let n = g.num_vertices();
+    // Enough slots that a free color always exists (see `run_full`); the
+    // per-iteration prefix keeps the touched span near the color count.
+    let max_colors = n + 2;
+    let a = Matrix::from_graph(dev, g);
+    let c = Vector::<i64>::new(n);
+    let weight = Vector::<i64>::new(n);
+    let max = Vector::<i64>::new(n);
+    let frontier = Vector::<i64>::new(n);
+    let colors_arr = Vector::<i64>::new(max_colors);
+    let min_array = Vector::<i64>::new(max_colors);
+    let ascending = Vector::<i64>::new(max_colors);
+    dev.reset();
+    let launches_before = dev.profile().launches;
+    let desc = Descriptor::null();
+
+    ops::assign_scalar(dev, &c, None, 0, desc);
+    ops::apply_indexed(
+        dev,
+        &weight,
+        None,
+        |i, _| vertex_weight_i64(seed, i as u32),
+        &weight,
+        desc,
+    );
+    // ascending = 0, 1, 2, ..., max_colors - 1.
+    ops::apply_indexed(dev, &ascending, None, |i, _| i as i64, &ascending, desc);
+
+    let mut active = ActiveList::all(n);
+    let mut iterations = 0u32;
+    loop {
+        assert!(iterations < MAX_ITERATIONS, "JPL failed to terminate");
+        iterations += 1;
+        // One span per outer iteration: kernel events emitted by the
+        // device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations - 1);
+        ops::vxm_list(dev, &max, &MaxTimes, &weight, &a, &active);
+        ops::ewise_add_list(
+            dev,
+            &frontier,
+            |w, m| (w != 0 && w > m) as i64,
+            &weight,
+            &max,
+            &active,
+        );
+        let members = active.contract(dev, "grb::jpl_members", |t, v| {
+            frontier.truthy(t, v as usize)
+        });
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_size", members.len() as i64);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
+        if members.read_len(dev) == 0 {
+            break;
+        }
+        let limit = (iterations as usize + 2).min(max_colors);
+        let min_color = jp_inner_list(
+            dev,
+            &a,
+            &c,
+            &members,
+            &colors_arr,
+            &min_array,
+            &ascending,
+            limit,
+            cfg,
+        );
+        debug_assert!((1..TAKEN).contains(&min_color));
+        ops::assign_scalar_list(dev, &c, min_color, &members);
+        ops::assign_scalar_list(dev, &weight, 0, &members);
+        active = active.contract(dev, "grb::jpl_active", |t, v| weight.truthy(t, v as usize));
+        if iter_span.is_recording() {
+            iter_span.attr("min_color", min_color);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
+    }
+
+    let model_ms = dev.elapsed_ms();
+    let launches = dev.profile().launches - launches_before;
+    let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
+    ColoringResult::new(colors, iterations, model_ms, launches).with_profile(dev.profile())
+}
+
+/// The paper's full-width transcription, kept as the pre-compaction
+/// baseline for the benchmark harness and the equivalence tests.
+fn run_full(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> ColoringResult {
     let n = g.num_vertices();
     // Enough slots that a free color always exists: at most `iterations`
     // distinct colors exist when the scatter runs, and iterations <= n.
@@ -287,5 +471,32 @@ mod tests {
         let r = gblas_jpl(&g, 0);
         assert_proper(&g, r.coloring.as_slice());
         assert_eq!(r.num_colors, 1);
+    }
+
+    #[test]
+    fn compacted_matches_full_width() {
+        for g in [
+            erdos_renyi(300, 0.02, 5),
+            grid2d(14, 14, Stencil2d::FivePoint),
+            star(21),
+            complete(6),
+        ] {
+            let compacted = gblas_jpl(&g, 9);
+            let full = gblas_jpl_with(&g, 9, JplConfig::full_width());
+            assert_eq!(compacted.coloring, full.coloring);
+            assert_eq!(compacted.iterations, full.iterations);
+        }
+    }
+
+    #[test]
+    fn compacted_does_less_simulated_work() {
+        let g = erdos_renyi(600, 0.01, 3);
+        let compacted = gblas_jpl(&g, 9);
+        let full = gblas_jpl_with(&g, 9, JplConfig::full_width());
+        let (c, f) = (
+            compacted.profile.unwrap().thread_executions,
+            full.profile.unwrap().thread_executions,
+        );
+        assert!(c < f, "compacted {c} vs full {f} thread executions");
     }
 }

@@ -10,8 +10,15 @@
 //! profiling blames for the 3× runtime, rewarded by the best color count
 //! of all implementations (better than sequential greedy).
 
+//! The default path keeps a compacted [`ActiveList`] of uncolored
+//! vertices; the inner do-while contracts its own candidate list every
+//! pass and replaces the neighbor-removal `vxm` + masked `assign` pair
+//! with a push-mode [`ops::assign_adj`] over just the new members'
+//! edges. [`run_on_full`] preserves the paper's full-width
+//! transcription.
+
 use gc_graph::Csr;
-use gc_graphblas::{ops, BooleanOrAnd, Descriptor, Matrix, MaxTimes, Vector};
+use gc_graphblas::{ops, ActiveList, BooleanOrAnd, Descriptor, Matrix, MaxTimes, Vector};
 use gc_vgpu::rng::vertex_weight_i64;
 use gc_vgpu::Device;
 
@@ -77,8 +84,138 @@ fn mis_inner(
     }
 }
 
-/// Runs the MIS coloring on the provided device.
+/// GRAPHBLASMISINNER over a compacted candidate list: adds a maximal
+/// independent set of `active`'s vertices to `mis`, returning the number
+/// of members added.
+///
+/// Equivalent to [`mis_inner`] restricted to `active` (colorings are
+/// bit-identical): `work` is globally zero outside the candidate list —
+/// every vertex that ever leaves candidacy has its `work` zeroed at that
+/// moment and is never re-initialized — so the pull product at a listed
+/// row combines exactly the same live neighbors the masked full-width
+/// product does. The neighbor removal runs push-mode over just the new
+/// members' adjacency ([`ops::assign_adj`]), which writes the same
+/// entries the Boolean `vxm` + masked `assign` pair marks (zeroing an
+/// already-zero non-candidate is a no-op).
+#[allow(clippy::too_many_arguments)] // the algorithm's working set, threaded explicitly
+fn mis_inner_list(
+    dev: &Device,
+    a: &Matrix,
+    weight: &Vector<i64>,
+    mis: &Vector<i64>,
+    work: &Vector<i64>,
+    max: &Vector<i64>,
+    frontier: &Vector<i64>,
+    active: &ActiveList,
+) -> usize {
+    // Initialize MIS array to 0; candidates = live weights. Outside the
+    // active list both are stale but never read (assigns and products
+    // below are list-restricted).
+    ops::assign_scalar_list(dev, mis, 0, active);
+    ops::apply_list(dev, work, |w| w, weight, active);
+    let mut added = 0usize;
+    let mut cand: Option<ActiveList> = None;
+    loop {
+        let cur = cand.as_ref().unwrap_or(active);
+        // Find max of neighbors among candidates (work is zero off the
+        // candidate list, so the product skips non-candidates).
+        ops::vxm_list(dev, max, &MaxTimes, work, a, cur);
+        // Frontier: candidates beating all candidate neighbors.
+        ops::ewise_add_list(
+            dev,
+            frontier,
+            |w, m| (w != 0 && w > m) as i64,
+            work,
+            max,
+            cur,
+        );
+        // New members; the metered length readback is the old reduce(+)
+        // result the host branched on.
+        let members = cur.contract(dev, "grb::mis_members", |t, v| {
+            frontier.truthy(t, v as usize)
+        });
+        if members.read_len(dev) == 0 {
+            break;
+        }
+        added += members.len();
+        // Add them to the set; drop them from the candidate list.
+        ops::assign_scalar_list(dev, mis, 1, &members);
+        ops::assign_scalar_list(dev, work, 0, &members);
+        // Remove the new members' neighbors from the candidates,
+        // push-mode over the members' edges.
+        ops::assign_adj(dev, work, 0, a, &members);
+        cand = Some(cur.contract(dev, "grb::mis_cand", |t, v| work.truthy(t, v as usize)));
+    }
+    added
+}
+
+/// Runs the MIS coloring on the provided device with the compacted
+/// active-vertex list (the default path).
 pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    let n = g.num_vertices();
+    let a = Matrix::from_graph(dev, g);
+    let c = Vector::<i64>::new(n);
+    let weight = Vector::<i64>::new(n);
+    let mis = Vector::<i64>::new(n);
+    let work = Vector::<i64>::new(n);
+    let max = Vector::<i64>::new(n);
+    let frontier = Vector::<i64>::new(n);
+    dev.reset();
+    let launches_before = dev.profile().launches;
+    let desc = Descriptor::null();
+
+    ops::assign_scalar(dev, &c, None, 0, desc);
+    ops::apply_indexed(
+        dev,
+        &weight,
+        None,
+        |i, _| vertex_weight_i64(seed, i as u32),
+        &weight,
+        desc,
+    );
+
+    let mut active = ActiveList::all(n);
+    let mut iterations = 0u32;
+    let mut finished = false;
+    for color in 1..=(MAX_COLORS as i64) {
+        iterations += 1;
+        // One span per outer (color) iteration: the inner do-while's
+        // kernel events nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations - 1);
+        let size = mis_inner_list(dev, &a, &weight, &mis, &work, &max, &frontier, &active);
+        if iter_span.is_recording() {
+            iter_span.attr("mis_size", size as i64);
+            iter_span.attr("colors_so_far", color);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
+        if size == 0 {
+            finished = true;
+            break;
+        }
+        // Color the set (mis is fresh across the whole active list) and
+        // contract the colored vertices out of it.
+        ops::assign_scalar_where(dev, &c, &mis, color, &active);
+        ops::assign_scalar_where(dev, &weight, &mis, 0, &active);
+        active = active.contract(dev, "grb::mis_active", |t, v| weight.truthy(t, v as usize));
+    }
+
+    assert!(finished, "MIS coloring exceeded the {MAX_COLORS}-color cap");
+    let model_ms = dev.elapsed_ms();
+    let launches = dev.profile().launches - launches_before;
+    let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
+    ColoringResult::new(colors, iterations, model_ms, launches).with_profile(dev.profile())
+}
+
+/// Runs the MIS coloring full-width, as the paper transcribes it. Kept
+/// as the pre-compaction baseline for the benchmark harness and the
+/// equivalence tests.
+pub fn run_on_full(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     let n = g.num_vertices();
     let a = Matrix::from_graph(dev, g);
     let c = Vector::<i64>::new(n);
@@ -274,5 +411,32 @@ mod tests {
         let r = gblas_mis(&g, 0);
         assert_proper(&g, r.coloring.as_slice());
         assert_eq!(r.num_colors, 1);
+    }
+
+    #[test]
+    fn compacted_matches_full_width() {
+        for g in [
+            erdos_renyi(300, 0.02, 5),
+            grid2d(12, 12, Stencil2d::NinePoint),
+            star(21),
+            cycle(30),
+        ] {
+            let compacted = gblas_mis(&g, 9);
+            let full = run_on_full(&Device::k40c(), &g, 9);
+            assert_eq!(compacted.coloring, full.coloring);
+            assert_eq!(compacted.iterations, full.iterations);
+        }
+    }
+
+    #[test]
+    fn compacted_does_less_simulated_work() {
+        let g = erdos_renyi(600, 0.01, 3);
+        let compacted = gblas_mis(&g, 9);
+        let full = run_on_full(&Device::k40c(), &g, 9);
+        let (c, f) = (
+            compacted.profile.unwrap().thread_executions,
+            full.profile.unwrap().thread_executions,
+        );
+        assert!(c < f, "compacted {c} vs full {f} thread executions");
     }
 }

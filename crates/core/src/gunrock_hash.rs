@@ -25,6 +25,15 @@ pub struct HashConfig {
     /// hash table size is a modifiable value, and is inversely related
     /// to the number of conflicts."
     pub hash_size: usize,
+    /// Maintain a compacted active-vertex frontier: all five operators
+    /// launch over `|frontier|` threads and the contraction (after
+    /// conflict resolution) replaces the full-width uncolored count.
+    /// Safe because conflicts only arise between vertices colored in the
+    /// same iteration — the reuse guard (proposals only trust non-full
+    /// hash tables) means a proposal never collides with an
+    /// earlier-iteration color — and all same-iteration colorees are in
+    /// the frontier. Colorings are identical either way.
+    pub compact_frontier: bool,
     /// Safety cap on iterations.
     pub max_iterations: u32,
 }
@@ -33,7 +42,19 @@ impl Default for HashConfig {
     fn default() -> Self {
         HashConfig {
             hash_size: 8,
+            compact_frontier: true,
             max_iterations: 100_000,
+        }
+    }
+}
+
+impl HashConfig {
+    /// The pre-compaction launch shape: every operator runs over all `n`
+    /// vertices. Kept as the benchmark baseline and equivalence oracle.
+    pub fn full_width() -> Self {
+        HashConfig {
+            compact_frontier: false,
+            ..Default::default()
         }
     }
 }
@@ -64,7 +85,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResu
         t.write(&rand, v, vertex_weight(seed, v as u32));
     });
 
-    let frontier = Frontier::all(n);
+    let mut frontier = Frontier::all(n);
     let remaining = DeviceBuffer::<u32>::zeroed(1);
     let mut enactor = Enactor::new(dev).with_max_iterations(cfg.max_iterations);
 
@@ -191,6 +212,21 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResu
             }
         });
 
+        // --- Frontier contraction / completion check ---------------------
+        // With compaction, contract to the still-uncolored vertices now:
+        // the output length is the convergence test, and hash_gen below
+        // (which the full-width path gates with an early return on
+        // colored vertices) launches over exactly the surviving set. The
+        // legacy path counts uncolored vertices over all n afterwards.
+        let left = if cfg.compact_frontier {
+            frontier = ops::filter(dev, "hash::check_op", &frontier, |t, v| {
+                t.read(&colors, v as usize) == 0
+            });
+            frontier.len() as u32
+        } else {
+            u32::MAX // placeholder; counted below, after hash_gen
+        };
+
         // --- Hash-table generation --------------------------------------
         // Each (still-uncolored) vertex records its neighbors' colors in
         // its own table; full tables ignore new colors.
@@ -218,15 +254,18 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResu
             }
         });
 
-        // --- Completion check --------------------------------------------
-        remaining.set(0, 0);
-        dev.launch("hash::check_op", n, |t| {
-            let v = t.tid();
-            if t.read(&colors, v) == 0 {
-                t.atomic_add(&remaining, 0, 1);
-            }
-        });
-        let left = dev.download(&remaining)[0];
+        let left = if cfg.compact_frontier {
+            left
+        } else {
+            remaining.set(0, 0);
+            dev.launch("hash::check_op", n, |t| {
+                let v = t.tid();
+                if t.read(&colors, v) == 0 {
+                    t.atomic_add(&remaining, 0, 1);
+                }
+            });
+            dev.download(&remaining)[0]
+        };
         if iter_span.is_recording() {
             iter_span.attr("frontier_uncolored", left);
             iter_span.attr("colors_so_far", used_colors);

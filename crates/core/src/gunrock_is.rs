@@ -56,6 +56,14 @@ pub struct IsConfig {
     /// for the paper's high-degree (af_shell3) pathology, at the price
     /// of extra kernels per iteration.
     pub load_balance: bool,
+    /// Maintain a compacted active-vertex frontier: per-iteration
+    /// kernels launch over `|frontier|` threads instead of `n`, and the
+    /// contraction's output length doubles as the convergence test
+    /// (replacing the full-width uncolored count). Colorings are
+    /// identical either way — the kernels early-return on colored
+    /// vertices, so restricting the launch to the uncolored set removes
+    /// only no-op threads.
+    pub compact_frontier: bool,
     /// Safety cap on iterations.
     pub max_iterations: u32,
 }
@@ -68,6 +76,7 @@ impl Default for IsConfig {
             use_atomics: false,
             weight_mode: WeightMode::Random,
             load_balance: false,
+            compact_frontier: true,
             max_iterations: 100_000,
         }
     }
@@ -109,6 +118,17 @@ impl IsConfig {
     pub fn min_max_load_balanced() -> Self {
         IsConfig {
             load_balance: true,
+            ..Default::default()
+        }
+    }
+
+    /// The pre-compaction launch shape: every per-iteration kernel runs
+    /// over all `n` vertices and convergence is a full-width uncolored
+    /// count. Kept as the benchmark baseline and the equivalence oracle
+    /// for the frontier-compacted default.
+    pub fn full_width() -> Self {
+        IsConfig {
+            compact_frontier: false,
             ..Default::default()
         }
     }
@@ -160,7 +180,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
         }),
     }
 
-    let frontier = Frontier::all(n);
+    let mut frontier = Frontier::all(n);
     let remaining = DeviceBuffer::<u32>::zeroed(1);
     let mut enactor = Enactor::new(dev).with_max_iterations(cfg.max_iterations);
     let iterations = enactor.run(|iteration| {
@@ -222,20 +242,81 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
             } else {
                 None
             };
+            // The reductions are frontier-aligned, so the color kernel
+            // indexes them by frontier position (== vertex id only when
+            // the frontier is the dense identity).
             ops::compute(dev, "is::lb_color_op", &frontier, |t, v| {
                 if t.read(&colors, v as usize) != 0 {
                     return;
                 }
+                let i = t.tid();
                 let rv = t.read(&rand, v as usize);
-                if rv > t.read(&nmax, v as usize) {
+                if rv > t.read(&nmax, i) {
                     t.write(&colors, v as usize, color_max);
                 }
                 if let Some(nmin) = &nmin {
-                    if rv < t.read(nmin, v as usize) {
+                    if rv < t.read(nmin, i) {
                         t.write(&colors, v as usize, color_min);
                     }
                 }
             });
+        } else {
+            ops::compute(dev, "is::color_op", &frontier, |t, v| {
+                if t.read(&colors, v as usize) != 0 {
+                    return;
+                }
+                let rv = t.read(&rand, v as usize);
+                let mut is_max = true;
+                let mut is_min = cfg.min_max;
+                let (s, e) = csr.neighbor_range(t, v);
+                for slot in s..e {
+                    let u = csr.neighbor(t, slot);
+                    let cu = t.read(&colors, u as usize);
+                    if cu != 0 && cu != color_max && cu != color_min {
+                        continue; // colored in a previous iteration
+                    }
+                    let ru = t.read(&rand, u as usize);
+                    if rv <= ru {
+                        is_max = false;
+                    }
+                    if rv >= ru {
+                        is_min = false;
+                    }
+                    t.charge(2);
+                    if !is_max && !is_min {
+                        break;
+                    }
+                }
+                // Two independent ifs, as in Algorithm 5 lines 37-42 (a
+                // vertex that is both — no comparable neighbor — ends at
+                // the min color).
+                if is_max {
+                    if cfg.use_atomics {
+                        t.atomic_cas(&colors, v as usize, 0, color_max);
+                    } else {
+                        t.write(&colors, v as usize, color_max);
+                    }
+                }
+                if is_min {
+                    if cfg.use_atomics {
+                        t.atomic_exchange(&colors, v as usize, color_min);
+                    } else {
+                        t.write(&colors, v as usize, color_min);
+                    }
+                }
+            });
+        }
+
+        // Completion check. With compaction, contract the frontier to
+        // the still-uncolored vertices — the output length is the
+        // convergence test and next iteration's kernels launch over it.
+        // The legacy path counts uncolored vertices over all n.
+        let left = if cfg.compact_frontier {
+            frontier = ops::filter(dev, "is::check_op", &frontier, |t, v| {
+                t.read(&colors, v as usize) == 0
+            });
+            frontier.len() as u32
+        } else {
             remaining.set(0, 0);
             dev.launch("is::check_op", n, |t| {
                 let v = t.tid();
@@ -243,72 +324,8 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
                     t.atomic_add(&remaining, 0, 1);
                 }
             });
-            let left = dev.download(&remaining)[0];
-            if iter_span.is_recording() {
-                iter_span.attr("frontier_uncolored", left);
-                iter_span.attr(
-                    "colors_so_far",
-                    if cfg.min_max { color_min } else { color_max },
-                );
-                iter_span.set_model_range(iter_model0, dev.elapsed_ms());
-            }
-            return left > 0;
-        }
-
-        ops::compute(dev, "is::color_op", &frontier, |t, v| {
-            if t.read(&colors, v as usize) != 0 {
-                return;
-            }
-            let rv = t.read(&rand, v as usize);
-            let mut is_max = true;
-            let mut is_min = cfg.min_max;
-            let (s, e) = csr.neighbor_range(t, v);
-            for slot in s..e {
-                let u = csr.neighbor(t, slot);
-                let cu = t.read(&colors, u as usize);
-                if cu != 0 && cu != color_max && cu != color_min {
-                    continue; // colored in a previous iteration
-                }
-                let ru = t.read(&rand, u as usize);
-                if rv <= ru {
-                    is_max = false;
-                }
-                if rv >= ru {
-                    is_min = false;
-                }
-                t.charge(2);
-                if !is_max && !is_min {
-                    break;
-                }
-            }
-            // Two independent ifs, as in Algorithm 5 lines 37-42 (a
-            // vertex that is both — no comparable neighbor — ends at the
-            // min color).
-            if is_max {
-                if cfg.use_atomics {
-                    t.atomic_cas(&colors, v as usize, 0, color_max);
-                } else {
-                    t.write(&colors, v as usize, color_max);
-                }
-            }
-            if is_min {
-                if cfg.use_atomics {
-                    t.atomic_exchange(&colors, v as usize, color_min);
-                } else {
-                    t.write(&colors, v as usize, color_min);
-                }
-            }
-        });
-
-        // Completion check: count the vertices still uncolored.
-        remaining.set(0, 0);
-        dev.launch("is::check_op", n, |t| {
-            let v = t.tid();
-            if t.read(&colors, v) == 0 {
-                t.atomic_add(&remaining, 0, 1);
-            }
-        });
-        let left = dev.download(&remaining)[0];
+            dev.download(&remaining)[0]
+        };
         if iter_span.is_recording() {
             iter_span.attr("frontier_uncolored", left);
             iter_span.attr(

@@ -17,6 +17,7 @@
 //!   figure the paper quotes against GraphBLAST MIS.
 
 use gc_graph::Csr;
+use gc_gunrock::{ops, Frontier};
 use gc_vgpu::rng::uniform_u32;
 use gc_vgpu::{Device, DeviceBuffer};
 
@@ -42,14 +43,29 @@ pub fn naumov_jpl(g: &Csr, seed: u64) -> ColoringResult {
     jpl_on(&dev, g, seed)
 }
 
-/// `Naumov/Color_JPL` on a provided device.
+/// `Naumov/Color_JPL` on a provided device (frontier-compacted: each
+/// iteration's kernel launches over the uncolored set, contracted by a
+/// stream compaction whose output length doubles as the convergence
+/// test).
 pub fn jpl_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    jpl_on_with(dev, g, seed, true)
+}
+
+/// `Naumov/Color_JPL` with the pre-compaction launch shape: every
+/// iteration runs over all `n` vertices plus a full-width uncolored
+/// count. Kept as the benchmark baseline and equivalence oracle.
+pub fn jpl_on_full(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    jpl_on_with(dev, g, seed, false)
+}
+
+fn jpl_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> ColoringResult {
     let n = g.num_vertices();
     let csr = gc_gunrock::DeviceCsr::upload(dev, g);
     let colors = DeviceBuffer::<u32>::zeroed(n);
     dev.reset();
     let launches_before = dev.profile().launches;
 
+    let mut frontier = Frontier::all(n);
     let remaining = DeviceBuffer::<u32>::zeroed(1);
     let mut iterations = 0u32;
     loop {
@@ -64,8 +80,7 @@ pub fn jpl_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
         };
         iter_span.attr("iteration", iterations);
         let color = iterations + 1;
-        dev.launch("naumov::jpl_kernel", n, |t| {
-            let v = t.tid() as u32;
+        ops::compute(dev, "naumov::jpl_kernel", &frontier, |t, v| {
             if t.read(&colors, v as usize) != 0 {
                 return;
             }
@@ -94,14 +109,21 @@ pub fn jpl_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
             }
         });
 
-        remaining.set(0, 0);
-        dev.launch("naumov::count_uncolored", n, |t| {
-            let v = t.tid();
-            if t.read(&colors, v) == 0 {
-                t.atomic_add(&remaining, 0, 1);
-            }
-        });
-        let left = dev.download(&remaining)[0];
+        let left = if compact_frontier {
+            frontier = ops::filter(dev, "naumov::frontier", &frontier, |t, v| {
+                t.read(&colors, v as usize) == 0
+            });
+            frontier.len() as u32
+        } else {
+            remaining.set(0, 0);
+            dev.launch("naumov::count_uncolored", n, |t| {
+                let v = t.tid();
+                if t.read(&colors, v) == 0 {
+                    t.atomic_add(&remaining, 0, 1);
+                }
+            });
+            dev.download(&remaining)[0]
+        };
         dev.sync();
         if iter_span.is_recording() {
             iter_span.attr("frontier_uncolored", left);
@@ -128,14 +150,26 @@ pub fn naumov_cc(g: &Csr, seed: u64) -> ColoringResult {
     cc_on(&dev, g, seed)
 }
 
-/// `Naumov/Color_CC` on a provided device.
+/// `Naumov/Color_CC` on a provided device (frontier-compacted; see
+/// [`jpl_on`]).
 pub fn cc_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    cc_on_with(dev, g, seed, true)
+}
+
+/// `Naumov/Color_CC` with the pre-compaction launch shape (see
+/// [`jpl_on_full`]).
+pub fn cc_on_full(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    cc_on_with(dev, g, seed, false)
+}
+
+fn cc_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> ColoringResult {
     let n = g.num_vertices();
     let csr = gc_gunrock::DeviceCsr::upload(dev, g);
     let colors = DeviceBuffer::<u32>::zeroed(n);
     dev.reset();
     let launches_before = dev.profile().launches;
 
+    let mut frontier = Frontier::all(n);
     let remaining = DeviceBuffer::<u32>::zeroed(1);
     let mut iterations = 0u32;
     loop {
@@ -149,8 +183,7 @@ pub fn cc_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
         };
         iter_span.attr("iteration", iterations);
         let base = iterations * 2 * CC_HASHES;
-        dev.launch("naumov::cc_kernel", n, |t| {
-            let v = t.tid() as u32;
+        ops::compute(dev, "naumov::cc_kernel", &frontier, |t, v| {
             if t.read(&colors, v as usize) != 0 {
                 return;
             }
@@ -197,14 +230,21 @@ pub fn cc_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
             }
         });
 
-        remaining.set(0, 0);
-        dev.launch("naumov::count_uncolored", n, |t| {
-            let v = t.tid();
-            if t.read(&colors, v) == 0 {
-                t.atomic_add(&remaining, 0, 1);
-            }
-        });
-        let left = dev.download(&remaining)[0];
+        let left = if compact_frontier {
+            frontier = ops::filter(dev, "naumov::frontier", &frontier, |t, v| {
+                t.read(&colors, v as usize) == 0
+            });
+            frontier.len() as u32
+        } else {
+            remaining.set(0, 0);
+            dev.launch("naumov::count_uncolored", n, |t| {
+                let v = t.tid();
+                if t.read(&colors, v) == 0 {
+                    t.atomic_add(&remaining, 0, 1);
+                }
+            });
+            dev.download(&remaining)[0]
+        };
         dev.sync();
         if iter_span.is_recording() {
             iter_span.attr("frontier_uncolored", left);

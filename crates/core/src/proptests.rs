@@ -1,11 +1,18 @@
 //! Property tests: every coloring algorithm produces a proper coloring
-//! on arbitrary graphs.
+//! on arbitrary graphs, compacted frontiers never change a coloring,
+//! and the compaction primitive itself returns a sorted permutation of
+//! the surviving set.
 
 use proptest::prelude::*;
 
 use gc_graph::{Csr, GraphBuilder};
+use gc_vgpu::{primitives, Device, DeviceBuffer};
 
+use crate::color::ColoringResult;
+use crate::gblas_jpl::{gblas_jpl_with, JplConfig};
 use crate::greedy::{greedy, Ordering};
+use crate::gunrock_hash::{gunrock_hash, HashConfig};
+use crate::gunrock_is::{gunrock_is, IsConfig};
 use crate::runner::all_colorers;
 use crate::verify::is_proper;
 
@@ -56,5 +63,89 @@ proptest! {
                 c.name()
             );
         }
+    }
+
+    // Frontier compaction is a pure work optimization: every colorer
+    // with a full-width twin must produce the identical coloring in the
+    // identical number of iterations on arbitrary graphs.
+    #[test]
+    fn compacted_colorings_match_full_width(g in arb_graph(), seed in 0u64..200) {
+        let pairs: [(&str, ColoringResult, ColoringResult); 7] = [
+            (
+                "GraphBLAST/Color_IS",
+                crate::gblas_is::run_on(&Device::k40c(), &g, seed),
+                crate::gblas_is::run_on_full(&Device::k40c(), &g, seed),
+            ),
+            (
+                "GraphBLAST/Color_MIS",
+                crate::gblas_mis::run_on(&Device::k40c(), &g, seed),
+                crate::gblas_mis::run_on_full(&Device::k40c(), &g, seed),
+            ),
+            (
+                "GraphBLAST/Color_JPL",
+                gblas_jpl_with(&g, seed, JplConfig::paper()),
+                gblas_jpl_with(&g, seed, JplConfig::full_width()),
+            ),
+            (
+                "Gunrock/Color_IS",
+                gunrock_is(&g, seed, IsConfig::min_max()),
+                gunrock_is(&g, seed, IsConfig { compact_frontier: false, ..IsConfig::min_max() }),
+            ),
+            (
+                "Gunrock/Color_Hash",
+                gunrock_hash(&g, seed, HashConfig::default()),
+                gunrock_hash(&g, seed, HashConfig::full_width()),
+            ),
+            (
+                "Naumov/Color_JPL",
+                crate::naumov::jpl_on(&Device::k40c(), &g, seed),
+                crate::naumov::jpl_on_full(&Device::k40c(), &g, seed),
+            ),
+            (
+                "Naumov/Color_CC",
+                crate::naumov::cc_on(&Device::k40c(), &g, seed),
+                crate::naumov::cc_on_full(&Device::k40c(), &g, seed),
+            ),
+        ];
+        for (name, compacted, full) in &pairs {
+            prop_assert_eq!(
+                compacted.coloring.as_slice(),
+                full.coloring.as_slice(),
+                "{} compacted coloring diverged from full-width",
+                name
+            );
+            prop_assert_eq!(
+                compacted.iterations,
+                full.iterations,
+                "{} compacted iteration count diverged from full-width",
+                name
+            );
+        }
+    }
+
+    // The vgpu compaction primitive underneath every frontier: its
+    // output is exactly the surviving subset, ascending — i.e. a sorted
+    // permutation of the active set.
+    #[test]
+    fn compaction_output_is_sorted_active_subset(keep in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let dev = Device::k40c();
+        let n = keep.len();
+        let flags: Vec<u32> = keep.iter().map(|&k| k as u32).collect();
+        let flags_buf = DeviceBuffer::from_slice(&flags);
+
+        let by_index = primitives::compact_indices(&dev, "prop::indices", n, |t, i| {
+            t.read(&flags_buf, i) != 0
+        });
+        let expected: Vec<u32> = (0..n as u32).filter(|&i| keep[i as usize]).collect();
+        prop_assert_eq!(by_index.to_vec(), expected.clone());
+
+        // Contracting an explicit active list preserves relative order,
+        // so compacting the full index list gives the same answer.
+        let all: Vec<u32> = (0..n as u32).collect();
+        let all_buf = DeviceBuffer::from_slice(&all);
+        let by_value = primitives::compact_values(&dev, "prop::values", &all_buf, |t, v| {
+            t.read(&flags_buf, v as usize) != 0
+        });
+        prop_assert_eq!(by_value.to_vec(), expected);
     }
 }

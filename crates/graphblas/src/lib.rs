@@ -32,6 +32,7 @@ pub mod vector;
 
 pub use desc::Descriptor;
 pub use matrix::Matrix;
+pub use ops::ActiveList;
 pub use semiring::{BooleanOrAnd, MaxTimes, MinTimes, PlusTimes, SemiringOps};
 pub use vector::Vector;
 

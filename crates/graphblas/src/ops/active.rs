@@ -1,0 +1,439 @@
+//! Active-list (compacted-frontier) variants of the GraphBLAS ops.
+//!
+//! The paper's algorithms shrink their working set every iteration —
+//! colored vertices never participate again — yet the plain dense ops
+//! launch one thread per *row* regardless. An [`ActiveList`] is the
+//! compacted complement: the device-resident list of still-active row
+//! indices, contracted each iteration with the vgpu stream-compaction
+//! primitives. List-restricted ops launch one thread per *surviving*
+//! row, so per-iteration work tracks the frontier instead of `n`, and
+//! the contraction's output length doubles as the convergence test (no
+//! separate full-width `reduce` needed).
+//!
+//! This mirrors GraphBLAST's sparse-vector machinery: a real GraphBLAS
+//! vector that loses most of its entries flips to a sparse
+//! representation, and masked ops iterate its index list. The dense
+//! `Vector` here never flips, so the list lives alongside it and the
+//! `_list` ops below take the role of the sparse iteration.
+
+use gc_vgpu::primitives::{compact_indices, compact_values};
+use gc_vgpu::{Device, DeviceBuffer, Scalar, ThreadCtx};
+
+use crate::matrix::Matrix;
+use crate::semiring::SemiringOps;
+use crate::vector::Vector;
+
+/// A device-resident set of active row indices.
+///
+/// `All(n)` is the implicit full domain `0..n` (free to enumerate, like
+/// a dense GraphBLAS vector's implied index set); `List` is a compacted
+/// ascending index buffer produced by [`ActiveList::contract`].
+pub enum ActiveList {
+    /// Every index in `0..n` is active.
+    All(usize),
+    /// Exactly the listed indices are active (ascending, deduplicated).
+    List(DeviceBuffer<u32>),
+}
+
+impl ActiveList {
+    /// The full domain `0..n`.
+    pub fn all(n: usize) -> Self {
+        ActiveList::All(n)
+    }
+
+    /// Number of active indices (host-known: the compaction that built a
+    /// `List` returns its exact length, which is what fuses convergence
+    /// checks into the contraction).
+    pub fn len(&self) -> usize {
+        match self {
+            ActiveList::All(n) => *n,
+            ActiveList::List(items) => items.len(),
+        }
+    }
+
+    /// Whether no indices remain active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Metered in-kernel lookup of the `k`-th active index. Enumerating
+    /// `All` is free (the index *is* the thread id); a `List` costs one
+    /// sequential read, exactly like a real frontier-queue load.
+    #[inline]
+    pub fn item(&self, t: &mut ThreadCtx, k: usize) -> usize {
+        match self {
+            ActiveList::All(_) => k,
+            ActiveList::List(items) => t.read(items, k) as usize,
+        }
+    }
+
+    /// Host snapshot (unmetered; tests).
+    pub fn to_vec(&self) -> Vec<u32> {
+        match self {
+            ActiveList::All(n) => (0..*n as u32).collect(),
+            ActiveList::List(items) => items.to_vec(),
+        }
+    }
+
+    /// Contracts the list to the active indices whose predicate holds,
+    /// through the two-kernel vgpu compaction. The result's length is
+    /// the surviving count — callers use it directly as their
+    /// convergence test instead of a separate full-width reduction
+    /// (bill that consumption with [`ActiveList::read_len`]).
+    pub fn contract<P>(&self, dev: &Device, name: &str, pred: P) -> ActiveList
+    where
+        P: Fn(&mut ThreadCtx, u32) -> bool + Sync,
+    {
+        let out = match self {
+            ActiveList::All(n) => compact_indices(dev, name, *n, |t, i| pred(t, i as u32)),
+            ActiveList::List(items) => compact_values(dev, name, items, pred),
+        };
+        ActiveList::List(out)
+    }
+
+    /// Metered host readback of the list's length: the scalar D2H
+    /// transfer a host-side convergence branch consumes, billed like
+    /// the full-width `reduce(+)` it replaces billed its result
+    /// (GraphBLAST's host loop reads `nvals` the same way). Plain
+    /// [`ActiveList::len`] stays unmetered for grid sizing, matching
+    /// the frontier engines' bookkeeping.
+    pub fn read_len(&self, dev: &Device) -> usize {
+        let n = self.len();
+        let _ = dev.download(&DeviceBuffer::from_slice(&[n as u32]));
+        n
+    }
+}
+
+impl std::fmt::Debug for ActiveList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActiveList::All(n) => write!(f, "ActiveList::All({n})"),
+            ActiveList::List(items) => write!(f, "ActiveList::List(len={})", items.len()),
+        }
+    }
+}
+
+/// List-restricted `vxm`: `w[i] = u ⊕.⊗ A[i]` for every active `i`,
+/// pull-style. Inactive rows are untouched (their `w` entries may be
+/// stale — callers only read `w` at active indices).
+pub fn vxm_list<T: Scalar, S: SemiringOps<T>>(
+    dev: &Device,
+    w: &Vector<T>,
+    semiring: &S,
+    u: &Vector<T>,
+    a: &Matrix,
+    list: &ActiveList,
+) {
+    assert_eq!(u.size(), a.nrows(), "u/A dimension mismatch");
+    assert_eq!(w.size(), a.nrows(), "w/A dimension mismatch");
+    let name = format!("grb::vxm_list({})", semiring.name());
+    dev.launch(&name, list.len(), |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        let (s, e) = a.row_range(t, i);
+        let mut acc = semiring.identity();
+        for slot in s..e {
+            let j = a.col(t, slot);
+            let uv = u.read(t, j);
+            if uv != T::default() {
+                acc = semiring.add(acc, semiring.map(uv));
+            }
+            t.charge(1);
+        }
+        w.write(t, i, acc);
+    });
+}
+
+/// List-restricted `eWiseAdd`: `w[i] = f(u[i], v[i])` for active `i`.
+pub fn ewise_add_list<T: Scalar, F>(
+    dev: &Device,
+    w: &Vector<T>,
+    f: F,
+    u: &Vector<T>,
+    v: &Vector<T>,
+    list: &ActiveList,
+) where
+    F: Fn(T, T) -> T + Sync,
+{
+    dev.launch("grb::ewise_add_list", list.len(), |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        let a = u.read(t, i);
+        let b = v.read(t, i);
+        w.write(t, i, f(a, b));
+    });
+}
+
+/// List-restricted `apply`: `w[i] = f(u[i])` for active `i`.
+pub fn apply_list<T: Scalar, F>(dev: &Device, w: &Vector<T>, f: F, u: &Vector<T>, list: &ActiveList)
+where
+    F: Fn(T) -> T + Sync,
+{
+    dev.launch("grb::apply_list", list.len(), |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        let v = u.read(t, i);
+        w.write(t, i, f(v));
+    });
+}
+
+/// List-restricted scalar `assign`: `w[i] = value` for every active `i`
+/// (unconditional — the list itself is the mask).
+pub fn assign_scalar_list<T: Scalar>(dev: &Device, w: &Vector<T>, value: T, list: &ActiveList) {
+    dev.launch("grb::assign_list", list.len(), |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        w.write(t, i, value);
+    });
+}
+
+/// List-restricted *masked* scalar assign: `w[i] = value` for active `i`
+/// where `cond[i]` is truthy. The list bounds which mask entries are
+/// even read, so stale mask values outside it are never observed.
+pub fn assign_scalar_where<T: Scalar>(
+    dev: &Device,
+    w: &Vector<T>,
+    cond: &Vector<T>,
+    value: T,
+    list: &ActiveList,
+) {
+    dev.launch("grb::assign_where", list.len(), |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        if cond.truthy(t, i) {
+            w.write(t, i, value);
+        }
+    });
+}
+
+/// List-restricted `reduce`: folds `u` over the active indices only.
+/// Bills one read plus one combine per active element and the scalar's
+/// trip back to the host, like the full-width [`super::reduce`].
+pub fn reduce_list<T: Scalar, F>(
+    dev: &Device,
+    identity: T,
+    op: F,
+    u: &Vector<T>,
+    list: &ActiveList,
+) -> T
+where
+    F: Fn(T, T) -> T + Sync,
+{
+    let m = list.len();
+    let partials: Vec<<T as Scalar>::Atomic> = (0..m).map(|_| T::new_cell(identity)).collect();
+    dev.launch("grb::reduce_list", m, |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        let v = u.read(t, i);
+        t.charge(1); // the tree-combine step
+        T::store(&partials[k], v);
+    });
+    let r = partials.iter().map(|c| T::load(c)).fold(identity, &op);
+    let _ = dev.download(&DeviceBuffer::from_slice(&[r]));
+    r
+}
+
+/// Push-mode neighborhood scatter: for every active `i` and every
+/// neighbor `j` of `i`, the value `x = via[j]` (when `0 < x < |target|`)
+/// scatters `value` into `target[x]`. This is `GxB_scatter` re-rooted at
+/// the frontier's adjacency — what Algorithm 4 expresses as a Boolean
+/// `vxm` + `eWiseMult` + full-width scatter collapses into one kernel
+/// over the frontier's edges.
+pub fn scatter_adj<T: Scalar>(
+    dev: &Device,
+    target: &Vector<T>,
+    via: &Vector<i64>,
+    value: T,
+    a: &Matrix,
+    list: &ActiveList,
+) {
+    let cap = target.size();
+    dev.launch("grb::scatter_adj", list.len(), |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        let (s, e) = a.row_range(t, i);
+        for slot in s..e {
+            let j = a.col(t, slot);
+            let x = via.read(t, j);
+            if x > 0 && (x as usize) < cap {
+                target.write(t, x as usize, value);
+            }
+            t.charge(1);
+        }
+    });
+}
+
+/// Push-mode neighborhood assign: `w[j] = value` for every `j` adjacent
+/// to an active `i`. The push replacement for the "mark the frontier's
+/// neighbors with a Boolean `vxm`, then masked-assign" pair — one kernel
+/// over the frontier's edges instead of two full-width passes.
+pub fn assign_adj<T: Scalar>(dev: &Device, w: &Vector<T>, value: T, a: &Matrix, list: &ActiveList) {
+    dev.launch("grb::assign_adj", list.len(), |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        let (s, e) = a.row_range(t, i);
+        for slot in s..e {
+            let j = a.col(t, slot);
+            w.write(t, j, value);
+            t.charge(1);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::MaxTimes;
+    use gc_graph::generators::{path, star};
+    use gc_vgpu::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    fn list_of(items: &[u32]) -> ActiveList {
+        ActiveList::List(DeviceBuffer::from_slice(items))
+    }
+
+    #[test]
+    fn all_enumerates_domain() {
+        let l = ActiveList::all(4);
+        assert_eq!(l.len(), 4);
+        assert!(!l.is_empty());
+        assert_eq!(l.to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn contract_all_keeps_matching_indices() {
+        let d = dev();
+        let v = Vector::from_host(&d, &[3i64, 0, 7, 0, 1]);
+        let l = ActiveList::all(5).contract(&d, "keep_nz", |t, i| v.truthy(t, i as usize));
+        assert_eq!(l.to_vec(), vec![0, 2, 4]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn contract_list_filters_in_order() {
+        let d = dev();
+        let v = Vector::from_host(&d, &[3i64, 0, 7, 0, 1]);
+        let l = list_of(&[0, 2, 4]).contract(&d, "gt1", |t, i| v.read(t, i as usize) > 1);
+        assert_eq!(l.to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn contract_to_empty() {
+        let d = dev();
+        let l = list_of(&[1, 3]).contract(&d, "none", |_, _| false);
+        assert!(l.is_empty());
+        let l2 = l.contract(&d, "still_none", |_, _| true);
+        assert!(l2.is_empty());
+    }
+
+    #[test]
+    fn vxm_list_touches_only_listed_rows() {
+        let d = dev();
+        let a = Matrix::from_graph(&d, &path(4)); // 0-1-2-3
+        let u = Vector::from_host(&d, &[10i64, 40, 20, 30]);
+        let w = Vector::from_host(&d, &[-1i64, -1, -1, -1]);
+        vxm_list(&d, &w, &MaxTimes, &u, &a, &list_of(&[0, 2]));
+        // Rows 0 and 2 computed; rows 1 and 3 untouched.
+        assert_eq!(w.to_vec(), vec![40, -1, 40, -1]);
+    }
+
+    #[test]
+    fn vxm_list_all_matches_full_vxm() {
+        let d = dev();
+        let a = Matrix::from_graph(&d, &star(5));
+        let u = Vector::from_host(&d, &[3i64, 1, 4, 1, 5]);
+        let full = Vector::<i64>::new(5);
+        let listed = Vector::<i64>::new(5);
+        super::super::vxm(
+            &d,
+            &full,
+            None,
+            &MaxTimes,
+            &u,
+            &a,
+            crate::desc::Descriptor::null(),
+        );
+        vxm_list(&d, &listed, &MaxTimes, &u, &a, &ActiveList::all(5));
+        assert_eq!(full.to_vec(), listed.to_vec());
+    }
+
+    #[test]
+    fn ewise_and_assign_restricted_to_list() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[1i64, 2, 3]);
+        let v = Vector::from_host(&d, &[10i64, 20, 30]);
+        let w = Vector::<i64>::new(3);
+        ewise_add_list(&d, &w, |a, b| a + b, &u, &v, &list_of(&[1]));
+        assert_eq!(w.to_vec(), vec![0, 22, 0]);
+        assign_scalar_list(&d, &w, 9, &list_of(&[0, 2]));
+        assert_eq!(w.to_vec(), vec![9, 22, 9]);
+    }
+
+    #[test]
+    fn assign_where_respects_condition_and_list() {
+        let d = dev();
+        let w = Vector::<i64>::new(4);
+        let cond = Vector::from_host(&d, &[1i64, 1, 0, 1]);
+        assign_scalar_where(&d, &w, &cond, 5, &list_of(&[0, 2, 3]));
+        // Index 1 not listed; index 2 fails the condition.
+        assert_eq!(w.to_vec(), vec![5, 0, 0, 5]);
+    }
+
+    #[test]
+    fn apply_list_copies_listed_entries() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[4i64, 5, 6]);
+        let w = Vector::<i64>::new(3);
+        apply_list(&d, &w, |x| x, &u, &list_of(&[0, 2]));
+        assert_eq!(w.to_vec(), vec![4, 0, 6]);
+    }
+
+    #[test]
+    fn reduce_list_folds_active_prefix() {
+        let d = dev();
+        let u = Vector::from_host(&d, &[5i64, 1, 9, 2]);
+        // Prefix reduce via All(limit): only the first 3 entries.
+        assert_eq!(
+            reduce_list(&d, i64::MAX, i64::min, &u, &ActiveList::all(3)),
+            1
+        );
+        assert_eq!(
+            reduce_list(&d, 0i64, |a, b| a + b, &u, &list_of(&[0, 3])),
+            7
+        );
+        assert_eq!(reduce_list(&d, 42i64, |a, b| a + b, &u, &list_of(&[])), 42);
+    }
+
+    #[test]
+    fn scatter_adj_marks_neighbor_colors() {
+        let d = dev();
+        let a = Matrix::from_graph(&d, &path(4)); // 0-1-2-3
+        let c = Vector::from_host(&d, &[0i64, 2, 0, 3]);
+        let target = Vector::<i64>::new(6);
+        // Active row 2 has neighbors 1 (color 2) and 3 (color 3).
+        scatter_adj(&d, &target, &c, 1, &a, &list_of(&[2]));
+        assert_eq!(target.to_vec(), vec![0, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn assign_adj_clears_neighbors() {
+        let d = dev();
+        let a = Matrix::from_graph(&d, &star(4)); // 0 hub
+        let w = Vector::from_host(&d, &[7i64, 7, 7, 7]);
+        assign_adj(&d, &w, 0, &a, &list_of(&[0]));
+        assert_eq!(w.to_vec(), vec![7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_list_ops_are_metered_noops() {
+        let d = dev();
+        let w = Vector::<i64>::new(3);
+        assign_scalar_list(&d, &w, 1, &list_of(&[]));
+        assert_eq!(w.to_vec(), vec![0; 3]);
+        // Zero-thread launches still show up in the profile.
+        assert_eq!(d.profile().by_kernel["grb::assign_list"].launches, 1);
+    }
+}

@@ -1,5 +1,6 @@
 //! The GraphBLAS operations used by the paper's coloring algorithms.
 
+mod active;
 mod apply;
 mod assign;
 mod ewise;
@@ -8,6 +9,10 @@ mod reduce;
 mod scatter;
 mod vxm;
 
+pub use active::{
+    apply_list, assign_adj, assign_scalar_list, assign_scalar_where, ewise_add_list, reduce_list,
+    scatter_adj, vxm_list, ActiveList,
+};
 pub use apply::{apply, apply_indexed};
 pub use assign::assign_scalar;
 pub use ewise::{ewise_add, ewise_mult};

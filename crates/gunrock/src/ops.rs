@@ -1,6 +1,6 @@
 //! Gunrock operators: compute, filter, advance, neighbor-reduce.
 
-use gc_vgpu::primitives::{compact, exclusive_scan, segmented_reduce};
+use gc_vgpu::primitives::{compact_indices, compact_values, exclusive_scan, segmented_reduce};
 use gc_vgpu::{Device, DeviceBuffer, Scalar, ThreadCtx};
 
 use crate::dcsr::DeviceCsr;
@@ -39,23 +39,24 @@ where
     });
 }
 
-/// Filter operator: keeps the frontier items satisfying `pred`
-/// (predicate kernel + scan + scatter).
+/// Filter operator: keeps the frontier items satisfying `pred`.
+///
+/// Lowered onto the fused compaction primitives: the predicate is
+/// evaluated inside the compaction's scan kernel, so a contraction costs
+/// two full-width passes (plus a tiny partials launch) instead of the
+/// classic predicate + scan + scatter chain — and the surviving count is
+/// the output length, letting iterative colorers fuse their convergence
+/// check into the contraction.
 pub fn filter<F>(dev: &Device, name: &str, frontier: &Frontier, pred: F) -> Frontier
 where
     F: Fn(&mut ThreadCtx, u32) -> bool + Sync,
 {
-    let n = frontier.len();
-    let items = DeviceBuffer::<u32>::zeroed(n);
-    let flags = DeviceBuffer::<u8>::zeroed(n);
-    dev.launch(&format!("{name}:pred"), n, |t| {
-        let i = t.tid();
-        let v = frontier.item(t, i);
-        let keep = pred(t, v);
-        t.write(&items, i, v);
-        t.write(&flags, i, keep as u8);
-    });
-    Frontier::Sparse(compact(dev, name, &items, &flags))
+    match frontier {
+        Frontier::All(n) => {
+            Frontier::Sparse(compact_indices(dev, name, *n, |t, i| pred(t, i as u32)))
+        }
+        Frontier::Sparse(items) => Frontier::Sparse(compact_values(dev, name, items, pred)),
+    }
 }
 
 /// Result of a load-balanced advance.

@@ -49,6 +49,12 @@ pub struct ServiceConfig {
     /// When set, service counters, queue gauges, and per-colorer latency
     /// histograms are published here (see [`crate::stats`]).
     pub metrics: Option<gc_telemetry::MetricsRegistry>,
+    /// Pool device buffers per worker thread: allocations a colorer
+    /// drops are shelved and handed back to the next same-shaped
+    /// request instead of hitting the host allocator again. Saves the
+    /// alloc/zeroing work on every request after a worker's first for a
+    /// given graph size — the steady-state serving case.
+    pub pool_buffers: bool,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +65,7 @@ impl Default for ServiceConfig {
             cache_capacity: 128,
             tracer: None,
             metrics: None,
+            pool_buffers: true,
         }
     }
 }
@@ -128,9 +135,10 @@ impl ColoringService {
                 let stats = Arc::clone(&stats);
                 let cache = Arc::clone(&cache);
                 let tracer = config.tracer.clone();
+                let pool_buffers = config.pool_buffers;
                 std::thread::Builder::new()
                     .name(format!("gc-service-worker-{i}"))
-                    .spawn(move || worker_loop(rx, stats, cache, tracer))
+                    .spawn(move || worker_loop(rx, stats, cache, tracer, pool_buffers))
                     .expect("spawn service worker")
             })
             .collect();
@@ -287,12 +295,19 @@ fn worker_loop(
     stats: Arc<ServiceStats>,
     cache: ResultCache,
     tracer: Option<gc_telemetry::Tracer>,
+    pool_buffers: bool,
 ) {
     // Install the tracer once per worker: each worker gets its own lane
     // (named after the thread), and every span opened below — including
     // the colorer's iteration spans and the device's kernel events —
     // lands on it.
     let _tracing = tracer.as_ref().map(|t| t.make_current());
+    // Opt this worker into the device-buffer pool: every request after
+    // the first for a given graph shape reuses the previous request's
+    // allocations instead of fresh host allocations.
+    if pool_buffers {
+        gc_vgpu::pool::enable_for_thread();
+    }
     loop {
         // Hold the receiver lock only for the dequeue itself so other
         // workers can pull jobs while this one colors.
@@ -531,6 +546,32 @@ mod tests {
             t.recv().unwrap();
         }
         svc.shutdown();
+    }
+
+    #[test]
+    fn workers_reuse_pooled_buffers_across_requests() {
+        let before = gc_vgpu::pool::stats();
+        let svc = ColoringService::start(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0, // force the second request to really run
+            ..ServiceConfig::default()
+        });
+        let h = svc.handle();
+        let g = mesh();
+        h.color(ColorRequest::new(Arc::clone(&g), Objective::Fastest))
+            .unwrap();
+        // Same shape, different seed: the colorer re-allocates the same
+        // buffer sizes, which must now come out of the worker's pool.
+        h.color(ColorRequest::new(g, Objective::Fastest).with_seed(1))
+            .unwrap();
+        svc.shutdown();
+        let after = gc_vgpu::pool::stats();
+        assert!(
+            after.hits > before.hits,
+            "second request should reuse pooled buffers ({} -> {})",
+            before.hits,
+            after.hits
+        );
     }
 
     #[test]

@@ -2,9 +2,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::pool;
 use crate::scalar::Scalar;
 
 static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_id() -> u64 {
+    NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A linear array in simulated device global memory.
 ///
@@ -26,18 +31,41 @@ impl<T: Scalar> DeviceBuffer<T> {
     }
 
     /// A buffer with every element set to `v`.
+    ///
+    /// When the calling thread has the buffer pool enabled (see
+    /// [`crate::pool`]), same-shaped storage released by an earlier drop
+    /// is reused instead of reallocated; reuse re-initializes every cell.
     pub fn filled(len: usize, v: T) -> Self {
+        if let Some(cells) = pool::claim::<T::Atomic>(len) {
+            for c in cells.iter() {
+                T::store(c, v);
+            }
+            return DeviceBuffer {
+                id: next_id(),
+                cells,
+            };
+        }
         DeviceBuffer {
-            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+            id: next_id(),
             cells: (0..len).map(|_| T::new_cell(v)).collect(),
         }
     }
 
     /// A buffer initialized from host data (unmetered; see
-    /// [`crate::Device::upload`] for the metered path).
+    /// [`crate::Device::upload`] for the metered path). Pool-aware like
+    /// [`DeviceBuffer::filled`].
     pub fn from_slice(data: &[T]) -> Self {
+        if let Some(cells) = pool::claim::<T::Atomic>(data.len()) {
+            for (c, &v) in cells.iter().zip(data) {
+                T::store(c, v);
+            }
+            return DeviceBuffer {
+                id: next_id(),
+                cells,
+            };
+        }
         DeviceBuffer {
-            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+            id: next_id(),
             cells: data.iter().map(|&v| T::new_cell(v)).collect(),
         }
     }
@@ -100,6 +128,13 @@ impl<T: Scalar> DeviceBuffer<T> {
     /// Total bytes of the buffer as billed by transfers.
     pub fn size_bytes(&self) -> u64 {
         self.len() as u64 * T::BYTES
+    }
+}
+
+impl<T: Scalar> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        // Shelve the storage on the thread's pool (no-op when disabled).
+        pool::offer(std::mem::take(&mut self.cells));
     }
 }
 

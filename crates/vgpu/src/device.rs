@@ -16,9 +16,9 @@ use rayon::prelude::*;
 use crate::buffer::DeviceBuffer;
 use crate::config::DeviceConfig;
 use crate::cost::{kernel_cost, memcpy_cost, LaunchStats};
-use crate::profiler::{KernelRecord, ProfileReport, Profiler};
+use crate::profiler::{intern_name, KernelRecord, ProfileReport, Profiler};
 use crate::scalar::Scalar;
-use crate::thread::{intern_costs, AccessTracker, ThreadCounters, ThreadCtx};
+use crate::thread::{intern_costs, AccessTracker, ConfigCosts, ThreadCounters, ThreadCtx};
 
 /// A simulated GPU. All kernel launches on a device execute on the global
 /// rayon pool and advance the device's deterministic model clock.
@@ -39,12 +39,20 @@ use crate::thread::{intern_costs, AccessTracker, ThreadCounters, ThreadCtx};
 /// ```
 pub struct Device {
     cfg: DeviceConfig,
+    /// Cost subset interned once at construction so launches skip the
+    /// intern-table lookup.
+    costs: &'static ConfigCosts,
     profiler: Mutex<Profiler>,
 }
+
+/// Launches with at most this many blocks run inline on the calling
+/// thread: below this, rayon's fork-join costs more than it buys.
+const SERIAL_BLOCK_LIMIT: usize = 4;
 
 impl Device {
     pub fn new(cfg: DeviceConfig) -> Self {
         Device {
+            costs: intern_costs(&cfg),
             cfg,
             profiler: Mutex::new(Profiler::default()),
         }
@@ -75,43 +83,75 @@ impl Device {
     {
         let traced = gc_telemetry::enabled();
         let trace_start = traced.then(|| (Instant::now(), self.elapsed_ms()));
-        let costs = intern_costs(&self.cfg);
+        let name = intern_name(name);
+        let costs = self.costs;
         let warp = self.cfg.warp_size as usize;
         let block = self.cfg.block_size as usize;
-        let num_blocks = n_threads.div_ceil(block).max(1);
+        let warp_size = self.cfg.warp_size;
 
-        let stats = (0..num_blocks)
-            .into_par_iter()
-            .map(|b| {
-                let mut block_stats = LaunchStats::default();
-                let start = b * block;
-                let end = ((b + 1) * block).min(n_threads);
-                let mut t = start;
-                while t < end {
-                    let warp_end = (t + warp).min(end);
-                    let mut warp_max = ThreadCounters::default();
-                    let mut warp_sum = ThreadCounters::default();
-                    let mut tracker = AccessTracker::new();
-                    for tid in t..warp_end {
-                        let mut ctx = ThreadCtx::new(tid, self.cfg.warp_size, costs, tracker);
-                        kernel(&mut ctx);
-                        let (c, tr) = ctx.finish();
-                        tracker = tr;
-                        warp_max.cycles = warp_max.cycles.max(c.cycles);
-                        warp_max.bytes = warp_max.bytes.max(c.bytes);
-                        warp_sum.merge_sum(&c);
-                    }
-                    block_stats.add_warp(&warp_max, &warp_sum, (warp_end - t) as u64);
-                    t = warp_end;
+        // Executes one block serially, accumulating its launch stats.
+        // Stats merging is integer sums plus maxes, so any partition of
+        // blocks into tasks yields bit-identical totals.
+        let run_block = |b: usize| {
+            let mut block_stats = LaunchStats::default();
+            let start = b * block;
+            let end = ((b + 1) * block).min(n_threads);
+            let mut t = start;
+            while t < end {
+                let warp_end = (t + warp).min(end);
+                let mut warp_max = ThreadCounters::default();
+                let mut warp_sum = ThreadCounters::default();
+                let mut tracker = AccessTracker::new();
+                for tid in t..warp_end {
+                    let mut ctx = ThreadCtx::new(tid, warp_size, costs, tracker);
+                    kernel(&mut ctx);
+                    let (c, tr) = ctx.finish();
+                    tracker = tr;
+                    warp_max.cycles = warp_max.cycles.max(c.cycles);
+                    warp_max.bytes = warp_max.bytes.max(c.bytes);
+                    warp_sum.merge_sum(&c);
                 }
-                block_stats
-            })
-            .reduce(LaunchStats::default, LaunchStats::merge);
+                block_stats.add_warp(&warp_max, &warp_sum, (warp_end - t) as u64);
+                t = warp_end;
+            }
+            block_stats
+        };
+
+        // Zero threads: no blocks execute. The host still paid for the
+        // launch, so overhead is billed and the launch is recorded.
+        let stats = if n_threads == 0 {
+            LaunchStats::default()
+        } else {
+            let num_blocks = n_threads.div_ceil(block);
+            if num_blocks <= SERIAL_BLOCK_LIMIT {
+                // Tiny launch: run inline, skipping fork-join entirely.
+                (0..num_blocks)
+                    .map(run_block)
+                    .fold(LaunchStats::default(), LaunchStats::merge)
+            } else {
+                // Chunk several blocks per rayon task so the fork-join
+                // overhead amortizes (about four tasks per pool thread).
+                let chunk = num_blocks
+                    .div_ceil(rayon::current_num_threads().max(1) * 4)
+                    .max(1);
+                let tasks = num_blocks.div_ceil(chunk);
+                (0..tasks)
+                    .into_par_iter()
+                    .map(|task| {
+                        let lo = task * chunk;
+                        let hi = (lo + chunk).min(num_blocks);
+                        (lo..hi)
+                            .map(run_block)
+                            .fold(LaunchStats::default(), LaunchStats::merge)
+                    })
+                    .reduce(LaunchStats::default, LaunchStats::merge)
+            }
+        };
 
         let cost = kernel_cost(&self.cfg, &stats);
         let cost_cycles = cost.total_cycles;
         self.profiler.lock().unwrap().record_kernel(KernelRecord {
-            name: name.to_string(),
+            name,
             threads: stats.threads,
             warps: stats.warps,
             bytes: stats.bytes,
@@ -264,6 +304,60 @@ mod tests {
             dev.elapsed_cycles(),
             DeviceConfig::test_tiny().launch_overhead_cycles as f64
         );
+    }
+
+    #[test]
+    fn zero_thread_launch_is_a_metered_noop() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let dev = Device::new(DeviceConfig::test_tiny());
+        let ran = AtomicBool::new(false);
+        dev.launch("noop", 0, |_| ran.store(true, Ordering::Relaxed));
+        assert!(
+            !ran.load(Ordering::Relaxed),
+            "zero-thread launch must not execute the kernel body"
+        );
+        let r = dev.profile();
+        assert_eq!(r.launches, 1, "the launch is still recorded");
+        assert_eq!(r.thread_executions, 0);
+        assert_eq!(
+            dev.elapsed_cycles(),
+            DeviceConfig::test_tiny().launch_overhead_cycles as f64,
+            "overhead is still billed"
+        );
+    }
+
+    #[test]
+    fn chunked_launch_matches_per_block_totals() {
+        // A launch big enough to spread over many rayon tasks must
+        // produce the same stats and clock as any other partition.
+        let cfg = DeviceConfig::test_tiny();
+        let run = |n: usize| {
+            let dev = Device::new(cfg);
+            let counter = DeviceBuffer::<u32>::zeroed(1);
+            let data = DeviceBuffer::<u32>::zeroed(n);
+            dev.launch("work", n, |t| {
+                let i = t.tid();
+                let v = t.read(&data, i);
+                t.write(&data, i, v + 1);
+                if i % 3 == 0 {
+                    t.atomic_add(&counter, 0, 1);
+                }
+            });
+            (dev.elapsed_cycles(), counter.get(0), dev.profile())
+        };
+        let (cycles, hits, prof) = run(10_000);
+        assert_eq!(hits, 10_000u32.div_ceil(3));
+        assert_eq!(prof.thread_executions, 10_000);
+        // Deterministic across repeats (different rayon interleavings).
+        for _ in 0..3 {
+            let (c2, h2, p2) = run(10_000);
+            assert_eq!(cycles, c2);
+            assert_eq!(hits, h2);
+            assert_eq!(
+                prof.by_kernel["work"].total_bytes,
+                p2.by_kernel["work"].total_bytes
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod buffer;
 pub mod config;
 pub mod cost;
 pub mod device;
+pub mod pool;
 pub mod primitives;
 pub mod profiler;
 pub mod rng;

@@ -11,6 +11,7 @@
 use crate::buffer::DeviceBuffer;
 use crate::device::Device;
 use crate::scalar::Scalar;
+use crate::thread::ThreadCtx;
 
 /// Cycles billed per tree-reduction step inside a warp (shuffle cost).
 const SHUFFLE_CYCLES: u64 = 6;
@@ -120,6 +121,108 @@ pub fn compact(
             let dst = t.read(&offsets, tid);
             let v = t.read(values, tid);
             t.write(&out, dst as usize, v);
+        }
+    });
+    out
+}
+
+/// Predicate-driven stream compaction over the index domain `0..n`:
+/// returns the (metered) ascending buffer of indices `i` for which
+/// `pred` holds. `pred` receives the thread context, so any buffer reads
+/// it performs are billed like the real predicate kernel's.
+///
+/// Work-efficient two-kernel structure: `:scan` evaluates the predicate
+/// and runs a shuffle-based block-local exclusive scan in one pass,
+/// `:scatter` re-derives each kept element's local rank from the flags
+/// (shared memory on hardware), adds the scanned block offset, and
+/// writes. A tiny `:partials` launch over the per-block totals sits
+/// between them when the launch spans multiple blocks. Compared to the
+/// flags-buffer [`compact`] (predicate + 3-kernel scan + scatter ≈ four
+/// full-width passes), this costs two — and the output length *is* the
+/// surviving-element count, so callers fuse their convergence check into
+/// the compaction instead of running a separate full-width reduction.
+pub fn compact_indices<P>(dev: &Device, name: &str, n: usize, pred: P) -> DeviceBuffer<u32>
+where
+    P: Fn(&mut ThreadCtx, usize) -> bool + Sync,
+{
+    compact_by(dev, name, n, |_, i| i as u32, |t, i, _| pred(t, i))
+}
+
+/// Predicate-driven stream compaction over the *values* of a buffer:
+/// returns the (metered) buffer of `values[i]` whose predicate holds, in
+/// order. The predicate receives each element's value (already billed as
+/// a sequential read); this is the frontier-contraction shape — `values`
+/// is the active-vertex list and `pred` keeps the still-active ones.
+/// Same two-kernel structure as [`compact_indices`].
+pub fn compact_values<P>(
+    dev: &Device,
+    name: &str,
+    values: &DeviceBuffer<u32>,
+    pred: P,
+) -> DeviceBuffer<u32>
+where
+    P: Fn(&mut ThreadCtx, u32) -> bool + Sync,
+{
+    compact_by(
+        dev,
+        name,
+        values.len(),
+        |t, i| t.read(values, i),
+        |t, _, v| pred(t, v),
+    )
+}
+
+/// Shared body of [`compact_indices`] / [`compact_values`]: `get` maps a
+/// thread index to the candidate value (metered when it reads a buffer),
+/// `pred` decides survival.
+fn compact_by<G, P>(dev: &Device, name: &str, n: usize, get: G, pred: P) -> DeviceBuffer<u32>
+where
+    G: Fn(&mut ThreadCtx, usize) -> u32 + Sync,
+    P: Fn(&mut ThreadCtx, usize, u32) -> bool + Sync,
+{
+    if n == 0 {
+        dev.launch(&format!("{name}:scan"), 0, |_| {});
+        return DeviceBuffer::zeroed(0);
+    }
+    let flags = DeviceBuffer::<u8>::zeroed(n);
+    // Kernel 1: predicate + block-local exclusive scan in one pass. The
+    // scan's lane traffic is shuffle-based (no global memory), so each
+    // thread bills shuffle cycles plus its flag write.
+    dev.launch(&format!("{name}:scan"), n, |t| {
+        let i = t.tid();
+        let v = get(t, i);
+        let keep = pred(t, i, v);
+        t.charge(SHUFFLE_CYCLES);
+        t.write(&flags, i, keep as u8);
+    });
+    let block = dev.config().block_size as usize;
+    let blocks = n.div_ceil(block);
+    if blocks > 1 {
+        // Tiny pass: exclusive scan of the per-block totals.
+        dev.launch(&format!("{name}:partials"), blocks, |t| {
+            t.charge(SHUFFLE_CYCLES + 2);
+        });
+    }
+    // Host mirror of the ranks (block-local rank + block offset).
+    let keeps = flags.to_vec();
+    let mut ranks = vec![0u32; n];
+    let mut total = 0u32;
+    for (i, &k) in keeps.iter().enumerate() {
+        ranks[i] = total;
+        total += (k != 0) as u32;
+    }
+    let out = DeviceBuffer::<u32>::zeroed(total as usize);
+    // Kernel 2: scatter. Each thread reloads its flag, re-derives its
+    // rank from shared memory (billed as shuffle work), and surviving
+    // threads write their value at the rank — consecutive survivors
+    // write consecutive slots, so the writes coalesce.
+    dev.launch(&format!("{name}:scatter"), n, |t| {
+        let i = t.tid();
+        let keep = t.read(&flags, i);
+        t.charge(SHUFFLE_CYCLES);
+        if keep != 0 {
+            let v = get(t, i);
+            t.write(&out, ranks[i] as usize, v);
         }
     });
     out
@@ -366,6 +469,66 @@ mod tests {
         assert_eq!(all.to_vec(), vec![1, 2, 3]);
         let none = compact(&d, "f", &values, &DeviceBuffer::from_slice(&[0u8, 0, 0]));
         assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn compact_indices_keeps_matching_in_order() {
+        let d = dev();
+        let data = DeviceBuffer::from_slice(&[5u32, 0, 7, 0, 0, 9, 1]);
+        let out = compact_indices(&d, "ci", data.len(), |t, i| t.read(&data, i) != 0);
+        assert_eq!(out.to_vec(), vec![0, 2, 5, 6]);
+    }
+
+    #[test]
+    fn compact_indices_all_none_empty() {
+        let d = dev();
+        let all = compact_indices(&d, "ci", 3, |_, _| true);
+        assert_eq!(all.to_vec(), vec![0, 1, 2]);
+        let none = compact_indices(&d, "ci", 3, |_, _| false);
+        assert_eq!(none.len(), 0);
+        let empty = compact_indices(&d, "ci", 0, |_, _| true);
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn compact_values_filters_by_value() {
+        let d = dev();
+        let values = DeviceBuffer::from_slice(&[4u32, 9, 2, 9, 6]);
+        let out = compact_values(&d, "cv", &values, |_, v| v != 9);
+        assert_eq!(out.to_vec(), vec![4, 2, 6]);
+    }
+
+    #[test]
+    fn compact_indices_launches_fewer_kernels_than_compact() {
+        // The fused predicate + block-scan path must cost two full-width
+        // launches (plus the tiny partials pass) where the flags-based
+        // compact costs four — that gap is the per-iteration saving every
+        // frontier loop banks.
+        let n = 100; // block_size 8 -> multi-block
+        let lean = {
+            let d = dev();
+            let _ = compact_indices(&d, "c", n, |t, i| i % 2 == 0 && t.tid() < n);
+            d.profile().launches
+        };
+        let classic = {
+            let d = dev();
+            let values = DeviceBuffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
+            let flags =
+                DeviceBuffer::from_slice(&(0..n).map(|i| (i % 2 == 0) as u8).collect::<Vec<_>>());
+            let _ = compact(&d, "c", &values, &flags);
+            d.profile().launches
+        };
+        assert_eq!(lean, 3, "scan + partials + scatter");
+        assert!(lean < classic, "lean {lean} vs classic {classic}");
+    }
+
+    #[test]
+    fn compact_indices_output_length_is_survivor_count() {
+        let d = dev();
+        let keep = [true, false, true, true, false, false, true];
+        let flags = DeviceBuffer::from_slice(&keep.map(|k| k as u8));
+        let out = compact_indices(&d, "ci", keep.len(), |t, i| t.read(&flags, i) != 0);
+        assert_eq!(out.len(), keep.iter().filter(|&&k| k).count());
     }
 
     #[test]

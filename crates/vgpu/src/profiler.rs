@@ -2,14 +2,32 @@
 //! benches can explain *why* one implementation's model time differs from
 //! another's (the paper's §V profiling discussion).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Mutex, OnceLock};
 
 use crate::cost::KernelCost;
+
+/// Interns a kernel name, returning a `'static` handle. The launch hot
+/// path records millions of kernels with a small, fixed vocabulary of
+/// names; interning replaces a per-launch `String` allocation with one
+/// hash lookup, and each distinct name is leaked exactly once.
+pub fn intern_name(name: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<HashMap<&'static str, ()>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = table.lock().unwrap();
+    if let Some((&interned, _)) = guard.get_key_value(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    guard.insert(leaked, ());
+    leaked
+}
 
 /// One recorded kernel launch.
 #[derive(Clone, Debug)]
 pub struct KernelRecord {
-    pub name: String,
+    /// Interned kernel name (see [`intern_name`]).
+    pub name: &'static str,
     pub threads: u64,
     pub warps: u64,
     pub bytes: u64,
@@ -21,6 +39,8 @@ pub struct KernelRecord {
 #[derive(Clone, Debug, Default)]
 pub struct KernelSummary {
     pub launches: u64,
+    /// Σ simulated thread executions across this kernel's launches.
+    pub total_threads: u64,
     pub total_cycles: f64,
     pub total_bytes: u64,
     pub total_atomics: u64,
@@ -67,9 +87,11 @@ impl Profiler {
 
     pub fn report(&self) -> ProfileReport {
         let mut by_kernel: BTreeMap<String, KernelSummary> = BTreeMap::new();
+        let mut thread_executions = 0u64;
         for r in &self.records {
-            let e = by_kernel.entry(r.name.clone()).or_default();
+            let e = by_kernel.entry(r.name.to_string()).or_default();
             e.launches += 1;
+            e.total_threads += r.threads;
             e.total_cycles += r.cost.total_cycles;
             e.total_bytes += r.bytes;
             e.total_atomics += r.atomics;
@@ -77,9 +99,11 @@ impl Profiler {
                 e.max_launch_cycles = r.cost.total_cycles;
                 e.dominant_bound = r.cost.bound_by();
             }
+            thread_executions += r.threads;
         }
         ProfileReport {
             launches: self.records.len() as u64,
+            thread_executions,
             syncs: self.syncs,
             memcpys: self.memcpys,
             memcpy_bytes: self.memcpy_bytes,
@@ -97,6 +121,9 @@ impl Profiler {
 #[derive(Clone, Debug)]
 pub struct ProfileReport {
     pub launches: u64,
+    /// Σ simulated thread executions over every recorded launch — the
+    /// work-efficiency metric frontier compaction is judged by.
+    pub thread_executions: u64,
     pub syncs: u64,
     pub memcpys: u64,
     pub memcpy_bytes: u64,
@@ -139,6 +166,7 @@ impl ProfileReport {
     pub fn to_kv(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("launches={}\n", self.launches));
+        out.push_str(&format!("thread_executions={}\n", self.thread_executions));
         out.push_str(&format!("syncs={}\n", self.syncs));
         out.push_str(&format!("memcpys={}\n", self.memcpys));
         out.push_str(&format!("memcpy_bytes={}\n", self.memcpy_bytes));
@@ -200,9 +228,9 @@ mod tests {
     use super::*;
     use crate::cost::KernelCost;
 
-    fn rec(name: &str, cycles: f64) -> KernelRecord {
+    fn rec(name: &'static str, cycles: f64) -> KernelRecord {
         KernelRecord {
-            name: name.into(),
+            name,
             threads: 10,
             warps: 1,
             bytes: 100,
@@ -221,6 +249,28 @@ mod tests {
         p.record_sync(50.0);
         p.record_memcpy(64, 25.0);
         assert_eq!(p.clock_cycles(), 175.0);
+    }
+
+    #[test]
+    fn intern_returns_one_handle_per_name() {
+        let a = intern_name("some::kernel");
+        let b = intern_name("some::kernel");
+        let c = intern_name("some::other");
+        assert!(std::ptr::eq(a, b), "same name must intern to one handle");
+        assert_eq!(a, "some::kernel");
+        assert_eq!(c, "some::other");
+    }
+
+    #[test]
+    fn report_sums_thread_executions() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("a", 10.0)); // 10 threads each
+        p.record_kernel(rec("a", 10.0));
+        p.record_kernel(rec("b", 10.0));
+        let r = p.report();
+        assert_eq!(r.thread_executions, 30);
+        assert_eq!(r.by_kernel["a"].total_threads, 20);
+        assert_eq!(r.by_kernel["b"].total_threads, 10);
     }
 
     #[test]

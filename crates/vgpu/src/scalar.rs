@@ -10,8 +10,9 @@ use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Or
 
 /// Element type usable in a [`crate::DeviceBuffer`].
 pub trait Scalar: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
-    /// The atomic cell backing one element.
-    type Atomic: Send + Sync;
+    /// The atomic cell backing one element. (`'static` so the buffer
+    /// pool can shelve storage keyed by `TypeId`.)
+    type Atomic: Send + Sync + 'static;
 
     /// Size billed by the memory model.
     const BYTES: u64;

@@ -28,8 +28,11 @@ impl ThreadCounters {
 
 /// Tracks the last-touched index of a few buffers to classify accesses as
 /// sequential (coalescible, billed at element size) or scattered (billed
-/// as a full memory transaction). A tiny direct-mapped cache is enough:
-/// kernels touch a handful of arrays.
+/// as a full memory transaction). Eight fully-associative entries with
+/// round-robin replacement: any working set of up to eight buffers keeps
+/// its sequential runs intact regardless of buffer ids. (A direct map
+/// keyed on `buf_id % slots` let two hot buffers with colliding ids evict
+/// each other on every access, mispricing coalesced scans as scattered.)
 ///
 /// The tracker is *warp-scoped*: the launch loop threads one tracker
 /// through all lanes of a warp in lane order, so the canonical coalesced
@@ -38,13 +41,18 @@ impl ThreadCounters {
 /// within a thread.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct AccessTracker {
-    entries: [(u64, u64); 4],
+    /// `(buffer id, last index)` pairs; id 0 marks an empty entry
+    /// (buffer ids start at 1).
+    entries: [(u64, u64); 8],
+    /// Next entry to evict on a miss.
+    victim: u8,
 }
 
 impl AccessTracker {
     pub(crate) fn new() -> Self {
         AccessTracker {
-            entries: [(0, u64::MAX); 4],
+            entries: [(0, u64::MAX); 8],
+            victim: 0,
         }
     }
 
@@ -52,11 +60,16 @@ impl AccessTracker {
     /// given buffer.
     #[inline]
     fn observe(&mut self, buf_id: u64, index: usize) -> bool {
-        let slot = (buf_id % 4) as usize;
-        let (id, last) = self.entries[slot];
-        let seq = id == buf_id && (index as u64) == last.wrapping_add(1);
-        self.entries[slot] = (buf_id, index as u64);
-        seq
+        for (id, last) in self.entries.iter_mut() {
+            if *id == buf_id {
+                let seq = (index as u64) == last.wrapping_add(1);
+                *last = index as u64;
+                return seq;
+            }
+        }
+        self.entries[self.victim as usize] = (buf_id, index as u64);
+        self.victim = (self.victim + 1) % self.entries.len() as u8;
+        false
     }
 }
 
@@ -394,6 +407,30 @@ mod tests {
         c.charge(10);
         c.charge(5);
         assert_eq!(c.counters().cycles, 15);
+    }
+
+    #[test]
+    fn interleaved_buffers_keep_sequential_billing() {
+        // Five buffers scanned in lockstep: by pigeonhole at least two of
+        // any five distinct ids collide mod 4, so the old direct-mapped
+        // tracker evicted a live run on every round and billed full
+        // transactions. Fully-associative slots must bill one transaction
+        // per buffer (the run start) and element size for the rest,
+        // whatever the ids are.
+        let mut c = ctx();
+        let bufs: Vec<DeviceBuffer<u32>> =
+            (0..5).map(|_| DeviceBuffer::<u32>::zeroed(16)).collect();
+        let rounds = 10usize;
+        for i in 0..rounds {
+            for b in &bufs {
+                let _ = c.read(b, i);
+            }
+        }
+        assert_eq!(
+            c.counters().bytes,
+            5 * 32 + 5 * (rounds as u64 - 1) * 4,
+            "interleaved sequential scans must stay coalesced"
+        );
     }
 
     #[test]

@@ -49,4 +49,10 @@ assert "gc_color_model_ms_quantile" in prom, "metrics.prom missing quantiles"
 print(f"trace artifacts OK: {len(events)} events, {len(lines)} spans")
 PY
 
+echo "==> bench smoke: repro bench at smoke scale + bench-check validation"
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench --scale 0.002 --out "$trace_dir/bench.json"
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench-check "$trace_dir/bench.json"
+
 echo "CI gate passed."

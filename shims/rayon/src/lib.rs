@@ -22,6 +22,12 @@ fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Number of worker threads terminal operations may use (rayon-compatible
+/// accessor; callers size their task chunks by it).
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
 pub mod prelude {
     pub use crate::{
         IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
