@@ -23,11 +23,14 @@
 //! when the flags are omitted).
 //!
 //! `bench` runs every Figure 1 colorer twice per dataset — once with
-//! full-width (pre-compaction) frontiers, once with today's compacted
-//! path — and writes the before/after matrix as a
-//! `gc-bench-coloring/v1` JSON document (default `BENCH_coloring.json`,
+//! the paper's launch shape (full-width frontiers, one dispatch per
+//! operator), once with today's default path (compacted frontiers in
+//! replayed launch graphs) — and writes the before/after matrix as a
+//! `gc-bench-coloring/v2` JSON document (default `BENCH_coloring.json`,
 //! override with `--out`). `bench-check FILE` re-validates such a
-//! document and exits non-zero when it is malformed (the CI smoke step).
+//! document — including that no colorer's optimized side dispatches
+//! more launches than its baseline — and exits non-zero when it is
+//! malformed or regressed (the CI smoke step).
 
 use std::fs;
 use std::process::ExitCode;

@@ -1,20 +1,25 @@
-//! Before/after benchmark of the frontier-compaction work (`repro bench`).
+//! Before/after benchmark of the frontier-compaction and launch-graph
+//! work (`repro bench`).
 //!
 //! Every Figure 1 colorer runs twice per dataset: once through its
-//! pre-compaction baseline (full-width frontiers — every kernel spans
-//! all `n` vertices every iteration) and once through today's default
-//! compacted path. Each side reports model-ms, wall-ms, simulated
-//! thread-executions, kernel launches, and iteration count; the row also
-//! records whether the two sides produced bit-identical colorings
-//! (compaction is a pure work optimization, so they must).
+//! pre-optimization baseline (full-width frontiers, one dispatch per
+//! operator — the paper's launch shape) and once through today's
+//! default path (compacted frontiers whose per-iteration pipeline is
+//! captured once as a launch graph and replayed). Each side reports
+//! model-ms, wall-ms, simulated thread-executions, kernel launches,
+//! graph replays, launch-overhead model time, and iteration count; the
+//! row also records whether the two sides produced bit-identical
+//! colorings (both optimizations are pure work/overhead optimizations,
+//! so they must).
 //!
-//! `to_json` emits the `gc-bench-coloring/v1` document committed as
+//! `to_json` emits the `gc-bench-coloring/v2` document committed as
 //! `BENCH_coloring.json`, the artifact that anchors the perf trajectory:
 //! future optimization PRs regenerate it and diff the counters.
 //! `validate_report_json` re-parses a document with the gc-telemetry
-//! JSON parser and checks the schema's shape — `repro bench` self-checks
-//! its own output through it, and `repro bench-check FILE` exposes it to
-//! CI.
+//! JSON parser and checks the schema's shape — including that no row's
+//! `after` side dispatches more launches than its `before` side —
+//! `repro bench` self-checks its own output through it, and
+//! `repro bench-check FILE` exposes it to CI.
 
 use std::time::Instant;
 
@@ -22,14 +27,16 @@ use gc_core::gblas_jpl::JplConfig;
 use gc_core::gunrock_hash::HashConfig;
 use gc_core::gunrock_is::IsConfig;
 use gc_core::runner::{all_colorers, Colorer, ColorerKind};
-use gc_core::{gblas_is, gblas_jpl, gblas_mis, gunrock_hash, gunrock_is, naumov, ColoringResult};
+use gc_core::{
+    gblas_is, gblas_jpl, gblas_mis, gunrock_ar, gunrock_hash, gunrock_is, naumov, ColoringResult,
+};
 use gc_graph::Csr;
 use gc_vgpu::Device;
 
 use crate::experiments::ExperimentConfig;
 
 /// The document's `schema` field.
-pub const SCHEMA: &str = "gc-bench-coloring/v1";
+pub const SCHEMA: &str = "gc-bench-coloring/v2";
 
 /// Datasets the bench sweeps: the road-like sparse mesh the acceptance
 /// tracking cares about first, then a 3-D mesh, a circuit, and a
@@ -44,6 +51,11 @@ pub struct BenchSide {
     /// Simulated thread executions (0 for host-only colorers).
     pub thread_executions: u64,
     pub launches: u64,
+    /// Launch-graph replays (0 for uncaptured paths and host colorers).
+    pub graph_replays: u64,
+    /// Model milliseconds spent on fixed launch overhead — the term the
+    /// captured pipelines shrink.
+    pub launch_overhead_ms: f64,
     pub iterations: u32,
 }
 
@@ -71,12 +83,13 @@ pub struct BenchReport {
     pub rows: Vec<BenchRow>,
 }
 
-/// Runs `colorer`'s pre-compaction twin: full-width frontiers, the
-/// paper's transcription before this repo's compaction pass.
-/// `Gunrock/Color_AR` and the host greedy never had a frontier to
-/// compact, so their baseline is the colorer itself.
+/// Runs `colorer`'s pre-optimization twin: full-width frontiers and one
+/// dispatch per operator, the paper's transcription before this repo's
+/// compaction and launch-graph passes. Only the host greedy has no
+/// GPU-side twin, so its baseline is the colorer itself.
 fn run_baseline(colorer: &Colorer, g: &Csr, seed: u64) -> ColoringResult {
     match colorer.kind() {
+        ColorerKind::GunrockAr => gunrock_ar::run_on_full(&Device::k40c(), g, seed),
         ColorerKind::GblasIs => gblas_is::run_on_full(&Device::k40c(), g, seed),
         ColorerKind::GblasMis => gblas_mis::run_on_full(&Device::k40c(), g, seed),
         ColorerKind::GblasJpl => gblas_jpl::gblas_jpl_with(g, seed, JplConfig::full_width()),
@@ -114,6 +127,8 @@ fn side_of(r: &ColoringResult, wall_ms: f64) -> BenchSide {
         wall_ms,
         thread_executions: r.profile.as_ref().map_or(0, |p| p.thread_executions),
         launches: r.kernel_launches,
+        graph_replays: r.profile.as_ref().map_or(0, |p| p.graph_replays),
+        launch_overhead_ms: r.profile.as_ref().map_or(0.0, |p| p.launch_overhead_ms),
         iterations: r.iterations,
     }
 }
@@ -165,12 +180,19 @@ fn esc(s: &str) -> String {
 fn json_side(s: &BenchSide) -> String {
     format!(
         "{{\"model_ms\": {:.4}, \"wall_ms\": {:.4}, \"thread_executions\": {}, \
-         \"launches\": {}, \"iterations\": {}}}",
-        s.model_ms, s.wall_ms, s.thread_executions, s.launches, s.iterations
+         \"launches\": {}, \"graph_replays\": {}, \"launch_overhead_ms\": {:.4}, \
+         \"iterations\": {}}}",
+        s.model_ms,
+        s.wall_ms,
+        s.thread_executions,
+        s.launches,
+        s.graph_replays,
+        s.launch_overhead_ms,
+        s.iterations
     )
 }
 
-/// Serializes a report as a `gc-bench-coloring/v1` JSON document.
+/// Serializes a report as a `gc-bench-coloring/v2` JSON document.
 pub fn to_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -198,8 +220,10 @@ pub fn to_json(report: &BenchReport) -> String {
     out
 }
 
-/// Validates a `gc-bench-coloring/v1` document: parses it with the
-/// gc-telemetry JSON parser and checks every field the schema promises.
+/// Validates a `gc-bench-coloring/v2` document: parses it with the
+/// gc-telemetry JSON parser, checks every field the schema promises,
+/// and enforces the launch-graph invariant — the optimized side of a
+/// row must never dispatch more launches than its baseline.
 pub fn validate_report_json(text: &str) -> Result<(), String> {
     use gc_telemetry::json::{parse, Json};
     let doc = parse(text)?;
@@ -243,12 +267,28 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
                 "wall_ms",
                 "thread_executions",
                 "launches",
+                "graph_replays",
+                "launch_overhead_ms",
                 "iterations",
             ] {
                 s.get(f)
                     .and_then(|v| v.as_f64())
                     .ok_or_else(|| missing(&format!("{side}.{f}")))?;
             }
+        }
+        let launches = |side: &str| {
+            row.get(side)
+                .and_then(|s| s.get("launches"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        if launches("after") > launches("before") {
+            return Err(format!(
+                "row {i}: after.launches ({}) exceeds before.launches ({}) — \
+                 the captured path regressed dispatch count",
+                launches("after"),
+                launches("before")
+            ));
         }
     }
     Ok(())
@@ -267,6 +307,35 @@ mod tests {
             assert!(r.before.model_ms > 0.0 && r.after.model_ms > 0.0);
             assert!(r.colors > 0);
         }
+        // Launch graphs must never regress dispatch counts, and every
+        // converted iterative colorer replays one graph per iteration.
+        for r in &report.rows {
+            assert!(
+                r.after.launches <= r.before.launches,
+                "{}: after {} launches vs before {}",
+                r.colorer,
+                r.after.launches,
+                r.before.launches
+            );
+            if r.after.graph_replays > 0 {
+                // At least one replay per reported iteration (MIS replays
+                // its inner-pass graph several times per outer round).
+                assert!(
+                    r.after.graph_replays >= r.after.iterations as u64,
+                    "{}",
+                    r.colorer
+                );
+            }
+        }
+        let replaying = report
+            .rows
+            .iter()
+            .filter(|r| r.after.graph_replays > 0)
+            .count();
+        assert!(
+            replaying >= 7,
+            "only {replaying} colorers replay captured pipelines"
+        );
         // The acceptance criterion's shape, at smoke scale: on the
         // road-like mesh, at least two iterative colorers drop simulated
         // thread-executions by >= 1.5x with identical colorings.
@@ -285,25 +354,39 @@ mod tests {
         validate_report_json(&to_json(&report)).expect("emitted JSON validates");
     }
 
-    const MINI: &str = r#"{"schema": "gc-bench-coloring/v1", "scale": 0.002, "seed": 42,
+    const MINI: &str = r#"{"schema": "gc-bench-coloring/v2", "scale": 0.002, "seed": 42,
       "rows": [{"colorer": "X", "dataset": "d", "vertices": 1, "edges": 0, "colors": 1,
       "identical_coloring": true,
-      "before": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 1, "iterations": 1},
-      "after": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 1, "iterations": 1}}]}"#;
+      "before": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 2, "graph_replays": 0, "launch_overhead_ms": 0.2, "iterations": 1},
+      "after": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 1, "graph_replays": 1, "launch_overhead_ms": 0.1, "iterations": 1}}]}"#;
 
     #[test]
     fn validator_accepts_minimal_document_and_rejects_mutations() {
         validate_report_json(MINI).expect("minimal document validates");
         assert!(validate_report_json("not json").is_err());
         assert!(validate_report_json("{}").is_err());
-        assert!(validate_report_json(&MINI.replace("gc-bench-coloring/v1", "v0")).is_err());
+        assert!(validate_report_json(&MINI.replace("gc-bench-coloring/v2", "v1")).is_err());
         assert!(validate_report_json(
             &MINI.replace("\"identical_coloring\": true", "\"identical_coloring\": 1")
         )
         .is_err());
         assert!(validate_report_json(&MINI.replace("\"wall_ms\": 1.0, ", "")).is_err());
+        assert!(validate_report_json(&MINI.replace("\"graph_replays\": 0, ", "")).is_err());
+        assert!(validate_report_json(&MINI.replace("\"launch_overhead_ms\": 0.2, ", "")).is_err());
         assert!(
             validate_report_json(&MINI.replace("\"rows\": [{", "\"rows\": [], \"x\": [{")).is_err()
         );
+    }
+
+    #[test]
+    fn validator_rejects_launch_count_regressions() {
+        // after.launches > before.launches means a captured pipeline
+        // dispatched more than the baseline it was meant to shrink.
+        let bad = MINI.replace(
+            "\"launches\": 1, \"graph_replays\": 1",
+            "\"launches\": 3, \"graph_replays\": 1",
+        );
+        let err = validate_report_json(&bad).unwrap_err();
+        assert!(err.contains("exceeds before.launches"), "{err}");
     }
 }

@@ -35,19 +35,30 @@ pub fn gblas_is(g: &Csr, seed: u64) -> ColoringResult {
 /// Runs Algorithm 2 on the provided device with the compacted
 /// active-vertex list (the default path).
 ///
-/// Per round, `vxm_list`/`ewise_add_list` span only the uncolored
-/// vertices, the new Luby members are contracted out of the list (their
-/// count is the old `reduce(+)` frontier size, fused into the
-/// compaction), and two list-restricted assigns color them. The max at
-/// a listed row only combines neighbors with live weights — exactly
-/// what the full-width masked product computes there — so colorings are
-/// bit-identical to [`run_on_full`].
+/// The whole per-round pipeline is two fused kernels, captured once as
+/// a [`gc_vgpu::LaunchGraph`] and replayed each round so the fixed
+/// launch/sync overhead is paid once per round instead of once per op:
+///
+/// 1. `vxm_apply_list` computes each active vertex's max live neighbor
+///    weight and the "beats its neighborhood" test in one kernel (the
+///    old `vxm_list` + `ewise_add_list` pair, minus the intermediate
+///    `max` vector);
+/// 2. `assign_where_compact` colors the winners, zeroes their weights,
+///    and contracts them out of the active list in one fused
+///    compaction (the old two assigns + contraction).
+///
+/// The max at a listed row only combines neighbors with live weights —
+/// exactly what the full-width masked product computes there — so
+/// colorings are bit-identical to [`run_on_full`]. The surviving-count
+/// delta doubles as the old `reduce(+)` frontier-size/empty test.
 pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    use std::cell::{Cell, RefCell};
+
+    let _pool = gc_vgpu::pool::lease();
     let n = g.num_vertices();
     let a = Matrix::from_graph(dev, g);
     let c = Vector::<i64>::new(n);
     let weight = Vector::<i64>::new(n);
-    let max = Vector::<i64>::new(n);
     let frontier = Vector::<i64>::new(n);
     dev.reset();
     let launches_before = dev.profile().launches;
@@ -65,10 +76,43 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
         desc,
     );
 
-    let mut active = ActiveList::all(n);
+    let active = RefCell::new(ActiveList::all(n));
+    let color = Cell::new(0i64);
+    let retired = Cell::new(0usize);
+    // Capture once; the frontier length and the round's color are
+    // resolved at replay time (the contraction output swaps into
+    // `active` between replays), so every round replays the same graph.
+    let pipeline = dev.capture("grb::is_round", || {
+        let cur = active.borrow();
+        // Max live-neighbor weight and the GT test, fused. Under the
+        // dense encoding the zero weight of a colored vertex is the
+        // "no value" sentinel, so the test also requires a live weight.
+        ops::vxm_apply_list(
+            dev,
+            &frontier,
+            &MaxTimes,
+            |w, m| (w != 0 && w > m) as i64,
+            &weight,
+            &a,
+            &cur,
+        );
+        // Color the new Luby members, kill their weights, and contract
+        // them out of the candidate list, all in one compaction.
+        let next = ops::assign_where_compact(
+            dev,
+            "grb::is_active",
+            &frontier,
+            &[(&c, color.get()), (&weight, 0)],
+            &cur,
+        );
+        retired.set(cur.len() - next.len());
+        drop(cur);
+        *active.borrow_mut() = next;
+    });
+
     let mut iterations = 0u32;
     let mut finished = false;
-    for color in 1..=(MAX_COLORS as i64) {
+    for round_color in 1..=(MAX_COLORS as i64) {
         iterations += 1;
         // One span per outer (color) iteration: kernel events emitted by
         // the device below nest inside it on the tracing thread.
@@ -79,37 +123,20 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
             0.0
         };
         iter_span.attr("iteration", iterations - 1);
-        // Find max of neighbors among the still-uncolored vertices.
-        ops::vxm_list(dev, &max, &MaxTimes, &weight, &a, &active);
-        // Find all largest uncolored nodes. Under the dense encoding the
-        // zero weight of a colored vertex is the "no value" sentinel, so
-        // the GT test also requires a live weight.
-        ops::ewise_add_list(
-            dev,
-            &frontier,
-            |w, m| (w != 0 && w > m) as i64,
-            &weight,
-            &max,
-            &active,
-        );
-        // New Luby members: the contraction's length is the frontier
-        // size, so the empty test costs a scalar readback, not a pass.
-        let members = active.contract(dev, "grb::is_members", |t, v| {
-            frontier.truthy(t, v as usize)
-        });
+        color.set(round_color);
+        dev.replay(&pipeline);
         if iter_span.is_recording() {
-            iter_span.attr("frontier_size", members.len() as i64);
-            iter_span.attr("colors_so_far", color);
+            iter_span.attr("frontier_size", retired.get() as i64);
+            iter_span.attr("colors_so_far", round_color);
             iter_span.set_model_range(iter_model0, dev.elapsed_ms());
         }
-        if members.read_len(dev) == 0 {
+        // The host convergence branch consumes the surviving count — the
+        // scalar readback that replaced the full-width `reduce(+)`.
+        active.borrow().read_len(dev);
+        if retired.get() == 0 {
             finished = true;
             break;
         }
-        // Assign new color; remove colored nodes from the candidate list.
-        ops::assign_scalar_list(dev, &c, color, &members);
-        ops::assign_scalar_list(dev, &weight, 0, &members);
-        active = active.contract(dev, "grb::is_active", |t, v| weight.truthy(t, v as usize));
     }
 
     assert!(finished, "IS coloring exceeded the {MAX_COLORS}-color cap");

@@ -206,7 +206,18 @@ pub fn run_on_with(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> Coloring
 /// The compacted-frontier path: Luby selection over the active list (as
 /// in Algorithm 2's compacted form) plus the push-mode, prefix-limited
 /// [`jp_inner_list`]. Colorings are bit-identical to [`run_full`].
+///
+/// The whole outer round — fused Luby selection, member contraction,
+/// the inner minimum-free-color helper, and the fused color/retire
+/// compaction — is captured once as a [`gc_vgpu::LaunchGraph`] and
+/// replayed per round, paying one launch overhead for the round's whole
+/// kernel pipeline. The round's color limit, the frontier swap, and the
+/// empty-frontier early-out are host logic inside the captured body, so
+/// they resolve at replay time and the shrinking frontier stays exact.
 fn run_compacted(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> ColoringResult {
+    use std::cell::{Cell, RefCell};
+
+    let _pool = gc_vgpu::pool::lease();
     let n = g.num_vertices();
     // Enough slots that a free color always exists (see `run_full`); the
     // per-iteration prefix keeps the touched span near the color count.
@@ -214,7 +225,6 @@ fn run_compacted(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> ColoringRe
     let a = Matrix::from_graph(dev, g);
     let c = Vector::<i64>::new(n);
     let weight = Vector::<i64>::new(n);
-    let max = Vector::<i64>::new(n);
     let frontier = Vector::<i64>::new(n);
     let colors_arr = Vector::<i64>::new(max_colors);
     let min_array = Vector::<i64>::new(max_colors);
@@ -235,40 +245,30 @@ fn run_compacted(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> ColoringRe
     // ascending = 0, 1, 2, ..., max_colors - 1.
     ops::apply_indexed(dev, &ascending, None, |i, _| i as i64, &ascending, desc);
 
-    let mut active = ActiveList::all(n);
-    let mut iterations = 0u32;
-    loop {
-        assert!(iterations < MAX_ITERATIONS, "JPL failed to terminate");
-        iterations += 1;
-        // One span per outer iteration: kernel events emitted by the
-        // device below nest inside it on the tracing thread.
-        let mut iter_span = gc_telemetry::span("iteration");
-        let iter_model0 = if iter_span.is_recording() {
-            dev.elapsed_ms()
-        } else {
-            0.0
-        };
-        iter_span.attr("iteration", iterations - 1);
-        ops::vxm_list(dev, &max, &MaxTimes, &weight, &a, &active);
-        ops::ewise_add_list(
+    let active = RefCell::new(ActiveList::all(n));
+    let round = Cell::new(0u32);
+    let frontier_size = Cell::new(0usize);
+    let round_color = Cell::new(0i64);
+    let pipeline = dev.capture("grb::jpl_round", || {
+        let cur = active.borrow();
+        // Max live-neighbor weight and the Luby GT test, fused.
+        ops::vxm_apply_list(
             dev,
             &frontier,
+            &MaxTimes,
             |w, m| (w != 0 && w > m) as i64,
             &weight,
-            &max,
-            &active,
+            &a,
+            &cur,
         );
-        let members = active.contract(dev, "grb::jpl_members", |t, v| {
+        let members = cur.contract(dev, "grb::jpl_members", |t, v| {
             frontier.truthy(t, v as usize)
         });
-        if iter_span.is_recording() {
-            iter_span.attr("frontier_size", members.len() as i64);
-            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        frontier_size.set(members.read_len(dev));
+        if members.is_empty() {
+            return;
         }
-        if members.read_len(dev) == 0 {
-            break;
-        }
-        let limit = (iterations as usize + 2).min(max_colors);
+        let limit = (round.get() as usize + 2).min(max_colors);
         let min_color = jp_inner_list(
             dev,
             &a,
@@ -281,12 +281,46 @@ fn run_compacted(dev: &Device, g: &Csr, seed: u64, cfg: JplConfig) -> ColoringRe
             cfg,
         );
         debug_assert!((1..TAKEN).contains(&min_color));
-        ops::assign_scalar_list(dev, &c, min_color, &members);
-        ops::assign_scalar_list(dev, &weight, 0, &members);
-        active = active.contract(dev, "grb::jpl_active", |t, v| weight.truthy(t, v as usize));
+        round_color.set(min_color);
+        // Color the frontier, kill its weights, and contract it out of
+        // the active list in one fused compaction (survivors-by-not-
+        // frontier equals the old survivors-by-live-weight: exactly the
+        // frontier loses its weight here).
+        let next = ops::assign_where_compact(
+            dev,
+            "grb::jpl_active",
+            &frontier,
+            &[(&c, min_color), (&weight, 0)],
+            &cur,
+        );
+        drop(cur);
+        *active.borrow_mut() = next;
+    });
+
+    let mut iterations = 0u32;
+    loop {
+        assert!(iterations < MAX_ITERATIONS, "JPL failed to terminate");
+        iterations += 1;
+        round.set(iterations);
+        // One span per outer iteration: kernel events emitted by the
+        // device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations - 1);
+        dev.replay(&pipeline);
         if iter_span.is_recording() {
-            iter_span.attr("min_color", min_color);
+            iter_span.attr("frontier_size", frontier_size.get() as i64);
+            if frontier_size.get() > 0 {
+                iter_span.attr("min_color", round_color.get());
+            }
             iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
+        if frontier_size.get() == 0 {
+            break;
         }
     }
 

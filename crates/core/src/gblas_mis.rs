@@ -97,36 +97,44 @@ fn mis_inner(
 /// members' adjacency ([`ops::assign_adj`]), which writes the same
 /// entries the Boolean `vxm` + masked `assign` pair marks (zeroing an
 /// already-zero non-candidate is a no-op).
-#[allow(clippy::too_many_arguments)] // the algorithm's working set, threaded explicitly
+/// The inner pass is captured once as a [`gc_vgpu::LaunchGraph`] and
+/// replayed per pass: up to five kernels (fused max-and-beat test,
+/// member contraction, two member assigns, push-mode neighbor removal,
+/// candidate contraction) pay one launch overhead together. The
+/// empty-members convergence branch runs inline in the captured body —
+/// host control flow resolves at replay time, so the final (empty)
+/// pass replays the same graph and simply skips the epilogue.
 fn mis_inner_list(
     dev: &Device,
     a: &Matrix,
     weight: &Vector<i64>,
     mis: &Vector<i64>,
     work: &Vector<i64>,
-    max: &Vector<i64>,
     frontier: &Vector<i64>,
     active: &ActiveList,
 ) -> usize {
+    use std::cell::{Cell, RefCell};
+
     // Initialize MIS array to 0; candidates = live weights. Outside the
     // active list both are stale but never read (assigns and products
     // below are list-restricted).
     ops::assign_scalar_list(dev, mis, 0, active);
     ops::apply_list(dev, work, |w| w, weight, active);
-    let mut added = 0usize;
-    let mut cand: Option<ActiveList> = None;
-    loop {
-        let cur = cand.as_ref().unwrap_or(active);
-        // Find max of neighbors among candidates (work is zero off the
-        // candidate list, so the product skips non-candidates).
-        ops::vxm_list(dev, max, &MaxTimes, work, a, cur);
-        // Frontier: candidates beating all candidate neighbors.
-        ops::ewise_add_list(
+    let cand: RefCell<Option<ActiveList>> = RefCell::new(None);
+    let pass_added = Cell::new(0usize);
+    let pass = dev.capture("grb::mis_pass", || {
+        let guard = cand.borrow();
+        let cur = guard.as_ref().unwrap_or(active);
+        // Max of candidate neighbors and the "beats them all" test,
+        // fused into one kernel (work is zero off the candidate list,
+        // so the product skips non-candidates).
+        ops::vxm_apply_list(
             dev,
             frontier,
+            &MaxTimes,
             |w, m| (w != 0 && w > m) as i64,
             work,
-            max,
+            a,
             cur,
         );
         // New members; the metered length readback is the old reduce(+)
@@ -134,17 +142,27 @@ fn mis_inner_list(
         let members = cur.contract(dev, "grb::mis_members", |t, v| {
             frontier.truthy(t, v as usize)
         });
-        if members.read_len(dev) == 0 {
-            break;
+        pass_added.set(members.read_len(dev));
+        if members.is_empty() {
+            return;
         }
-        added += members.len();
         // Add them to the set; drop them from the candidate list.
         ops::assign_scalar_list(dev, mis, 1, &members);
         ops::assign_scalar_list(dev, work, 0, &members);
         // Remove the new members' neighbors from the candidates,
         // push-mode over the members' edges.
         ops::assign_adj(dev, work, 0, a, &members);
-        cand = Some(cur.contract(dev, "grb::mis_cand", |t, v| work.truthy(t, v as usize)));
+        let next = cur.contract(dev, "grb::mis_cand", |t, v| work.truthy(t, v as usize));
+        drop(guard);
+        *cand.borrow_mut() = Some(next);
+    });
+    let mut added = 0usize;
+    loop {
+        dev.replay(&pass);
+        if pass_added.get() == 0 {
+            break;
+        }
+        added += pass_added.get();
     }
     added
 }
@@ -152,13 +170,13 @@ fn mis_inner_list(
 /// Runs the MIS coloring on the provided device with the compacted
 /// active-vertex list (the default path).
 pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    let _pool = gc_vgpu::pool::lease();
     let n = g.num_vertices();
     let a = Matrix::from_graph(dev, g);
     let c = Vector::<i64>::new(n);
     let weight = Vector::<i64>::new(n);
     let mis = Vector::<i64>::new(n);
     let work = Vector::<i64>::new(n);
-    let max = Vector::<i64>::new(n);
     let frontier = Vector::<i64>::new(n);
     dev.reset();
     let launches_before = dev.profile().launches;
@@ -188,7 +206,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
             0.0
         };
         iter_span.attr("iteration", iterations - 1);
-        let size = mis_inner_list(dev, &a, &weight, &mis, &work, &max, &frontier, &active);
+        let size = mis_inner_list(dev, &a, &weight, &mis, &work, &frontier, &active);
         if iter_span.is_recording() {
             iter_span.attr("mis_size", size as i64);
             iter_span.attr("colors_so_far", color);
@@ -198,11 +216,19 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
             finished = true;
             break;
         }
-        // Color the set (mis is fresh across the whole active list) and
-        // contract the colored vertices out of it.
-        ops::assign_scalar_where(dev, &c, &mis, color, &active);
-        ops::assign_scalar_where(dev, &weight, &mis, 0, &active);
-        active = active.contract(dev, "grb::mis_active", |t, v| weight.truthy(t, v as usize));
+        // Color the set (mis is fresh across the whole active list),
+        // zero its weights, and contract the colored vertices out of the
+        // list — the old two masked assigns plus contraction, fused into
+        // one compaction kernel. Survivors-by-not-mis equals the old
+        // survivors-by-live-weight: every active vertex had a live
+        // weight, and exactly the MIS members lose theirs here.
+        active = ops::assign_where_compact(
+            dev,
+            "grb::mis_active",
+            &mis,
+            &[(&c, color), (&weight, 0)],
+            &active,
+        );
     }
 
     assert!(finished, "MIS coloring exceeded the {MAX_COLORS}-color cap");

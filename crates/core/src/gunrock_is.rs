@@ -156,7 +156,18 @@ pub fn gunrock_is(g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult {
 /// Runs Algorithm 5 on the provided device (model time = device clock
 /// delta; graph upload and result download are outside the timed span,
 /// as in the paper's methodology).
+///
+/// On the compacted-frontier default, the per-iteration pipeline (color
+/// kernel(s) plus the fused contraction) is captured once as a
+/// [`gc_vgpu::LaunchGraph`] and replayed per bulk-synchronous iteration:
+/// the kernels bill their full work, the fixed launch overhead is paid
+/// once per iteration, and the frontier length is resolved at replay
+/// time, so colorings stay bit-identical to the uncaptured form. The
+/// full-width baseline keeps the paper's one-launch-per-op shape.
 pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult {
+    use std::cell::{Cell, RefCell};
+
+    let _pool = gc_vgpu::pool::lease();
     let n = g.num_vertices();
     let csr = DeviceCsr::upload(dev, g);
     let colors = DeviceBuffer::<u32>::zeroed(n);
@@ -180,19 +191,12 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
         }),
     }
 
-    let mut frontier = Frontier::all(n);
+    let frontier = RefCell::new(Frontier::all(n));
     let remaining = DeviceBuffer::<u32>::zeroed(1);
-    let mut enactor = Enactor::new(dev).with_max_iterations(cfg.max_iterations);
-    let iterations = enactor.run(|iteration| {
-        // One span per bulk-synchronous iteration: kernel events emitted
-        // by the device below nest inside it on the tracing thread.
-        let mut iter_span = gc_telemetry::span("iteration");
-        let iter_model0 = if iter_span.is_recording() {
-            dev.elapsed_ms()
-        } else {
-            0.0
-        };
-        iter_span.attr("iteration", iteration);
+
+    // The iteration's color kernels, shared by the captured-replay and
+    // full-width paths.
+    let issue_color = |iteration: u32, frontier: &Frontier| {
         let base = if cfg.min_max {
             2 * iteration
         } else {
@@ -212,7 +216,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
                 dev,
                 "is::lb_max",
                 &csr,
-                &frontier,
+                frontier,
                 0u64,
                 |t, _src, dst| {
                     if t.read(&colors, dst as usize) == 0 {
@@ -228,7 +232,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
                     dev,
                     "is::lb_min",
                     &csr,
-                    &frontier,
+                    frontier,
                     u64::MAX,
                     |t, _src, dst| {
                         if t.read(&colors, dst as usize) == 0 {
@@ -245,7 +249,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
             // The reductions are frontier-aligned, so the color kernel
             // indexes them by frontier position (== vertex id only when
             // the frontier is the dense identity).
-            ops::compute(dev, "is::lb_color_op", &frontier, |t, v| {
+            ops::compute(dev, "is::lb_color_op", frontier, |t, v| {
                 if t.read(&colors, v as usize) != 0 {
                     return;
                 }
@@ -261,7 +265,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
                 }
             });
         } else {
-            ops::compute(dev, "is::color_op", &frontier, |t, v| {
+            ops::compute(dev, "is::color_op", frontier, |t, v| {
                 if t.read(&colors, v as usize) != 0 {
                     return;
                 }
@@ -306,17 +310,54 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
                 }
             });
         }
+    };
 
-        // Completion check. With compaction, contract the frontier to
-        // the still-uncolored vertices — the output length is the
-        // convergence test and next iteration's kernels launch over it.
-        // The legacy path counts uncolored vertices over all n.
-        let left = if cfg.compact_frontier {
-            frontier = ops::filter(dev, "is::check_op", &frontier, |t, v| {
+    // Compacted path: capture color kernels + fused contraction once,
+    // replay per iteration. The iteration number and the frontier swap
+    // resolve inside the captured body at replay time.
+    let round = Cell::new(0u32);
+    let left_cell = Cell::new(0u32);
+    let pipeline = cfg.compact_frontier.then(|| {
+        dev.capture("is::iteration", || {
+            let cur = frontier.borrow();
+            issue_color(round.get(), &cur);
+            // Contract the frontier to the still-uncolored vertices —
+            // the output length is the convergence test and next
+            // iteration's kernels launch over it.
+            let next = ops::filter(dev, "is::check_op", &cur, |t, v| {
                 t.read(&colors, v as usize) == 0
             });
-            frontier.len() as u32
+            left_cell.set(next.len() as u32);
+            drop(cur);
+            *frontier.borrow_mut() = next;
+        })
+    });
+
+    let mut enactor = Enactor::new(dev).with_max_iterations(cfg.max_iterations);
+    let iterations = enactor.run(|iteration| {
+        // One span per bulk-synchronous iteration: kernel events emitted
+        // by the device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
         } else {
+            0.0
+        };
+        iter_span.attr("iteration", iteration);
+        let base = if cfg.min_max {
+            2 * iteration
+        } else {
+            iteration
+        };
+
+        let left = if let Some(pipeline) = &pipeline {
+            round.set(iteration);
+            dev.replay(pipeline);
+            left_cell.get()
+        } else {
+            // Legacy full-width path: every op one launch, uncolored
+            // count over all n.
+            issue_color(iteration, &frontier.borrow());
             remaining.set(0, 0);
             dev.launch("is::check_op", n, |t| {
                 let v = t.tid();
@@ -330,7 +371,7 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
             iter_span.attr("frontier_uncolored", left);
             iter_span.attr(
                 "colors_so_far",
-                if cfg.min_max { color_min } else { color_max },
+                if cfg.min_max { base + 2 } else { base + 1 },
             );
             iter_span.set_model_range(iter_model0, dev.elapsed_ms());
         }
@@ -472,12 +513,15 @@ mod tests {
     }
 
     #[test]
-    fn load_balancing_costs_more_launches() {
+    fn load_balancing_costs_more_kernels() {
+        // Both variants replay one launch graph per iteration, so the
+        // dispatch count no longer separates them — the kernels *inside*
+        // each replayed graph do.
         let g = erdos_renyi(300, 0.02, 5);
         let lb = gunrock_is(&g, 2, IsConfig::min_max_load_balanced());
         let tm = gunrock_is(&g, 2, IsConfig::min_max());
-        let lb_rate = lb.kernel_launches as f64 / lb.iterations as f64;
-        let tm_rate = tm.kernel_launches as f64 / tm.iterations as f64;
+        let lb_rate = lb.profile.as_ref().unwrap().graph_kernels as f64 / lb.iterations as f64;
+        let tm_rate = tm.profile.as_ref().unwrap().graph_kernels as f64 / tm.iterations as f64;
         assert!(lb_rate > tm_rate, "{lb_rate} vs {tm_rate}");
     }
 
@@ -503,7 +547,32 @@ mod tests {
     fn reports_launches_and_time() {
         let g = path(50);
         let r = gunrock_is(&g, 0, IsConfig::min_max());
-        assert!(r.kernel_launches >= 2 * r.iterations as u64);
+        // One graph replay (= one dispatch) per iteration plus init;
+        // the replayed graphs carry at least two kernels per iteration
+        // (color + contraction).
+        assert!(r.kernel_launches > r.iterations as u64);
+        let p = r.profile.as_ref().unwrap();
+        assert_eq!(p.graph_replays, r.iterations as u64);
+        assert!(p.graph_kernels >= 2 * r.iterations as u64);
+        assert!(p.launch_overhead_saved_cycles > 0.0);
         assert!(r.model_ms > 0.0);
+    }
+
+    #[test]
+    fn compacted_matches_full_width() {
+        for g in [
+            erdos_renyi(300, 0.02, 5),
+            grid2d(14, 14, Stencil2d::NinePoint),
+            star(21),
+            complete(6),
+        ] {
+            let compacted = gunrock_is(&g, 9, IsConfig::min_max());
+            let full = gunrock_is(&g, 9, IsConfig::full_width());
+            assert_eq!(compacted.coloring, full.coloring);
+            assert_eq!(compacted.iterations, full.iterations);
+            // The captured path must never dispatch more than the
+            // uncaptured full-width baseline.
+            assert!(compacted.kernel_launches <= full.kernel_launches);
+        }
     }
 }

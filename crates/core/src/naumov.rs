@@ -59,33 +59,26 @@ pub fn jpl_on_full(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
 }
 
 fn jpl_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> ColoringResult {
+    use std::cell::{Cell, RefCell};
+
+    let _pool = compact_frontier.then(gc_vgpu::pool::lease);
     let n = g.num_vertices();
     let csr = gc_gunrock::DeviceCsr::upload(dev, g);
     let colors = DeviceBuffer::<u32>::zeroed(n);
     dev.reset();
     let launches_before = dev.profile().launches;
 
-    let mut frontier = Frontier::all(n);
+    let frontier = RefCell::new(Frontier::all(n));
     let remaining = DeviceBuffer::<u32>::zeroed(1);
-    let mut iterations = 0u32;
-    loop {
-        assert!(iterations < MAX_ITERATIONS, "JPL failed to terminate");
-        // One span per bulk-synchronous iteration: kernel events emitted
-        // by the device below nest inside it on the tracing thread.
-        let mut iter_span = gc_telemetry::span("iteration");
-        let iter_model0 = if iter_span.is_recording() {
-            dev.elapsed_ms()
-        } else {
-            0.0
-        };
-        iter_span.attr("iteration", iterations);
-        let color = iterations + 1;
-        ops::compute(dev, "naumov::jpl_kernel", &frontier, |t, v| {
+
+    let jpl_kernel = |iteration: u32, frontier: &Frontier| {
+        let color = iteration + 1;
+        ops::compute(dev, "naumov::jpl_kernel", frontier, |t, v| {
             if t.read(&colors, v as usize) != 0 {
                 return;
             }
             t.charge(HASH_CYCLES);
-            let kv = key(seed, iterations, 0, v);
+            let kv = key(seed, iteration, 0, v);
             let mut is_max = true;
             let (s, e) = csr.neighbor_range(t, v);
             for slot in s..e {
@@ -99,7 +92,7 @@ fn jpl_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> Colo
                     continue;
                 }
                 t.charge(HASH_CYCLES);
-                if key(seed, iterations, 0, u) > kv {
+                if key(seed, iteration, 0, u) > kv {
                     is_max = false;
                     break;
                 }
@@ -108,13 +101,43 @@ fn jpl_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> Colo
                 t.write(&colors, v as usize, color);
             }
         });
+    };
 
-        let left = if compact_frontier {
-            frontier = ops::filter(dev, "naumov::frontier", &frontier, |t, v| {
+    // Capture the JPL round once; the iteration number (which reseeds
+    // the in-register hashes) and the frontier are resolved at replay.
+    let round = Cell::new(0u32);
+    let left_cell = Cell::new(0u32);
+    let pipeline = compact_frontier.then(|| {
+        dev.capture("naumov::jpl_round", || {
+            let cur = frontier.borrow();
+            jpl_kernel(round.get(), &cur);
+            let next = ops::filter(dev, "naumov::frontier", &cur, |t, v| {
                 t.read(&colors, v as usize) == 0
             });
-            frontier.len() as u32
+            left_cell.set(next.len() as u32);
+            drop(cur);
+            *frontier.borrow_mut() = next;
+        })
+    });
+
+    let mut iterations = 0u32;
+    loop {
+        assert!(iterations < MAX_ITERATIONS, "JPL failed to terminate");
+        // One span per bulk-synchronous iteration: kernel events emitted
+        // by the device below nest inside it on the tracing thread.
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
         } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations);
+        let left = if let Some(pipeline) = &pipeline {
+            round.set(iterations);
+            dev.replay(pipeline);
+            left_cell.get()
+        } else {
+            jpl_kernel(iterations, &frontier.borrow());
             remaining.set(0, 0);
             dev.launch("naumov::count_uncolored", n, |t| {
                 let v = t.tid();
@@ -127,7 +150,7 @@ fn jpl_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> Colo
         dev.sync();
         if iter_span.is_recording() {
             iter_span.attr("frontier_uncolored", left);
-            iter_span.attr("colors_so_far", color);
+            iter_span.attr("colors_so_far", iterations + 1);
             iter_span.set_model_range(iter_model0, dev.elapsed_ms());
         }
         iterations += 1;
@@ -163,27 +186,21 @@ pub fn cc_on_full(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
 }
 
 fn cc_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> ColoringResult {
+    use std::cell::{Cell, RefCell};
+
+    let _pool = compact_frontier.then(gc_vgpu::pool::lease);
     let n = g.num_vertices();
     let csr = gc_gunrock::DeviceCsr::upload(dev, g);
     let colors = DeviceBuffer::<u32>::zeroed(n);
     dev.reset();
     let launches_before = dev.profile().launches;
 
-    let mut frontier = Frontier::all(n);
+    let frontier = RefCell::new(Frontier::all(n));
     let remaining = DeviceBuffer::<u32>::zeroed(1);
-    let mut iterations = 0u32;
-    loop {
-        assert!(iterations < MAX_ITERATIONS, "CC failed to terminate");
-        // One span per bulk-synchronous iteration (see `jpl_on`).
-        let mut iter_span = gc_telemetry::span("iteration");
-        let iter_model0 = if iter_span.is_recording() {
-            dev.elapsed_ms()
-        } else {
-            0.0
-        };
-        iter_span.attr("iteration", iterations);
-        let base = iterations * 2 * CC_HASHES;
-        ops::compute(dev, "naumov::cc_kernel", &frontier, |t, v| {
+
+    let cc_kernel = |iteration: u32, frontier: &Frontier| {
+        let base = iteration * 2 * CC_HASHES;
+        ops::compute(dev, "naumov::cc_kernel", frontier, |t, v| {
             if t.read(&colors, v as usize) != 0 {
                 return;
             }
@@ -194,7 +211,7 @@ fn cc_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> Color
             let mut kv = [0u64; CC_HASHES as usize];
             for (h, k) in kv.iter_mut().enumerate() {
                 t.charge(HASH_CYCLES);
-                *k = key(seed, iterations, h as u32, v);
+                *k = key(seed, iteration, h as u32, v);
             }
             let (s, e) = csr.neighbor_range(t, v);
             for slot in s..e {
@@ -207,7 +224,7 @@ fn cc_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> Color
                 }
                 for h in 0..CC_HASHES as usize {
                     t.charge(HASH_CYCLES);
-                    let ku = key(seed, iterations, h as u32, u);
+                    let ku = key(seed, iteration, h as u32, u);
                     if ku > kv[h] {
                         is_max[h] = false;
                     }
@@ -229,13 +246,42 @@ fn cc_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> Color
                 }
             }
         });
+    };
 
-        let left = if compact_frontier {
-            frontier = ops::filter(dev, "naumov::frontier", &frontier, |t, v| {
+    // Capture the CC round once (see `jpl_on_with`): the iteration
+    // number reseeds all CC_HASHES hash functions at replay time.
+    let round = Cell::new(0u32);
+    let left_cell = Cell::new(0u32);
+    let pipeline = compact_frontier.then(|| {
+        dev.capture("naumov::cc_round", || {
+            let cur = frontier.borrow();
+            cc_kernel(round.get(), &cur);
+            let next = ops::filter(dev, "naumov::frontier", &cur, |t, v| {
                 t.read(&colors, v as usize) == 0
             });
-            frontier.len() as u32
+            left_cell.set(next.len() as u32);
+            drop(cur);
+            *frontier.borrow_mut() = next;
+        })
+    });
+
+    let mut iterations = 0u32;
+    loop {
+        assert!(iterations < MAX_ITERATIONS, "CC failed to terminate");
+        // One span per bulk-synchronous iteration (see `jpl_on`).
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
         } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations);
+        let left = if let Some(pipeline) = &pipeline {
+            round.set(iterations);
+            dev.replay(pipeline);
+            left_cell.get()
+        } else {
+            cc_kernel(iterations, &frontier.borrow());
             remaining.set(0, 0);
             dev.launch("naumov::count_uncolored", n, |t| {
                 let v = t.tid();
@@ -248,7 +294,7 @@ fn cc_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> Color
         dev.sync();
         if iter_span.is_recording() {
             iter_span.attr("frontier_uncolored", left);
-            iter_span.attr("colors_so_far", base + 2 * CC_HASHES);
+            iter_span.attr("colors_so_far", (iterations + 1) * 2 * CC_HASHES);
             iter_span.set_model_range(iter_model0, dev.elapsed_ms());
         }
         iterations += 1;
@@ -329,6 +375,35 @@ mod tests {
             cc.num_colors,
             jpl.num_colors
         );
+    }
+
+    #[test]
+    fn compacted_matches_full_width() {
+        for g in [
+            erdos_renyi(300, 0.02, 6),
+            grid2d(13, 13, Stencil2d::FivePoint),
+            star(16),
+        ] {
+            let dev = Device::k40c;
+            let (jc, jf) = (jpl_on(&dev(), &g, 4), jpl_on_full(&dev(), &g, 4));
+            assert_eq!(jc.coloring, jf.coloring);
+            assert_eq!(jc.iterations, jf.iterations);
+            let (cc, cf) = (cc_on(&dev(), &g, 4), cc_on_full(&dev(), &g, 4));
+            assert_eq!(cc.coloring, cf.coloring);
+            assert_eq!(cc.iterations, cf.iterations);
+        }
+    }
+
+    #[test]
+    fn compacted_replays_one_graph_per_iteration() {
+        let g = erdos_renyi(300, 0.02, 6);
+        for r in [naumov_jpl(&g, 4), naumov_cc(&g, 4)] {
+            let p = r.profile.as_ref().unwrap();
+            assert_eq!(p.graph_replays, r.iterations as u64);
+            // The color kernel plus the contraction's kernels run inside
+            // each replayed graph.
+            assert!(p.graph_kernels >= 2 * r.iterations as u64);
+        }
     }
 
     #[test]

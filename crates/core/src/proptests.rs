@@ -70,7 +70,7 @@ proptest! {
     // identical number of iterations on arbitrary graphs.
     #[test]
     fn compacted_colorings_match_full_width(g in arb_graph(), seed in 0u64..200) {
-        let pairs: [(&str, ColoringResult, ColoringResult); 7] = [
+        let pairs: [(&str, ColoringResult, ColoringResult); 8] = [
             (
                 "GraphBLAST/Color_IS",
                 crate::gblas_is::run_on(&Device::k40c(), &g, seed),
@@ -95,6 +95,11 @@ proptest! {
                 "Gunrock/Color_Hash",
                 gunrock_hash(&g, seed, HashConfig::default()),
                 gunrock_hash(&g, seed, HashConfig::full_width()),
+            ),
+            (
+                "Gunrock/Color_AR",
+                crate::gunrock_ar::run_on(&Device::k40c(), &g, seed),
+                crate::gunrock_ar::run_on_full(&Device::k40c(), &g, seed),
             ),
             (
                 "Naumov/Color_JPL",

@@ -16,7 +16,7 @@
 //! `Vector` here never flips, so the list lives alongside it and the
 //! `_list` ops below take the role of the sparse iteration.
 
-use gc_vgpu::primitives::{compact_indices, compact_values};
+use gc_vgpu::primitives::{compact_indices_fused, compact_values_fused};
 use gc_vgpu::{Device, DeviceBuffer, Scalar, ThreadCtx};
 
 use crate::matrix::Matrix;
@@ -76,17 +76,24 @@ impl ActiveList {
     }
 
     /// Contracts the list to the active indices whose predicate holds,
-    /// through the two-kernel vgpu compaction. The result's length is
-    /// the surviving count — callers use it directly as their
+    /// through the single-kernel fused vgpu compaction (predicate, scan,
+    /// and scatter in one launch — see
+    /// [`gc_vgpu::primitives::compact_indices_fused`]). The result's
+    /// length is the surviving count — callers use it directly as their
     /// convergence test instead of a separate full-width reduction
     /// (bill that consumption with [`ActiveList::read_len`]).
+    ///
+    /// `pred` may be evaluated more than once per element (the fused
+    /// compaction's host rank pre-pass), so it must be deterministic;
+    /// side effects are allowed when idempotent (see
+    /// [`assign_where_compact`]).
     pub fn contract<P>(&self, dev: &Device, name: &str, pred: P) -> ActiveList
     where
         P: Fn(&mut ThreadCtx, u32) -> bool + Sync,
     {
         let out = match self {
-            ActiveList::All(n) => compact_indices(dev, name, *n, |t, i| pred(t, i as u32)),
-            ActiveList::List(items) => compact_values(dev, name, items, pred),
+            ActiveList::All(n) => compact_indices_fused(dev, name, *n, |t, i| pred(t, i as u32)),
+            ActiveList::List(items) => compact_values_fused(dev, name, items, pred),
         };
         ActiveList::List(out)
     }
@@ -141,6 +148,46 @@ pub fn vxm_list<T: Scalar, S: SemiringOps<T>>(
             t.charge(1);
         }
         w.write(t, i, acc);
+    });
+}
+
+/// Fused list-restricted `vxm` + `eWiseAdd`: for every active `i`,
+/// computes the semiring accumulator `acc = u ⊕.⊗ A[i]` exactly like
+/// [`vxm_list`], then writes `w[i] = f(u[i], acc)` directly — the
+/// elementwise epilogue every colorer here runs right after its `vxm`
+/// (`max(weight, neighbor_max)`, `hash ⊕ neighbor_hash`, …) folds into
+/// the same kernel. One launch replaces the `vxm_list` +
+/// `ewise_add_list` pair, and the intermediate neighbor-reduction
+/// vector disappears entirely.
+pub fn vxm_apply_list<T: Scalar, S: SemiringOps<T>, F>(
+    dev: &Device,
+    w: &Vector<T>,
+    semiring: &S,
+    f: F,
+    u: &Vector<T>,
+    a: &Matrix,
+    list: &ActiveList,
+) where
+    F: Fn(T, T) -> T + Sync,
+{
+    assert_eq!(u.size(), a.nrows(), "u/A dimension mismatch");
+    assert_eq!(w.size(), a.nrows(), "w/A dimension mismatch");
+    let name = format!("grb::vxm_apply_list({})", semiring.name());
+    dev.launch(&name, list.len(), |t| {
+        let k = t.tid();
+        let i = list.item(t, k);
+        let (s, e) = a.row_range(t, i);
+        let mut acc = semiring.identity();
+        for slot in s..e {
+            let j = a.col(t, slot);
+            let uv = u.read(t, j);
+            if uv != T::default() {
+                acc = semiring.add(acc, semiring.map(uv));
+            }
+            t.charge(1);
+        }
+        let own = u.read(t, i);
+        w.write(t, i, f(own, acc));
     });
 }
 
@@ -204,6 +251,38 @@ pub fn assign_scalar_where<T: Scalar>(
             w.write(t, i, value);
         }
     });
+}
+
+/// Fused masked-assign + frontier contraction: for every active `i`
+/// where `cond[i]` is truthy, writes each `(vector, value)` pair in
+/// `assigns`, and returns the contracted list of actives where `cond`
+/// was *not* truthy. This is the iteration epilogue every colorer ends
+/// with — "retire the winners, keep the rest" — collapsed from two
+/// `assign_scalar_where` launches plus a separate contraction into the
+/// single fused compaction kernel.
+///
+/// `cond` must not alias any assigned vector: the compaction evaluates
+/// its predicate more than once (host rank pre-pass, then the metered
+/// kernel), so the writes must not change what `cond` reads. The writes
+/// themselves are idempotent scalar stores, which is what makes the
+/// double evaluation safe.
+pub fn assign_where_compact<T: Scalar>(
+    dev: &Device,
+    name: &str,
+    cond: &Vector<T>,
+    assigns: &[(&Vector<T>, T)],
+    list: &ActiveList,
+) -> ActiveList {
+    list.contract(dev, name, |t, i| {
+        if cond.truthy(t, i as usize) {
+            for (w, value) in assigns {
+                w.write(t, i as usize, *value);
+            }
+            false
+        } else {
+            true
+        }
+    })
 }
 
 /// List-restricted `reduce`: folds `u` over the active indices only.
@@ -425,6 +504,76 @@ mod tests {
         let w = Vector::from_host(&d, &[7i64, 7, 7, 7]);
         assign_adj(&d, &w, 0, &a, &list_of(&[0]));
         assert_eq!(w.to_vec(), vec![7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn vxm_apply_list_matches_vxm_then_ewise() {
+        let d = dev();
+        let a = Matrix::from_graph(&d, &path(5));
+        let u = Vector::from_host(&d, &[3i64, 9, 4, 1, 5]);
+        let list = list_of(&[0, 2, 3]);
+        // Two-kernel composition.
+        let tmp = Vector::<i64>::new(5);
+        let composed = Vector::from_host(&d, &[-1i64; 5]);
+        vxm_list(&d, &tmp, &MaxTimes, &u, &a, &list);
+        ewise_add_list(&d, &composed, i64::max, &u, &tmp, &list);
+        // Fused single kernel.
+        let fused = Vector::from_host(&d, &[-1i64; 5]);
+        let launches_before = d.profile().launches;
+        vxm_apply_list(&d, &fused, &MaxTimes, i64::max, &u, &a, &list);
+        assert_eq!(fused.to_vec(), composed.to_vec());
+        assert_eq!(d.profile().launches - launches_before, 1);
+    }
+
+    #[test]
+    fn vxm_apply_list_ignoring_own_value_matches_vxm_alone() {
+        let d = dev();
+        let a = Matrix::from_graph(&d, &star(5));
+        let u = Vector::from_host(&d, &[3i64, 1, 4, 1, 5]);
+        let plain = Vector::<i64>::new(5);
+        vxm_list(&d, &plain, &MaxTimes, &u, &a, &ActiveList::all(5));
+        let fused = Vector::<i64>::new(5);
+        vxm_apply_list(
+            &d,
+            &fused,
+            &MaxTimes,
+            |_, acc| acc,
+            &u,
+            &a,
+            &ActiveList::all(5),
+        );
+        assert_eq!(fused.to_vec(), plain.to_vec());
+    }
+
+    #[test]
+    fn assign_where_compact_retires_matching_and_returns_rest() {
+        let d = dev();
+        let cond = Vector::from_host(&d, &[1i64, 0, 1, 0, 1]);
+        let c = Vector::<i64>::new(5);
+        let weight = Vector::from_host(&d, &[10i64, 20, 30, 40, 50]);
+        let list = list_of(&[0, 1, 2, 4]);
+        let next = assign_where_compact(&d, "retire", &cond, &[(&c, 7), (&weight, 0)], &list);
+        // Truthy actives 0, 2, 4 got both writes; index 3 was never active.
+        assert_eq!(c.to_vec(), vec![7, 0, 7, 0, 7]);
+        assert_eq!(weight.to_vec(), vec![0, 20, 0, 40, 0]);
+        // Survivors are the actives where cond was falsy.
+        assert_eq!(next.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn assign_where_compact_matches_assign_where_plus_contract() {
+        let d = dev();
+        let cond = Vector::from_host(&d, &[0i64, 1, 1, 0, 1, 0]);
+        let list = list_of(&[1, 3, 4, 5]);
+        // Old three-launch epilogue.
+        let w_old = Vector::<i64>::new(6);
+        assign_scalar_where(&d, &w_old, &cond, 9, &list);
+        let next_old = list.contract(&d, "keep", |t, i| !cond.truthy(t, i as usize));
+        // Fused epilogue.
+        let w_new = Vector::<i64>::new(6);
+        let next_new = assign_where_compact(&d, "keep_fused", &cond, &[(&w_new, 9)], &list);
+        assert_eq!(w_new.to_vec(), w_old.to_vec());
+        assert_eq!(next_new.to_vec(), next_old.to_vec());
     }
 
     #[test]

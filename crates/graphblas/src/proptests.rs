@@ -7,7 +7,10 @@ use gc_vgpu::{Device, DeviceConfig};
 
 use crate::desc::Descriptor;
 use crate::matrix::Matrix;
-use crate::ops::{ewise_add, ewise_mult, reduce, vxm};
+use crate::ops::{
+    apply_list, assign_scalar_where, assign_where_compact, ewise_add, ewise_add_list, ewise_mult,
+    reduce, vxm, vxm_apply_list, vxm_list, ActiveList,
+};
 use crate::semiring::{BooleanOrAnd, MaxTimes, PlusTimes, SemiringOps};
 use crate::vector::Vector;
 
@@ -107,6 +110,70 @@ proptest! {
             reduce(&d, i64::MIN, i64::max, &uu),
             u.iter().copied().max().unwrap_or(i64::MIN)
         );
+    }
+
+    #[test]
+    fn vxm_apply_list_equals_vxm_then_ewise((n, edges, vals) in arb_graph_and_values()) {
+        // The fused kernel must be observationally identical to the
+        // two-kernel composition it replaces, on a random active list.
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let d = dev();
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &vals);
+        let actives: Vec<u32> = (0..n as u32).filter(|i| i % 3 != 1).collect();
+        let list = ActiveList::List(gc_vgpu::DeviceBuffer::from_slice(&actives));
+        let tmp = Vector::<i64>::new(n);
+        let composed = Vector::from_host(&d, &vec![-9i64; n]);
+        vxm_list(&d, &tmp, &MaxTimes, &u, &a, &list);
+        ewise_add_list(&d, &composed, i64::max, &u, &tmp, &list);
+        let fused = Vector::from_host(&d, &vec![-9i64; n]);
+        vxm_apply_list(&d, &fused, &MaxTimes, i64::max, &u, &a, &list);
+        prop_assert_eq!(fused.to_vec(), composed.to_vec());
+    }
+
+    #[test]
+    fn vxm_apply_list_unary_equals_vxm_then_apply((n, edges, vals) in arb_graph_and_values()) {
+        // With an `f` that ignores its first argument, the fusion
+        // degenerates to vxm_list + apply_list — pin that too.
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let d = dev();
+        let a = Matrix::from_graph(&d, &g);
+        let u = Vector::from_host(&d, &vals);
+        let list = ActiveList::all(n);
+        let tmp = Vector::<i64>::new(n);
+        let composed = Vector::<i64>::new(n);
+        vxm_list(&d, &tmp, &PlusTimes, &u, &a, &list);
+        apply_list(&d, &composed, |x| x.saturating_add(1), &tmp, &list);
+        let fused = Vector::<i64>::new(n);
+        vxm_apply_list(&d, &fused, &PlusTimes, |_, acc| acc.saturating_add(1), &u, &a, &list);
+        prop_assert_eq!(fused.to_vec(), composed.to_vec());
+    }
+
+    #[test]
+    fn assign_where_compact_equals_assign_plus_contract(
+        flags in proptest::collection::vec(any::<bool>(), 1..80),
+        keep_every in 1usize..4,
+    ) {
+        // Fused retire-and-contract vs the three-launch epilogue it
+        // replaces, over a random mask and a random active list.
+        let n = flags.len();
+        let d = dev();
+        let cond_vals: Vec<i64> = flags.iter().map(|&b| b as i64).collect();
+        let cond = Vector::from_host(&d, &cond_vals);
+        let actives: Vec<u32> = (0..n as u32).filter(|i| (*i as usize).is_multiple_of(keep_every)).collect();
+        let list = ActiveList::List(gc_vgpu::DeviceBuffer::from_slice(&actives));
+        let w_old = Vector::<i64>::new(n);
+        let z_old = Vector::from_host(&d, &vec![5i64; n]);
+        assign_scalar_where(&d, &w_old, &cond, 7, &list);
+        assign_scalar_where(&d, &z_old, &cond, 0, &list);
+        let next_old = list.contract(&d, "keep", |t, i| !cond.truthy(t, i as usize));
+        let w_new = Vector::<i64>::new(n);
+        let z_new = Vector::from_host(&d, &vec![5i64; n]);
+        let next_new =
+            assign_where_compact(&d, "keep_fused", &cond, &[(&w_new, 7), (&z_new, 0)], &list);
+        prop_assert_eq!(w_new.to_vec(), w_old.to_vec());
+        prop_assert_eq!(z_new.to_vec(), z_old.to_vec());
+        prop_assert_eq!(next_new.to_vec(), next_old.to_vec());
     }
 
     #[test]

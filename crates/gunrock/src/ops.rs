@@ -1,6 +1,8 @@
 //! Gunrock operators: compute, filter, advance, neighbor-reduce.
 
-use gc_vgpu::primitives::{compact_indices, compact_values, exclusive_scan, segmented_reduce};
+use gc_vgpu::primitives::{
+    compact_indices_fused, compact_values_fused, exclusive_scan, segmented_reduce,
+};
 use gc_vgpu::{Device, DeviceBuffer, Scalar, ThreadCtx};
 
 use crate::dcsr::DeviceCsr;
@@ -41,21 +43,23 @@ where
 
 /// Filter operator: keeps the frontier items satisfying `pred`.
 ///
-/// Lowered onto the fused compaction primitives: the predicate is
-/// evaluated inside the compaction's scan kernel, so a contraction costs
-/// two full-width passes (plus a tiny partials launch) instead of the
-/// classic predicate + scan + scatter chain — and the surviving count is
-/// the output length, letting iterative colorers fuse their convergence
-/// check into the contraction.
+/// Lowered onto the single-kernel fused compaction primitives
+/// ([`gc_vgpu::primitives::compact_indices_fused`]): predicate, scan,
+/// and scatter run in one launch instead of the classic predicate +
+/// scan + scatter chain — and the surviving count is the output length,
+/// letting iterative colorers fuse their convergence check into the
+/// contraction. The predicate may be evaluated more than once per item
+/// (the fused compaction's host rank pre-pass), so it must be
+/// deterministic.
 pub fn filter<F>(dev: &Device, name: &str, frontier: &Frontier, pred: F) -> Frontier
 where
     F: Fn(&mut ThreadCtx, u32) -> bool + Sync,
 {
     match frontier {
-        Frontier::All(n) => {
-            Frontier::Sparse(compact_indices(dev, name, *n, |t, i| pred(t, i as u32)))
-        }
-        Frontier::Sparse(items) => Frontier::Sparse(compact_values(dev, name, items, pred)),
+        Frontier::All(n) => Frontier::Sparse(compact_indices_fused(dev, name, *n, |t, i| {
+            pred(t, i as u32)
+        })),
+        Frontier::Sparse(items) => Frontier::Sparse(compact_values_fused(dev, name, items, pred)),
     }
 }
 

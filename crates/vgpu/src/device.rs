@@ -49,6 +49,38 @@ pub struct Device {
 /// thread: below this, rayon's fork-join costs more than it buys.
 const SERIAL_BLOCK_LIMIT: usize = 4;
 
+/// A captured kernel pipeline (the model's CUDA Graph).
+///
+/// [`Device::capture`] records the pipeline *builder* — a closure over
+/// the device, its buffers, and any host-side loop state — without
+/// executing it. Each [`Device::replay`] runs the builder under graph
+/// accounting: every interior kernel executes normally and bills its
+/// full work (compute, memory, atomics, divergence), but the fixed
+/// per-launch overhead is billed **once for the whole pipeline** instead
+/// of once per kernel.
+///
+/// Because the builder re-runs on every replay, dynamic extents resolve
+/// at replay time: a pipeline that launches over a compacted frontier
+/// reads the *current* frontier each round, so captured iterations stay
+/// bit-identical to uncaptured ones — only the fixed overhead differs.
+pub struct LaunchGraph<'a> {
+    name: &'static str,
+    body: Box<dyn Fn() + 'a>,
+}
+
+impl std::fmt::Debug for LaunchGraph<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LaunchGraph({})", self.name)
+    }
+}
+
+impl LaunchGraph<'_> {
+    /// The name given at capture.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
 impl Device {
     pub fn new(cfg: DeviceConfig) -> Self {
         Device {
@@ -174,6 +206,56 @@ impl Device {
         }
     }
 
+    /// Captures a kernel pipeline for replay, without executing it.
+    ///
+    /// `body` is the pipeline builder: a closure issuing the launches
+    /// (and any host-side glue — rank mirrors, convergence reads,
+    /// mid-pipeline frontier swaps) of one round. It may borrow the
+    /// device, buffers, and interior-mutable loop state; the returned
+    /// graph holds those borrows until dropped.
+    pub fn capture<'a, F>(&self, name: &str, body: F) -> LaunchGraph<'a>
+    where
+        F: Fn() + 'a,
+    {
+        LaunchGraph {
+            name: intern_name(name),
+            body: Box::new(body),
+        }
+    }
+
+    /// Replays a captured pipeline as one metered dispatch.
+    ///
+    /// Interior kernels execute and bill their work exactly as
+    /// uncaptured launches would; the fixed launch overhead is billed
+    /// once for the whole graph, so a k-kernel replay saves
+    /// `(k - 1) x launch_overhead_cycles` against issuing the kernels
+    /// individually. Replays cannot nest on one device. When traced, the
+    /// replay reports a `replay` span carrying the graph's name, kernel
+    /// count, and resolved extent.
+    pub fn replay(&self, graph: &LaunchGraph<'_>) {
+        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
+        self.profiler.lock().unwrap().begin_replay();
+        (graph.body)();
+        let (kernels, extent) = self
+            .profiler
+            .lock()
+            .unwrap()
+            .end_replay(self.cfg.launch_overhead_cycles as f64);
+        if let Some((wall0, model0)) = trace_start {
+            gc_telemetry::record_complete(
+                "replay",
+                wall0,
+                Instant::now(),
+                Some((model0, self.elapsed_ms())),
+                &[
+                    ("graph", graph.name.to_string()),
+                    ("kernels", kernels.to_string()),
+                    ("extent", extent.to_string()),
+                ],
+            );
+        }
+    }
+
     /// Explicit device-wide synchronization (`cudaDeviceSynchronize`);
     /// bills the sync overhead. Kernel launches already include the
     /// implicit same-stream ordering cost.
@@ -246,7 +328,9 @@ impl Device {
 
     /// Profiling snapshot.
     pub fn profile(&self) -> ProfileReport {
-        self.profiler.lock().unwrap().report()
+        let mut r = self.profiler.lock().unwrap().report();
+        r.launch_overhead_ms = self.cfg.cycles_to_ns(r.launch_overhead_cycles) / 1e6;
+        r
     }
 }
 
@@ -485,6 +569,133 @@ mod tests {
         // No current tracer: nothing to observe beyond the profiler, and
         // the launch must not panic reaching for one.
         assert_eq!(dev.profile().launches, 1);
+    }
+
+    #[test]
+    fn replay_matches_uncaptured_except_launch_overhead() {
+        let cfg = DeviceConfig::test_tiny();
+        let n = 500usize;
+        let run = |captured: bool| {
+            let dev = Device::new(cfg);
+            let data = DeviceBuffer::<u32>::zeroed(n);
+            let body = |dev: &Device| {
+                dev.launch("step1", n, |t| {
+                    let i = t.tid();
+                    let v = t.read(&data, i);
+                    t.write(&data, i, v + 1);
+                });
+                dev.launch("step2", n, |t| {
+                    let i = t.tid();
+                    if t.read(&data, i) % 2 == 0 {
+                        t.charge(17);
+                    }
+                });
+                dev.launch("step3", n / 2, |t| t.charge(3));
+            };
+            if captured {
+                let graph = dev.capture("pipeline", || body(&dev));
+                dev.replay(&graph);
+            } else {
+                body(&dev);
+            }
+            (dev.elapsed_cycles(), data.to_vec(), dev.profile())
+        };
+        let (plain_cycles, plain_data, plain_prof) = run(false);
+        let (replay_cycles, replay_data, replay_prof) = run(true);
+        assert_eq!(plain_data, replay_data, "replay must be bit-identical");
+        // Three kernels collapsed to one dispatch: exactly two launch
+        // overheads saved, everything else identical.
+        let overhead = cfg.launch_overhead_cycles as f64;
+        assert_eq!(plain_cycles - replay_cycles, 2.0 * overhead);
+        assert_eq!(plain_prof.launches, 3);
+        assert_eq!(replay_prof.launches, 1);
+        assert_eq!(replay_prof.graph_replays, 1);
+        assert_eq!(replay_prof.graph_kernels, 3);
+        assert_eq!(replay_prof.launch_overhead_saved_cycles, 2.0 * overhead);
+        assert_eq!(
+            plain_prof.thread_executions, replay_prof.thread_executions,
+            "replay bills the same simulated work"
+        );
+    }
+
+    #[test]
+    fn capture_does_not_execute() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let dev = Device::new(DeviceConfig::test_tiny());
+        let runs = AtomicU32::new(0);
+        let graph = dev.capture("lazy", || {
+            runs.fetch_add(1, Ordering::Relaxed);
+            dev.launch("k", 8, |t| t.charge(1));
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 0, "capture must not run");
+        assert_eq!(dev.profile().launches, 0);
+        dev.replay(&graph);
+        dev.replay(&graph);
+        assert_eq!(runs.load(Ordering::Relaxed), 2);
+        assert_eq!(dev.profile().graph_replays, 2);
+    }
+
+    #[test]
+    fn replay_resolves_dynamic_extents() {
+        use std::cell::Cell;
+        let dev = Device::new(DeviceConfig::test_tiny());
+        let extent = Cell::new(100usize);
+        let counter = DeviceBuffer::<u32>::zeroed(1);
+        let graph = dev.capture("shrinking", || {
+            dev.launch("work", extent.get(), |t| {
+                t.atomic_add(&counter, 0, 1);
+            });
+        });
+        dev.replay(&graph);
+        extent.set(7);
+        dev.replay(&graph);
+        assert_eq!(counter.get(0), 107, "each replay ran the current extent");
+    }
+
+    #[test]
+    fn traced_replay_emits_replay_span_with_attrs() {
+        let tracer = gc_telemetry::Tracer::new();
+        {
+            let _cur = tracer.make_current();
+            let dev = Device::new(DeviceConfig::test_tiny());
+            let parent = gc_telemetry::span("iteration");
+            let graph = dev.capture("pipe", || {
+                dev.launch("ka", 16, |t| t.charge(1));
+                dev.launch("kb", 64, |t| t.charge(1));
+            });
+            dev.replay(&graph);
+            drop(parent);
+        }
+        let recs = tracer.records();
+        let replay = recs.iter().find(|r| r.name == "replay").unwrap();
+        let attr = |k: &str| {
+            replay
+                .attrs
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or_else(|| panic!("replay span missing {k} attr"))
+        };
+        assert_eq!(attr("graph"), "pipe");
+        assert_eq!(attr("kernels"), "2");
+        assert_eq!(attr("extent"), "64");
+        // Interior kernels are still individually visible, nested under
+        // the same parent as the replay itself.
+        let parent_id = recs.iter().find(|r| r.name == "iteration").unwrap().id;
+        for name in ["ka", "kb", "replay"] {
+            let r = recs.iter().find(|r| r.name == name).unwrap();
+            assert_eq!(r.parent, Some(parent_id), "{name} parent");
+        }
+    }
+
+    #[test]
+    fn profile_reports_launch_overhead_ms() {
+        let cfg = DeviceConfig::test_tiny(); // 1 GHz: cycles == ns
+        let dev = Device::new(cfg);
+        dev.launch("k", 8, |t| t.charge(1));
+        let r = dev.profile();
+        let want = cfg.launch_overhead_cycles as f64 / 1e6;
+        assert!((r.launch_overhead_ms - want).abs() < 1e-12);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod thread;
 
 pub use buffer::DeviceBuffer;
 pub use config::DeviceConfig;
-pub use device::Device;
+pub use device::{Device, LaunchGraph};
 pub use profiler::{KernelRecord, ProfileReport};
 pub use scalar::Scalar;
 pub use thread::ThreadCtx;

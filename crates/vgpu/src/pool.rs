@@ -78,6 +78,37 @@ pub fn enabled_for_thread() -> bool {
     POOL.with(|p| p.borrow().is_some())
 }
 
+/// Scoped pooling: enables the calling thread's pool for the lease's
+/// lifetime and restores the prior state on drop.
+///
+/// This is how a colorer opts its per-iteration scratch (contraction
+/// outputs, proposal mirrors, captured-pipeline temporaries) into reuse
+/// without changing behavior for the rest of the thread: if pooling was
+/// already on — a service worker — the lease is a no-op and the worker's
+/// long-lived pool keeps going; otherwise the pool (and its shelved
+/// storage) dies with the lease.
+#[must_use = "the lease enables pooling only while it is alive"]
+#[derive(Debug)]
+pub struct PoolLease {
+    was_enabled: bool,
+}
+
+/// Acquires a scoped pooling lease for the calling thread. See
+/// [`PoolLease`].
+pub fn lease() -> PoolLease {
+    let was_enabled = enabled_for_thread();
+    enable_for_thread();
+    PoolLease { was_enabled }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        if !self.was_enabled {
+            disable_for_thread();
+        }
+    }
+}
+
 /// Claims shelved storage of the exact shape, if pooling is enabled and
 /// a shelf has one. The caller must re-initialize the cells.
 pub(crate) fn claim<A: Any>(len: usize) -> Option<Box<[A]>> {
@@ -173,6 +204,38 @@ mod tests {
             let _ = DeviceBuffer::<u32>::zeroed(101);
             let after = stats();
             assert_eq!(after.hits, before.hits);
+            disable_for_thread();
+        });
+    }
+
+    #[test]
+    fn lease_enables_then_restores() {
+        on_fresh_thread(|| {
+            assert!(!enabled_for_thread());
+            {
+                let _lease = lease();
+                assert!(enabled_for_thread());
+                drop(DeviceBuffer::<u32>::zeroed(32));
+                let before = stats();
+                let _b = DeviceBuffer::<u32>::zeroed(32);
+                assert!(stats().hits > before.hits, "lease recycles storage");
+            }
+            assert!(!enabled_for_thread(), "lease restores the off state");
+        });
+    }
+
+    #[test]
+    fn nested_lease_keeps_outer_pool_alive() {
+        on_fresh_thread(|| {
+            enable_for_thread();
+            {
+                let _lease = lease();
+                assert!(enabled_for_thread());
+            }
+            assert!(
+                enabled_for_thread(),
+                "inner lease must not tear down a pre-enabled pool"
+            );
             disable_for_thread();
         });
     }

@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Mutex, OnceLock};
 
 use crate::cost::KernelCost;
+use crate::pool::{self, PoolStats};
 
 /// Interns a kernel name, returning a `'static` handle. The launch hot
 /// path records millions of kernels with a small, fixed vocabulary of
@@ -50,20 +51,114 @@ pub struct KernelSummary {
     pub max_launch_cycles: f64,
 }
 
-/// Mutable profiler state owned by a device.
+/// In-flight state of one launch-graph replay (see
+/// [`crate::Device::replay`]): kernels recorded while this is live bill
+/// their work but not their fixed launch overhead; the replay bills one
+/// overhead for the whole pipeline when it closes.
 #[derive(Debug, Default)]
+struct GraphReplay {
+    /// Kernel launches folded into this replay so far.
+    kernels: u64,
+    /// Widest kernel extent (threads) seen in the replay — the dynamic
+    /// extent the graph resolved this round.
+    max_threads: u64,
+}
+
+/// Mutable profiler state owned by a device.
+#[derive(Debug)]
 pub struct Profiler {
     records: Vec<KernelRecord>,
+    /// Host-visible dispatches: ordinary launches plus one per graph
+    /// replay (a replay's interior kernels are *not* separate dispatches
+    /// — that is the entire point of capturing them).
+    launches: u64,
     syncs: u64,
     memcpys: u64,
     memcpy_bytes: u64,
     clock_cycles: f64,
+    /// Completed graph replays.
+    graph_replays: u64,
+    /// Kernels that executed inside a graph replay.
+    graph_kernels: u64,
+    /// Launch-overhead cycles actually billed to the clock.
+    launch_overhead_cycles: f64,
+    /// Launch-overhead cycles replays avoided: `(k - 1) x overhead` per
+    /// k-kernel replay.
+    launch_overhead_saved_cycles: f64,
+    /// Open replay, if any (replays never nest).
+    replay: Option<GraphReplay>,
+    /// Buffer-pool counters at construction/reset, so the report can
+    /// attribute hits/misses to this device's window.
+    pool_base: PoolStats,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler {
+            records: Vec::new(),
+            launches: 0,
+            syncs: 0,
+            memcpys: 0,
+            memcpy_bytes: 0,
+            clock_cycles: 0.0,
+            graph_replays: 0,
+            graph_kernels: 0,
+            launch_overhead_cycles: 0.0,
+            launch_overhead_saved_cycles: 0.0,
+            replay: None,
+            pool_base: pool::stats(),
+        }
+    }
 }
 
 impl Profiler {
-    pub fn record_kernel(&mut self, rec: KernelRecord) {
+    pub fn record_kernel(&mut self, mut rec: KernelRecord) {
+        if let Some(g) = &mut self.replay {
+            // Inside a replay the kernel's work is billed in full but its
+            // fixed launch overhead is not: the graph dispatch pays one
+            // overhead for the whole pipeline at `end_replay`.
+            let overhead = rec.cost.launch_overhead;
+            rec.cost.total_cycles -= overhead;
+            rec.cost.launch_overhead = 0.0;
+            g.kernels += 1;
+            g.max_threads = g.max_threads.max(rec.threads);
+            self.graph_kernels += 1;
+            self.launch_overhead_saved_cycles += overhead;
+        } else {
+            self.launches += 1;
+            self.launch_overhead_cycles += rec.cost.launch_overhead;
+        }
         self.clock_cycles += rec.cost.total_cycles;
         self.records.push(rec);
+    }
+
+    /// Opens a graph replay; kernels recorded until [`Profiler::end_replay`]
+    /// bill work without per-launch overhead. Replays cannot nest.
+    pub fn begin_replay(&mut self) {
+        assert!(
+            self.replay.is_none(),
+            "launch-graph replays cannot nest: a replay is already open on this device"
+        );
+        self.replay = Some(GraphReplay::default());
+    }
+
+    /// Closes the open replay, billing `overhead_cycles` once for the
+    /// whole pipeline. Returns `(kernels, max extent)` of the replay.
+    pub fn end_replay(&mut self, overhead_cycles: f64) -> (u64, u64) {
+        let g = self
+            .replay
+            .take()
+            .expect("end_replay without a matching begin_replay");
+        self.launches += 1;
+        self.graph_replays += 1;
+        self.clock_cycles += overhead_cycles;
+        self.launch_overhead_cycles += overhead_cycles;
+        if g.kernels > 0 {
+            // Net saving of a k-kernel replay is (k - 1) x overhead: the
+            // per-kernel credits above minus the one dispatch billed here.
+            self.launch_overhead_saved_cycles -= overhead_cycles;
+        }
+        (g.kernels, g.max_threads)
     }
 
     pub fn record_sync(&mut self, cycles: f64) {
@@ -101,13 +196,21 @@ impl Profiler {
             }
             thread_executions += r.threads;
         }
+        let pool_now = pool::stats();
         ProfileReport {
-            launches: self.records.len() as u64,
+            launches: self.launches,
             thread_executions,
             syncs: self.syncs,
             memcpys: self.memcpys,
             memcpy_bytes: self.memcpy_bytes,
             clock_cycles: self.clock_cycles,
+            graph_replays: self.graph_replays,
+            graph_kernels: self.graph_kernels,
+            launch_overhead_cycles: self.launch_overhead_cycles,
+            launch_overhead_saved_cycles: self.launch_overhead_saved_cycles,
+            launch_overhead_ms: 0.0,
+            pool_hits: pool_now.hits - self.pool_base.hits,
+            pool_misses: pool_now.misses - self.pool_base.misses,
             by_kernel,
         }
     }
@@ -120,6 +223,9 @@ impl Profiler {
 /// Immutable profiling snapshot.
 #[derive(Clone, Debug)]
 pub struct ProfileReport {
+    /// Host-visible dispatches: ordinary launches plus one per graph
+    /// replay. Kernels folded into a replay are counted under
+    /// [`ProfileReport::graph_kernels`], not here.
     pub launches: u64,
     /// Σ simulated thread executions over every recorded launch — the
     /// work-efficiency metric frontier compaction is judged by.
@@ -128,6 +234,26 @@ pub struct ProfileReport {
     pub memcpys: u64,
     pub memcpy_bytes: u64,
     pub clock_cycles: f64,
+    /// Completed [`crate::LaunchGraph`] replays.
+    pub graph_replays: u64,
+    /// Kernels executed inside graph replays (each billed its work but
+    /// no per-launch overhead).
+    pub graph_kernels: u64,
+    /// Launch-overhead cycles actually billed to the model clock.
+    pub launch_overhead_cycles: f64,
+    /// Launch-overhead cycles avoided by replays (`(k-1) x overhead` per
+    /// k-kernel replay).
+    pub launch_overhead_saved_cycles: f64,
+    /// [`ProfileReport::launch_overhead_cycles`] on the device's clock,
+    /// in milliseconds. Filled by [`crate::Device::profile`] (the raw
+    /// report from a bare [`Profiler`] has no clock rate and leaves 0).
+    pub launch_overhead_ms: f64,
+    /// Buffer-pool allocations served from a shelf during this device's
+    /// profiling window (all threads; see [`crate::pool`]).
+    pub pool_hits: u64,
+    /// Pool-enabled allocations that fell through to the allocator
+    /// during this window.
+    pub pool_misses: u64,
     pub by_kernel: BTreeMap<String, KernelSummary>,
 }
 
@@ -171,6 +297,18 @@ impl ProfileReport {
         out.push_str(&format!("memcpys={}\n", self.memcpys));
         out.push_str(&format!("memcpy_bytes={}\n", self.memcpy_bytes));
         out.push_str(&format!("model_cycles={:.0}\n", self.clock_cycles));
+        out.push_str(&format!("graph_replays={}\n", self.graph_replays));
+        out.push_str(&format!("graph_kernels={}\n", self.graph_kernels));
+        out.push_str(&format!(
+            "launch_overhead_cycles={:.0}\n",
+            self.launch_overhead_cycles
+        ));
+        out.push_str(&format!(
+            "launch_overhead_saved_cycles={:.0}\n",
+            self.launch_overhead_saved_cycles
+        ));
+        out.push_str(&format!("pool_hits={}\n", self.pool_hits));
+        out.push_str(&format!("pool_misses={}\n", self.pool_misses));
         for (name, s) in &self.by_kernel {
             let key = name.replace([' ', '='], "_");
             out.push_str(&format!("kernel.{key}.launches={}\n", s.launches));
@@ -209,8 +347,13 @@ impl std::fmt::Display for ProfileReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "launches={} syncs={} memcpys={} ({} B) model_cycles={:.0}",
-            self.launches, self.syncs, self.memcpys, self.memcpy_bytes, self.clock_cycles
+            "launches={} graph_replays={} syncs={} memcpys={} ({} B) model_cycles={:.0}",
+            self.launches,
+            self.graph_replays,
+            self.syncs,
+            self.memcpys,
+            self.memcpy_bytes,
+            self.clock_cycles
         )?;
         for (name, s) in &self.by_kernel {
             writeln!(
@@ -351,6 +494,94 @@ mod tests {
         assert!(kv.contains("model_cycles=80\n"));
         // Kernel names are sanitized so keys stay parseable.
         assert!(kv.contains("kernel.vxm_pass.total_cycles=75\n"));
+        for line in kv.lines() {
+            assert_eq!(line.split('=').count(), 2, "bad kv line: {line}");
+        }
+    }
+
+    fn rec_with_overhead(name: &'static str, overhead: f64, work: f64) -> KernelRecord {
+        KernelRecord {
+            name,
+            threads: 10,
+            warps: 1,
+            bytes: 100,
+            atomics: 2,
+            cost: KernelCost {
+                launch_overhead: overhead,
+                compute_term: work,
+                total_cycles: overhead + work,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn replay_bills_one_overhead_for_the_pipeline() {
+        let mut p = Profiler::default();
+        p.begin_replay();
+        p.record_kernel(rec_with_overhead("a", 100.0, 40.0));
+        p.record_kernel(rec_with_overhead("b", 100.0, 60.0));
+        p.record_kernel(rec_with_overhead("c", 100.0, 10.0));
+        let (kernels, extent) = p.end_replay(100.0);
+        assert_eq!(kernels, 3);
+        assert_eq!(extent, 10);
+        // Work in full, overhead once: 40 + 60 + 10 + 100.
+        assert_eq!(p.clock_cycles(), 210.0);
+        let r = p.report();
+        assert_eq!(r.launches, 1, "the replay is one dispatch");
+        assert_eq!(r.graph_replays, 1);
+        assert_eq!(r.graph_kernels, 3);
+        assert_eq!(r.launch_overhead_cycles, 100.0);
+        assert_eq!(r.launch_overhead_saved_cycles, 200.0, "(k-1) x overhead");
+        // Per-kernel grouping still sees every kernel.
+        assert_eq!(r.by_kernel.len(), 3);
+        assert_eq!(r.thread_executions, 30);
+    }
+
+    #[test]
+    fn replay_of_one_kernel_saves_nothing() {
+        let mut p = Profiler::default();
+        p.begin_replay();
+        p.record_kernel(rec_with_overhead("a", 100.0, 40.0));
+        p.end_replay(100.0);
+        assert_eq!(p.clock_cycles(), 140.0);
+        assert_eq!(p.report().launch_overhead_saved_cycles, 0.0);
+    }
+
+    #[test]
+    fn empty_replay_costs_one_overhead() {
+        let mut p = Profiler::default();
+        p.begin_replay();
+        let (kernels, extent) = p.end_replay(100.0);
+        assert_eq!((kernels, extent), (0, 0));
+        assert_eq!(p.clock_cycles(), 100.0);
+        let r = p.report();
+        assert_eq!(r.launches, 1);
+        assert_eq!(r.launch_overhead_saved_cycles, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot nest")]
+    fn nested_replays_panic() {
+        let mut p = Profiler::default();
+        p.begin_replay();
+        p.begin_replay();
+    }
+
+    #[test]
+    fn kv_dump_carries_replay_and_pool_counters() {
+        let mut p = Profiler::default();
+        p.begin_replay();
+        p.record_kernel(rec_with_overhead("a", 100.0, 40.0));
+        p.record_kernel(rec_with_overhead("b", 100.0, 60.0));
+        p.end_replay(100.0);
+        let kv = p.report().to_kv();
+        assert!(kv.contains("graph_replays=1\n"));
+        assert!(kv.contains("graph_kernels=2\n"));
+        assert!(kv.contains("launch_overhead_cycles=100\n"));
+        assert!(kv.contains("launch_overhead_saved_cycles=100\n"));
+        assert!(kv.contains("pool_hits="));
+        assert!(kv.contains("pool_misses="));
         for line in kv.lines() {
             assert_eq!(line.split('=').count(), 2, "bad kv line: {line}");
         }

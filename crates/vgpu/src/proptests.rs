@@ -5,7 +5,10 @@ use proptest::prelude::*;
 use crate::buffer::DeviceBuffer;
 use crate::config::DeviceConfig;
 use crate::device::Device;
-use crate::primitives::{compact, exclusive_scan, gather, radix_sort, reduce, segmented_reduce};
+use crate::primitives::{
+    compact, compact_indices, compact_indices_fused, compact_values, compact_values_fused,
+    exclusive_scan, gather, radix_sort, reduce, segmented_reduce,
+};
 
 fn dev() -> Device {
     Device::new(DeviceConfig::test_tiny())
@@ -122,6 +125,93 @@ proptest! {
             t.write(&out, tid, 1);
         });
         prop_assert!(out.to_vec().iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn fused_compaction_equals_two_kernel_compaction(
+        keep in proptest::collection::vec(any::<bool>(), 0..400)
+    ) {
+        // `compact_indices_fused` must honor the same sorted-permutation
+        // contract as the two-kernel `compact_indices`: identical
+        // survivor sets, identical (ascending) order — only launches
+        // differ (1 vs up to 3).
+        let flags_vec: Vec<u8> = keep.iter().map(|&k| k as u8).collect();
+        let n = keep.len();
+        let d_fused = dev();
+        let flags = DeviceBuffer::from_slice(&flags_vec);
+        let fused = compact_indices_fused(&d_fused, "cf", n, |t, i| t.read(&flags, i) != 0);
+        let d_plain = dev();
+        let plain = compact_indices(&d_plain, "ci", n, |t, i| t.read(&flags, i) != 0);
+        prop_assert_eq!(fused.to_vec(), plain.to_vec());
+        prop_assert!(d_fused.profile().launches <= d_plain.profile().launches);
+    }
+
+    #[test]
+    fn fused_values_compaction_equals_two_kernel(
+        values in proptest::collection::vec(0u32..50, 0..300)
+    ) {
+        let d_fused = dev();
+        let vals = DeviceBuffer::from_slice(&values);
+        let fused = compact_values_fused(&d_fused, "cvf", &vals, |_, v| v % 3 != 0);
+        let d_plain = dev();
+        let plain = compact_values(&d_plain, "cv", &vals, |_, v| v % 3 != 0);
+        prop_assert_eq!(fused.to_vec(), plain.to_vec());
+    }
+
+    #[test]
+    fn replay_work_terms_match_uncaptured(
+        extents in proptest::collection::vec(0usize..600, 1..8)
+    ) {
+        // Cost-model faithfulness of graph replay: a replayed pipeline
+        // bills exactly the same per-kernel work as issuing the same
+        // kernels uncaptured; the clocks differ by precisely
+        // (k - 1) x launch_overhead_cycles, the fixed overhead the graph
+        // amortizes. (A zero-extent kernel is pure overhead, so it still
+        // counts toward k.)
+        let cfg = DeviceConfig::test_tiny();
+        let body = |d: &Device, bufs: &[DeviceBuffer<u32>]| {
+            for (j, buf) in bufs.iter().enumerate() {
+                d.launch("step", buf.len(), |t| {
+                    let i = t.tid();
+                    let v = t.read(buf, i);
+                    t.write(buf, i, v.wrapping_add(1));
+                    if i % 5 == j % 5 {
+                        t.charge(9);
+                    }
+                });
+            }
+        };
+        let mk_bufs = || -> Vec<DeviceBuffer<u32>> {
+            extents.iter().map(|&n| DeviceBuffer::zeroed(n)).collect()
+        };
+        let (plain_cycles, plain_prof) = {
+            let d = Device::new(cfg);
+            let bufs = mk_bufs();
+            body(&d, &bufs);
+            (d.elapsed_cycles(), d.profile())
+        };
+        let (replay_cycles, replay_prof) = {
+            let d = Device::new(cfg);
+            let bufs = mk_bufs();
+            let graph = d.capture("pipeline", || body(&d, &bufs));
+            d.replay(&graph);
+            (d.elapsed_cycles(), d.profile())
+        };
+        let k = extents.len() as f64;
+        let overhead = cfg.launch_overhead_cycles as f64;
+        prop_assert_eq!(plain_cycles - replay_cycles, (k - 1.0) * overhead);
+        prop_assert_eq!(plain_prof.thread_executions, replay_prof.thread_executions);
+        prop_assert_eq!(
+            replay_prof.launch_overhead_saved_cycles,
+            (k - 1.0) * overhead
+        );
+        // Per-kernel non-overhead terms are identical.
+        let strip = |p: &crate::profiler::ProfileReport| {
+            p.by_kernel["step"].total_cycles - p.by_kernel["step"].launches as f64 * overhead
+        };
+        let plain_work = strip(&plain_prof);
+        let replay_work = replay_prof.by_kernel["step"].total_cycles;
+        prop_assert_eq!(plain_work, replay_work);
     }
 
     #[test]

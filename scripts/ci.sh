@@ -39,6 +39,7 @@ names = {e["name"] for e in events}
 for expected in ("color", "iteration"):
     assert expected in names, f"trace.json missing {expected!r} spans"
 assert any(n.startswith("is::") for n in names), "trace.json missing kernel events"
+assert "replay" in names, "trace.json missing launch-graph replay spans"
 lines = open(f"{d}/trace.jsonl").read().splitlines()
 assert lines, "trace.jsonl is empty"
 for line in lines:
