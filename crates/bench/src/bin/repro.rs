@@ -1,14 +1,15 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1|table2|fig1|fig2|fig3|ablation|powerlaw|serve-bench|all]
+//! repro [table1|table2|fig1|fig1a|fig1b|fig2|fig3|ablation|powerlaw|serve-bench|all]
 //!       [--scale F] [--seed N] [--rgg MIN:MAX] [--diameter-samples N]
 //!       [--full] [--csv DIR] [--workers N]
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE]
 //! repro trace <colorer> <dataset> [--scale F] [--seed N]
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]
-//! repro bench [--scale F] [--seed N] [--out FILE]
+//! repro bench [--scale F] [--seed N] [--devices N] [--out FILE]
 //! repro bench-check <FILE>
+//! repro --help          # every subcommand with a one-line description
 //! ```
 //!
 //! Default scale synthesizes each dataset at 2% of the paper's vertex
@@ -26,11 +27,16 @@
 //! the paper's launch shape (full-width frontiers, one dispatch per
 //! operator), once with today's default path (compacted frontiers in
 //! replayed launch graphs) — and writes the before/after matrix as a
-//! `gc-bench-coloring/v2` JSON document (default `BENCH_coloring.json`,
-//! override with `--out`). `bench-check FILE` re-validates such a
-//! document — including that no colorer's optimized side dispatches
-//! more launches than its baseline — and exits non-zero when it is
-//! malformed or regressed (the CI smoke step).
+//! `gc-bench-coloring/v3` JSON document (default `BENCH_coloring.json`,
+//! override with `--out`). `--devices N` (N > 1) adds sharded rows over
+//! the two largest datasets: every GPU colorer runs once per device
+//! count through `gc_shard::run_sharded`, reporting per-device maximum
+//! work next to the single-device baseline. `bench-check FILE`
+//! re-validates such a document — including that no colorer's optimized
+//! side dispatches more launches than its single-device baseline, that
+//! every row verified proper, and that no sharded row exceeded the
+//! conflict-round cap — and exits non-zero when it is malformed or
+//! regressed (the CI smoke step).
 
 use std::fs;
 use std::process::ExitCode;
@@ -39,11 +45,84 @@ use gc_bench::experiments::{self, ExperimentConfig};
 use gc_bench::format;
 use gc_bench::serve;
 
+/// Every subcommand `repro` accepts, with a one-line description —
+/// the single source the first-argument parser and `--help` both use.
+const SUBCOMMANDS: [(&str, &str); 14] = [
+    ("table1", "Table I dataset statistics"),
+    ("table2", "Table II optimization effects per implementation"),
+    (
+        "fig1",
+        "Figure 1 runtime + color-count matrix (fig1a and fig1b)",
+    ),
+    ("fig1a", "Figure 1a: model runtime per colorer and dataset"),
+    ("fig1b", "Figure 1b: colors used per colorer and dataset"),
+    ("fig2", "Figure 2 time/quality trade-off scatter"),
+    ("fig3", "Figure 3 RGG scaling sweep"),
+    (
+        "ablation",
+        "hash-size / weight-mode / load-balance / extension / device ablations",
+    ),
+    ("powerlaw", "power-law (Barabasi-Albert) extension study"),
+    (
+        "serve-bench",
+        "closed-loop coloring-service workload benchmark",
+    ),
+    (
+        "trace",
+        "trace one <colorer> <dataset> run to chrome-trace + span-log files",
+    ),
+    (
+        "bench",
+        "before/after perf matrix (--devices N adds multi-device sharded rows)",
+    ),
+    (
+        "bench-check",
+        "validate a BENCH_coloring.json document; non-zero exit on regression",
+    ),
+    (
+        "all",
+        "every report above except trace, bench, and bench-check (the default)",
+    ),
+];
+
+/// The complete usage text: every subcommand with its description, then
+/// the option set.
+fn usage() -> String {
+    let mut out = String::from("usage: repro [SUBCOMMAND] [OPTIONS]\n\nsubcommands:\n");
+    for (name, desc) in SUBCOMMANDS {
+        out.push_str(&format!("  {name:<14}{desc}\n"));
+    }
+    out.push_str(
+        "\noperand forms:\n\
+         \x20 repro trace <colorer> <dataset> [--model-clock]\n\
+         \x20 repro bench [--devices N] [--out FILE]\n\
+         \x20 repro bench-check <FILE>\n\
+         \noptions:\n\
+         \x20 --scale F             fraction of each dataset's paper vertex count (default 0.02)\n\
+         \x20 --seed N              RNG seed for synthesis and coloring (default 42)\n\
+         \x20 --rgg MIN:MAX         inclusive RGG scale range for the fig3 sweep\n\
+         \x20 --diameter-samples N  BFS sources for the Table I diameter estimate\n\
+         \x20 --full                the paper's full extents (slow)\n\
+         \x20 --csv DIR             also write fig1/fig3 CSVs into DIR\n\
+         \x20 --workers N           serve-bench worker threads (default 4)\n\
+         \x20 --devices N           virtual devices for the bench sharded rows (default 1)\n\
+         \x20 --trace FILE          write a Chrome trace-event JSON\n\
+         \x20 --jsonl FILE          write a newline-delimited span log\n\
+         \x20 --metrics FILE        write a Prometheus text dump\n\
+         \x20 --out FILE            bench output file (default BENCH_coloring.json)\n\
+         \x20 --model-clock         trace timestamps from the device model clock\n\
+         \x20 --help                print this help\n",
+    );
+    out
+}
+
 struct Args {
     command: String,
     cfg: ExperimentConfig,
     csv_dir: Option<String>,
     workers: usize,
+    /// Virtual devices for the `bench` sharded rows.
+    devices: usize,
     trace_out: Option<String>,
     jsonl_out: Option<String>,
     metrics_out: Option<String>,
@@ -60,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
     let mut cfg = ExperimentConfig::default();
     let mut csv_dir = None;
     let mut workers = 4;
+    let mut devices = 1;
     let mut trace_out = None;
     let mut jsonl_out = None;
     let mut metrics_out = None;
@@ -69,10 +149,11 @@ fn parse_args() -> Result<Args, String> {
     let mut first = true;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "table1" | "table2" | "fig1" | "fig1a" | "fig1b" | "fig2" | "fig3" | "ablation"
-            | "powerlaw" | "serve-bench" | "trace" | "bench" | "bench-check" | "all"
-                if first =>
-            {
+            "--help" | "-h" | "help" => {
+                command = String::from("help");
+                break;
+            }
+            sub if first && SUBCOMMANDS.iter().any(|(name, _)| *name == sub) => {
                 command = a;
             }
             "--scale" => {
@@ -111,6 +192,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --workers: {e}"))?;
             }
+            "--devices" => {
+                devices = args
+                    .next()
+                    .ok_or("--devices needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --devices: {e}"))?;
+            }
             "--trace" => trace_out = Some(args.next().ok_or("--trace needs a file")?),
             "--jsonl" => jsonl_out = Some(args.next().ok_or("--jsonl needs a file")?),
             "--metrics" => metrics_out = Some(args.next().ok_or("--metrics needs a file")?),
@@ -130,6 +218,7 @@ fn parse_args() -> Result<Args, String> {
         cfg,
         csv_dir,
         workers,
+        devices,
         trace_out,
         jsonl_out,
         metrics_out,
@@ -151,18 +240,14 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: repro [table1|table2|fig1|fig2|fig3|ablation|powerlaw|serve-bench|all] \
-                 [--scale F] [--seed N] [--rgg MIN:MAX] [--diameter-samples N] [--full] \
-                 [--csv DIR] [--workers N] [--trace FILE] [--jsonl FILE] [--metrics FILE]\n\
-                 \x20      repro trace <colorer> <dataset> [--scale F] [--seed N] \
-                 [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]\n\
-                 \x20      repro bench [--scale F] [--seed N] [--out FILE]\n\
-                 \x20      repro bench-check <FILE>"
-            );
+            eprint!("{}", usage());
             return ExitCode::FAILURE;
         }
     };
+    if args.command == "help" {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
     let cfg = args.cfg;
     println!(
         "# gc-gpu reproduction harness | scale={} seed={} rgg={}..={}\n",
@@ -256,7 +341,7 @@ fn main() -> ExitCode {
     }
 
     if args.command == "bench" {
-        let report = gc_bench::coloring_bench::coloring_bench(&cfg);
+        let report = gc_bench::coloring_bench::coloring_bench(&cfg, args.devices.max(1));
         println!("{}", format::render_coloring_bench(&report));
         let json = gc_bench::coloring_bench::to_json(&report);
         if let Err(e) = gc_bench::coloring_bench::validate_report_json(&json) {
@@ -368,4 +453,49 @@ fn main() -> ExitCode {
         println!("CSV written to {dir}/");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `repro --help` once omitted bench/bench-check/trace; this pins the
+    // help text to the parser's actual subcommand table.
+    #[test]
+    fn usage_mentions_every_subcommand_with_a_description() {
+        let text = usage();
+        for (name, desc) in SUBCOMMANDS {
+            assert!(
+                text.lines().any(|l| {
+                    let l = l.trim_start();
+                    l.starts_with(name) && l.contains(desc)
+                }),
+                "usage text is missing subcommand {name:?} with its description"
+            );
+            assert!(!desc.is_empty());
+        }
+    }
+
+    #[test]
+    fn usage_documents_the_option_set() {
+        let text = usage();
+        for opt in [
+            "--scale",
+            "--seed",
+            "--rgg",
+            "--diameter-samples",
+            "--full",
+            "--csv",
+            "--workers",
+            "--devices",
+            "--trace",
+            "--jsonl",
+            "--metrics",
+            "--out",
+            "--model-clock",
+            "--help",
+        ] {
+            assert!(text.contains(opt), "usage text is missing option {opt}");
+        }
+    }
 }

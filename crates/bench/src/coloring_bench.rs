@@ -12,14 +12,24 @@
 //! colorings (both optimizations are pure work/overhead optimizations,
 //! so they must).
 //!
-//! `to_json` emits the `gc-bench-coloring/v2` document committed as
+//! With `--devices N` (N > 1) the matrix gains a second family of rows
+//! over the two largest datasets: for every GPU colorer, `before` is the
+//! plain single-device run and `after` is the `gc_shard::run_sharded`
+//! run across N virtual devices, where the after side's
+//! `thread_executions` and `launches` are the per-device MAXIMUM — the
+//! multi-device question is whether any single device still does the
+//! whole graph's work. Sharded rows carry `devices`, `halo_bytes`,
+//! `conflict_rounds`, and `verified`.
+//!
+//! `to_json` emits the `gc-bench-coloring/v3` document committed as
 //! `BENCH_coloring.json`, the artifact that anchors the perf trajectory:
 //! future optimization PRs regenerate it and diff the counters.
 //! `validate_report_json` re-parses a document with the gc-telemetry
-//! JSON parser and checks the schema's shape — including that no row's
-//! `after` side dispatches more launches than its `before` side —
-//! `repro bench` self-checks its own output through it, and
-//! `repro bench-check FILE` exposes it to CI.
+//! JSON parser and checks the schema's shape — including that no
+//! single-device row's `after` side dispatches more launches than its
+//! `before` side, that every row verified, and that no sharded row blew
+//! the conflict-round cap — `repro bench` self-checks its own output
+//! through it, and `repro bench-check FILE` exposes it to CI.
 
 use std::time::Instant;
 
@@ -27,21 +37,27 @@ use gc_core::gblas_jpl::JplConfig;
 use gc_core::gunrock_hash::HashConfig;
 use gc_core::gunrock_is::IsConfig;
 use gc_core::runner::{all_colorers, Colorer, ColorerKind};
+use gc_core::verify::is_proper;
 use gc_core::{
     gblas_is, gblas_jpl, gblas_mis, gunrock_ar, gunrock_hash, gunrock_is, naumov, ColoringResult,
 };
 use gc_graph::Csr;
+use gc_shard::{run_sharded, ShardedConfig, MAX_CONFLICT_ROUNDS};
 use gc_vgpu::Device;
 
 use crate::experiments::ExperimentConfig;
 
 /// The document's `schema` field.
-pub const SCHEMA: &str = "gc-bench-coloring/v2";
+pub const SCHEMA: &str = "gc-bench-coloring/v3";
 
 /// Datasets the bench sweeps: the road-like sparse mesh the acceptance
 /// tracking cares about first, then a 3-D mesh, a circuit, and a
 /// thermal problem — the structural spread of Table I.
 pub const BENCH_DATASETS: [&str; 4] = ["ecology2", "offshore", "G3_circuit", "thermomech_dK"];
+
+/// The two largest Table I datasets, swept by the sharded rows: big
+/// enough that splitting them across devices is the realistic scenario.
+pub const SHARD_DATASETS: [&str; 2] = ["ecology2", "G3_circuit"];
 
 /// Counters from one side (baseline or compacted) of one matrix cell.
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +86,15 @@ pub struct BenchRow {
     pub colors: u32,
     /// Did baseline and compacted produce the same assignment?
     pub identical_coloring: bool,
+    /// Devices the `after` side ran on: 1 for the compaction rows, N for
+    /// the sharded rows (whose after counters are per-device maxima).
+    pub devices: usize,
+    /// Device-to-device bytes moved by halo exchange (0 at devices=1).
+    pub halo_bytes: u64,
+    /// Boundary-conflict resolution rounds (0 at devices=1).
+    pub conflict_rounds: u32,
+    /// The after side's coloring verified proper on the host.
+    pub verified: bool,
     pub before: BenchSide,
     pub after: BenchSide,
 }
@@ -80,6 +105,8 @@ pub struct BenchRow {
 pub struct BenchReport {
     pub scale: f64,
     pub seed: u64,
+    /// Device count of the sharded rows; 1 means no sharded rows.
+    pub devices: usize,
     pub rows: Vec<BenchRow>,
 }
 
@@ -133,14 +160,21 @@ fn side_of(r: &ColoringResult, wall_ms: f64) -> BenchSide {
     }
 }
 
-/// Runs the full before/after matrix over [`BENCH_DATASETS`].
-pub fn coloring_bench(cfg: &ExperimentConfig) -> BenchReport {
-    coloring_bench_on(cfg, &BENCH_DATASETS)
+/// Runs the full before/after matrix over [`BENCH_DATASETS`]; at
+/// `devices > 1` the sharded rows over [`SHARD_DATASETS`] ride along.
+pub fn coloring_bench(cfg: &ExperimentConfig, devices: usize) -> BenchReport {
+    coloring_bench_on(cfg, &BENCH_DATASETS, &SHARD_DATASETS, devices)
 }
 
-/// [`coloring_bench`] over an explicit dataset list (tests and the CI
+/// [`coloring_bench`] over explicit dataset lists (tests and the CI
 /// smoke step run a single small dataset).
-pub fn coloring_bench_on(cfg: &ExperimentConfig, datasets: &[&str]) -> BenchReport {
+pub fn coloring_bench_on(
+    cfg: &ExperimentConfig,
+    datasets: &[&str],
+    shard_datasets: &[&str],
+    devices: usize,
+) -> BenchReport {
+    let devices = devices.max(1);
     let mut rows = Vec::new();
     for name in datasets {
         let spec = gc_datasets::dataset_by_name(name).expect("bench dataset registered");
@@ -155,15 +189,63 @@ pub fn coloring_bench_on(cfg: &ExperimentConfig, datasets: &[&str]) -> BenchRepo
                 edges: g.num_edges(),
                 colors: after_r.num_colors,
                 identical_coloring: before_r.coloring == after_r.coloring,
+                devices: 1,
+                halo_bytes: 0,
+                conflict_rounds: 0,
+                verified: is_proper(&g, after_r.coloring.as_slice()).is_ok(),
                 before: side_of(&before_r, before_wall),
                 after: side_of(&after_r, after_wall),
             });
         }
     }
+    if devices > 1 {
+        for name in shard_datasets {
+            let spec = gc_datasets::dataset_by_name(name).expect("shard dataset registered");
+            let g = spec.generate(cfg.scale, cfg.seed);
+            for colorer in all_colorers().into_iter().filter(|c| c.is_gpu()) {
+                rows.push(shard_row(&colorer, name, &g, cfg.seed, devices));
+            }
+        }
+    }
     BenchReport {
         scale: cfg.scale,
         seed: cfg.seed,
+        devices,
         rows,
+    }
+}
+
+/// One sharded row: `before` is the plain single-device run, `after`
+/// the N-device sharded run. The after side's `thread_executions` and
+/// `launches` are the per-device MAXIMUM — the number that answers
+/// "does sharding actually shrink what any one device does" — while its
+/// model/wall times are end-to-end for the whole sharded pipeline.
+fn shard_row(colorer: &Colorer, dataset: &str, g: &Csr, seed: u64, devices: usize) -> BenchRow {
+    let (before_r, before_wall) = timed(|| colorer.run(g, seed));
+    let t0 = Instant::now();
+    let sharded = run_sharded(colorer, g, seed, &ShardedConfig::new(devices));
+    let after_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let mut after = side_of(&sharded.result, after_wall);
+    after.thread_executions = sharded.max_device_thread_executions();
+    after.launches = sharded
+        .per_device
+        .iter()
+        .map(|d| d.launches)
+        .max()
+        .unwrap_or(after.launches);
+    BenchRow {
+        colorer: colorer.name().to_string(),
+        dataset: dataset.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        colors: sharded.result.num_colors,
+        identical_coloring: before_r.coloring == sharded.result.coloring,
+        devices,
+        halo_bytes: sharded.halo_bytes,
+        conflict_rounds: sharded.conflict_rounds,
+        verified: sharded.verified,
+        before: side_of(&before_r, before_wall),
+        after,
     }
 }
 
@@ -192,18 +274,21 @@ fn json_side(s: &BenchSide) -> String {
     )
 }
 
-/// Serializes a report as a `gc-bench-coloring/v2` JSON document.
+/// Serializes a report as a `gc-bench-coloring/v3` JSON document.
 pub fn to_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     out.push_str(&format!("  \"scale\": {},\n", report.scale));
     out.push_str(&format!("  \"seed\": {},\n", report.seed));
+    out.push_str(&format!("  \"devices\": {},\n", report.devices));
     out.push_str("  \"rows\": [\n");
     for (i, r) in report.rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"colorer\": \"{}\", \"dataset\": \"{}\", \"vertices\": {}, \
-             \"edges\": {}, \"colors\": {}, \"identical_coloring\": {},\n      \
+             \"edges\": {}, \"colors\": {}, \"identical_coloring\": {}, \
+             \"devices\": {}, \"halo_bytes\": {}, \"conflict_rounds\": {}, \
+             \"verified\": {},\n      \
              \"before\": {},\n      \"after\": {}}}{}\n",
             esc(&r.colorer),
             esc(&r.dataset),
@@ -211,6 +296,10 @@ pub fn to_json(report: &BenchReport) -> String {
             r.edges,
             r.colors,
             r.identical_coloring,
+            r.devices,
+            r.halo_bytes,
+            r.conflict_rounds,
+            r.verified,
             json_side(&r.before),
             json_side(&r.after),
             if i + 1 < report.rows.len() { "," } else { "" }
@@ -220,10 +309,12 @@ pub fn to_json(report: &BenchReport) -> String {
     out
 }
 
-/// Validates a `gc-bench-coloring/v2` document: parses it with the
+/// Validates a `gc-bench-coloring/v3` document: parses it with the
 /// gc-telemetry JSON parser, checks every field the schema promises,
-/// and enforces the launch-graph invariant — the optimized side of a
-/// row must never dispatch more launches than its baseline.
+/// and enforces the perf invariants — a single-device row's optimized
+/// side must never dispatch more launches than its baseline, every row
+/// must have verified proper, and no sharded row may exceed the
+/// conflict-round cap.
 pub fn validate_report_json(text: &str) -> Result<(), String> {
     use gc_telemetry::json::{parse, Json};
     let doc = parse(text)?;
@@ -231,7 +322,7 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         Some(s) if s == SCHEMA => {}
         other => return Err(format!("schema must be {SCHEMA:?}, got {other:?}")),
     }
-    for f in ["scale", "seed"] {
+    for f in ["scale", "seed", "devices"] {
         doc.get(f)
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("missing numeric {f}"))?;
@@ -251,7 +342,14 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         row.get("dataset")
             .and_then(|v| v.as_str())
             .ok_or_else(|| missing("dataset"))?;
-        for f in ["vertices", "edges", "colors"] {
+        for f in [
+            "vertices",
+            "edges",
+            "colors",
+            "devices",
+            "halo_bytes",
+            "conflict_rounds",
+        ] {
             row.get(f)
                 .and_then(|v| v.as_f64())
                 .ok_or_else(|| missing(f))?;
@@ -259,6 +357,23 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         match row.get("identical_coloring") {
             Some(Json::Bool(_)) => {}
             _ => return Err(missing("identical_coloring")),
+        }
+        match row.get("verified") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!("row {i}: coloring failed verification"))
+            }
+            _ => return Err(missing("verified")),
+        }
+        let row_devices = row.get("devices").and_then(|v| v.as_f64()).unwrap_or(1.0);
+        let rounds = row
+            .get("conflict_rounds")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        if rounds > MAX_CONFLICT_ROUNDS as f64 {
+            return Err(format!(
+                "row {i}: conflict_rounds ({rounds}) exceeds the cap ({MAX_CONFLICT_ROUNDS})"
+            ));
         }
         for side in ["before", "after"] {
             let s = row.get(side).ok_or_else(|| missing(side))?;
@@ -282,7 +397,10 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
                 .and_then(|v| v.as_f64())
                 .unwrap_or(0.0)
         };
-        if launches("after") > launches("before") {
+        // The launch invariant only binds single-device rows: a sharded
+        // run's conflict-resolution rounds legitimately add dispatches
+        // beyond the unsharded baseline.
+        if row_devices <= 1.0 && launches("after") > launches("before") {
             return Err(format!(
                 "row {i}: after.launches ({}) exceeds before.launches ({}) — \
                  the captured path regressed dispatch count",
@@ -300,12 +418,14 @@ mod tests {
 
     #[test]
     fn before_and_after_colorings_agree_and_json_validates() {
-        let report = coloring_bench_on(&ExperimentConfig::smoke(), &["ecology2"]);
+        let report = coloring_bench_on(&ExperimentConfig::smoke(), &["ecology2"], &[], 1);
         assert_eq!(report.rows.len(), 9);
         for r in &report.rows {
             assert!(r.identical_coloring, "{} changed its coloring", r.colorer);
             assert!(r.before.model_ms > 0.0 && r.after.model_ms > 0.0);
             assert!(r.colors > 0);
+            assert!(r.verified, "{} failed host verification", r.colorer);
+            assert_eq!(r.devices, 1);
         }
         // Launch graphs must never regress dispatch counts, and every
         // converted iterative colorer replays one graph per iteration.
@@ -354,9 +474,35 @@ mod tests {
         validate_report_json(&to_json(&report)).expect("emitted JSON validates");
     }
 
-    const MINI: &str = r#"{"schema": "gc-bench-coloring/v2", "scale": 0.002, "seed": 42,
+    #[test]
+    fn sharded_rows_shrink_per_device_work_and_validate() {
+        let report = coloring_bench_on(&ExperimentConfig::smoke(), &[], &["ecology2"], 2);
+        // One sharded row per GPU colorer (9 in the Figure 1 legend,
+        // minus the host greedy).
+        assert_eq!(report.rows.len(), 8);
+        for r in &report.rows {
+            assert_eq!(r.devices, 2, "{}", r.colorer);
+            assert!(r.verified, "{} sharded coloring failed verify", r.colorer);
+            assert!(
+                r.conflict_rounds <= MAX_CONFLICT_ROUNDS,
+                "{} blew the round cap",
+                r.colorer
+            );
+            assert!(r.halo_bytes > 0, "{} exchanged no halo data", r.colorer);
+            assert!(
+                r.after.thread_executions < r.before.thread_executions,
+                "{}: per-device max {} did not shrink below single-device {}",
+                r.colorer,
+                r.after.thread_executions,
+                r.before.thread_executions
+            );
+        }
+        validate_report_json(&to_json(&report)).expect("sharded JSON validates");
+    }
+
+    const MINI: &str = r#"{"schema": "gc-bench-coloring/v3", "scale": 0.002, "seed": 42, "devices": 1,
       "rows": [{"colorer": "X", "dataset": "d", "vertices": 1, "edges": 0, "colors": 1,
-      "identical_coloring": true,
+      "identical_coloring": true, "devices": 1, "halo_bytes": 0, "conflict_rounds": 0, "verified": true,
       "before": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 2, "graph_replays": 0, "launch_overhead_ms": 0.2, "iterations": 1},
       "after": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 1, "graph_replays": 1, "launch_overhead_ms": 0.1, "iterations": 1}}]}"#;
 
@@ -365,7 +511,7 @@ mod tests {
         validate_report_json(MINI).expect("minimal document validates");
         assert!(validate_report_json("not json").is_err());
         assert!(validate_report_json("{}").is_err());
-        assert!(validate_report_json(&MINI.replace("gc-bench-coloring/v2", "v1")).is_err());
+        assert!(validate_report_json(&MINI.replace("gc-bench-coloring/v3", "v2")).is_err());
         assert!(validate_report_json(
             &MINI.replace("\"identical_coloring\": true", "\"identical_coloring\": 1")
         )
@@ -373,13 +519,27 @@ mod tests {
         assert!(validate_report_json(&MINI.replace("\"wall_ms\": 1.0, ", "")).is_err());
         assert!(validate_report_json(&MINI.replace("\"graph_replays\": 0, ", "")).is_err());
         assert!(validate_report_json(&MINI.replace("\"launch_overhead_ms\": 0.2, ", "")).is_err());
+        assert!(validate_report_json(&MINI.replace("\"halo_bytes\": 0, ", "")).is_err());
+        assert!(validate_report_json(&MINI.replace("\"conflict_rounds\": 0, ", "")).is_err());
+        assert!(validate_report_json(&MINI.replace(" \"devices\": 1,\n", "\n")).is_err());
         assert!(
             validate_report_json(&MINI.replace("\"rows\": [{", "\"rows\": [], \"x\": [{")).is_err()
         );
     }
 
     #[test]
-    fn validator_rejects_launch_count_regressions() {
+    fn validator_rejects_unverified_rows_and_blown_round_caps() {
+        let unverified = MINI.replace("\"verified\": true", "\"verified\": false");
+        let err = validate_report_json(&unverified).unwrap_err();
+        assert!(err.contains("failed verification"), "{err}");
+
+        let blown = MINI.replace("\"conflict_rounds\": 0", "\"conflict_rounds\": 65");
+        let err = validate_report_json(&blown).unwrap_err();
+        assert!(err.contains("exceeds the cap"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_launch_count_regressions_only_at_one_device() {
         // after.launches > before.launches means a captured pipeline
         // dispatched more than the baseline it was meant to shrink.
         let bad = MINI.replace(
@@ -388,5 +548,12 @@ mod tests {
         );
         let err = validate_report_json(&bad).unwrap_err();
         assert!(err.contains("exceeds before.launches"), "{err}");
+        // The same counters on a sharded row are legitimate: conflict
+        // resolution adds dispatches the single-device baseline lacks.
+        let sharded_ok = bad.replace(
+            "\"devices\": 1, \"halo_bytes\": 0, \"conflict_rounds\": 0",
+            "\"devices\": 2, \"halo_bytes\": 64, \"conflict_rounds\": 1",
+        );
+        validate_report_json(&sharded_ok).expect("sharded rows may add launches");
     }
 }

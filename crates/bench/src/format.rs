@@ -367,7 +367,8 @@ pub fn render_serve_bench(report: &crate::serve::ServeBenchReport) -> String {
     out
 }
 
-/// Renders the `repro bench` before/after compaction matrix.
+/// Renders the `repro bench` before/after compaction matrix, plus the
+/// multi-device sharding matrix when the report carries sharded rows.
 pub fn render_coloring_bench(report: &crate::coloring_bench::BenchReport) -> String {
     let mut out = String::new();
     out.push_str("BENCH: frontier compaction before/after (full colorer matrix)\n");
@@ -384,7 +385,7 @@ pub fn render_coloring_bench(report: &crate::coloring_bench::BenchReport) -> Str
     ));
     out.push_str(&hr(96));
     out.push('\n');
-    for r in &report.rows {
+    for r in report.rows.iter().filter(|r| r.devices == 1) {
         let ratio = if r.after.thread_executions == 0 {
             "—".to_string()
         } else {
@@ -404,6 +405,47 @@ pub fn render_coloring_bench(report: &crate::coloring_bench::BenchReport) -> Str
             r.after.model_ms,
             if r.identical_coloring { "yes" } else { "NO" }
         ));
+    }
+    let sharded: Vec<_> = report.rows.iter().filter(|r| r.devices > 1).collect();
+    if !sharded.is_empty() {
+        out.push_str(&format!(
+            "\nBENCH: multi-device sharding (devices={}; ThreadEx(a) is the per-device max)\n",
+            report.devices
+        ));
+        out.push_str(&format!(
+            "{:<16}{:<12}{:>14}{:>14}{:>8}{:>12}{:>8}{:>8}\n",
+            "Dataset",
+            "Colorer",
+            "ThreadEx(1)",
+            "ThreadEx(max)",
+            "Work/x",
+            "HaloBytes",
+            "Rounds",
+            "Proper"
+        ));
+        out.push_str(&hr(92));
+        out.push('\n');
+        for r in sharded {
+            let ratio = if r.after.thread_executions == 0 {
+                "—".to_string()
+            } else {
+                format!(
+                    "{:.2}x",
+                    r.before.thread_executions as f64 / r.after.thread_executions as f64
+                )
+            };
+            out.push_str(&format!(
+                "{:<16}{:<12}{:>14}{:>14}{:>8}{:>12}{:>8}{:>8}\n",
+                r.dataset,
+                short(&r.colorer),
+                r.before.thread_executions,
+                r.after.thread_executions,
+                ratio,
+                r.halo_bytes,
+                r.conflict_rounds,
+                if r.verified { "yes" } else { "NO" }
+            ));
+        }
     }
     out
 }

@@ -24,6 +24,18 @@
 //! itself (exact — quality numbers in the reproduction are real), the
 //! model runtime in milliseconds, and iteration/launch statistics.
 //! [`runner`] exposes the uniform registry the benches and examples use.
+//!
+//! ```
+//! use gc_core::runner::colorer_by_name;
+//! use gc_core::verify::is_proper;
+//! use gc_graph::generators::{grid2d, Stencil2d};
+//!
+//! let g = grid2d(16, 16, Stencil2d::FivePoint);
+//! let colorer = colorer_by_name("Gunrock/Color_IS").unwrap();
+//! let result = colorer.run(&g, 42);
+//! assert!(is_proper(&g, result.coloring.as_slice()).is_ok());
+//! assert!(result.num_colors >= 2 && result.model_ms > 0.0);
+//! ```
 
 pub mod color;
 pub mod cpu_model;

@@ -90,6 +90,39 @@ impl Colorer {
         result
     }
 
+    /// Runs the algorithm on a caller-supplied device instead of a
+    /// freshly created one. Returns `None` for the CPU implementations,
+    /// which have no device to run on.
+    ///
+    /// This is the sharded runner's per-device entry point (`gc-shard`):
+    /// each shard worker owns a `Device` and colors its local subgraph
+    /// through this. Note that every implementation resets the device's
+    /// model clock and profiler at the start of its run, so callers that
+    /// meter extra work on the same device (halo uploads, conflict
+    /// kernels) must do so *after* this returns.
+    pub fn run_on_device(
+        &self,
+        dev: &gc_vgpu::Device,
+        g: &Csr,
+        seed: u64,
+    ) -> Option<ColoringResult> {
+        match self.kind {
+            ColorerKind::CpuGreedy(_)
+            | ColorerKind::CpuJonesPlassmann
+            | ColorerKind::GebremedhinManneCpu => None,
+            ColorerKind::GunrockIs(cfg) => Some(gunrock_is::run_on(dev, g, seed, cfg)),
+            ColorerKind::GunrockHash(cfg) => Some(gunrock_hash::run_on(dev, g, seed, cfg)),
+            ColorerKind::GunrockAr => Some(gunrock_ar::run_on(dev, g, seed)),
+            ColorerKind::GunrockArFull => Some(gunrock_ar::run_on_full(dev, g, seed)),
+            ColorerKind::GblasIs => Some(gblas_is::run_on(dev, g, seed)),
+            ColorerKind::GblasMis => Some(gblas_mis::run_on(dev, g, seed)),
+            ColorerKind::GblasJpl => Some(gblas_jpl::run_on(dev, g, seed)),
+            ColorerKind::NaumovJpl => Some(naumov::jpl_on(dev, g, seed)),
+            ColorerKind::NaumovCc => Some(naumov::cc_on(dev, g, seed)),
+            ColorerKind::GebremedhinManne => Some(gm_gpu::run_on(dev, g, seed)),
+        }
+    }
+
     fn run_inner(&self, g: &Csr, seed: u64) -> ColoringResult {
         match self.kind {
             ColorerKind::CpuGreedy(ord) => greedy::greedy(g, ord, seed),

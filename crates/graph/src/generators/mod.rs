@@ -7,9 +7,9 @@
 //!   paper's "power law" future-work case), and random regular-ish graphs;
 //! * mesh/stencil families ([`stencil`]) standing in for the FEM and
 //!   stencil SuiteSparse matrices of Table I;
-//! * the DIMACS10-style random geometric graphs ([`rgg`]) used by the
+//! * the DIMACS10-style random geometric graphs ([`rgg()`]) used by the
 //!   paper's scalability study (Figure 3);
-//! * the irregular low-degree [`circuit`] family standing in for
+//! * the irregular low-degree [`circuit()`] family standing in for
 //!   `G3_circuit` / `ASIC_320ks`;
 //! * the [`banded`] family standing in for `cage13`-like banded matrices.
 

@@ -18,12 +18,14 @@ pub mod builder;
 pub mod csr;
 pub mod generators;
 pub mod mtx;
+pub mod partition;
 pub mod stats;
 pub mod transform;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, VertexId};
+pub use partition::{Partition, Shard};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,323 @@
+//! Edge-cut graph partitioning for multi-device (sharded) execution.
+//!
+//! The sharding layer (`gc-shard`) colors one graph across N simulated
+//! devices. This module supplies the host-side split: contiguous vertex
+//! ranges balanced by adjacency size, with each shard carrying
+//!
+//! * a **local CSR** over its owned vertices (intra-shard edges only,
+//!   re-indexed to local ids) that any existing colorer can consume
+//!   unchanged, and
+//! * the **cut structure** — which owned vertices have edges crossing
+//!   the partition (the *boundary*), and the global ids of their remote
+//!   endpoints (the *halo*) — that the conflict-resolution loop needs.
+//!
+//! Contiguous ranges keep the split deterministic and make ownership a
+//! binary search over `k + 1` range bounds rather than an `n`-entry map;
+//! balancing by `degree + 1` weight approximates equal per-device work
+//! for both dense and isolated-vertex-heavy graphs. With one shard the
+//! local CSR *is* the input graph (same arrays, empty cut), which is
+//! what lets the sharded runner stay bit-identical to the single-device
+//! path at `devices = 1`.
+
+use crate::csr::{Csr, VertexId};
+
+/// One device's share of a partitioned graph.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Position of this shard in the partition (device index).
+    pub index: usize,
+    /// First global vertex id owned by this shard; the shard owns the
+    /// contiguous range `start .. start + local.num_vertices()`.
+    pub start: VertexId,
+    /// Intra-shard subgraph over the owned range, re-indexed so owned
+    /// vertex `g` becomes local vertex `g - start`. Cut edges are *not*
+    /// present here — they live in `cut_offsets`/`cut_neighbors`.
+    pub local: Csr,
+    /// Owned vertices (as sorted **local** ids) that have at least one
+    /// edge crossing the partition.
+    pub boundary: Vec<VertexId>,
+    /// CSR-style offsets into `cut_neighbors`, one slot per `boundary`
+    /// entry (length `boundary.len() + 1`).
+    pub cut_offsets: Vec<usize>,
+    /// Remote endpoints of cut edges, as **global** vertex ids, grouped
+    /// per boundary vertex and sorted within each group.
+    pub cut_neighbors: Vec<VertexId>,
+}
+
+impl Shard {
+    /// Number of vertices this shard owns.
+    pub fn n_owned(&self) -> usize {
+        self.local.num_vertices()
+    }
+
+    /// Global id of local vertex `v`.
+    #[inline]
+    pub fn global_of(&self, v: VertexId) -> VertexId {
+        self.start + v
+    }
+
+    /// Global ids of the cut neighbors of the `i`-th boundary vertex.
+    #[inline]
+    pub fn cut_neighbors_of(&self, i: usize) -> &[VertexId] {
+        &self.cut_neighbors[self.cut_offsets[i]..self.cut_offsets[i + 1]]
+    }
+}
+
+/// A deterministic edge-cut partition of a [`Csr`] into contiguous
+/// vertex ranges.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Range bounds: shard `i` owns global vertices
+    /// `bounds[i] .. bounds[i + 1]` (length `num_shards() + 1`).
+    bounds: Vec<usize>,
+    shards: Vec<Shard>,
+}
+
+impl Partition {
+    /// Splits `g` into `num_shards` contiguous ranges balanced by
+    /// `degree + 1` weight. `num_shards` is clamped to at least 1; when
+    /// it exceeds the vertex count the trailing shards own zero
+    /// vertices (still valid — they simply have no work).
+    pub fn new(g: &Csr, num_shards: usize) -> Self {
+        let k = num_shards.max(1);
+        let n = g.num_vertices();
+        let bounds = balanced_bounds(g, k);
+        let shards = (0..k)
+            .map(|i| build_shard(g, i, bounds[i], bounds[i + 1]))
+            .collect();
+        debug_assert_eq!(bounds.len(), k + 1);
+        debug_assert_eq!(bounds[k], n);
+        Partition { bounds, shards }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Index of the shard that owns global vertex `v`.
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        // partition_point returns the first bound > v; the owner is the
+        // range right before it. bounds[0] == 0, so the index is >= 1.
+        self.bounds.partition_point(|&b| b <= v as usize) - 1
+    }
+
+    /// Total boundary vertices across all shards.
+    pub fn boundary_vertices(&self) -> usize {
+        self.shards.iter().map(|s| s.boundary.len()).sum()
+    }
+
+    /// Number of undirected edges crossing the partition.
+    pub fn cut_edges(&self) -> usize {
+        // Each undirected cut edge appears once in each endpoint's shard.
+        self.shards
+            .iter()
+            .map(|s| s.cut_neighbors.len())
+            .sum::<usize>()
+            / 2
+    }
+}
+
+/// Range bounds balancing `Σ (degree + 1)` per shard: shard `i` ends at
+/// the first vertex where the weight prefix reaches `(i + 1) / k` of the
+/// total, nudged so that no shard is empty while vertices remain.
+fn balanced_bounds(g: &Csr, k: usize) -> Vec<usize> {
+    let n = g.num_vertices();
+    let row_offsets = g.row_offsets();
+    // prefix(v) = Σ_{u < v} (degree(u) + 1) = row_offsets[v] + v.
+    let prefix = |v: usize| row_offsets[v] + v;
+    let total = prefix(n);
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0usize);
+    for i in 1..k {
+        let target = total * i / k;
+        // Binary search for the first v with prefix(v) >= target.
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if prefix(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut b = lo;
+        // Keep bounds monotone, and while vertices remain give every
+        // shard at least one: bound i stays within [i, n - (k - i)].
+        let prev = bounds[i - 1];
+        if n >= k {
+            b = b.clamp(prev + 1, n - (k - i));
+        } else {
+            b = b.clamp(prev, n);
+        }
+        bounds.push(b);
+    }
+    bounds.push(n);
+    bounds
+}
+
+fn build_shard(g: &Csr, index: usize, start: usize, end: usize) -> Shard {
+    let n_local = end - start;
+    let mut row_offsets = Vec::with_capacity(n_local + 1);
+    row_offsets.push(0usize);
+    let mut col_indices = Vec::new();
+    let mut boundary = Vec::new();
+    let mut cut_offsets = vec![0usize];
+    let mut cut_neighbors = Vec::new();
+    for v in start..end {
+        let mut cuts_here = 0usize;
+        for &u in g.neighbors(v as VertexId) {
+            let u = u as usize;
+            if (start..end).contains(&u) {
+                col_indices.push((u - start) as VertexId);
+            } else {
+                cut_neighbors.push(u as VertexId);
+                cuts_here += 1;
+            }
+        }
+        row_offsets.push(col_indices.len());
+        if cuts_here > 0 {
+            boundary.push((v - start) as VertexId);
+            cut_offsets.push(cut_neighbors.len());
+        }
+    }
+    Shard {
+        index,
+        start: start as VertexId,
+        local: Csr::from_raw(n_local, row_offsets, col_indices),
+        boundary,
+        cut_offsets,
+        cut_neighbors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::generators::path;
+
+    #[test]
+    fn one_shard_is_the_whole_graph_with_empty_cut() {
+        let g = generators::erdos_renyi(200, 0.04, 42);
+        let p = Partition::new(&g, 1);
+        assert_eq!(p.num_shards(), 1);
+        let s = &p.shards()[0];
+        assert_eq!(s.start, 0);
+        assert_eq!(
+            s.local, g,
+            "single shard must carry the input graph verbatim"
+        );
+        assert!(s.boundary.is_empty());
+        assert!(s.cut_neighbors.is_empty());
+        assert_eq!(p.cut_edges(), 0);
+    }
+
+    #[test]
+    fn empty_graph_partitions_cleanly() {
+        let g = Csr::empty(0);
+        for k in [1, 2, 4] {
+            let p = Partition::new(&g, k);
+            assert_eq!(p.num_shards(), k);
+            for s in p.shards() {
+                assert_eq!(s.n_owned(), 0);
+                assert!(s.boundary.is_empty());
+            }
+            assert_eq!(p.cut_edges(), 0);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_split_evenly_and_have_no_boundary() {
+        let g = Csr::empty(10);
+        let p = Partition::new(&g, 4);
+        let owned: Vec<usize> = p.shards().iter().map(Shard::n_owned).collect();
+        assert_eq!(owned.iter().sum::<usize>(), 10);
+        assert!(owned.iter().all(|&c| c >= 2), "even-ish split: {owned:?}");
+        assert_eq!(p.boundary_vertices(), 0);
+    }
+
+    #[test]
+    fn single_vertex_shards() {
+        let g = path(3);
+        let p = Partition::new(&g, 3);
+        for (i, s) in p.shards().iter().enumerate() {
+            assert_eq!(s.n_owned(), 1, "shard {i} of a 3-vertex path");
+            assert_eq!(s.local.num_directed_edges(), 0);
+        }
+        // Every path edge is cut; middle vertex has two cut neighbors.
+        assert_eq!(p.cut_edges(), 2);
+        assert_eq!(p.shards()[1].cut_neighbors, vec![0, 2]);
+        assert_eq!(p.boundary_vertices(), 3);
+    }
+
+    #[test]
+    fn more_shards_than_vertices_leaves_trailing_shards_empty() {
+        let g = path(2);
+        let p = Partition::new(&g, 5);
+        assert_eq!(p.num_shards(), 5);
+        let owned: Vec<usize> = p.shards().iter().map(Shard::n_owned).collect();
+        assert_eq!(owned.iter().sum::<usize>(), 2);
+        assert_eq!(p.cut_edges(), 1);
+    }
+
+    #[test]
+    fn edges_are_conserved_across_the_cut() {
+        let g = generators::erdos_renyi(300, 0.035, 7);
+        for k in [2, 3, 4, 7] {
+            let p = Partition::new(&g, k);
+            let local: usize = p
+                .shards()
+                .iter()
+                .map(|s| s.local.num_directed_edges())
+                .sum();
+            let cut_dir: usize = p.shards().iter().map(|s| s.cut_neighbors.len()).sum();
+            assert_eq!(
+                local + cut_dir,
+                g.num_directed_edges(),
+                "k={k}: every directed edge is either local or cut"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_of_matches_ranges_and_cut_structure_is_consistent() {
+        let g = generators::erdos_renyi(250, 0.035, 3);
+        let p = Partition::new(&g, 4);
+        for (i, s) in p.shards().iter().enumerate() {
+            for v in 0..s.n_owned() as VertexId {
+                assert_eq!(p.shard_of(s.global_of(v)), i);
+            }
+            assert_eq!(s.cut_offsets.len(), s.boundary.len() + 1);
+            for (bi, &b) in s.boundary.iter().enumerate() {
+                let gv = s.global_of(b);
+                for &u in s.cut_neighbors_of(bi) {
+                    assert_ne!(p.shard_of(u), i, "cut neighbor must be remote");
+                    assert!(g.has_edge(gv, u), "cut edge must exist in the input");
+                    // Symmetry: the remote endpoint lists gv as a cut
+                    // neighbor too, so it is on its owner's boundary.
+                    let owner = &p.shards()[p.shard_of(u)];
+                    let lu = u - owner.start;
+                    let bj = owner.boundary.binary_search(&lu).expect("remote boundary");
+                    assert!(owner.cut_neighbors_of(bj).contains(&gv));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let g = generators::erdos_renyi(400, 0.025, 11);
+        let a = Partition::new(&g, 4);
+        let b = Partition::new(&g, 4);
+        for (sa, sb) in a.shards().iter().zip(b.shards()) {
+            assert_eq!(sa.start, sb.start);
+            assert_eq!(sa.local, sb.local);
+            assert_eq!(sa.boundary, sb.boundary);
+            assert_eq!(sa.cut_neighbors, sb.cut_neighbors);
+        }
+    }
+}

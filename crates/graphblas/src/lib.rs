@@ -23,6 +23,17 @@
 //! so semiring "multiply" maps the vector operand only — `×` against an
 //! implicit 1 — matching how the coloring algorithms use `MaxTimes` and
 //! the Boolean semiring.
+//!
+//! ```
+//! use gc_graphblas::{ops, Descriptor, Vector};
+//! use gc_vgpu::Device;
+//!
+//! let dev = Device::k40c();
+//! let w = Vector::<i64>::new(5);
+//! ops::assign_scalar(&dev, &w, None, 1i64, Descriptor::default());
+//! let total = ops::reduce(&dev, 0i64, |a, b| a + b, &w);
+//! assert_eq!(total, 5);
+//! ```
 
 pub mod desc;
 pub mod matrix;

@@ -104,7 +104,7 @@ fn product<T: Scalar, S: SemiringOps<T>>(
 /// Push-mode `vxm`: iterates the *non-zero* entries of `u` and
 /// scatter-combines their contributions into `w` with atomics — the
 /// sparse-frontier strategy of GraphBLAST's push-pull machinery (Yang,
-/// Buluç & Owens, ICPP'18, the paper's citation [28]).
+/// Buluç & Owens, ICPP'18, the paper's citation \[28\]).
 ///
 /// Semantically identical to the pull-mode [`vxm`] (the additive monoid
 /// is commutative and associative, so the atomic combine order cannot

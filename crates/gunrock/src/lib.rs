@@ -16,6 +16,21 @@
 //!
 //! The [`enactor::Enactor`] drives the iteration loop, billing the
 //! per-iteration global synchronization the paper repeatedly refers to.
+//!
+//! ```
+//! use gc_gunrock::{ops, Frontier};
+//! use gc_vgpu::{Device, DeviceBuffer};
+//!
+//! let dev = Device::k40c();
+//! let out = DeviceBuffer::<u32>::zeroed(8);
+//! let frontier = Frontier::all(8);
+//! ops::compute(&dev, "square", &frontier, |t, v| {
+//!     t.write(&out, v as usize, v * v);
+//! });
+//! let evens = ops::filter(&dev, "evens", &frontier, |_, v| v % 2 == 0);
+//! assert_eq!(evens.to_vec(), vec![0, 2, 4, 6]);
+//! assert_eq!(dev.download(&out)[3], 9);
+//! ```
 
 pub mod dcsr;
 pub mod enactor;

@@ -29,12 +29,15 @@ pub fn graph_fingerprint(g: &Csr) -> u64 {
     h.finish()
 }
 
-/// Full cache key: graph structure + implementation + seed.
+/// Full cache key: graph structure + implementation + seed + device
+/// count. Sharded runs produce different (still proper) colorings than
+/// single-device runs, so `devices` participates in the key.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     pub graph_fp: u64,
     pub colorer: &'static str,
     pub seed: u64,
+    pub devices: usize,
 }
 
 struct Fnv(u64);
@@ -156,6 +159,7 @@ mod tests {
             graph_fp: fp,
             colorer: "T",
             seed: 0,
+            devices: 1,
         }
     }
 
@@ -210,13 +214,14 @@ mod tests {
     }
 
     #[test]
-    fn key_includes_colorer_and_seed() {
+    fn key_includes_colorer_seed_and_devices() {
         let cache = LruCache::new(8);
         cache.insert(
             CacheKey {
                 graph_fp: 1,
                 colorer: "A",
                 seed: 0,
+                devices: 1,
             },
             1,
         );
@@ -224,7 +229,8 @@ mod tests {
             cache.get(&CacheKey {
                 graph_fp: 1,
                 colorer: "B",
-                seed: 0
+                seed: 0,
+                devices: 1
             }),
             None
         );
@@ -232,7 +238,8 @@ mod tests {
             cache.get(&CacheKey {
                 graph_fp: 1,
                 colorer: "A",
-                seed: 1
+                seed: 1,
+                devices: 1
             }),
             None
         );
@@ -240,7 +247,18 @@ mod tests {
             cache.get(&CacheKey {
                 graph_fp: 1,
                 colorer: "A",
-                seed: 0
+                seed: 0,
+                devices: 4
+            }),
+            None,
+            "a sharded run must not serve the single-device cache entry"
+        );
+        assert_eq!(
+            cache.get(&CacheKey {
+                graph_fp: 1,
+                colorer: "A",
+                seed: 0,
+                devices: 1
             }),
             Some(1)
         );

@@ -157,6 +157,15 @@ pub struct ColorResponse {
     /// `true` — every response is verified proper before it is returned
     /// (improper colorings become [`ServiceError::ImproperColoring`]).
     pub verified: bool,
+    /// Virtual devices the coloring ran on. 1 for the single-device
+    /// path; >1 means the service sharded the graph via `gc_shard` and
+    /// the response carries the merged, conflict-resolved coloring.
+    pub devices: usize,
+    /// Boundary-conflict resolution rounds the sharded path needed
+    /// (0 on the single-device path and for boundary-free partitions).
+    pub conflict_rounds: u32,
+    /// Bytes moved device-to-device by halo exchange (0 when devices=1).
+    pub halo_bytes: u64,
     pub metrics: RequestMetrics,
 }
 

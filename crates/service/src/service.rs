@@ -55,6 +55,12 @@ pub struct ServiceConfig {
     /// alloc/zeroing work on every request after a worker's first for a
     /// given graph size — the steady-state serving case.
     pub pool_buffers: bool,
+    /// Virtual devices per request. At 1 (the default) each worker
+    /// colors on a single device; above 1, GPU-backed requests are
+    /// sharded across this many devices via [`gc_shard::run_sharded`]
+    /// (edge-cut partitioning, per-device runs, boundary-conflict
+    /// resolution). CPU colorers ignore this and run single-device.
+    pub devices: usize,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +72,7 @@ impl Default for ServiceConfig {
             tracer: None,
             metrics: None,
             pool_buffers: true,
+            devices: 1,
         }
     }
 }
@@ -74,6 +81,13 @@ impl ServiceConfig {
     /// Traces every request through this tracer.
     pub fn with_tracer(mut self, tracer: gc_telemetry::Tracer) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Shards every GPU-backed request across `n` virtual devices
+    /// (clamped to at least 1).
+    pub fn devices(mut self, n: usize) -> Self {
+        self.devices = n.max(1);
         self
     }
 
@@ -136,9 +150,10 @@ impl ColoringService {
                 let cache = Arc::clone(&cache);
                 let tracer = config.tracer.clone();
                 let pool_buffers = config.pool_buffers;
+                let devices = config.devices.max(1);
                 std::thread::Builder::new()
                     .name(format!("gc-service-worker-{i}"))
-                    .spawn(move || worker_loop(rx, stats, cache, tracer, pool_buffers))
+                    .spawn(move || worker_loop(rx, stats, cache, tracer, pool_buffers, devices))
                     .expect("spawn service worker")
             })
             .collect();
@@ -296,6 +311,7 @@ fn worker_loop(
     cache: ResultCache,
     tracer: Option<gc_telemetry::Tracer>,
     pool_buffers: bool,
+    devices: usize,
 ) {
     // Install the tracer once per worker: each worker gets its own lane
     // (named after the thread), and every span opened below — including
@@ -321,7 +337,7 @@ fn worker_loop(
             // keep-alive) was dropped: exit.
             Ok(Job::Stop) | Err(_) => return,
         };
-        let outcome = handle_job(&item, &stats, &cache);
+        let outcome = handle_job(&item, &stats, &cache, devices);
         // A dropped ticket just means the caller stopped waiting.
         let _ = item.reply.send(outcome);
     }
@@ -331,6 +347,7 @@ fn handle_job(
     job: &WorkItem,
     stats: &ServiceStats,
     cache: &ResultCache,
+    devices: usize,
 ) -> Result<ColorResponse, ServiceError> {
     let dequeued_at = Instant::now();
     stats.on_dequeued();
@@ -376,10 +393,19 @@ fn handle_job(
     };
     req_span.attr("colorer", colorer.name());
 
+    // CPU colorers have no devices to shard over; their effective device
+    // count is always 1, which keeps their cache entries shared across
+    // service configurations.
+    let devices = if colorer.is_gpu() { devices.max(1) } else { 1 };
+    if devices > 1 {
+        req_span.attr("devices", devices);
+    }
+
     let key = CacheKey {
         graph_fp: graph_fingerprint(&req.graph),
         colorer: colorer.name(),
         seed: req.seed,
+        devices,
     };
     if let Some(cached) = cache.get(&key) {
         let mut resp = (*cached).clone();
@@ -392,8 +418,22 @@ fn handle_job(
     }
 
     // `Colorer::run` opens the `color` span (carrying the iteration
-    // spans and kernel events) as a child of the request span.
-    let result = colorer.run(&req.graph, req.seed);
+    // spans and kernel events) as a child of the request span. Above
+    // one device the run goes through the sharded path instead: the
+    // graph is partitioned, each shard colored on its own device, and
+    // boundary conflicts resolved before the merged coloring comes back.
+    let (result, conflict_rounds, halo_bytes) = if devices > 1 {
+        // The service verifies the merged coloring itself below, so the
+        // sharded path's own verification pass is redundant here.
+        let cfg = gc_shard::ShardedConfig {
+            verify: false,
+            ..gc_shard::ShardedConfig::new(devices)
+        };
+        let sharded = gc_shard::run_sharded(&colorer, &req.graph, req.seed, &cfg);
+        (sharded.result, sharded.conflict_rounds, sharded.halo_bytes)
+    } else {
+        (colorer.run(&req.graph, req.seed), 0, 0)
+    };
 
     let verified = {
         let _verify = gc_telemetry::span("verify");
@@ -419,6 +459,9 @@ fn handle_job(
         iterations: result.iterations,
         cache_hit: false,
         verified: true,
+        devices,
+        conflict_rounds,
+        halo_bytes,
         metrics,
     };
     {
@@ -545,6 +588,45 @@ mod tests {
         for t in tickets {
             t.recv().unwrap();
         }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn multi_device_config_shards_gpu_requests() {
+        let svc = ColoringService::start(ServiceConfig::default().devices(4));
+        let h = svc.handle();
+        let g = mesh();
+        let resp = h
+            .color(ColorRequest::new(Arc::clone(&g), Objective::Balanced))
+            .unwrap();
+        assert!(resp.verified);
+        assert_eq!(resp.devices, 4);
+        assert!(
+            resp.halo_bytes > 0,
+            "a 4-way mesh split must exchange halo data"
+        );
+        assert!(is_proper(&g, resp.coloring.as_slice()).is_ok());
+        // The same request is a cache hit and carries the same sharding
+        // metadata back.
+        let again = h.color(ColorRequest::new(g, Objective::Balanced)).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.devices, 4);
+        assert_eq!(again.coloring.as_slice(), resp.coloring.as_slice());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cpu_colorers_ignore_the_device_count() {
+        let svc = ColoringService::start(ServiceConfig::default().devices(4));
+        let h = svc.handle();
+        let resp = h
+            .color(ColorRequest::new(
+                mesh(),
+                Objective::Explicit("CPU/Color_Greedy".into()),
+            ))
+            .unwrap();
+        assert_eq!(resp.devices, 1, "CPU colorers have no devices to shard");
+        assert_eq!(resp.halo_bytes, 0);
         svc.shutdown();
     }
 

@@ -1,0 +1,731 @@
+//! `gc-shard` — multi-device sharded coloring.
+//!
+//! The paper's colorers all run on one (virtual) K40c. This crate is the
+//! scale-out layer the ROADMAP points at: it colors **one graph across N
+//! simulated devices** with the distributed recipe of Bogle et al.
+//! (partition → speculative per-shard coloring → boundary-conflict
+//! resolution), built from pieces the repo already has:
+//!
+//! 1. **Partition** — [`gc_graph::Partition`] edge-cut splits the CSR
+//!    into contiguous, adjacency-balanced vertex ranges; each shard gets
+//!    a local subgraph plus its cut structure (boundary vertices and
+//!    remote halo endpoints).
+//! 2. **Speculate** — one worker thread per device runs any registered
+//!    GPU colorer ([`gc_core::Colorer::run_on_device`]) on its shard's
+//!    local subgraph, on its own [`gc_vgpu::Device`], with the ambient
+//!    tracer re-installed so every device gets its own telemetry lane.
+//!    Cut edges are invisible at this stage, so shards may disagree —
+//!    but only across the cut.
+//! 3. **Resolve** — a bounded bulk-synchronous loop over *boundary
+//!    vertices only*: refresh halo colors (metered device↔device
+//!    transfers), detect monochromatic cut edges, and recolor losers.
+//!    The loser of a conflict edge is its **higher-global-id endpoint**,
+//!    and a loser recolors only when no adjacent loser (local or remote)
+//!    has a larger id — the recoloring set is an independent set, so a
+//!    round never creates new conflicts, and the globally largest loser
+//!    always recolors, so every round strictly reduces the conflict
+//!    count. See `DESIGN.md` §13 for the termination bound.
+//!
+//! Determinism: the partition is deterministic, per-shard seeds are a
+//! pure function of `(seed, shard index)`, and every tie-break is by
+//! vertex id — so results are reproducible across runs. With one device
+//! the shard *is* the graph and the per-shard seed *is* the caller's
+//! seed, so `devices = 1` is bit-identical to the unsharded path.
+//!
+//! ```
+//! use gc_core::runner::colorer_by_name;
+//! use gc_core::verify::is_proper;
+//! use gc_graph::generators::erdos_renyi;
+//! use gc_shard::{run_sharded, ShardedConfig};
+//!
+//! let g = erdos_renyi(300, 0.03, 7);
+//! let colorer = colorer_by_name("Gunrock/Color_IS").unwrap();
+//! let sharded = run_sharded(&colorer, &g, 42, &ShardedConfig::new(4));
+//! assert!(sharded.verified);
+//! assert!(is_proper(&g, sharded.result.coloring.as_slice()).is_ok());
+//! assert_eq!(sharded.devices, 4);
+//! ```
+
+use gc_core::color::ColoringResult;
+use gc_core::runner::Colorer;
+use gc_core::verify::is_proper;
+use gc_graph::{Csr, Partition, VertexId};
+use gc_vgpu::{Device, DeviceBuffer, ProfileReport};
+
+/// Hard cap on conflict-resolution rounds. The loop terminates on its
+/// own (each round strictly reduces the conflict count), but the cap
+/// bounds the worst case; if it is ever hit, the remaining handful of
+/// boundary conflicts are fixed by a deterministic host-side greedy pass
+/// and the run still returns a verified coloring. `bench-check` rejects
+/// any benchmark row whose `conflict_rounds` exceeds this bound.
+pub const MAX_CONFLICT_ROUNDS: u32 = 64;
+
+/// How to shard a coloring run.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Number of simulated devices (shards). `1` degenerates to the
+    /// single-device path, bit-identical to `Colorer::run`.
+    pub devices: usize,
+    /// Conflict-round cap; see [`MAX_CONFLICT_ROUNDS`].
+    pub max_conflict_rounds: u32,
+    /// Verify the merged coloring against the full graph before
+    /// returning (host-side `O(E)` check).
+    pub verify: bool,
+}
+
+impl ShardedConfig {
+    pub fn new(devices: usize) -> Self {
+        ShardedConfig {
+            devices: devices.max(1),
+            max_conflict_rounds: MAX_CONFLICT_ROUNDS,
+            verify: true,
+        }
+    }
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig::new(1)
+    }
+}
+
+/// Per-device slice of a sharded run's profile.
+#[derive(Clone, Debug)]
+pub struct DeviceReport {
+    pub device: usize,
+    pub owned_vertices: usize,
+    pub boundary_vertices: usize,
+    /// This device's model clock at the end of the run: its shard's
+    /// coloring plus its share of halo exchange and conflict kernels.
+    pub model_ms: f64,
+    pub thread_executions: u64,
+    pub launches: u64,
+    pub d2d_bytes: u64,
+}
+
+/// A merged multi-device coloring plus the sharding-specific metrics the
+/// v3 bench schema reports.
+#[derive(Clone, Debug)]
+pub struct ShardedResult {
+    /// The merged coloring with aggregate metrics: `model_ms` is the
+    /// slowest device's clock (devices run concurrently; rounds are
+    /// bulk-synchronous), launches and thread executions are summed, and
+    /// `iterations` is the slowest shard's count plus the conflict
+    /// rounds.
+    pub result: ColoringResult,
+    pub devices: usize,
+    /// Conflict-resolution rounds that found (and recolored) conflicts.
+    pub conflict_rounds: u32,
+    /// Total bytes moved device↔device by halo exchange (each logical
+    /// transfer counted once).
+    pub halo_bytes: u64,
+    pub boundary_vertices: usize,
+    pub cut_edges: usize,
+    /// Whether the merged coloring passed host-side verification (always
+    /// `true` when `ShardedConfig::verify` is set and the run is
+    /// correct; `bench-check` rejects rows where this is `false`).
+    pub verified: bool,
+    pub per_device: Vec<DeviceReport>,
+}
+
+impl ShardedResult {
+    /// The busiest device's simulated thread executions — the metric the
+    /// bench uses to show per-device work shrinking as devices grow.
+    pub fn max_device_thread_executions(&self) -> u64 {
+        self.per_device
+            .iter()
+            .map(|d| d.thread_executions)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// SplitMix64-style per-shard seed. Shard seeds must be decorrelated
+/// (shards run the same hash/random kernels on overlapping id ranges)
+/// yet a pure function of the inputs; with one shard the caller's seed
+/// is used verbatim so the run stays bit-identical to the unsharded
+/// path.
+fn shard_seed(seed: u64, devices: usize, shard: usize) -> u64 {
+    if devices == 1 {
+        return seed;
+    }
+    let mut z = seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Colors `g` across `cfg.devices` simulated devices and merges the
+/// result. CPU colorers have no device to shard over, so they fall back
+/// to the plain single-device run (reported as `devices = 1`).
+pub fn run_sharded(colorer: &Colorer, g: &Csr, seed: u64, cfg: &ShardedConfig) -> ShardedResult {
+    if !colorer.is_gpu() || g.num_vertices() == 0 {
+        let result = colorer.run(g, seed);
+        let verified = !cfg.verify || is_proper(g, result.coloring.as_slice()).is_ok();
+        return ShardedResult {
+            result,
+            devices: 1,
+            conflict_rounds: 0,
+            halo_bytes: 0,
+            boundary_vertices: 0,
+            cut_edges: 0,
+            verified,
+            per_device: Vec::new(),
+        };
+    }
+
+    let mut span = gc_telemetry::span("shard");
+    span.attr("colorer", colorer.name());
+    span.attr("devices", cfg.devices);
+
+    let partition = Partition::new(g, cfg.devices);
+    span.attr("boundary_vertices", partition.boundary_vertices());
+    span.attr("cut_edges", partition.cut_edges());
+
+    // Phase 1 — speculative per-shard coloring, one worker per device.
+    let tracer = gc_telemetry::current();
+    let mut shard_runs: Vec<(Device, ColoringResult)> = Vec::with_capacity(cfg.devices);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = partition
+            .shards()
+            .iter()
+            .map(|shard| {
+                let tracer = tracer.clone();
+                std::thread::Builder::new()
+                    .name(format!("gc-shard-dev-{}", shard.index))
+                    .spawn_scoped(s, move || {
+                        // Each worker re-installs the ambient tracer
+                        // (its own lane, named after the thread) and
+                        // opts into the device-buffer pool.
+                        let _cur = tracer.as_ref().map(|t| t.make_current());
+                        let _pool = gc_vgpu::pool::lease();
+                        let dev = Device::k40c();
+                        let result = if shard.n_owned() == 0 {
+                            ColoringResult::new(Vec::new(), 0, 0.0, 0)
+                        } else {
+                            let sd = shard_seed(seed, cfg.devices, shard.index);
+                            colorer
+                                .run_on_device(&dev, &shard.local, sd)
+                                .expect("GPU colorer must support run_on_device")
+                        };
+                        (dev, result)
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        for h in handles {
+            shard_runs.push(h.join().expect("shard worker panicked"));
+        }
+    });
+
+    // Merge speculative colors by ownership range.
+    let mut colors = vec![0u32; g.num_vertices()];
+    for (shard, (_, r)) in partition.shards().iter().zip(&shard_runs) {
+        let start = shard.start as usize;
+        colors[start..start + shard.n_owned()].copy_from_slice(r.coloring.as_slice());
+    }
+
+    // Phase 2 — boundary-conflict resolution across the cut.
+    let (conflict_rounds, halo_bytes) = if partition.boundary_vertices() == 0 {
+        (0, 0)
+    } else {
+        resolve_conflicts(
+            g,
+            &partition,
+            &shard_runs,
+            &mut colors,
+            cfg.max_conflict_rounds,
+        )
+    };
+
+    let per_device: Vec<DeviceReport> = partition
+        .shards()
+        .iter()
+        .zip(&shard_runs)
+        .map(|(shard, (dev, _))| {
+            let p = dev.profile();
+            DeviceReport {
+                device: shard.index,
+                owned_vertices: shard.n_owned(),
+                boundary_vertices: shard.boundary.len(),
+                model_ms: dev.elapsed_ms(),
+                thread_executions: p.thread_executions,
+                launches: p.launches,
+                d2d_bytes: p.d2d_bytes,
+            }
+        })
+        .collect();
+
+    let model_ms = per_device.iter().map(|d| d.model_ms).fold(0.0, f64::max);
+    let launches: u64 = per_device.iter().map(|d| d.launches).sum();
+    let iterations = shard_runs
+        .iter()
+        .map(|(_, r)| r.iterations)
+        .max()
+        .unwrap_or(0)
+        + conflict_rounds;
+    let profiles: Vec<ProfileReport> = shard_runs.iter().map(|(d, _)| d.profile()).collect();
+
+    let mut result = ColoringResult::new(colors, iterations, model_ms, launches);
+    if let Some(profile) = aggregate_profiles(&profiles) {
+        result = result.with_profile(profile);
+    }
+    let verified = !cfg.verify || is_proper(g, result.coloring.as_slice()).is_ok();
+
+    if span.is_recording() {
+        span.attr("conflict_rounds", conflict_rounds);
+        span.attr("halo_bytes", halo_bytes);
+        span.attr("num_colors", result.num_colors);
+        span.set_model_range(0.0, model_ms);
+    }
+
+    ShardedResult {
+        result,
+        devices: cfg.devices,
+        conflict_rounds,
+        halo_bytes,
+        boundary_vertices: partition.boundary_vertices(),
+        cut_edges: partition.cut_edges(),
+        verified,
+        per_device,
+    }
+}
+
+/// On-device state one shard contributes to the conflict loop.
+struct CutState {
+    /// Owned-vertex colors (seeded from the speculative run).
+    colors: DeviceBuffer<u32>,
+    /// Boundary vertices as local ids.
+    boundary: DeviceBuffer<u32>,
+    /// Cut CSR: offsets per boundary vertex into the two arrays below.
+    cut_off: DeviceBuffer<u32>,
+    /// Halo-table slot of each cut neighbor.
+    /// Owning shard of each cut neighbor, and its position in that
+    /// shard's boundary list — together they address the halo replica.
+    cut_owner: DeviceBuffer<u32>,
+    cut_idx: DeviceBuffer<u32>,
+    /// Global id of each cut neighbor (the tie-break key).
+    cut_gids: DeviceBuffer<u32>,
+    /// Local intra-shard CSR (for neighbor scans during recoloring).
+    row_off: DeviceBuffer<u32>,
+    cols: DeviceBuffer<u32>,
+    /// Boundary colors in boundary order, gathered for export.
+    export: DeviceBuffer<u32>,
+    /// Halo replica: peer shard `p`'s boundary colors land in
+    /// `halo_parts[p]` (a direct peer-copy target, sized to `p`'s
+    /// boundary — no unpack kernel needed).
+    halo_parts: Vec<DeviceBuffer<u32>>,
+    /// Loser flag per owned vertex / per boundary slot, plus the peer
+    /// replica mirroring `halo_parts`.
+    loser: DeviceBuffer<u32>,
+    loser_export: DeviceBuffer<u32>,
+    halo_loser_parts: Vec<DeviceBuffer<u32>>,
+    /// Per-slot flag: recolored this round (feeds the next round's
+    /// gather frontier).
+    recolored: DeviceBuffer<u32>,
+}
+
+/// Runs the bounded speculate-recolor loop on the shards' own devices,
+/// updating `colors` in place. Returns `(rounds, halo_bytes)`.
+fn resolve_conflicts(
+    g: &Csr,
+    partition: &Partition,
+    shard_runs: &[(Device, ColoringResult)],
+    colors: &mut [u32],
+    max_rounds: u32,
+) -> (u32, u64) {
+    let shards = partition.shards();
+
+    // Per shard: each cut neighbor's (owner shard, index in the owner's
+    // boundary list) address into the halo replica, and which peer
+    // shards it imports from.
+    let mut owners: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
+    let mut idxs: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
+    let mut peers: Vec<Vec<usize>> = Vec::with_capacity(shards.len());
+    for s in shards {
+        let mut own = Vec::with_capacity(s.cut_neighbors.len());
+        let mut idx = Vec::with_capacity(s.cut_neighbors.len());
+        let mut from = std::collections::BTreeSet::new();
+        for &gid in &s.cut_neighbors {
+            let owner = partition.shard_of(gid);
+            let local = gid - shards[owner].start;
+            let bi = shards[owner]
+                .boundary
+                .binary_search(&local)
+                .expect("cut neighbor must be on its owner's boundary");
+            own.push(owner as u32);
+            idx.push(bi as u32);
+            from.insert(owner);
+        }
+        owners.push(own);
+        idxs.push(idx);
+        peers.push(from.into_iter().collect());
+    }
+
+    // Upload the cut structure. The colorer reset each device's clock at
+    // the start of its run, so everything metered from here on stacks on
+    // top of the speculative coloring time.
+    let states: Vec<Option<CutState>> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if s.boundary.is_empty() {
+                return None;
+            }
+            let dev = &shard_runs[i].0;
+            let start = s.start as usize;
+            let cut_off: Vec<u32> = s.cut_offsets.iter().map(|&o| o as u32).collect();
+            let row_off: Vec<u32> = s.local.row_offsets().iter().map(|&o| o as u32).collect();
+            let parts = || -> Vec<DeviceBuffer<u32>> {
+                shards
+                    .iter()
+                    .map(|p| {
+                        let len = if peers[i].contains(&p.index) {
+                            p.boundary.len()
+                        } else {
+                            0 // never read; placeholder keeps indexing direct
+                        };
+                        DeviceBuffer::zeroed(len)
+                    })
+                    .collect()
+            };
+            Some(CutState {
+                colors: dev.upload(&colors[start..start + s.n_owned()]),
+                boundary: dev.upload(&s.boundary),
+                cut_off: dev.upload(&cut_off),
+                cut_owner: dev.upload(&owners[i]),
+                cut_idx: dev.upload(&idxs[i]),
+                cut_gids: dev.upload(&s.cut_neighbors),
+                row_off: dev.upload(&row_off),
+                cols: dev.upload(s.local.col_indices()),
+                export: DeviceBuffer::zeroed(s.boundary.len()),
+                halo_parts: parts(),
+                loser: DeviceBuffer::zeroed(s.n_owned()),
+                loser_export: DeviceBuffer::zeroed(s.boundary.len()),
+                halo_loser_parts: parts(),
+                recolored: DeviceBuffer::zeroed(s.boundary.len()),
+            })
+        })
+        .collect();
+
+    let mut halo_bytes = 0u64;
+    let mut rounds = 0u32;
+    let mut clean = false;
+
+    // The loop is frontier-compacted: round 1 touches the whole boundary,
+    // but because recoloring-to-mex never creates a new conflict the
+    // loser set only shrinks, so later rounds gather only the slots that
+    // recolored and re-scan only the slots that lost. The frontiers are
+    // maintained host-side from metered flag downloads (the same
+    // host-orchestration pattern as the colorers' termination checks).
+    let mut gather_slots: Vec<Vec<u32>> = shards
+        .iter()
+        .map(|s| (0..s.boundary.len() as u32).collect())
+        .collect();
+    let mut scan_slots: Vec<Vec<u32>> = gather_slots.clone();
+
+    for round in 1..=max_rounds {
+        let mut sync = gc_telemetry::span("shard_sync");
+        sync.attr("round", round);
+
+        // Gather each shard's changed boundary colors into its export
+        // buffer (unchanged slots already hold the right color).
+        let mut dirty: Vec<bool> = vec![false; states.len()];
+        for (i, st) in states.iter().enumerate() {
+            let Some(st) = st else { continue };
+            if gather_slots[i].is_empty() {
+                continue;
+            }
+            dirty[i] = true;
+            let dev = &shard_runs[i].0;
+            let slots = dev.upload(&gather_slots[i]);
+            dev.launch("shard::gather_boundary", gather_slots[i].len(), |t| {
+                let b = t.read(&slots, t.tid()) as usize;
+                let v = t.read(&st.boundary, b);
+                let c = t.read(&st.colors, v as usize);
+                t.write(&st.export, b, c);
+            });
+        }
+        // Halo exchange: peer-copy each changed shard's export straight
+        // into its importers' matching halo segment.
+        halo_bytes += exchange(
+            shard_runs,
+            &states,
+            &peers,
+            &dirty,
+            "colors",
+            |st| &st.export,
+            |st, p| &st.halo_parts[p],
+        );
+
+        // Detect monochromatic cut edges among the still-suspect slots;
+        // the higher-global-id endpoint of each is the loser and must
+        // recolor.
+        for (i, st) in states.iter().enumerate() {
+            let Some(st) = st else { continue };
+            if scan_slots[i].is_empty() {
+                continue;
+            }
+            let dev = &shard_runs[i].0;
+            let start = shards[i].start;
+            let slots = dev.upload(&scan_slots[i]);
+            dev.launch("shard::detect_conflicts", scan_slots[i].len(), |t| {
+                let b = t.read(&slots, t.tid()) as usize;
+                let v = t.read(&st.boundary, b);
+                let my = t.read(&st.colors, v as usize);
+                let my_gid = start + v;
+                let lo = t.read(&st.cut_off, b) as usize;
+                let hi = t.read(&st.cut_off, b + 1) as usize;
+                let mut lose = 0u32;
+                for e in lo..hi {
+                    let owner = t.read(&st.cut_owner, e) as usize;
+                    let idx = t.read(&st.cut_idx, e) as usize;
+                    let gid = t.read(&st.cut_gids, e);
+                    if my != 0 && t.read(&st.halo_parts[owner], idx) == my && my_gid > gid {
+                        lose = 1;
+                    }
+                }
+                t.write(&st.loser, v as usize, lose);
+                t.write(&st.loser_export, b, lose);
+            });
+        }
+        // Pull the loser flags down (metered) and build each shard's
+        // loser frontier; slots outside the scan set cannot have become
+        // losers, so their flags are already correct.
+        let mut loser_slots: Vec<Vec<u32>> = vec![Vec::new(); states.len()];
+        let mut total = 0u64;
+        for (i, st) in states.iter().enumerate() {
+            let Some(st) = st else { continue };
+            if scan_slots[i].is_empty() {
+                continue;
+            }
+            let flags = shard_runs[i].0.download(&st.loser_export);
+            loser_slots[i] = flags
+                .iter()
+                .enumerate()
+                .filter(|&(_, &f)| f != 0)
+                .map(|(b, _)| b as u32)
+                .collect();
+            total += loser_slots[i].len() as u64;
+        }
+        if sync.is_recording() {
+            sync.attr("conflicts", total);
+        }
+        if total == 0 {
+            clean = true;
+            break;
+        }
+        rounds = round;
+
+        // Exchange loser flags so remote ties break identically; only
+        // shards that re-scanned can have changed flags.
+        let scanned: Vec<bool> = scan_slots.iter().map(|s| !s.is_empty()).collect();
+        halo_bytes += exchange(
+            shard_runs,
+            &states,
+            &peers,
+            &scanned,
+            "losers",
+            |st| &st.loser_export,
+            |st, p| &st.halo_loser_parts[p],
+        );
+
+        // Recolor: a loser acts only when it is the largest-id loser in
+        // its closed neighborhood (local and remote), which makes the
+        // recoloring set independent — no round can introduce a new
+        // conflict, and the globally largest loser always acts, so the
+        // conflict count strictly falls.
+        for (i, st) in states.iter().enumerate() {
+            let Some(st) = st else { continue };
+            if loser_slots[i].is_empty() {
+                continue;
+            }
+            st.recolored.fill(0);
+            let dev = &shard_runs[i].0;
+            let start = shards[i].start;
+            let slots = dev.upload(&loser_slots[i]);
+            dev.launch("shard::recolor", loser_slots[i].len(), |t| {
+                let b = t.read(&slots, t.tid()) as usize;
+                let v = t.read(&st.boundary, b) as usize;
+                let my_gid = start + v as VertexId;
+                let lo = t.read(&st.row_off, v) as usize;
+                let hi = t.read(&st.row_off, v + 1) as usize;
+                for e in lo..hi {
+                    let u = t.read(&st.cols, e);
+                    if start + u > my_gid && t.read(&st.loser, u as usize) != 0 {
+                        return;
+                    }
+                }
+                let clo = t.read(&st.cut_off, b) as usize;
+                let chi = t.read(&st.cut_off, b + 1) as usize;
+                for e in clo..chi {
+                    let gid = t.read(&st.cut_gids, e);
+                    if gid > my_gid {
+                        let owner = t.read(&st.cut_owner, e) as usize;
+                        let idx = t.read(&st.cut_idx, e) as usize;
+                        if t.read(&st.halo_loser_parts[owner], idx) != 0 {
+                            return;
+                        }
+                    }
+                }
+                // Largest loser in the neighborhood: take the smallest
+                // color no neighbor (local or remote) holds.
+                let mut forbidden: Vec<u32> = Vec::with_capacity(hi - lo + chi - clo);
+                for e in lo..hi {
+                    let u = t.read(&st.cols, e);
+                    forbidden.push(t.read(&st.colors, u as usize));
+                }
+                for e in clo..chi {
+                    let owner = t.read(&st.cut_owner, e) as usize;
+                    let idx = t.read(&st.cut_idx, e) as usize;
+                    forbidden.push(t.read(&st.halo_parts[owner], idx));
+                }
+                forbidden.sort_unstable();
+                let mut c = 1u32;
+                for &f in &forbidden {
+                    if f == c {
+                        c += 1;
+                    } else if f > c {
+                        break;
+                    }
+                }
+                t.write(&st.colors, v, c);
+                t.write(&st.recolored, b, 1);
+            });
+        }
+
+        // Next round's frontiers: re-gather what actually recolored
+        // (metered flag download), re-scan what lost.
+        for (i, st) in states.iter().enumerate() {
+            gather_slots[i].clear();
+            let Some(st) = st else { continue };
+            if loser_slots[i].is_empty() {
+                continue;
+            }
+            let flags = shard_runs[i].0.download(&st.recolored);
+            gather_slots[i] = loser_slots[i]
+                .iter()
+                .copied()
+                .filter(|&b| flags[b as usize] != 0)
+                .collect();
+        }
+        scan_slots = loser_slots;
+    }
+
+    // Merge resolved colors back (metered device→host download).
+    for (i, st) in states.iter().enumerate() {
+        let Some(st) = st else { continue };
+        let start = shards[i].start as usize;
+        let resolved = shard_runs[i].0.download(&st.colors);
+        colors[start..start + resolved.len()].copy_from_slice(&resolved);
+    }
+    // The loop terminates on its own in practice; if the cap was hit
+    // with conflicts outstanding, a deterministic host-side greedy pass
+    // fixes the leftovers: one ascending sweep recoloring any vertex
+    // that clashes with a smaller-id neighbor leaves the coloring
+    // proper (vertices processed earlier never change afterwards).
+    if !clean {
+        for v in 0..g.num_vertices() as VertexId {
+            let clash = g
+                .neighbors(v)
+                .iter()
+                .any(|&u| u < v && colors[u as usize] == colors[v as usize]);
+            if clash {
+                let mut forbidden: Vec<u32> =
+                    g.neighbors(v).iter().map(|&u| colors[u as usize]).collect();
+                forbidden.sort_unstable();
+                let mut c = 1u32;
+                for &f in &forbidden {
+                    if f == c {
+                        c += 1;
+                    } else if f > c {
+                        break;
+                    }
+                }
+                colors[v as usize] = c;
+            }
+        }
+    }
+    (rounds, halo_bytes)
+}
+
+/// One bulk exchange: every importer receives each *dirty* peer's export
+/// buffer as a metered peer copy straight into the matching segment of
+/// its replica (segments are sized to the owner's boundary, so no unpack
+/// kernel is needed). Owners whose export did not change this round
+/// (`dirty[i] == false`) are skipped — their importers' replicas are
+/// already current. Returns bytes moved, counting each logical transfer
+/// once.
+fn exchange<'a>(
+    shard_runs: &[(Device, ColoringResult)],
+    states: &'a [Option<CutState>],
+    peers: &[Vec<usize>],
+    dirty: &[bool],
+    kind: &str,
+    src: impl Fn(&'a CutState) -> &'a DeviceBuffer<u32>,
+    dst: impl Fn(&'a CutState, usize) -> &'a DeviceBuffer<u32>,
+) -> u64 {
+    let mut span = gc_telemetry::span("halo_exchange");
+    span.attr("kind", kind);
+    let mut bytes = 0u64;
+    for (j, st) in states.iter().enumerate() {
+        let Some(st) = st else { continue };
+        let dev_j = &shard_runs[j].0;
+        for &i in &peers[j] {
+            if !dirty[i] {
+                continue;
+            }
+            let Some(owner) = states[i].as_ref() else {
+                continue;
+            };
+            let export = src(owner);
+            shard_runs[i].0.peer_transfer(dev_j, export, dst(st, i));
+            bytes += export.size_bytes();
+        }
+    }
+    if span.is_recording() {
+        span.attr("bytes", bytes);
+    }
+    bytes
+}
+
+/// Folds per-device profiles into one report: counters sum, the clock is
+/// the slowest device's (devices run concurrently), per-kernel summaries
+/// merge.
+fn aggregate_profiles(reports: &[ProfileReport]) -> Option<ProfileReport> {
+    let (first, rest) = reports.split_first()?;
+    let mut out = first.clone();
+    for r in rest {
+        out.launches += r.launches;
+        out.thread_executions += r.thread_executions;
+        out.syncs += r.syncs;
+        out.memcpys += r.memcpys;
+        out.memcpy_bytes += r.memcpy_bytes;
+        out.d2d_transfers += r.d2d_transfers;
+        out.d2d_bytes += r.d2d_bytes;
+        out.clock_cycles = out.clock_cycles.max(r.clock_cycles);
+        out.graph_replays += r.graph_replays;
+        out.graph_kernels += r.graph_kernels;
+        out.launch_overhead_cycles += r.launch_overhead_cycles;
+        out.launch_overhead_saved_cycles += r.launch_overhead_saved_cycles;
+        out.launch_overhead_ms += r.launch_overhead_ms;
+        out.pool_hits += r.pool_hits;
+        out.pool_misses += r.pool_misses;
+        for (name, s) in &r.by_kernel {
+            let e = out.by_kernel.entry(name.clone()).or_default();
+            e.launches += s.launches;
+            e.total_threads += s.total_threads;
+            e.total_cycles += s.total_cycles;
+            e.total_bytes += s.total_bytes;
+            e.total_atomics += s.total_atomics;
+            if s.max_launch_cycles > e.max_launch_cycles {
+                e.max_launch_cycles = s.max_launch_cycles;
+                e.dominant_bound = s.dominant_bound;
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests;

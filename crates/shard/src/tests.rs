@@ -1,0 +1,212 @@
+//! Sharded-coloring tests: validity on arbitrary graphs for N in
+//! {1, 2, 4}, bit-identity at N = 1, color-count discipline, and the
+//! telemetry/metering wiring.
+
+use proptest::prelude::*;
+
+use gc_core::runner::{all_colorers, colorer_by_name, Colorer};
+use gc_core::verify::is_proper;
+use gc_graph::{generators, Csr, GraphBuilder};
+
+use crate::{run_sharded, ShardedConfig, MAX_CONFLICT_ROUNDS};
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (1usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..120)
+            .prop_map(move |edges| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+fn gpu_colorers() -> Vec<Colorer> {
+    all_colorers().into_iter().filter(|c| c.is_gpu()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The tentpole property: for every GPU colorer and N in {1, 2, 4},
+    // the merged coloring is proper, and its color count stays within
+    // the conflict-round bound of the single-device run (each round
+    // recolors an independent set to a mex, so it can push the palette
+    // up by at most one color per round).
+    #[test]
+    fn sharded_colorings_are_proper_and_bounded(g in arb_graph(), seed in 0u64..200) {
+        for c in gpu_colorers() {
+            let single = c.run(&g, seed);
+            for n in [1usize, 2, 4] {
+                let sharded = run_sharded(&c, &g, seed, &ShardedConfig::new(n));
+                prop_assert!(
+                    is_proper(&g, sharded.result.coloring.as_slice()).is_ok(),
+                    "{} devices={} produced an improper merged coloring",
+                    c.name(), n
+                );
+                prop_assert!(sharded.verified, "{} devices={} failed verify", c.name(), n);
+                prop_assert!(
+                    sharded.conflict_rounds <= MAX_CONFLICT_ROUNDS,
+                    "{} devices={} exceeded the round cap", c.name(), n
+                );
+                let bound = single.num_colors + sharded.conflict_rounds + 1;
+                prop_assert!(
+                    sharded.result.num_colors <= bound,
+                    "{} devices={}: {} colors vs single-device {} + {} rounds",
+                    c.name(), n, sharded.result.num_colors,
+                    single.num_colors, sharded.conflict_rounds
+                );
+            }
+        }
+    }
+
+    // devices = 1 must be the unsharded run, bit for bit: same colors,
+    // same iteration count, same model time.
+    #[test]
+    fn one_device_is_bit_identical_to_unsharded(g in arb_graph(), seed in 0u64..200) {
+        for c in gpu_colorers() {
+            let single = c.run(&g, seed);
+            let sharded = run_sharded(&c, &g, seed, &ShardedConfig::new(1));
+            prop_assert_eq!(
+                sharded.result.coloring.as_slice(),
+                single.coloring.as_slice(),
+                "{} devices=1 coloring diverged", c.name()
+            );
+            prop_assert_eq!(sharded.result.iterations, single.iterations);
+            prop_assert_eq!(sharded.result.model_ms, single.model_ms);
+            prop_assert_eq!(sharded.conflict_rounds, 0);
+            prop_assert_eq!(sharded.halo_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic(g in arb_graph(), seed in 0u64..100) {
+        let c = colorer_by_name("Gunrock/Color_IS").unwrap();
+        let a = run_sharded(&c, &g, seed, &ShardedConfig::new(3));
+        let b = run_sharded(&c, &g, seed, &ShardedConfig::new(3));
+        prop_assert_eq!(a.result.coloring.as_slice(), b.result.coloring.as_slice());
+        prop_assert_eq!(a.conflict_rounds, b.conflict_rounds);
+        prop_assert_eq!(a.halo_bytes, b.halo_bytes);
+        prop_assert_eq!(a.result.model_ms, b.result.model_ms);
+    }
+}
+
+#[test]
+fn cpu_colorer_falls_back_to_single_device() {
+    let g = generators::erdos_renyi(100, 0.05, 1);
+    let c = colorer_by_name("CPU/Color_Greedy").unwrap();
+    let sharded = run_sharded(&c, &g, 7, &ShardedConfig::new(4));
+    assert_eq!(
+        sharded.devices, 1,
+        "CPU colorers have no devices to shard over"
+    );
+    assert!(sharded.per_device.is_empty());
+    assert!(sharded.verified);
+    let single = c.run(&g, 7);
+    assert_eq!(
+        sharded.result.coloring.as_slice(),
+        single.coloring.as_slice()
+    );
+}
+
+#[test]
+fn empty_graph_shards_cleanly() {
+    let g = Csr::empty(0);
+    let c = colorer_by_name("Gunrock/Color_Hash").unwrap();
+    let sharded = run_sharded(&c, &g, 1, &ShardedConfig::new(4));
+    assert!(sharded.result.coloring.is_empty());
+    assert!(sharded.verified);
+}
+
+#[test]
+fn more_devices_than_vertices() {
+    let g = generators::path(3);
+    let c = colorer_by_name("Gunrock/Color_IS").unwrap();
+    let sharded = run_sharded(&c, &g, 5, &ShardedConfig::new(8));
+    assert!(is_proper(&g, sharded.result.coloring.as_slice()).is_ok());
+    assert_eq!(sharded.devices, 8);
+    assert_eq!(sharded.per_device.len(), 8);
+}
+
+#[test]
+fn multi_device_run_meters_halo_traffic_and_spreads_work() {
+    // A mesh, like the paper's datasets: contiguous-range sharding gives
+    // small boundaries, so per-device work genuinely shrinks.
+    let g = generators::grid2d(60, 60, generators::Stencil2d::FivePoint);
+    let c = colorer_by_name("Gunrock/Color_IS").unwrap();
+    let single = run_sharded(&c, &g, 3, &ShardedConfig::new(1));
+    let quad = run_sharded(&c, &g, 3, &ShardedConfig::new(4));
+    assert!(quad.verified);
+    assert!(
+        quad.cut_edges > 0,
+        "an ER graph this dense must have cut edges"
+    );
+    assert!(quad.halo_bytes > 0, "halo exchange must be metered");
+    let per_dev: Vec<u64> = quad
+        .per_device
+        .iter()
+        .map(|d| d.thread_executions)
+        .collect();
+    let single_te = single
+        .result
+        .profile
+        .as_ref()
+        .expect("profile attached")
+        .thread_executions;
+    assert!(
+        quad.max_device_thread_executions() < single_te,
+        "per-device work {per_dev:?} must shrink below single-device {single_te}"
+    );
+    // Every device that exchanged halo data billed d2d traffic.
+    assert!(quad.per_device.iter().any(|d| d.d2d_bytes > 0));
+}
+
+#[test]
+fn sharded_run_emits_shard_span_family() {
+    let g = generators::erdos_renyi(300, 0.03, 5);
+    let c = colorer_by_name("Gunrock/Color_Hash").unwrap();
+    let tracer = gc_telemetry::Tracer::new();
+    let sharded = {
+        let _cur = tracer.make_current();
+        run_sharded(&c, &g, 11, &ShardedConfig::new(3))
+    };
+    assert!(sharded.verified);
+    let recs = tracer.records();
+    let names: Vec<&str> = recs.iter().map(|r| r.name.as_str()).collect();
+    let shard = recs.iter().find(|r| r.name == "shard").expect("shard span");
+    assert!(shard.attrs.iter().any(|(k, v)| k == "devices" && v == "3"));
+    assert!(shard.attrs.iter().any(|(k, _)| k == "halo_bytes"));
+    assert!(
+        names.contains(&"shard_sync"),
+        "missing shard_sync in {names:?}"
+    );
+    assert!(names.contains(&"halo_exchange"));
+    assert!(
+        names.contains(&"vgpu::memcpy_d2d"),
+        "halo exchange must emit metered d2d events"
+    );
+    // Each device worker colored on its own lane, named after its thread.
+    let lanes = tracer.lane_names();
+    for d in 0..3 {
+        let want = format!("gc-shard-dev-{d}");
+        assert!(
+            lanes.iter().any(|(_, n)| n == &want),
+            "missing lane {want} in {lanes:?}"
+        );
+    }
+}
+
+#[test]
+fn conflict_rounds_are_bounded_on_adversarial_graphs() {
+    // Complete bipartite graphs maximize cut edges under a contiguous
+    // split; star graphs concentrate them on one hub.
+    for g in [
+        generators::complete_bipartite(40, 40),
+        generators::star(120),
+        generators::complete(24),
+    ] {
+        for n in [2usize, 4] {
+            let c = colorer_by_name("Naumov/Color_JPL").unwrap();
+            let sharded = run_sharded(&c, &g, 2, &ShardedConfig::new(n));
+            assert!(is_proper(&g, sharded.result.coloring.as_slice()).is_ok());
+            assert!(sharded.conflict_rounds <= MAX_CONFLICT_ROUNDS);
+        }
+    }
+}

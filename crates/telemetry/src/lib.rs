@@ -50,5 +50,6 @@ pub use metrics::{
     Counter, Gauge, Histogram, LatencyHistogram, MetricsRegistry, LATENCY_BUCKET_EDGES_MS,
 };
 pub use span::{
-    enabled, instant, record_complete, span, CurrentGuard, EventKind, SpanGuard, SpanRecord, Tracer,
+    current, enabled, instant, record_complete, span, CurrentGuard, EventKind, SpanGuard,
+    SpanRecord, Tracer,
 };

@@ -189,6 +189,17 @@ pub fn enabled() -> bool {
     CURRENT.with(|c| !c.borrow().is_empty())
 }
 
+/// A handle to the calling thread's current tracer, if one is installed.
+///
+/// This is the fan-out hook: a layer that spawns worker threads (the
+/// sharded runner's one-thread-per-device pool, for example) captures the
+/// ambient tracer here and re-installs it on each worker with
+/// [`Tracer::make_current`], so every worker gets its own lane in the
+/// same trace without any handle plumbing through the public API.
+pub fn current() -> Option<Tracer> {
+    CURRENT.with(|c| c.borrow().last().map(|ctx| ctx.tracer.clone()))
+}
+
 fn with_ctx<R>(f: impl FnOnce(&mut ThreadCtx) -> R) -> Option<R> {
     CURRENT.with(|c| c.borrow_mut().last_mut().map(f))
 }

@@ -294,6 +294,38 @@ impl Device {
         buf.to_vec()
     }
 
+    /// Metered device→device (peer) copy: `src` on this device into
+    /// `dst` on `peer`. The buffers must have equal length.
+    ///
+    /// Both endpoints record the transfer and bill the copy's cycles on
+    /// their own clock — a peer copy occupies the link at both ends, so
+    /// neither device's timeline can hide behind the other's. The halo
+    /// exchange of the sharded runner (`gc-shard`) is built on this.
+    pub fn peer_transfer<T: Scalar>(
+        &self,
+        peer: &Device,
+        src: &DeviceBuffer<T>,
+        dst: &DeviceBuffer<T>,
+    ) {
+        assert_eq!(
+            src.len(),
+            dst.len(),
+            "peer_transfer requires equal-length buffers"
+        );
+        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
+        let bytes = src.size_bytes();
+        self.profiler
+            .lock()
+            .unwrap()
+            .record_d2d(bytes, memcpy_cost(&self.cfg, bytes));
+        peer.profiler
+            .lock()
+            .unwrap()
+            .record_d2d(bytes, memcpy_cost(&peer.cfg, bytes));
+        dst.copy_from_slice(&src.to_vec());
+        self.trace_memcpy("vgpu::memcpy_d2d", trace_start, bytes);
+    }
+
     fn trace_memcpy(&self, name: &str, trace_start: Option<(Instant, f64)>, bytes: u64) {
         if let Some((wall0, model0)) = trace_start {
             gc_telemetry::record_complete(

@@ -6,7 +6,7 @@
 //! [`Device::launch`] execute *for real* (on rayon worker threads, grouped
 //! into warps and thread blocks exactly like the GPU grid), while every
 //! global-memory access, atomic, and kernel launch is metered by a cost
-//! model ([`cost::CostModel`]) whose terms mirror the effects the paper
+//! model (see [`cost`]) whose terms mirror the effects the paper
 //! discusses:
 //!
 //! * **warp divergence / load imbalance** — a warp's cost is the maximum
@@ -25,6 +25,22 @@
 //! produces exactly the same model nanoseconds, independent of host
 //! machine and thread scheduling. Wall-clock performance of the simulator
 //! itself is measured separately by the Criterion benches.
+//!
+//! ```
+//! use gc_vgpu::{Device, DeviceBuffer};
+//!
+//! let dev = Device::k40c();
+//! let xs = dev.upload(&[1u32, 2, 3, 4]);
+//! let out = DeviceBuffer::<u32>::zeroed(4);
+//! dev.launch("double", 4, |t| {
+//!     let i = t.tid();
+//!     let v = t.read(&xs, i);
+//!     t.write(&out, i, v * 2);
+//! });
+//! assert_eq!(dev.download(&out), vec![2, 4, 6, 8]);
+//! assert_eq!(dev.profile().launches, 1);
+//! assert!(dev.elapsed_ms() > 0.0); // transfers + kernel, all metered
+//! ```
 
 pub mod buffer;
 pub mod config;

@@ -240,7 +240,7 @@ where
 /// Models a decoupled-lookback compaction (CUB's `DeviceSelect`): each
 /// thread evaluates the predicate once, runs the block-local shuffle
 /// scan, waits on the previous block's inclusive total (the lookback
-/// spin, billed as [`LOOKBACK_CYCLES`]), and surviving threads write
+/// spin, billed as `LOOKBACK_CYCLES`), and surviving threads write
 /// their element straight to its final rank — no flags buffer, no second
 /// predicate pass, no separate scatter. This is the contraction shape
 /// every frontier loop runs once per iteration, so the 3→1 launch saving

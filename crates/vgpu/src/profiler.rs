@@ -75,6 +75,10 @@ pub struct Profiler {
     syncs: u64,
     memcpys: u64,
     memcpy_bytes: u64,
+    /// Device↔device peer transfers this device took part in (as source
+    /// or destination — each endpoint bills the copy on its own clock).
+    d2d_transfers: u64,
+    d2d_bytes: u64,
     clock_cycles: f64,
     /// Completed graph replays.
     graph_replays: u64,
@@ -100,6 +104,8 @@ impl Default for Profiler {
             syncs: 0,
             memcpys: 0,
             memcpy_bytes: 0,
+            d2d_transfers: 0,
+            d2d_bytes: 0,
             clock_cycles: 0.0,
             graph_replays: 0,
             graph_kernels: 0,
@@ -172,6 +178,16 @@ impl Profiler {
         self.clock_cycles += cycles;
     }
 
+    /// One endpoint's share of a device↔device peer copy. Both the source
+    /// and the destination device record the transfer, each billing the
+    /// copy's cycles on its own clock (a peer copy occupies both ends of
+    /// the link for its duration).
+    pub fn record_d2d(&mut self, bytes: u64, cycles: f64) {
+        self.d2d_transfers += 1;
+        self.d2d_bytes += bytes;
+        self.clock_cycles += cycles;
+    }
+
     pub fn clock_cycles(&self) -> f64 {
         self.clock_cycles
     }
@@ -203,6 +219,8 @@ impl Profiler {
             syncs: self.syncs,
             memcpys: self.memcpys,
             memcpy_bytes: self.memcpy_bytes,
+            d2d_transfers: self.d2d_transfers,
+            d2d_bytes: self.d2d_bytes,
             clock_cycles: self.clock_cycles,
             graph_replays: self.graph_replays,
             graph_kernels: self.graph_kernels,
@@ -233,6 +251,11 @@ pub struct ProfileReport {
     pub syncs: u64,
     pub memcpys: u64,
     pub memcpy_bytes: u64,
+    /// Device↔device peer copies this device took part in, as source or
+    /// destination. The sharded runner's halo exchange is metered here,
+    /// separately from host↔device traffic.
+    pub d2d_transfers: u64,
+    pub d2d_bytes: u64,
     pub clock_cycles: f64,
     /// Completed [`crate::LaunchGraph`] replays.
     pub graph_replays: u64,
@@ -296,6 +319,8 @@ impl ProfileReport {
         out.push_str(&format!("syncs={}\n", self.syncs));
         out.push_str(&format!("memcpys={}\n", self.memcpys));
         out.push_str(&format!("memcpy_bytes={}\n", self.memcpy_bytes));
+        out.push_str(&format!("d2d_transfers={}\n", self.d2d_transfers));
+        out.push_str(&format!("d2d_bytes={}\n", self.d2d_bytes));
         out.push_str(&format!("model_cycles={:.0}\n", self.clock_cycles));
         out.push_str(&format!("graph_replays={}\n", self.graph_replays));
         out.push_str(&format!("graph_kernels={}\n", self.graph_kernels));
@@ -347,12 +372,14 @@ impl std::fmt::Display for ProfileReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "launches={} graph_replays={} syncs={} memcpys={} ({} B) model_cycles={:.0}",
+            "launches={} graph_replays={} syncs={} memcpys={} ({} B) d2d={} ({} B) model_cycles={:.0}",
             self.launches,
             self.graph_replays,
             self.syncs,
             self.memcpys,
             self.memcpy_bytes,
+            self.d2d_transfers,
+            self.d2d_bytes,
             self.clock_cycles
         )?;
         for (name, s) in &self.by_kernel {
@@ -585,6 +612,24 @@ mod tests {
         for line in kv.lines() {
             assert_eq!(line.split('=').count(), 2, "bad kv line: {line}");
         }
+    }
+
+    #[test]
+    fn d2d_transfers_bill_and_report_separately_from_memcpys() {
+        let mut p = Profiler::default();
+        p.record_memcpy(64, 25.0);
+        p.record_d2d(128, 40.0);
+        p.record_d2d(128, 40.0);
+        assert_eq!(p.clock_cycles(), 105.0);
+        let r = p.report();
+        assert_eq!(r.memcpys, 1);
+        assert_eq!(r.memcpy_bytes, 64);
+        assert_eq!(r.d2d_transfers, 2);
+        assert_eq!(r.d2d_bytes, 256);
+        let kv = r.to_kv();
+        assert!(kv.contains("d2d_transfers=2\n"));
+        assert!(kv.contains("d2d_bytes=256\n"));
+        assert!(r.to_string().contains("d2d=2 (256 B)"));
     }
 
     #[test]

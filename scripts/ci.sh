@@ -15,6 +15,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 if [[ $quick -eq 0 ]]; then
   echo "==> tier-1: cargo build --release"
   cargo build --release
@@ -50,9 +53,9 @@ assert "gc_color_model_ms_quantile" in prom, "metrics.prom missing quantiles"
 print(f"trace artifacts OK: {len(events)} events, {len(lines)} spans")
 PY
 
-echo "==> bench smoke: repro bench at smoke scale + bench-check validation"
+echo "==> bench smoke: repro bench at smoke scale (2 devices) + bench-check validation"
 cargo run --release -q -p gc-bench --bin repro -- \
-  bench --scale 0.002 --out "$trace_dir/bench.json"
+  bench --scale 0.002 --devices 2 --out "$trace_dir/bench.json"
 cargo run --release -q -p gc-bench --bin repro -- \
   bench-check "$trace_dir/bench.json"
 
