@@ -9,6 +9,9 @@
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]
 //! repro bench [--scale F] [--seed N] [--devices N] [--out FILE]
 //! repro bench-check <FILE>
+//! repro serve [--port N] [--workers N]
+//! repro net-bench [--requests N] [--clients N] [--workers N] [--out FILE]
+//! repro net-smoke
 //! repro --help          # every subcommand with a one-line description
 //! ```
 //!
@@ -22,6 +25,16 @@
 //! the whole service workload; the `trace` subcommand captures one
 //! colorer × dataset run (files default to `trace.json`/`trace.jsonl`
 //! when the flags are omitted).
+//!
+//! `serve` exposes the coloring service over the gc-net TCP wire
+//! protocol until a client sends the Shutdown verb. `net-bench` (also
+//! reachable as `serve-bench --net`) drives a loopback server with a
+//! sustained multi-connection workload, measures client-observed
+//! per-verb p50/p95/p99, runs the incremental-vs-full recoloring
+//! comparison on `ecology2`, and writes a `gc-bench-net/v1` document
+//! (default `BENCH_net.json`). `net-smoke` is the CI round-trip:
+//! submit a small graph, color, mutate, verify the merged coloring,
+//! shut the server down cleanly.
 //!
 //! `bench` runs every Figure 1 colorer twice per dataset — once with
 //! the paper's launch shape (full-width frontiers, one dispatch per
@@ -47,7 +60,7 @@ use gc_bench::serve;
 
 /// Every subcommand `repro` accepts, with a one-line description —
 /// the single source the first-argument parser and `--help` both use.
-const SUBCOMMANDS: [(&str, &str); 14] = [
+const SUBCOMMANDS: [(&str, &str); 17] = [
     ("table1", "Table I dataset statistics"),
     ("table2", "Table II optimization effects per implementation"),
     (
@@ -77,7 +90,19 @@ const SUBCOMMANDS: [(&str, &str); 14] = [
     ),
     (
         "bench-check",
-        "validate a BENCH_coloring.json document; non-zero exit on regression",
+        "validate a BENCH_coloring.json or BENCH_net.json document; non-zero exit on regression",
+    ),
+    (
+        "serve",
+        "run a gc-net TCP coloring server until a client sends Shutdown",
+    ),
+    (
+        "net-bench",
+        "sustained-load benchmark of the gc-net front-end over loopback",
+    ),
+    (
+        "net-smoke",
+        "loopback round-trip: submit, color, mutate, verify, shut down",
     ),
     (
         "all",
@@ -97,6 +122,8 @@ fn usage() -> String {
          \x20 repro trace <colorer> <dataset> [--model-clock]\n\
          \x20 repro bench [--devices N] [--out FILE]\n\
          \x20 repro bench-check <FILE>\n\
+         \x20 repro serve [--port N] [--workers N]\n\
+         \x20 repro net-bench [--requests N] [--clients N] [--out FILE]\n\
          \noptions:\n\
          \x20 --scale F             fraction of each dataset's paper vertex count (default 0.02)\n\
          \x20 --seed N              RNG seed for synthesis and coloring (default 42)\n\
@@ -104,12 +131,17 @@ fn usage() -> String {
          \x20 --diameter-samples N  BFS sources for the Table I diameter estimate\n\
          \x20 --full                the paper's full extents (slow)\n\
          \x20 --csv DIR             also write fig1/fig3 CSVs into DIR\n\
-         \x20 --workers N           serve-bench worker threads (default 4)\n\
+         \x20 --workers N           serve-bench / serve / net-bench worker threads (default 4)\n\
          \x20 --devices N           virtual devices for the bench sharded rows (default 1)\n\
+         \x20 --net                 run serve-bench in net mode (alias of net-bench)\n\
+         \x20 --port N              serve listen port (default 7711, 0 = ephemeral)\n\
+         \x20 --requests N          net-bench total client requests (default 100000)\n\
+         \x20 --clients N           net-bench concurrent client connections (default 8)\n\
          \x20 --trace FILE          write a Chrome trace-event JSON\n\
          \x20 --jsonl FILE          write a newline-delimited span log\n\
          \x20 --metrics FILE        write a Prometheus text dump\n\
-         \x20 --out FILE            bench output file (default BENCH_coloring.json)\n\
+         \x20 --out FILE            bench/net-bench output file (default BENCH_coloring.json\n\
+         \x20                       or BENCH_net.json)\n\
          \x20 --model-clock         trace timestamps from the device model clock\n\
          \x20 --help                print this help\n",
     );
@@ -126,9 +158,17 @@ struct Args {
     trace_out: Option<String>,
     jsonl_out: Option<String>,
     metrics_out: Option<String>,
-    /// Output file of the `bench` subcommand.
+    /// Output file of the `bench`/`net-bench` subcommands.
     out: Option<String>,
     model_clock: bool,
+    /// `serve-bench --net` reroutes to the net benchmark.
+    net: bool,
+    /// Listen port of the `serve` subcommand.
+    port: u16,
+    /// Total requests of the `net-bench` sustained-load phase.
+    requests: u64,
+    /// Concurrent connections of the `net-bench` sustained-load phase.
+    clients: usize,
     /// Positional operands of the `trace`/`bench-check` subcommands.
     operands: Vec<String>,
 }
@@ -145,6 +185,10 @@ fn parse_args() -> Result<Args, String> {
     let mut metrics_out = None;
     let mut out = None;
     let mut model_clock = false;
+    let mut net = false;
+    let mut port = 7711u16;
+    let mut requests = 100_000u64;
+    let mut clients = 8usize;
     let mut operands = Vec::new();
     let mut first = true;
     while let Some(a) = args.next() {
@@ -204,6 +248,28 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => metrics_out = Some(args.next().ok_or("--metrics needs a file")?),
             "--out" => out = Some(args.next().ok_or("--out needs a file")?),
             "--model-clock" => model_clock = true,
+            "--net" => net = true,
+            "--port" => {
+                port = args
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?;
+            }
+            "--requests" => {
+                requests = args
+                    .next()
+                    .ok_or("--requests needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--clients" => {
+                clients = args
+                    .next()
+                    .ok_or("--clients needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
+            }
             other
                 if (command == "trace" || command == "bench-check") && !other.starts_with('-') =>
             {
@@ -224,6 +290,10 @@ fn parse_args() -> Result<Args, String> {
         metrics_out,
         out,
         model_clock,
+        net,
+        port,
+        requests,
+        clients,
         operands,
     })
 }
@@ -232,6 +302,117 @@ fn parse_args() -> Result<Args, String> {
 fn write_artifact(path: &str, what: &str, content: &str) -> Result<(), String> {
     fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))?;
     println!("{what} written to {path}");
+    Ok(())
+}
+
+/// The `net-bench` / `serve-bench --net` sustained-load run: drive a
+/// live loopback server, self-validate the emitted document, write it.
+fn run_net_bench(args: &Args) -> ExitCode {
+    let tracer =
+        (args.trace_out.is_some() || args.jsonl_out.is_some()).then(gc_telemetry::Tracer::new);
+    let metrics = gc_telemetry::MetricsRegistry::new();
+    let net_cfg = gc_bench::net::NetBenchConfig {
+        requests: args.requests.max(1),
+        clients: args.clients.max(1),
+        workers: args.workers.max(1),
+        ..gc_bench::net::NetBenchConfig::default()
+    };
+    let report =
+        gc_bench::net::net_bench_with(&args.cfg, &net_cfg, tracer.clone(), Some(metrics.clone()));
+    println!("{}", format::render_net_bench(&report));
+    let json = gc_bench::net::to_json(&report);
+    if let Err(e) = gc_bench::net::validate_report_json(&json) {
+        eprintln!("error: emitted JSON failed self-validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut writes = Vec::new();
+    let path = args.out.as_deref().unwrap_or("BENCH_net.json");
+    writes.push(write_artifact(path, "net bench report", &json));
+    if let (Some(path), Some(t)) = (&args.trace_out, &tracer) {
+        writes.push(write_artifact(
+            path,
+            "chrome trace",
+            &gc_telemetry::to_chrome_trace(t, gc_telemetry::ClockKind::Wall),
+        ));
+    }
+    if let (Some(path), Some(t)) = (&args.jsonl_out, &tracer) {
+        writes.push(write_artifact(
+            path,
+            "span log",
+            &gc_telemetry::to_jsonl(&t.records()),
+        ));
+    }
+    if let Some(path) = &args.metrics_out {
+        writes.push(write_artifact(
+            path,
+            "metrics",
+            &gc_telemetry::to_prometheus(&metrics),
+        ));
+    }
+    for w in writes {
+        if let Err(e) = w {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The CI loopback smoke: a full client lifecycle against a real TCP
+/// server — submit, color, mutate, re-fetch, host-verify, shut down.
+fn net_smoke() -> Result<(), String> {
+    use gc_net::{NetClient, NetServerConfig, Server, WireObjective};
+
+    let server = Server::start("127.0.0.1:0", NetServerConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    println!("net-smoke: server on {addr}");
+    let g = gc_graph::generators::grid2d(32, 32, gc_graph::generators::Stencil2d::FivePoint);
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let ack = client
+        .submit_graph(7, &g)
+        .map_err(|e| format!("submit: {e}"))?;
+    println!(
+        "net-smoke: submitted {} vertices (fingerprint {:016x})",
+        g.num_vertices(),
+        ack.fingerprint
+    );
+    let summary = client
+        .color(7, WireObjective::Balanced, 42, 0)
+        .map_err(|e| format!("color: {e}"))?;
+    if !summary.verified {
+        return Err("colored reply not verified".into());
+    }
+    println!(
+        "net-smoke: colored with {} ({} colors)",
+        summary.colorer, summary.num_colors
+    );
+    let far = (g.num_vertices() - 1) as u32;
+    let delta = gc_graph::EdgeDelta {
+        insert: vec![(0, far), (1, far - 1)],
+        delete: vec![(0, 1)],
+    };
+    let mutated = client
+        .mutate_edges(7, &delta)
+        .map_err(|e| format!("mutate: {e}"))?;
+    println!(
+        "net-smoke: mutated to version {} (frontier {}, {} repair rounds, revalidated {})",
+        mutated.version, mutated.frontier, mutated.repair_rounds, mutated.revalidated
+    );
+    let merged = gc_graph::apply_edge_delta(&g, &delta)
+        .map_err(|e| format!("local delta: {e}"))?
+        .graph;
+    let result = client
+        .get_result(7)
+        .map_err(|e| format!("get_result: {e}"))?;
+    gc_core::verify::is_proper(&merged, &result.colors)
+        .map_err(|e| format!("merged coloring not proper: {e}"))?;
+    println!("net-smoke: merged coloring verified proper on the host");
+    client
+        .shutdown_server()
+        .map_err(|e| format!("shutdown: {e}"))?;
+    server.join();
+    println!("net-smoke: server shut down cleanly");
     Ok(())
 }
 
@@ -371,12 +552,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        return match gc_bench::coloring_bench::validate_report_json(&text) {
-            Ok(()) => {
-                println!(
-                    "{path}: valid {} document",
-                    gc_bench::coloring_bench::SCHEMA
-                );
+        // Dispatch on the document's own schema field, so one CI rule
+        // covers both artifact families.
+        let schema = gc_telemetry::json::parse(&text)
+            .ok()
+            .and_then(|d| d.get("schema").and_then(|s| s.as_str()));
+        let checked = match schema.as_deref() {
+            Some(gc_bench::net::SCHEMA) => {
+                gc_bench::net::validate_report_json(&text).map(|()| gc_bench::net::SCHEMA)
+            }
+            _ => gc_bench::coloring_bench::validate_report_json(&text)
+                .map(|()| gc_bench::coloring_bench::SCHEMA),
+        };
+        return match checked {
+            Ok(schema) => {
+                println!("{path}: valid {schema} document");
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -384,6 +574,47 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+
+    if args.command == "serve" {
+        let server = match gc_net::Server::start(
+            &format!("127.0.0.1:{}", args.port),
+            gc_net::NetServerConfig {
+                service: gc_service::ServiceConfig {
+                    workers: args.workers.max(1),
+                    ..gc_service::ServiceConfig::default()
+                },
+            },
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: binding 127.0.0.1:{}: {e}", args.port);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "gc-net server listening on {} ({} workers); \
+             send the Shutdown verb to stop",
+            server.local_addr(),
+            args.workers.max(1)
+        );
+        server.join();
+        println!("server stopped");
+        return ExitCode::SUCCESS;
+    }
+
+    if args.command == "net-smoke" {
+        return match net_smoke() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: net-smoke: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.command == "net-bench" || (args.command == "serve-bench" && args.net) {
+        return run_net_bench(&args);
     }
 
     if want("serve-bench") {
@@ -493,6 +724,10 @@ mod tests {
             "--metrics",
             "--out",
             "--model-clock",
+            "--net",
+            "--port",
+            "--requests",
+            "--clients",
             "--help",
         ] {
             assert!(text.contains(opt), "usage text is missing option {opt}");

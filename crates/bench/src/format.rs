@@ -340,11 +340,12 @@ pub fn render_serve_bench(report: &crate::serve::ServeBenchReport) -> String {
     }
     let s = &report.snapshot;
     out.push_str(&format!(
-        "\nservice: served={} cache_hits={} ({:.0}%) shed={} rejected={} failed={} \
-         improper={} wall={:.0} ms\n",
+        "\nservice: served={} cache_hits={} ({:.0}%) revalidated={} shed_deadline={} \
+         shed_queue_full={} failed={} improper={} wall={:.0} ms\n",
         s.served,
         s.cache_hits,
         s.cache_hit_rate() * 100.0,
+        s.revalidated,
         s.shed,
         s.rejected,
         s.failed,
@@ -475,6 +476,81 @@ pub fn render_trace_summary(cap: &crate::trace::TraceCapture) -> String {
             name, count, wall_us, model_ms
         ));
     }
+    out
+}
+
+/// Renders the `repro net-bench` per-verb latency table plus the
+/// incremental-recoloring comparison line.
+pub fn render_net_bench(report: &crate::net::NetBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "NET-BENCH: gc-net sustained loopback load ({} clients, {} workers)\n",
+        report.clients, report.workers
+    ));
+    out.push_str(&format!(
+        "{:<16}{:>10}{:>7}{:>8}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
+        "Verb", "Requests", "Shed", "Errors", "Mean ms", "p50 ms", "p95 ms", "p99 ms", "Max ms"
+    ));
+    out.push_str(&hr(91));
+    out.push('\n');
+    for r in &report.rows {
+        if r.requests == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<16}{:>10}{:>7}{:>8}{:>10.4}{:>10.4}{:>10.4}{:>10.4}{:>10.4}\n",
+            r.verb,
+            r.requests,
+            r.shed,
+            r.errors,
+            r.latency.mean_ms(),
+            r.latency.p50(),
+            r.latency.p95(),
+            r.latency.p99(),
+            r.latency.max_ms,
+        ));
+    }
+    out.push_str(&format!(
+        "\ntotal: {} requests in {:.0} ms ({:.0} req/s), {} protocol errors, \
+         frames ok={} bad={}\n",
+        report.total_requests,
+        report.wall_ms,
+        report.requests_per_sec(),
+        report.protocol_errors,
+        report.frames_ok,
+        report.frames_bad,
+    ));
+    let s = &report.snapshot;
+    out.push_str(&format!(
+        "service: served={} cache_hits={} ({:.0}%) revalidated={} shed_deadline={} \
+         shed_queue_full={} failed={}\n",
+        s.served,
+        s.cache_hits,
+        s.cache_hit_rate() * 100.0,
+        s.revalidated,
+        s.shed,
+        s.rejected,
+        s.failed,
+    ));
+    let inc = &report.incremental;
+    out.push_str(&format!(
+        "incremental: {} ({} vertices, {} edges) delta={} edges via {} — \
+         full {} vs repair {} thread-executions ({:.1}x cheaper), frontier={}, \
+         rounds={}, verified={}, revalidated={}, next color cache_hit={}\n",
+        inc.dataset,
+        inc.vertices,
+        inc.edges,
+        inc.delta_edges,
+        short(&inc.colorer),
+        inc.full_thread_executions,
+        inc.repair_thread_executions,
+        inc.speedup().min(1e9),
+        inc.frontier,
+        inc.repair_rounds,
+        inc.verified,
+        inc.revalidated,
+        inc.cache_hit_after_mutate,
+    ));
     out
 }
 

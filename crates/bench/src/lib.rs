@@ -8,6 +8,7 @@
 pub mod coloring_bench;
 pub mod experiments;
 pub mod format;
+pub mod net;
 pub mod serve;
 pub mod trace;
 

@@ -1,0 +1,804 @@
+//! Sustained-load benchmark of the `gc-net` TCP front-end
+//! (`repro net-bench`, also reachable as `repro serve-bench --net`).
+//!
+//! The harness starts a real [`gc_net::Server`] on an ephemeral
+//! loopback port and drives it from `clients` concurrent connections,
+//! each replaying a deterministic verb mix against its own tracked
+//! graph: mostly `Color` calls cycling a small seed set (cache hits
+//! after the first wave), with periodic `MutateEdges` toggles,
+//! `GetResult` fetches, and a final `SubscribeStats` stream. Latency is
+//! measured where it matters — at the client, wall-clock around each
+//! request/reply exchange — and aggregated per verb into
+//! [`gc_telemetry::LatencyHistogram`]s (mirrored into the metrics
+//! registry as `gc_net_client_ms{verb=...}` when one is attached).
+//! Any reply that is neither success nor an explicit shed counts as a
+//! protocol error, and the schema validator refuses a document with a
+//! non-zero count.
+//!
+//! The run closes with the incremental-recoloring measurement the
+//! acceptance tracking cares about: `ecology2` is uploaded, colored
+//! from scratch (recording the full run's simulated thread
+//! executions), then hit with a ≤1% edge delta. The server repairs the
+//! stored coloring in-device from the delta's compacted frontier, and
+//! the row records the repair's thread executions next to the full
+//! run's — `validate_report_json` enforces the ≥5× work reduction,
+//! that the merged coloring verified proper, and that the result cache
+//! entry survived the mutation via lineage revalidation (the next
+//! `Color` is still a hit).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use gc_core::verify::is_proper;
+use gc_graph::{apply_edge_delta, Csr, EdgeDelta};
+use gc_net::{NetClient, NetError, NetServerConfig, Server, WireObjective};
+use gc_service::{ServiceConfig, StatsSnapshot};
+use gc_telemetry::LatencyHistogram;
+
+use crate::experiments::ExperimentConfig;
+
+/// The document's `schema` field.
+pub const SCHEMA: &str = "gc-bench-net/v1";
+
+/// Dataset of the incremental-vs-full recoloring measurement: the
+/// sparse mesh the acceptance tracking pins its ≥5× claim to.
+pub const INCREMENTAL_DATASET: &str = "ecology2";
+
+/// The required work reduction: an incremental repair after a ≤1% edge
+/// delta must cost at least this many times fewer simulated thread
+/// executions than recoloring the graph from scratch.
+pub const MIN_INCREMENTAL_SPEEDUP: f64 = 5.0;
+
+/// Knobs of the sustained-load phase.
+#[derive(Clone, Debug)]
+pub struct NetBenchConfig {
+    /// Total client requests to issue across all connections (the
+    /// acceptance run uses 100_000; tests shrink it).
+    pub requests: u64,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Service worker threads behind the server.
+    pub workers: usize,
+    /// Side of the per-client workload mesh (vertices = side²). Kept
+    /// below the service's tiny-graph threshold so non-cached requests
+    /// stay cheap and the bench measures the wire, not the colorers.
+    pub mesh_side: usize,
+}
+
+impl Default for NetBenchConfig {
+    fn default() -> Self {
+        NetBenchConfig {
+            requests: 100_000,
+            clients: 8,
+            workers: 4,
+            mesh_side: 24,
+        }
+    }
+}
+
+/// Client-observed latency and outcome counts for one verb.
+#[derive(Clone, Debug)]
+pub struct NetVerbRow {
+    pub verb: &'static str,
+    pub requests: u64,
+    /// Replies that were explicit shed errors (deadline/queue-full) —
+    /// a load-management outcome, not a protocol failure.
+    pub shed: u64,
+    /// Replies that were anything else unexpected. Must stay 0.
+    pub errors: u64,
+    /// Every `Color` reply on this row had `verified == true` (rows of
+    /// verbs that carry no verification flag report `true`).
+    pub verified: bool,
+    /// Client-observed wall-clock latency.
+    pub latency: LatencyHistogram,
+}
+
+/// The incremental-vs-full recoloring measurement.
+#[derive(Clone, Debug)]
+pub struct IncrementalReport {
+    pub dataset: String,
+    pub vertices: usize,
+    pub edges: usize,
+    /// Undirected edges in the delta (inserts + deletes), ≤1% of
+    /// `edges`.
+    pub delta_edges: usize,
+    /// Colorer the service picked for the from-scratch run.
+    pub colorer: String,
+    /// Simulated thread executions of the from-scratch coloring.
+    pub full_thread_executions: u64,
+    /// Simulated thread executions of the incremental repair.
+    pub repair_thread_executions: u64,
+    /// Vertices that entered the repair frontier.
+    pub frontier: u32,
+    /// Speculate-recolor rounds the repair took.
+    pub repair_rounds: u32,
+    /// The merged coloring fetched after the mutation verified proper
+    /// on the host against a locally-applied copy of the delta.
+    pub verified: bool,
+    /// The server carried the cached result across the mutation.
+    pub revalidated: bool,
+    /// The first `Color` after the mutation was still a cache hit.
+    pub cache_hit_after_mutate: bool,
+}
+
+impl IncrementalReport {
+    /// Full-recolor cost over incremental-repair cost.
+    pub fn speedup(&self) -> f64 {
+        if self.repair_thread_executions == 0 {
+            f64::INFINITY
+        } else {
+            self.full_thread_executions as f64 / self.repair_thread_executions as f64
+        }
+    }
+}
+
+/// Full net-bench outcome.
+#[derive(Clone, Debug)]
+pub struct NetBenchReport {
+    pub scale: f64,
+    pub seed: u64,
+    pub clients: usize,
+    pub workers: usize,
+    /// Requests issued by all clients (sustained phase + epilogue).
+    pub total_requests: u64,
+    /// Non-shed failures across the whole run. Must be 0.
+    pub protocol_errors: u64,
+    pub wall_ms: f64,
+    /// Frames the server decoded / rejected, from its own counters.
+    pub frames_ok: u64,
+    pub frames_bad: u64,
+    pub rows: Vec<NetVerbRow>,
+    pub incremental: IncrementalReport,
+    /// The backing service's counters at the end of the run.
+    pub snapshot: StatsSnapshot,
+}
+
+impl NetBenchReport {
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.total_requests as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
+/// Per-verb accumulator shared by the client threads.
+#[derive(Default)]
+struct VerbAcc {
+    requests: u64,
+    shed: u64,
+    errors: u64,
+    unverified: u64,
+    latency: LatencyHistogram,
+}
+
+#[derive(Default)]
+struct Acc {
+    submit_graph: VerbAcc,
+    color: VerbAcc,
+    get_result: VerbAcc,
+    mutate_edges: VerbAcc,
+    subscribe_stats: VerbAcc,
+    shutdown: VerbAcc,
+}
+
+impl Acc {
+    fn of(&mut self, verb: &str) -> &mut VerbAcc {
+        match verb {
+            "submit_graph" => &mut self.submit_graph,
+            "color" => &mut self.color,
+            "get_result" => &mut self.get_result,
+            "mutate_edges" => &mut self.mutate_edges,
+            "subscribe_stats" => &mut self.subscribe_stats,
+            "shutdown" => &mut self.shutdown,
+            other => unreachable!("unknown verb {other}"),
+        }
+    }
+}
+
+/// Times one client call, classifying the outcome. Shed replies count
+/// separately; anything else failing is a protocol error.
+fn timed<T>(
+    acc: &Mutex<Acc>,
+    metrics: Option<&gc_telemetry::MetricsRegistry>,
+    verb: &'static str,
+    call: impl FnOnce() -> Result<T, NetError>,
+) -> Option<T> {
+    let t0 = Instant::now();
+    let out = call();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    if let Some(m) = metrics {
+        m.histogram_with("gc_net_client_ms", &[("verb", verb)])
+            .observe(ms);
+    }
+    let mut acc = acc.lock().unwrap();
+    let v = acc.of(verb);
+    v.requests += 1;
+    v.latency.record(ms);
+    match out {
+        Ok(x) => Some(x),
+        Err(e) if e.is_shed() => {
+            v.shed += 1;
+            None
+        }
+        Err(_) => {
+            v.errors += 1;
+            None
+        }
+    }
+}
+
+/// One client thread's deterministic verb mix. The mesh is its own
+/// tracked graph, so mutations never interfere across connections.
+fn client_workload(
+    addr: std::net::SocketAddr,
+    gid: u64,
+    mesh: &Csr,
+    requests: u64,
+    acc: &Mutex<Acc>,
+    metrics: Option<&gc_telemetry::MetricsRegistry>,
+) {
+    let mut client = match NetClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            acc.lock().unwrap().color.errors += requests;
+            return;
+        }
+    };
+    timed(acc, metrics, "submit_graph", || {
+        client.submit_graph(gid, mesh)
+    });
+    // Prime a stored result so GetResult and the mutate-repair path
+    // always have something to work on.
+    timed(acc, metrics, "color", || {
+        client.color(gid, WireObjective::Balanced, 0, 0)
+    });
+    // The toggled edge joins the mesh's two corners — never part of a
+    // grid stencil, so insert/delete alternation is exact.
+    let far = (mesh.num_vertices() - 1) as u32;
+    let mut edge_present = false;
+    let mut issued = 2u64;
+    let mut k = 0u64;
+    while issued < requests {
+        if k % 1024 == 512 {
+            let delta = if edge_present {
+                EdgeDelta {
+                    insert: vec![],
+                    delete: vec![(0, far)],
+                }
+            } else {
+                EdgeDelta {
+                    insert: vec![(0, far)],
+                    delete: vec![],
+                }
+            };
+            edge_present = !edge_present;
+            timed(acc, metrics, "mutate_edges", || {
+                client.mutate_edges(gid, &delta)
+            });
+        } else if k % 256 == 128 {
+            timed(acc, metrics, "get_result", || client.get_result(gid));
+        } else {
+            let seed = k % 2;
+            let summary = timed(acc, metrics, "color", || {
+                client.color(gid, WireObjective::Balanced, seed, 0)
+            });
+            if let Some(s) = summary {
+                if !s.verified {
+                    acc.lock().unwrap().color.unverified += 1;
+                }
+            }
+        }
+        issued += 1;
+        k += 1;
+    }
+}
+
+/// Builds a ≤1% edge delta for `g`: half deletes of existing edges,
+/// half inserts of fresh long-range pairs, all deterministic in `seed`.
+fn one_percent_delta(g: &Csr, seed: u64) -> EdgeDelta {
+    let n = g.num_vertices() as u64;
+    let target = (g.num_edges() / 200).clamp(8, 512);
+    let mut delete = Vec::new();
+    let mut insert = Vec::new();
+    let mut x = seed | 1;
+    let mut step = || {
+        // xorshift64 — cheap, deterministic, no rand dependency.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    while delete.len() < target / 2 {
+        let u = (step() % n) as u32;
+        if let Some(&v) = g.neighbors(u).first() {
+            if u != v && !delete.contains(&(u, v)) && !delete.contains(&(v, u)) {
+                delete.push((u, v));
+            }
+        }
+    }
+    while insert.len() < target - target / 2 {
+        let a = (step() % n) as u32;
+        let b = (step() % n) as u32;
+        if a != b && !g.has_edge(a, b) && !insert.contains(&(a, b)) && !insert.contains(&(b, a)) {
+            insert.push((a, b));
+        }
+    }
+    EdgeDelta { insert, delete }
+}
+
+/// Runs the incremental-vs-full measurement against a live server.
+fn incremental_phase(
+    addr: std::net::SocketAddr,
+    cfg: &ExperimentConfig,
+    acc: &Mutex<Acc>,
+    metrics: Option<&gc_telemetry::MetricsRegistry>,
+) -> IncrementalReport {
+    let spec = gc_datasets::dataset_by_name(INCREMENTAL_DATASET).expect("dataset registered");
+    // The from-scratch run must go through a device colorer (CPU
+    // fallbacks report no thread executions), so the instance has to
+    // clear the service's tiny-graph threshold with margin.
+    let min_scale = (gc_service::TINY_GRAPH_VERTICES as f64 * 1.3) / spec.paper_vertices as f64;
+    let g = spec.generate(cfg.scale.max(min_scale), cfg.seed);
+    let gid = u64::MAX; // far outside the workload clients' id range
+    let mut client = NetClient::connect(addr).expect("connect for incremental phase");
+
+    timed(acc, metrics, "submit_graph", || {
+        client.submit_graph(gid, &g)
+    });
+    let full = timed(acc, metrics, "color", || {
+        client.color(gid, WireObjective::Balanced, cfg.seed, 0)
+    })
+    .expect("from-scratch color");
+
+    let delta = one_percent_delta(&g, cfg.seed);
+    let delta_edges = delta.insert.len() + delta.delete.len();
+    let ack = timed(acc, metrics, "mutate_edges", || {
+        client.mutate_edges(gid, &delta)
+    })
+    .expect("mutate ecology2");
+
+    // Host-side ground truth: the merged coloring must be proper on a
+    // locally-applied copy of the same delta.
+    let merged = apply_edge_delta(&g, &delta)
+        .expect("delta applies locally")
+        .graph;
+    let result = timed(acc, metrics, "get_result", || client.get_result(gid))
+        .expect("fetch merged coloring");
+    let verified = is_proper(&merged, &result.colors).is_ok();
+
+    let again = timed(acc, metrics, "color", || {
+        client.color(gid, WireObjective::Balanced, cfg.seed, 0)
+    })
+    .expect("post-mutation color");
+
+    IncrementalReport {
+        dataset: INCREMENTAL_DATASET.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        delta_edges,
+        colorer: full.colorer,
+        full_thread_executions: full.thread_executions,
+        repair_thread_executions: ack.repair_thread_executions,
+        frontier: ack.frontier,
+        repair_rounds: ack.repair_rounds,
+        verified,
+        revalidated: ack.revalidated,
+        cache_hit_after_mutate: again.cache_hit,
+    }
+}
+
+/// Runs the full net benchmark: sustained load, incremental phase,
+/// stats epilogue.
+pub fn net_bench(cfg: &ExperimentConfig, net: &NetBenchConfig) -> NetBenchReport {
+    net_bench_with(cfg, net, None, None)
+}
+
+/// [`net_bench`] with observability attached: the tracer sees every
+/// server-side request span, the registry additionally collects the
+/// client-observed `gc_net_client_ms{verb}` histograms.
+pub fn net_bench_with(
+    cfg: &ExperimentConfig,
+    net: &NetBenchConfig,
+    tracer: Option<gc_telemetry::Tracer>,
+    metrics: Option<gc_telemetry::MetricsRegistry>,
+) -> NetBenchReport {
+    let clients = net.clients.max(1);
+    let server = Server::start(
+        "127.0.0.1:0",
+        NetServerConfig {
+            service: ServiceConfig {
+                workers: net.workers.max(1),
+                queue_capacity: 256,
+                cache_capacity: 64,
+                tracer,
+                metrics: metrics.clone(),
+                ..ServiceConfig::default()
+            },
+        },
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let side = net.mesh_side.max(2);
+    let mesh = Arc::new(gc_graph::generators::grid2d(
+        side,
+        side,
+        gc_graph::generators::Stencil2d::FivePoint,
+    ));
+    let acc = Arc::new(Mutex::new(Acc::default()));
+    let started = Instant::now();
+
+    let per_client = (net.requests / clients as u64).max(3);
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            let mesh = Arc::clone(&mesh);
+            let acc = Arc::clone(&acc);
+            let metrics = metrics.clone();
+            scope.spawn(move || {
+                client_workload(
+                    addr,
+                    (i + 1) as u64,
+                    &mesh,
+                    per_client,
+                    &acc,
+                    metrics.as_ref(),
+                );
+            });
+        }
+    });
+
+    let incremental = incremental_phase(addr, cfg, &acc, metrics.as_ref());
+
+    // Epilogue: one stats stream carries the server's lifetime frame
+    // counters out, then the shutdown verb stops the accept loop.
+    let mut epilogue = NetClient::connect(addr).expect("connect for epilogue");
+    let ticks = timed(&acc, metrics.as_ref(), "subscribe_stats", || {
+        epilogue.subscribe_stats(1, 0)
+    })
+    .unwrap_or_default();
+    let (frames_ok, frames_bad) = ticks
+        .last()
+        .map(|t| (t.frames_ok, t.frames_bad))
+        .unwrap_or((0, 0));
+    let snapshot = server.stats();
+    timed(&acc, metrics.as_ref(), "shutdown", || {
+        epilogue.shutdown_server()
+    });
+    server.join();
+
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let acc = Arc::try_unwrap(acc).ok().expect("all clients joined");
+    let acc = acc.into_inner().unwrap();
+    let row = |verb: &'static str, v: &VerbAcc| NetVerbRow {
+        verb,
+        requests: v.requests,
+        shed: v.shed,
+        errors: v.errors,
+        verified: v.unverified == 0,
+        latency: v.latency.clone(),
+    };
+    let rows = vec![
+        row("submit_graph", &acc.submit_graph),
+        row("color", &acc.color),
+        row("get_result", &acc.get_result),
+        row("mutate_edges", &acc.mutate_edges),
+        row("subscribe_stats", &acc.subscribe_stats),
+        row("shutdown", &acc.shutdown),
+    ];
+    let total_requests: u64 = rows.iter().map(|r| r.requests).sum();
+    let protocol_errors: u64 = rows.iter().map(|r| r.errors).sum();
+    NetBenchReport {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        clients,
+        workers: net.workers.max(1),
+        total_requests,
+        protocol_errors,
+        wall_ms,
+        frames_ok,
+        frames_bad,
+        rows,
+        incremental,
+        snapshot,
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes a report as a `gc-bench-net/v1` JSON document.
+pub fn to_json(report: &NetBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"scale\": {},\n", report.scale));
+    out.push_str(&format!("  \"seed\": {},\n", report.seed));
+    out.push_str(&format!("  \"clients\": {},\n", report.clients));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!(
+        "  \"total_requests\": {},\n",
+        report.total_requests
+    ));
+    out.push_str(&format!(
+        "  \"protocol_errors\": {},\n",
+        report.protocol_errors
+    ));
+    out.push_str(&format!("  \"wall_ms\": {:.3},\n", report.wall_ms));
+    out.push_str(&format!(
+        "  \"requests_per_sec\": {:.1},\n",
+        report.requests_per_sec()
+    ));
+    out.push_str(&format!("  \"frames_ok\": {},\n", report.frames_ok));
+    out.push_str(&format!("  \"frames_bad\": {},\n", report.frames_bad));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"verb\": \"{}\", \"requests\": {}, \"shed\": {}, \"errors\": {}, \
+             \"verified\": {}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"max_ms\": {:.4}}}{}\n",
+            esc(r.verb),
+            r.requests,
+            r.shed,
+            r.errors,
+            r.verified,
+            r.latency.mean_ms(),
+            r.latency.p50(),
+            r.latency.p95(),
+            r.latency.p99(),
+            r.latency.max_ms,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let inc = &report.incremental;
+    out.push_str(&format!(
+        "  \"incremental\": {{\"dataset\": \"{}\", \"vertices\": {}, \"edges\": {}, \
+         \"delta_edges\": {}, \"colorer\": \"{}\", \"full_thread_executions\": {}, \
+         \"repair_thread_executions\": {}, \"speedup\": {:.2}, \"frontier\": {}, \
+         \"repair_rounds\": {}, \"verified\": {}, \"revalidated\": {}, \
+         \"cache_hit_after_mutate\": {}}},\n",
+        esc(&inc.dataset),
+        inc.vertices,
+        inc.edges,
+        inc.delta_edges,
+        esc(&inc.colorer),
+        inc.full_thread_executions,
+        inc.repair_thread_executions,
+        inc.speedup().min(1e9),
+        inc.frontier,
+        inc.repair_rounds,
+        inc.verified,
+        inc.revalidated,
+        inc.cache_hit_after_mutate,
+    ));
+    let s = &report.snapshot;
+    out.push_str(&format!(
+        "  \"service\": {{\"served\": {}, \"cache_hits\": {}, \"revalidated\": {}, \
+         \"shed_deadline\": {}, \"shed_queue_full\": {}, \"failed\": {}}}\n",
+        s.served, s.cache_hits, s.revalidated, s.shed, s.rejected, s.failed,
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Validates a `gc-bench-net/v1` document: parses it with the
+/// gc-telemetry JSON parser, checks every field the schema promises,
+/// and enforces the acceptance invariants — zero protocol errors,
+/// every request-bearing row verified with a non-zero p99, and an
+/// incremental repair at least [`MIN_INCREMENTAL_SPEEDUP`]× cheaper
+/// than the from-scratch run, with the merged coloring verified and
+/// the cache entry revalidated across the mutation.
+pub fn validate_report_json(text: &str) -> Result<(), String> {
+    use gc_telemetry::json::{parse, Json};
+    let doc = parse(text)?;
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        other => return Err(format!("schema must be {SCHEMA:?}, got {other:?}")),
+    }
+    for f in [
+        "scale",
+        "seed",
+        "clients",
+        "workers",
+        "total_requests",
+        "protocol_errors",
+        "wall_ms",
+        "requests_per_sec",
+        "frames_ok",
+        "frames_bad",
+    ] {
+        doc.get(f)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing numeric {f}"))?;
+    }
+    let errors = doc
+        .get("protocol_errors")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(1.0);
+    if errors != 0.0 {
+        return Err(format!("protocol_errors must be 0, got {errors}"));
+    }
+    let total = doc
+        .get("total_requests")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    if total <= 0.0 {
+        return Err("total_requests must be positive".into());
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or("missing rows array")?;
+    if rows.is_empty() {
+        return Err("rows must be non-empty".into());
+    }
+    let mut saw_color = false;
+    for (i, row) in rows.iter().enumerate() {
+        let missing = |f: &str| format!("row {i}: missing or mistyped {f}");
+        let verb = row
+            .get("verb")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| missing("verb"))?;
+        for f in [
+            "requests", "shed", "errors", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+        ] {
+            row.get(f)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| missing(f))?;
+        }
+        match row.get("verified") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!("row {i} ({verb}): replies failed verification"))
+            }
+            _ => return Err(missing("verified")),
+        }
+        let num = |f: &str| row.get(f).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if num("errors") != 0.0 {
+            return Err(format!("row {i} ({verb}): non-zero protocol errors"));
+        }
+        if num("requests") > 0.0 && num("p99_ms") <= 0.0 {
+            return Err(format!(
+                "row {i} ({verb}): p99 must be non-zero when requests were issued"
+            ));
+        }
+        if verb == "color" {
+            saw_color = true;
+            if num("requests") <= 0.0 {
+                return Err("color row has no requests".into());
+            }
+        }
+    }
+    if !saw_color {
+        return Err("no color row in the document".into());
+    }
+    let inc = doc.get("incremental").ok_or("missing incremental object")?;
+    let imiss = |f: &str| format!("incremental: missing or mistyped {f}");
+    inc.get("dataset")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| imiss("dataset"))?;
+    inc.get("colorer")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| imiss("colorer"))?;
+    for f in [
+        "vertices",
+        "edges",
+        "delta_edges",
+        "full_thread_executions",
+        "repair_thread_executions",
+        "speedup",
+        "frontier",
+        "repair_rounds",
+    ] {
+        inc.get(f)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| imiss(f))?;
+    }
+    for f in ["verified", "revalidated", "cache_hit_after_mutate"] {
+        match inc.get(f) {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => return Err(format!("incremental: {f} is false")),
+            _ => return Err(imiss(f)),
+        }
+    }
+    let inum = |f: &str| inc.get(f).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let (edges, delta) = (inum("edges"), inum("delta_edges"));
+    if delta <= 0.0 || delta > edges / 100.0 {
+        return Err(format!(
+            "incremental: delta_edges ({delta}) must be in (0, 1%] of edges ({edges})"
+        ));
+    }
+    let (full, repair) = (
+        inum("full_thread_executions"),
+        inum("repair_thread_executions"),
+    );
+    if full <= 0.0 {
+        return Err("incremental: full run reported no thread executions".into());
+    }
+    if repair * MIN_INCREMENTAL_SPEEDUP > full {
+        return Err(format!(
+            "incremental repair ({repair} thread executions) is not \
+             {MIN_INCREMENTAL_SPEEDUP}x cheaper than the full recolor ({full})"
+        ));
+    }
+    doc.get("service")
+        .and_then(|s| s.get("served"))
+        .and_then(|v| v.as_f64())
+        .ok_or("missing service counters")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NetBenchConfig {
+        NetBenchConfig {
+            requests: 600,
+            clients: 3,
+            workers: 2,
+            mesh_side: 16,
+        }
+    }
+
+    #[test]
+    fn net_bench_smoke_meets_the_acceptance_invariants() {
+        let metrics = gc_telemetry::MetricsRegistry::new();
+        let report = net_bench_with(
+            &ExperimentConfig::smoke(),
+            &small(),
+            None,
+            Some(metrics.clone()),
+        );
+        assert_eq!(report.protocol_errors, 0);
+        assert!(report.total_requests >= 600);
+        assert!(report.frames_ok > 0);
+        assert_eq!(report.frames_bad, 0);
+        let color = report.rows.iter().find(|r| r.verb == "color").unwrap();
+        assert!(color.requests > 0 && color.verified);
+        assert!(color.latency.p99() > 0.0);
+        let inc = &report.incremental;
+        assert!(inc.verified && inc.revalidated && inc.cache_hit_after_mutate);
+        assert!(inc.full_thread_executions > 0);
+        assert!(
+            inc.speedup() >= MIN_INCREMENTAL_SPEEDUP,
+            "incremental repair only {}x cheaper (full {} vs repair {})",
+            inc.speedup(),
+            inc.full_thread_executions,
+            inc.repair_thread_executions
+        );
+        // Client-observed latency landed in the registry per verb.
+        let hists = metrics.histograms();
+        assert!(hists
+            .iter()
+            .any(|(k, h)| k.0 == "gc_net_client_ms" && h.samples > 0));
+
+        let json = to_json(&report);
+        validate_report_json(&json).expect("self-validation");
+    }
+
+    #[test]
+    fn validator_rejects_regressions() {
+        let report = net_bench(
+            &ExperimentConfig::smoke(),
+            &NetBenchConfig {
+                requests: 60,
+                clients: 1,
+                workers: 1,
+                mesh_side: 16,
+            },
+        );
+        let good = to_json(&report);
+        validate_report_json(&good).unwrap();
+
+        let bad = good.replace("\"protocol_errors\": 0", "\"protocol_errors\": 3");
+        assert!(validate_report_json(&bad).is_err());
+        let bad = good.replace("\"revalidated\": true", "\"revalidated\": false");
+        assert!(validate_report_json(&bad).is_err());
+        let bad = good.replace("\"schema\": \"gc-bench-net/v1\"", "\"schema\": \"nope\"");
+        assert!(validate_report_json(&bad).is_err());
+    }
+}

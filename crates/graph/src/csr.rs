@@ -35,13 +35,26 @@ impl Csr {
     /// type-level invariants). Use [`crate::GraphBuilder`] to construct a
     /// graph from an arbitrary edge list instead.
     pub fn from_raw(n: usize, row_offsets: Vec<usize>, col_indices: Vec<VertexId>) -> Self {
+        Self::try_from_raw(n, row_offsets, col_indices).expect("invalid CSR arrays")
+    }
+
+    /// Non-panicking [`Csr::from_raw`]: validates the arrays and returns
+    /// the first invariant violation instead of panicking. This is the
+    /// ingest path for untrusted input (e.g. a CSR arriving over the
+    /// `gc-net` wire protocol), where malformed structure must become a
+    /// protocol error, never a crash.
+    pub fn try_from_raw(
+        n: usize,
+        row_offsets: Vec<usize>,
+        col_indices: Vec<VertexId>,
+    ) -> Result<Self, String> {
         let g = Self {
             n,
             row_offsets,
             col_indices,
         };
-        g.validate().expect("invalid CSR arrays");
-        g
+        g.validate()?;
+        Ok(g)
     }
 
     /// An empty graph with `n` isolated vertices.

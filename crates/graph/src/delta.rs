@@ -1,0 +1,270 @@
+//! Batched edge insert/delete deltas over a [`Csr`] graph.
+//!
+//! Dynamic-graph clients (the `gc-net` wire protocol) mutate a graph by
+//! shipping small batches of edge changes instead of re-submitting the
+//! whole CSR. [`apply_edge_delta`] rebuilds the adjacency structure in
+//! one merge pass over the old neighbor lists and reports exactly which
+//! vertices were *touched* — the endpoints of edges that actually
+//! changed — so the caller can seed an incremental-recoloring frontier
+//! with just those vertices rather than recoloring from scratch.
+
+use crate::csr::{Csr, VertexId};
+
+/// A batch of undirected edge changes. Edges are unordered pairs; both
+/// `(u, v)` and `(v, u)` denote the same edge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeDelta {
+    pub insert: Vec<(VertexId, VertexId)>,
+    pub delete: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeDelta {
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.insert.len() + self.delete.len()
+    }
+}
+
+/// The result of applying an [`EdgeDelta`].
+#[derive(Clone, Debug)]
+pub struct DeltaOutcome {
+    /// The mutated graph.
+    pub graph: Csr,
+    /// Unique, ascending endpoints of edges that actually changed —
+    /// inserting an edge already present or deleting one already absent
+    /// touches nothing. This is the seed frontier for incremental
+    /// recoloring: deletions can never make a proper coloring improper,
+    /// and an insertion can only conflict at its two endpoints.
+    pub touched: Vec<VertexId>,
+    /// Edges actually added (requested inserts minus duplicates and
+    /// already-present edges).
+    pub inserted: usize,
+    /// Edges actually removed.
+    pub deleted: usize,
+}
+
+/// Applies `delta` to `g`, returning the mutated graph and the set of
+/// touched vertices.
+///
+/// Semantics:
+///
+/// * endpoints must be in range and distinct (no self loops), otherwise
+///   the whole batch is rejected;
+/// * deletes are applied first, then inserts — an edge listed in both
+///   ends up present;
+/// * duplicate pairs within a batch collapse to one change;
+/// * inserting a present edge / deleting an absent one is a no-op and
+///   does not count as a change.
+///
+/// Cost is `O(E + Δ log Δ)`: one merge sweep over the old CSR plus a
+/// sort of the (small) delta — the graph is *not* re-validated edge by
+/// edge, the merge preserves the CSR invariants by construction.
+pub fn apply_edge_delta(g: &Csr, delta: &EdgeDelta) -> Result<DeltaOutcome, String> {
+    let n = g.num_vertices();
+    let check = |pairs: &[(VertexId, VertexId)], what: &str| -> Result<(), String> {
+        for &(u, v) in pairs {
+            if u as usize >= n || v as usize >= n {
+                return Err(format!("{what} ({u}, {v}) out of range for n = {n}"));
+            }
+            if u == v {
+                return Err(format!("{what} ({u}, {v}) is a self loop"));
+            }
+        }
+        Ok(())
+    };
+    check(&delta.insert, "insert")?;
+    check(&delta.delete, "delete")?;
+
+    // Directed views of the delta, sorted so each vertex's changes form a
+    // contiguous ascending run that merges against its old neighbor list.
+    let directed = |pairs: &[(VertexId, VertexId)]| -> Vec<(VertexId, VertexId)> {
+        let mut arcs = Vec::with_capacity(pairs.len() * 2);
+        for &(u, v) in pairs {
+            arcs.push((u, v));
+            arcs.push((v, u));
+        }
+        arcs.sort_unstable();
+        arcs.dedup();
+        arcs
+    };
+    let ins = directed(&delta.insert);
+    let del = directed(&delta.delete);
+
+    let mut row_offsets = Vec::with_capacity(n + 1);
+    row_offsets.push(0usize);
+    let mut cols: Vec<VertexId> =
+        Vec::with_capacity(g.num_directed_edges() + ins.len().saturating_sub(del.len()));
+    let mut touched = Vec::new();
+    let (mut ii, mut di) = (0usize, 0usize);
+    let mut inserted_arcs = 0usize;
+    let mut deleted_arcs = 0usize;
+
+    for v in 0..n as VertexId {
+        let old = g.neighbors(v);
+        let mut oi = 0usize;
+        let mut touched_v = false;
+        // Merge the old sorted neighbor run with this vertex's sorted
+        // insert run, skipping neighbors present in the delete run.
+        while oi < old.len() || (ii < ins.len() && ins[ii].0 == v) {
+            let next_ins = if ii < ins.len() && ins[ii].0 == v {
+                Some(ins[ii].1)
+            } else {
+                None
+            };
+            let take_ins = match (old.get(oi), next_ins) {
+                (Some(&o), Some(i)) => i < o,
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            if take_ins {
+                let u = next_ins.unwrap();
+                cols.push(u);
+                inserted_arcs += 1;
+                touched_v = true;
+                ii += 1;
+            } else {
+                let u = old[oi];
+                oi += 1;
+                // Deduplicate an insert of an already-present edge.
+                if next_ins == Some(u) {
+                    ii += 1;
+                }
+                let doomed = {
+                    while di < del.len() && del[di] < (v, u) {
+                        di += 1;
+                    }
+                    di < del.len() && del[di] == (v, u)
+                };
+                // ...unless it is also being deleted; delete-then-insert
+                // keeps the edge, so only a pure delete drops it.
+                if doomed && next_ins != Some(u) {
+                    deleted_arcs += 1;
+                    touched_v = true;
+                } else {
+                    cols.push(u);
+                }
+            }
+        }
+        if touched_v {
+            touched.push(v);
+        }
+        row_offsets.push(cols.len());
+    }
+
+    let graph = Csr::try_from_raw(n, row_offsets, cols)
+        .map_err(|e| format!("delta produced an invalid CSR (bug): {e}"))?;
+    Ok(DeltaOutcome {
+        graph,
+        touched,
+        inserted: inserted_arcs / 2,
+        deleted: deleted_arcs / 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, erdos_renyi};
+    use crate::GraphBuilder;
+
+    fn delta(insert: &[(VertexId, VertexId)], delete: &[(VertexId, VertexId)]) -> EdgeDelta {
+        EdgeDelta {
+            insert: insert.to_vec(),
+            delete: delete.to_vec(),
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_edges() {
+        let g = cycle(6); // 0-1-2-3-4-5-0
+        let out = apply_edge_delta(&g, &delta(&[(0, 3)], &[(1, 2)])).unwrap();
+        assert!(out.graph.has_edge(0, 3));
+        assert!(!out.graph.has_edge(1, 2));
+        assert_eq!(out.inserted, 1);
+        assert_eq!(out.deleted, 1);
+        assert_eq!(out.touched, vec![0, 1, 2, 3]);
+        assert!(out.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn noop_changes_touch_nothing() {
+        let g = cycle(5);
+        // Edge (0, 1) already exists; (2, 4) never did.
+        let out = apply_edge_delta(&g, &delta(&[(0, 1)], &[(2, 4)])).unwrap();
+        assert_eq!(out.inserted, 0);
+        assert_eq!(out.deleted, 0);
+        assert!(out.touched.is_empty());
+        assert_eq!(out.graph, g);
+    }
+
+    #[test]
+    fn unordered_and_duplicate_pairs_collapse() {
+        let g = Csr::empty(4);
+        let out = apply_edge_delta(&g, &delta(&[(2, 1), (1, 2), (1, 2)], &[])).unwrap();
+        assert_eq!(out.inserted, 1);
+        assert_eq!(out.graph.num_edges(), 1);
+        assert!(out.graph.has_edge(1, 2));
+        assert_eq!(out.touched, vec![1, 2]);
+    }
+
+    #[test]
+    fn delete_then_insert_keeps_the_edge() {
+        let g = cycle(4);
+        let out = apply_edge_delta(&g, &delta(&[(0, 1)], &[(0, 1)])).unwrap();
+        assert!(out.graph.has_edge(0, 1));
+        assert_eq!(out.graph, g);
+        assert_eq!((out.inserted, out.deleted), (0, 0));
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_self_loops() {
+        let g = cycle(4);
+        assert!(apply_edge_delta(&g, &delta(&[(0, 9)], &[]))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(apply_edge_delta(&g, &delta(&[], &[(2, 2)]))
+            .unwrap_err()
+            .contains("self loop"));
+    }
+
+    #[test]
+    fn matches_rebuild_from_scratch() {
+        let g = erdos_renyi(60, 0.08, 3);
+        let ins = [(0, 59), (10, 20), (5, 6)];
+        let del: Vec<_> = g.edges().take(7).collect();
+        let out = apply_edge_delta(
+            &g,
+            &EdgeDelta {
+                insert: ins.to_vec(),
+                delete: del.clone(),
+            },
+        )
+        .unwrap();
+
+        let mut b = GraphBuilder::new(60);
+        for (u, v) in g.edges() {
+            let norm = (u.min(v), u.max(v));
+            if !del.iter().any(|&(a, c)| (a.min(c), a.max(c)) == norm) {
+                b.push(u, v);
+            }
+        }
+        for &(u, v) in &ins {
+            b.push(u, v);
+        }
+        let expect = b.build();
+        assert_eq!(out.graph, expect);
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = erdos_renyi(30, 0.1, 1);
+        let out = apply_edge_delta(&g, &EdgeDelta::default()).unwrap();
+        assert_eq!(out.graph, g);
+        assert!(out.touched.is_empty());
+        assert!(EdgeDelta::default().is_empty());
+        assert_eq!(EdgeDelta::default().len(), 0);
+    }
+}

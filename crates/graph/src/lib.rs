@@ -16,6 +16,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod mtx;
 pub mod partition;
@@ -25,6 +26,7 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, VertexId};
+pub use delta::{apply_edge_delta, DeltaOutcome, EdgeDelta};
 pub use partition::{Partition, Shard};
 
 #[cfg(test)]

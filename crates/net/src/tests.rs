@@ -1,0 +1,571 @@
+//! End-to-end tests over real loopback TCP, plus property tests for the
+//! frame decoder (hostile input must error, never panic) and for the
+//! incremental recoloring path (repair after random deltas must be
+//! proper and pass the same verifier as a from-scratch recolor).
+
+use gc_core::verify::is_proper;
+use gc_graph::generators::{grid2d, Stencil2d};
+use gc_graph::{Csr, EdgeDelta, GraphBuilder};
+use gc_service::ServiceConfig;
+use proptest::prelude::*;
+
+use crate::client::NetClient;
+use crate::server::{NetServerConfig, Server};
+use crate::wire::*;
+
+fn start_server() -> (Server, NetClient) {
+    let server = Server::start("127.0.0.1:0", NetServerConfig::default()).expect("bind loopback");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    (server, client)
+}
+
+// Large enough that the Balanced policy picks a GPU colorer (the
+// profile-backed thread-execution counts the tests assert on come from
+// the device path; graphs under `TINY_GRAPH_VERTICES` run on the CPU).
+fn mesh() -> Csr {
+    grid2d(60, 60, Stencil2d::FivePoint)
+}
+
+#[test]
+fn submit_color_get_result_roundtrip() {
+    let (server, mut client) = start_server();
+    let g = mesh();
+    let ack = client.submit_graph(1, &g).unwrap();
+    assert_eq!(ack.version, 0);
+    assert_eq!(ack.fingerprint, gc_service::graph_fingerprint(&g));
+
+    let summary = client.color(1, WireObjective::Balanced, 0, 0).unwrap();
+    assert!(summary.verified);
+    assert!(!summary.cache_hit);
+    assert!(summary.num_colors >= 2);
+    assert!(summary.thread_executions > 0);
+
+    let result = client.get_result(1).unwrap();
+    assert_eq!(result.version, 0);
+    assert_eq!(result.num_colors, summary.num_colors);
+    assert!(is_proper(&g, &result.colors).is_ok());
+
+    // Same (graph, objective, seed): served from the result cache.
+    let again = client.color(1, WireObjective::Balanced, 0, 0).unwrap();
+    assert!(again.cache_hit);
+    assert_eq!(again.num_colors, summary.num_colors);
+    server.stop();
+}
+
+#[test]
+fn unknown_graph_and_no_result_error_cleanly() {
+    let (server, mut client) = start_server();
+    let err = client.color(99, WireObjective::Fastest, 0, 0).unwrap_err();
+    assert_eq!(err.remote_code(), Some(ErrCode::UnknownGraph));
+
+    client.submit_graph(5, &mesh()).unwrap();
+    let err = client.get_result(5).unwrap_err();
+    assert_eq!(err.remote_code(), Some(ErrCode::NoResult));
+    // The connection survives request errors.
+    assert!(client.color(5, WireObjective::Fastest, 0, 0).is_ok());
+    server.stop();
+}
+
+#[test]
+fn invalid_graph_rejected_not_crashed() {
+    let (server, mut client) = start_server();
+    // Asymmetric CSR: edge 0->1 without 1->0.
+    let msg = SubmitGraph {
+        graph_id: 1,
+        n: 2,
+        row_offsets: vec![0, 1, 1],
+        cols: vec![1],
+    };
+    let mut raw = NetClientRaw::connect(server.local_addr());
+    let reply = raw.call(VERB_SUBMIT_GRAPH, &msg.encode());
+    match reply {
+        ReplyOrError::Err(e) => assert_eq!(e.code, ErrCode::InvalidGraph),
+        other => panic!("expected InvalidGraph, got {other:?}"),
+    }
+    // The server is still healthy.
+    assert!(client.submit_graph(2, &mesh()).is_ok());
+    server.stop();
+}
+
+#[test]
+fn mutate_edges_repairs_incrementally_and_revalidates_cache() {
+    let (server, mut client) = start_server();
+    let g = mesh();
+    client.submit_graph(1, &g).unwrap();
+    let full = client.color(1, WireObjective::Balanced, 0, 0).unwrap();
+    assert!(!full.cache_hit);
+    let full_execs = full.thread_executions;
+    assert!(full_execs > 0);
+
+    // A small delta: a few inserts and deletes.
+    let delta = EdgeDelta {
+        insert: vec![(0, 41), (100, 142), (3, 80)],
+        delete: vec![(0, 1)],
+    };
+    let ack = client.mutate_edges(1, &delta).unwrap();
+    assert_eq!(ack.version, 1);
+    assert_eq!(ack.inserted, 3);
+    assert_eq!(ack.deleted, 1);
+    assert!(
+        ack.frontier > 0,
+        "changed endpoints must enter the frontier"
+    );
+    assert!(
+        ack.revalidated,
+        "the cached entry must be carried across the delta"
+    );
+    assert!(
+        ack.repair_thread_executions < full_execs,
+        "incremental repair ({}) must execute fewer threads than the full \
+         recolor ({full_execs})",
+        ack.repair_thread_executions
+    );
+
+    // The repaired coloring is proper on the mutated graph.
+    let out = gc_graph::apply_edge_delta(&g, &delta).unwrap();
+    let result = client.get_result(1).unwrap();
+    assert_eq!(result.version, 1);
+    assert!(is_proper(&out.graph, &result.colors).is_ok());
+
+    // Cache revalidation: coloring the mutated graph with the same
+    // objective/seed is a *hit* under the new lineage fingerprint.
+    let after = client.color(1, WireObjective::Balanced, 0, 0).unwrap();
+    assert!(
+        after.cache_hit,
+        "revalidated entry must serve the post-delta request"
+    );
+    assert_eq!(after.num_colors, ack.num_colors);
+    assert_eq!(server.stats().revalidated, 1);
+    server.stop();
+}
+
+#[test]
+fn mutate_before_color_skips_repair() {
+    let (server, mut client) = start_server();
+    client.submit_graph(1, &mesh()).unwrap();
+    let delta = EdgeDelta {
+        insert: vec![(0, 2)],
+        delete: vec![],
+    };
+    let ack = client.mutate_edges(1, &delta).unwrap();
+    assert_eq!(ack.version, 1);
+    assert_eq!(ack.frontier, 0, "no stored coloring, nothing to repair");
+    assert!(!ack.revalidated);
+    // Coloring after the mutation works on the mutated structure.
+    let summary = client.color(1, WireObjective::Fastest, 0, 0).unwrap();
+    assert!(summary.verified);
+    assert_eq!(summary.version, 1);
+    server.stop();
+}
+
+#[test]
+fn invalid_delta_rejected() {
+    let (server, mut client) = start_server();
+    client.submit_graph(1, &mesh()).unwrap();
+    // Out-of-range endpoint.
+    let err = client
+        .mutate_edges(
+            1,
+            &EdgeDelta {
+                insert: vec![(0, 1_000_000)],
+                delete: vec![],
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.remote_code(), Some(ErrCode::InvalidDelta));
+    // Self loop.
+    let err = client
+        .mutate_edges(
+            1,
+            &EdgeDelta {
+                insert: vec![(3, 3)],
+                delete: vec![],
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.remote_code(), Some(ErrCode::InvalidDelta));
+    server.stop();
+}
+
+#[test]
+fn zero_deadline_is_shed_with_reason() {
+    let (server, mut client) = start_server();
+    client.submit_graph(1, &mesh()).unwrap();
+    // deadline_ms is a u32 of milliseconds; 1 ms is not schedulable
+    // reliably, so drive the shed through the service by submitting
+    // with the minimum deadline and a queue that must wait: simplest
+    // deterministic variant is deadline so small the queue wait always
+    // exceeds it. Use 0 => no deadline per protocol, so use 1.
+    let mut shed = 0;
+    for _ in 0..64 {
+        match client.color(1, WireObjective::FewestColors, 9_999, 1) {
+            Err(e) if e.is_shed() => {
+                assert_eq!(e.remote_code(), Some(ErrCode::ShedDeadline));
+                shed += 1;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+            Ok(_) => {}
+        }
+    }
+    // Shedding is timing-dependent; not asserting it happened, only
+    // that when it does the error is typed correctly (checked above).
+    let _ = shed;
+    server.stop();
+}
+
+#[test]
+fn stats_stream_reports_activity() {
+    let (server, mut client) = start_server();
+    client.submit_graph(1, &mesh()).unwrap();
+    client.color(1, WireObjective::Fastest, 0, 0).unwrap();
+    client.color(1, WireObjective::Fastest, 0, 0).unwrap();
+    let ticks = client.subscribe_stats(3, 1).unwrap();
+    assert_eq!(ticks.len(), 3);
+    assert_eq!(ticks[0].tick, 0);
+    assert_eq!(ticks[2].tick, 2);
+    let last = &ticks[2];
+    assert_eq!(last.served, 2);
+    assert_eq!(last.cache_hits, 1);
+    assert_eq!(last.graphs, 1);
+    assert!(last.frames_ok >= 3, "submit + 2 colors must be counted");
+    assert_eq!(last.frames_bad, 0);
+    server.stop();
+}
+
+#[test]
+fn client_shutdown_verb_stops_the_server() {
+    let server = Server::start("127.0.0.1:0", NetServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = NetClient::connect(addr).unwrap();
+    client.submit_graph(1, &mesh()).unwrap();
+    client.shutdown_server().unwrap();
+    // join returns because the accept loop observed the stop flag.
+    server.join();
+    // New connections are refused or go unserved; either way connect +
+    // request must not succeed.
+    let mut failed = false;
+    match NetClient::connect(addr) {
+        Err(_) => failed = true,
+        Ok(mut c) => {
+            c.set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                .unwrap();
+            if c.submit_graph(2, &mesh()).is_err() {
+                failed = true;
+            }
+        }
+    }
+    assert!(failed, "server must not serve after shutdown");
+}
+
+#[test]
+fn per_verb_counters_and_spans_are_recorded() {
+    let tracer = gc_telemetry::Tracer::new();
+    let metrics = gc_telemetry::MetricsRegistry::new();
+    let config = NetServerConfig {
+        service: ServiceConfig {
+            tracer: Some(tracer.clone()),
+            metrics: Some(metrics.clone()),
+            ..ServiceConfig::default()
+        },
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let g = mesh();
+    client.submit_graph(1, &g).unwrap();
+    client.color(1, WireObjective::Fastest, 0, 0).unwrap();
+    client
+        .mutate_edges(
+            1,
+            &EdgeDelta {
+                insert: vec![(0, 2)],
+                delete: vec![],
+            },
+        )
+        .unwrap();
+    client.get_result(1).unwrap();
+    drop(client);
+    server.stop();
+
+    // The handler records its span (and the wall-time histogram) *after*
+    // flushing the reply, so the last request's telemetry races our view
+    // of the client-side reply; wait for the detached connection thread
+    // to finish before asserting.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while tracer
+        .records()
+        .iter()
+        .filter(|r| r.name == "net_request")
+        .count()
+        < 4
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let counters: std::collections::BTreeMap<(String, Vec<(String, String)>), u64> =
+        metrics.counters().into_iter().collect();
+    for verb in ["submit_graph", "color", "mutate_edges", "get_result"] {
+        let key = (
+            "gc_net_requests_total".to_string(),
+            vec![("verb".to_string(), verb.to_string())],
+        );
+        assert_eq!(counters.get(&key), Some(&1), "missing counter for {verb}");
+    }
+    // Per-verb wall-time histograms exist.
+    assert!(metrics
+        .histograms()
+        .iter()
+        .any(|((name, labels), h)| name == "gc_net_request_ms"
+            && labels.iter().any(|(k, _)| k == "verb")
+            && h.samples > 0));
+
+    // The request lifecycle is visible as spans: net_request with the
+    // verb attribute, decode/ingest/admit/encode children, and the
+    // mutation's repair span from gc-shard.
+    let records = tracer.records();
+    let net_requests: Vec<_> = records.iter().filter(|r| r.name == "net_request").collect();
+    assert!(net_requests.len() >= 4, "one span per handled frame");
+    for name in [
+        "net_decode",
+        "net_ingest",
+        "net_admit",
+        "net_encode",
+        "net_mutate",
+    ] {
+        assert!(
+            records.iter().any(|r| r.name == name),
+            "missing span {name}"
+        );
+    }
+    assert!(
+        records.iter().any(|r| r.name == "repair_frontier"),
+        "the incremental repair must trace through gc-shard's span"
+    );
+}
+
+#[test]
+fn resubmitting_a_graph_id_resets_lineage() {
+    let (server, mut client) = start_server();
+    let a = mesh();
+    let ack_a = client.submit_graph(1, &a).unwrap();
+    client
+        .mutate_edges(
+            1,
+            &EdgeDelta {
+                insert: vec![(0, 2)],
+                delete: vec![],
+            },
+        )
+        .unwrap();
+    let b = grid2d(10, 10, Stencil2d::FivePoint);
+    let ack_b = client.submit_graph(1, &b).unwrap();
+    assert_eq!(ack_b.version, 0, "resubmission restarts the lineage");
+    assert_ne!(ack_a.fingerprint, ack_b.fingerprint);
+    let result = client.color(1, WireObjective::Fastest, 0, 0).unwrap();
+    assert!(result.verified);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket helper for protocol-level tests (bypasses the typed client)
+// ---------------------------------------------------------------------------
+
+use std::io::Write;
+use std::net::TcpStream;
+
+struct NetClientRaw {
+    stream: TcpStream,
+}
+
+#[derive(Debug)]
+enum ReplyOrError {
+    /// `(verb, body)` of a non-error reply frame.
+    #[allow(dead_code)] // carried for Debug output in assertion failures
+    Ok(u8, Vec<u8>),
+    Err(ErrorFrame),
+    Dead,
+}
+
+impl NetClientRaw {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect raw");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        NetClientRaw { stream }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write raw");
+        self.stream.flush().unwrap();
+    }
+
+    fn call(&mut self, verb: u8, body: &[u8]) -> ReplyOrError {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, verb, body).unwrap();
+        self.send_raw(&framed);
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> ReplyOrError {
+        match read_frame(&mut self.stream) {
+            Ok((VERB_ERROR, body)) => match ErrorFrame::decode(&body) {
+                Ok(e) => ReplyOrError::Err(e),
+                Err(_) => ReplyOrError::Dead,
+            },
+            Ok((verb, body)) => ReplyOrError::Ok(verb, body),
+            Err(_) => ReplyOrError::Dead,
+        }
+    }
+}
+
+#[test]
+fn garbage_frames_get_error_frames_not_crashes() {
+    let (server, mut client) = start_server();
+
+    // Unknown verb: typed error, connection stays usable server-side.
+    let mut raw = NetClientRaw::connect(server.local_addr());
+    match raw.call(0x42, &[1, 2, 3]) {
+        ReplyOrError::Err(e) => assert_eq!(e.code, ErrCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // Truncated body for a known verb.
+    let mut raw = NetClientRaw::connect(server.local_addr());
+    match raw.call(VERB_COLOR, &[1, 2]) {
+        ReplyOrError::Err(e) => assert_eq!(e.code, ErrCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // Oversized length prefix: the server reports and hangs up.
+    let mut raw = NetClientRaw::connect(server.local_addr());
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.push(VERB_COLOR);
+    raw.send_raw(&bytes);
+    match raw.read_reply() {
+        ReplyOrError::Err(e) => assert_eq!(e.code, ErrCode::Malformed),
+        ReplyOrError::Dead => {} // hang-up before the error frame is also fine
+        other => panic!("expected error or hangup, got {other:?}"),
+    }
+
+    // The server survived all of it.
+    assert!(client.submit_graph(1, &mesh()).is_ok());
+    let ticks = client.subscribe_stats(1, 0).unwrap();
+    assert!(ticks[0].frames_bad >= 2);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (4usize..32).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..100)
+            .prop_map(move |edges| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+/// A delta whose endpoints are in-range for a graph of `n` vertices and
+/// free of self loops (the structurally valid case; invalid deltas are
+/// covered by `invalid_delta_rejected`).
+fn arb_delta(n: usize) -> impl Strategy<Value = EdgeDelta> {
+    let pair = (0..n as u32, 0..n as u32);
+    (
+        proptest::collection::vec(pair.clone(), 0..12),
+        proptest::collection::vec(pair, 0..12),
+    )
+        .prop_map(|(ins, del)| EdgeDelta {
+            insert: ins.into_iter().filter(|&(u, v)| u != v).collect(),
+            delete: del.into_iter().filter(|&(u, v)| u != v).collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The frame decoder must never panic on arbitrary bytes — every
+    /// outcome is a typed error or a decoded message.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_frame(&mut bytes.as_slice());
+        let _ = SubmitGraph::decode(&bytes);
+        let _ = ColorReq::decode(&bytes);
+        let _ = GetResult::decode(&bytes);
+        let _ = MutateEdges::decode(&bytes);
+        let _ = SubscribeStats::decode(&bytes);
+        let _ = SubmitGraphAck::decode(&bytes);
+        let _ = ColorSummary::decode(&bytes);
+        let _ = ResultPayload::decode(&bytes);
+        let _ = MutateAck::decode(&bytes);
+        let _ = StatsTick::decode(&bytes);
+        let _ = ErrorFrame::decode(&bytes);
+    }
+
+    /// Truncating a valid frame at every length must error, never panic.
+    #[test]
+    fn truncated_valid_frames_error(cut in 0usize..64) {
+        let g = gc_graph::generators::cycle(8);
+        let body = SubmitGraph::from_csr(1, &g).encode();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, VERB_SUBMIT_GRAPH, &body).unwrap();
+        let cut = cut.min(framed.len().saturating_sub(1));
+        let truncated = &framed[..cut];
+        if let Ok((_, decoded_body)) = read_frame(&mut { truncated }) {
+            // Only possible if the cut landed beyond a complete
+            // frame — never the case here since cut < framed.len().
+            prop_assert!(SubmitGraph::decode(&decoded_body).is_err());
+        }
+    }
+
+    /// Incremental recoloring after a random edge delta yields a
+    /// coloring that passes the same verifier as a from-scratch run.
+    #[test]
+    fn incremental_recolor_matches_verifier(
+        g in arb_graph(),
+        seed in 0u64..50,
+        deltas in (4usize..32).prop_flat_map(|n| proptest::collection::vec(arb_delta(n), 1..4)),
+    ) {
+        // Color from scratch on the host-side service path.
+        let dev = gc_vgpu::Device::k40c();
+        let colorer = gc_core::runner::colorer_by_name("Naumov/Color_JPL").unwrap();
+        let result = colorer.run(&g, seed);
+        prop_assert!(is_proper(&g, result.coloring.as_slice()).is_ok());
+        let mut colors = result.coloring.as_slice().to_vec();
+
+        // Apply each delta, repairing incrementally, and check the
+        // invariant the wire protocol relies on after every step.
+        let mut current = g.clone();
+        for delta in &deltas {
+            // Clamp endpoints into range for this graph (arb_delta's n
+            // and arb_graph's n are independent draws).
+            let n = current.num_vertices() as u32;
+            let clamp = |d: &Vec<(u32, u32)>| -> Vec<(u32, u32)> {
+                d.iter()
+                    .map(|&(u, v)| (u % n, v % n))
+                    .filter(|&(u, v)| u != v)
+                    .collect()
+            };
+            let delta = EdgeDelta { insert: clamp(&delta.insert), delete: clamp(&delta.delete) };
+            let out = match gc_graph::apply_edge_delta(&current, &delta) {
+                Ok(o) => o,
+                Err(_) => continue,
+            };
+            gc_shard::repair_frontier(&dev, &out.graph, &mut colors, &out.touched, 64);
+            prop_assert!(
+                is_proper(&out.graph, &colors).is_ok(),
+                "incremental repair must keep the coloring proper"
+            );
+            current = out.graph;
+        }
+
+        // The final coloring passes the exact verifier a from-scratch
+        // recolor of the final graph passes.
+        let fresh = colorer.run(&current, seed);
+        prop_assert!(is_proper(&current, fresh.coloring.as_slice()).is_ok());
+        prop_assert!(is_proper(&current, &colors).is_ok());
+    }
+}

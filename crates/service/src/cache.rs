@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use gc_graph::Csr;
+use gc_graph::{Csr, EdgeDelta};
 
 /// 64-bit FNV-1a over the CSR structure. Stable across runs (no
 /// per-process hash seeding), so cache behaviour is reproducible.
@@ -25,6 +25,38 @@ pub fn graph_fingerprint(g: &Csr) -> u64 {
     }
     for &c in g.col_indices() {
         h.write_u64(c as u64);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the graph obtained by applying `delta` to the graph
+/// fingerprinted as `parent_fp` — the version-lineage chain `gc-net`
+/// maintains for mutable graphs. Costs `O(|delta|)` instead of the
+/// `O(E)` rehash of [`graph_fingerprint`], so a front-end can key the
+/// result cache across thousands of small mutations cheaply.
+///
+/// Lineage fingerprints live in a different namespace than structural
+/// ones: two graphs that are structurally identical but reached through
+/// different delta histories fingerprint differently. That is
+/// intentional — the chain identifies "this exact tracked graph at this
+/// exact version", which is the only identity a mutating front-end can
+/// assert without rehashing. Endpoint order within a pair does not
+/// matter (pairs are normalized to `(min, max)`), but the order of
+/// deltas in the history does.
+pub fn lineage_fingerprint(parent_fp: u64, delta: &EdgeDelta) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(parent_fp);
+    h.write_u64(delta.insert.len() as u64);
+    h.write_u64(delta.delete.len() as u64);
+    for &(u, v) in &delta.insert {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        h.write_u64((a as u64) << 32 | b as u64);
+    }
+    for &(u, v) in &delta.delete {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        // Distinct tag stream for deletes so insert[(a,b)] and
+        // delete[(a,b)] never collide.
+        h.write_u64(!((a as u64) << 32 | b as u64));
     }
     h.finish()
 }
@@ -172,6 +204,43 @@ mod tests {
         assert_ne!(a, c);
         // Deterministic across calls.
         assert_eq!(a, graph_fingerprint(&cycle(10)));
+    }
+
+    #[test]
+    fn lineage_is_deterministic_and_order_normalized() {
+        let base = graph_fingerprint(&cycle(10));
+        let d = EdgeDelta {
+            insert: vec![(0, 5), (2, 7)],
+            delete: vec![(0, 1)],
+        };
+        let flipped = EdgeDelta {
+            insert: vec![(5, 0), (7, 2)],
+            delete: vec![(1, 0)],
+        };
+        assert_eq!(
+            lineage_fingerprint(base, &d),
+            lineage_fingerprint(base, &flipped),
+            "endpoint order within a pair must not matter"
+        );
+        // Different parent, different delta, or swapped insert/delete
+        // roles all diverge.
+        assert_ne!(
+            lineage_fingerprint(base, &d),
+            lineage_fingerprint(!base, &d)
+        );
+        let swapped = EdgeDelta {
+            insert: vec![(0, 1)],
+            delete: vec![(0, 5), (2, 7)],
+        };
+        assert_ne!(
+            lineage_fingerprint(base, &d),
+            lineage_fingerprint(base, &swapped)
+        );
+        assert_ne!(
+            lineage_fingerprint(base, &d),
+            base,
+            "a non-empty delta must move the fingerprint"
+        );
     }
 
     #[test]

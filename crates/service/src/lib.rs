@@ -45,8 +45,8 @@ pub mod request;
 pub mod service;
 pub mod stats;
 
-pub use cache::{graph_fingerprint, CacheKey, LruCache};
-pub use policy::{choose, features, GraphFeatures};
+pub use cache::{graph_fingerprint, lineage_fingerprint, CacheKey, LruCache};
+pub use policy::{choose, features, GraphFeatures, TINY_GRAPH_VERTICES};
 pub use request::{ColorRequest, ColorResponse, Objective, RequestMetrics, ServiceError};
 pub use service::{ColoringService, ResponseTicket, ServiceConfig, ServiceHandle};
 pub use stats::{LatencyHistogram, ServiceStats, StatsSnapshot};

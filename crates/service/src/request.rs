@@ -58,6 +58,14 @@ pub struct ColorRequest {
     /// Wall-clock budget measured from submission. A request still
     /// queued past its deadline is shed instead of run.
     pub deadline: Option<Duration>,
+    /// Pre-computed graph fingerprint for the result-cache key. `None`
+    /// (the default) makes the worker hash the CSR itself (`O(E)`);
+    /// front-ends that track graph identity — e.g. `gc-net`'s
+    /// version-lineage fingerprints, which cost `O(Δ)` per mutation —
+    /// pass it here so a cache hit never rehashes the whole graph. The
+    /// caller owns the contract that the fingerprint identifies this
+    /// exact adjacency structure.
+    pub fingerprint: Option<u64>,
 }
 
 impl ColorRequest {
@@ -67,6 +75,7 @@ impl ColorRequest {
             objective,
             seed: 0,
             deadline: None,
+            fingerprint: None,
         }
     }
 
@@ -79,6 +88,13 @@ impl ColorRequest {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Uses `fp` as the cache-key graph fingerprint instead of hashing
+    /// the CSR (see [`ColorRequest::fingerprint`]).
+    pub fn with_fingerprint(mut self, fp: u64) -> Self {
+        self.fingerprint = Some(fp);
+        self
+    }
 }
 
 /// Metrics derived from the run's [`ProfileReport`], flattened so
@@ -87,6 +103,11 @@ impl ColorRequest {
 pub struct RequestMetrics {
     /// Kernel launches performed by the coloring run (0 for CPU paths).
     pub kernel_launches: u64,
+    /// Total simulated thread executions across all launches — the
+    /// work metric the incremental-recolor path is judged against
+    /// (repairing a small delta must execute far fewer threads than a
+    /// from-scratch recolor).
+    pub thread_executions: u64,
     /// Device synchronizations.
     pub syncs: u64,
     /// Host<->device transfers.
@@ -113,6 +134,7 @@ impl RequestMetrics {
         };
         RequestMetrics {
             kernel_launches: p.launches,
+            thread_executions: p.thread_executions,
             syncs: p.syncs,
             memcpys: p.memcpys,
             memcpy_bytes: p.memcpy_bytes,
@@ -128,6 +150,7 @@ impl RequestMetrics {
     pub fn to_kv(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("launches={}\n", self.kernel_launches));
+        out.push_str(&format!("thread_executions={}\n", self.thread_executions));
         out.push_str(&format!("syncs={}\n", self.syncs));
         out.push_str(&format!("memcpys={}\n", self.memcpys));
         out.push_str(&format!("memcpy_bytes={}\n", self.memcpy_bytes));

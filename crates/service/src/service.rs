@@ -174,6 +174,7 @@ impl ColoringService {
         ServiceHandle {
             tx: self.tx.clone(),
             stats: Arc::clone(&self.stats),
+            cache: Arc::clone(&self.cache),
             queue_capacity: self.queue_capacity,
         }
     }
@@ -218,6 +219,7 @@ impl Drop for ColoringService {
 pub struct ServiceHandle {
     tx: SyncSender<Job>,
     stats: Arc<ServiceStats>,
+    cache: ResultCache,
     queue_capacity: usize,
 }
 
@@ -292,6 +294,41 @@ impl ServiceHandle {
 
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Carries a cached result across a graph mutation instead of
+    /// dropping it.
+    ///
+    /// A front-end that mutated a graph and *repaired* the cached
+    /// coloring incrementally (see `gc_shard::repair_frontier`) calls
+    /// this with the old cache key, the new key (same colorer/seed/
+    /// devices, `graph_fp` advanced along the version lineage via
+    /// [`crate::cache::lineage_fingerprint`]), and the repaired, already
+    /// re-verified response. The entry is inserted under the new key, so
+    /// the next [`ColorRequest::with_fingerprint`] request for the
+    /// mutated graph is a cache hit — no from-scratch recolor.
+    ///
+    /// The caller owns the proof obligations: `response.coloring` must
+    /// be proper on the *new* graph, and `new_key.graph_fp` must
+    /// identify it. Returns whether the old entry existed (the
+    /// revalidated-stats counter only moves for genuine carries; a miss
+    /// still inserts, which is harmless — it just warms the cache).
+    pub fn revalidate_cached(
+        &self,
+        old_key: &CacheKey,
+        new_key: CacheKey,
+        response: ColorResponse,
+    ) -> bool {
+        let had_old = self.cache.get(old_key).is_some();
+        let mut stored = response;
+        // Stored entries are canonical misses; `cache_hit` is set on get.
+        stored.cache_hit = false;
+        self.cache.insert(new_key, Arc::new(stored));
+        if had_old {
+            self.stats.on_revalidated();
+            gc_telemetry::instant("cache_revalidated", &[]);
+        }
+        had_old
     }
 
     fn package(&self, request: ColorRequest) -> (WorkItem, ResponseTicket) {
@@ -401,8 +438,13 @@ fn handle_job(
         req_span.attr("devices", devices);
     }
 
+    // A caller-supplied fingerprint (the `gc-net` version-lineage path)
+    // skips the O(E) structural rehash.
+    let graph_fp = req
+        .fingerprint
+        .unwrap_or_else(|| graph_fingerprint(&req.graph));
     let key = CacheKey {
-        graph_fp: graph_fingerprint(&req.graph),
+        graph_fp,
         colorer: colorer.name(),
         seed: req.seed,
         devices,
@@ -521,6 +563,66 @@ mod tests {
         assert_eq!(snap.served, 2);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(svc.cache_len(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn revalidated_entry_hits_under_lineage_key() {
+        use crate::cache::lineage_fingerprint;
+        use gc_graph::{apply_edge_delta, EdgeDelta};
+
+        let svc = ColoringService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let h = svc.handle();
+        let g = mesh();
+        let base_fp = graph_fingerprint(&g);
+
+        // Prime the cache under the base lineage fingerprint.
+        let first = h
+            .color(ColorRequest::new(Arc::clone(&g), Objective::Fastest).with_fingerprint(base_fp))
+            .unwrap();
+        assert!(!first.cache_hit);
+
+        // Mutate the graph and repair the cached coloring on the host
+        // (the net front-end does this on-device via repair_frontier;
+        // the cache contract is identical).
+        let delta = EdgeDelta {
+            insert: vec![(0, 2)],
+            delete: vec![],
+        };
+        let out = apply_edge_delta(&g, &delta).unwrap();
+        let mut colors = first.coloring.as_slice().to_vec();
+        gc_shard::repair::greedy_repair_host(&out.graph, &mut colors);
+        assert!(is_proper(&out.graph, &colors).is_ok());
+
+        let new_fp = lineage_fingerprint(base_fp, &delta);
+        let old_key = CacheKey {
+            graph_fp: base_fp,
+            colorer: first.colorer,
+            seed: 0,
+            devices: 1,
+        };
+        let new_key = CacheKey {
+            graph_fp: new_fp,
+            ..old_key.clone()
+        };
+        let mut repaired = first.clone();
+        repaired.coloring = gc_core::color::Coloring::new(colors);
+        repaired.num_colors = repaired.coloring.num_colors();
+        let carried = h.revalidate_cached(&old_key, new_key, repaired);
+        assert!(carried, "the base entry was cached and must be detected");
+
+        // A request for the mutated graph under the lineage fingerprint
+        // is now a cache hit — the mutation did not cost a recolor.
+        let second = h
+            .color(
+                ColorRequest::new(Arc::new(out.graph), Objective::Fastest).with_fingerprint(new_fp),
+            )
+            .unwrap();
+        assert!(second.cache_hit, "revalidated entry must hit");
+        assert_eq!(svc.stats().revalidated, 1);
         svc.shutdown();
     }
 

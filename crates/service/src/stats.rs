@@ -30,6 +30,10 @@ pub struct StatsSnapshot {
     /// Requests answered with a coloring (cache hits included).
     pub served: u64,
     pub cache_hits: u64,
+    /// Cache entries carried across a graph mutation by incremental
+    /// revalidation (repair + re-key under the new lineage fingerprint)
+    /// instead of being dropped.
+    pub revalidated: u64,
     /// Requests dropped at dequeue because their deadline had passed.
     pub shed: u64,
     /// `try_submit` rejections from a full queue.
@@ -65,9 +69,12 @@ struct MetricHandles {
     submitted: Counter,
     served: Counter,
     cache_hits: Counter,
+    revalidated: Counter,
     shed: Counter,
     rejected: Counter,
     failed: Counter,
+    shed_deadline: Counter,
+    shed_queue_full: Counter,
     queued: Gauge,
     in_flight: Gauge,
 }
@@ -78,9 +85,17 @@ impl MetricHandles {
             submitted: registry.counter("gc_service_requests_submitted_total"),
             served: registry.counter("gc_service_requests_served_total"),
             cache_hits: registry.counter("gc_service_cache_hits_total"),
+            revalidated: registry.counter("gc_service_cache_revalidated_total"),
             shed: registry.counter("gc_service_requests_shed_total"),
             rejected: registry.counter("gc_service_requests_rejected_total"),
             failed: registry.counter("gc_service_requests_failed_total"),
+            // Both load-shedding paths under one name, split by reason,
+            // so dashboards can tell "clients asked for too little time"
+            // (deadline) from "the service is saturated" (queue_full).
+            shed_deadline: registry
+                .counter_with("gc_service_shed_total", &[("reason", "deadline")]),
+            shed_queue_full: registry
+                .counter_with("gc_service_shed_total", &[("reason", "queue_full")]),
             queued: registry.gauge("gc_service_queued"),
             in_flight: registry.gauge("gc_service_in_flight"),
             registry,
@@ -95,6 +110,7 @@ pub struct ServiceStats {
     submitted: AtomicU64,
     served: AtomicU64,
     cache_hits: AtomicU64,
+    revalidated: AtomicU64,
     shed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
@@ -132,6 +148,16 @@ impl ServiceStats {
         self.rejected.fetch_add(1, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             m.rejected.inc();
+            m.shed_queue_full.inc();
+        }
+    }
+
+    /// A cached result survived a graph mutation via incremental
+    /// revalidation instead of being invalidated.
+    pub fn on_revalidated(&self) {
+        self.revalidated.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.revalidated.inc();
         }
     }
 
@@ -150,6 +176,7 @@ impl ServiceStats {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             m.shed.inc();
+            m.shed_deadline.inc();
             m.in_flight.sub(1);
         }
     }
@@ -208,6 +235,7 @@ impl ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            revalidated: self.revalidated.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),

@@ -52,6 +52,10 @@ use gc_core::verify::is_proper;
 use gc_graph::{Csr, Partition, VertexId};
 use gc_vgpu::{Device, DeviceBuffer, ProfileReport};
 
+pub mod repair;
+
+pub use repair::{greedy_repair_host, repair_frontier, RepairOutcome};
+
 /// Hard cap on conflict-resolution rounds. The loop terminates on its
 /// own (each round strictly reduces the conflict count), but the cap
 /// bounds the worst case; if it is ever hit, the remaining handful of
@@ -580,15 +584,7 @@ fn resolve_conflicts(
                     let idx = t.read(&st.cut_idx, e) as usize;
                     forbidden.push(t.read(&st.halo_parts[owner], idx));
                 }
-                forbidden.sort_unstable();
-                let mut c = 1u32;
-                for &f in &forbidden {
-                    if f == c {
-                        c += 1;
-                    } else if f > c {
-                        break;
-                    }
-                }
+                let c = repair::mex(&mut forbidden);
                 t.write(&st.colors, v, c);
                 t.write(&st.recolored, b, 1);
             });
@@ -620,31 +616,10 @@ fn resolve_conflicts(
         colors[start..start + resolved.len()].copy_from_slice(&resolved);
     }
     // The loop terminates on its own in practice; if the cap was hit
-    // with conflicts outstanding, a deterministic host-side greedy pass
-    // fixes the leftovers: one ascending sweep recoloring any vertex
-    // that clashes with a smaller-id neighbor leaves the coloring
-    // proper (vertices processed earlier never change afterwards).
+    // with conflicts outstanding, the shared deterministic host-side
+    // greedy pass fixes the leftovers and the coloring stays proper.
     if !clean {
-        for v in 0..g.num_vertices() as VertexId {
-            let clash = g
-                .neighbors(v)
-                .iter()
-                .any(|&u| u < v && colors[u as usize] == colors[v as usize]);
-            if clash {
-                let mut forbidden: Vec<u32> =
-                    g.neighbors(v).iter().map(|&u| colors[u as usize]).collect();
-                forbidden.sort_unstable();
-                let mut c = 1u32;
-                for &f in &forbidden {
-                    if f == c {
-                        c += 1;
-                    } else if f > c {
-                        break;
-                    }
-                }
-                colors[v as usize] = c;
-            }
-        }
+        repair::greedy_repair_host(g, colors);
     }
     (rounds, halo_bytes)
 }

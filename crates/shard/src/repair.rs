@@ -1,0 +1,318 @@
+//! Reusable speculate-recolor frontier repair.
+//!
+//! This module factors the conflict-repair machinery out of the
+//! multi-device boundary loop so a second caller — the incremental
+//! recoloring path behind `gc-net`'s `MutateEdges` verb — does not have
+//! to copy it. Two layers:
+//!
+//! * [`repair_frontier`] — the **single-device** bounded
+//!   speculate-recolor loop. Given a coloring that is proper everywhere
+//!   except possibly on edges incident to a small *frontier* of suspect
+//!   vertices (e.g. the endpoints of freshly inserted edges), it runs
+//!   the same round structure as the cross-device resolver, entirely on
+//!   one device: detect monochromatic edges among the frontier, flag the
+//!   higher-id endpoint of each as the loser, and recolor the losers
+//!   that are locally maximal among losers — an independent set, so a
+//!   round never creates a new conflict and the globally largest loser
+//!   always acts, which makes the conflict count strictly decrease.
+//! * [`mex`] / [`greedy_repair_host`] — the smallest-free-color rule and
+//!   the deterministic host-side fallback shared by this loop and the
+//!   multi-device resolver in [`crate::run_sharded`] (used only if the
+//!   round cap is ever hit).
+//!
+//! The frontier contract: **both** endpoints of every possibly-improper
+//! edge must be in the frontier. Edge inserts satisfy this by
+//! construction (both endpoints are touched); the detect kernel then
+//! only ever needs to flag vertices it scanned.
+//!
+//! ```
+//! use gc_graph::GraphBuilder;
+//! use gc_core::verify::is_proper;
+//! use gc_shard::repair::repair_frontier;
+//! use gc_vgpu::Device;
+//!
+//! // A path 0-1-2 colored properly, then edge (0, 2) appears.
+//! let g = GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build();
+//! let mut colors = vec![1, 2, 1]; // proper before (0, 2) existed
+//! let dev = Device::k40c();
+//! let outcome = repair_frontier(&dev, &g, &mut colors, &[0, 2], 64);
+//! assert!(outcome.clean);
+//! assert!(is_proper(&g, &colors).is_ok());
+//! ```
+
+use gc_graph::{Csr, VertexId};
+use gc_vgpu::{Device, DeviceBuffer};
+
+/// What a [`repair_frontier`] run did.
+#[derive(Clone, Debug, Default)]
+pub struct RepairOutcome {
+    /// Rounds that found (and recolored) conflicts.
+    pub rounds: u32,
+    /// Vertices recolored across all rounds.
+    pub recolored: u32,
+    /// Conflicting vertices found in the first detect pass — the real
+    /// dirty set, after the frontier's false positives are filtered.
+    pub initial_conflicts: u32,
+    /// Whether the loop converged under the round cap. When `false`, the
+    /// deterministic host-side [`greedy_repair_host`] pass fixed the
+    /// remainder and the coloring is still proper.
+    pub clean: bool,
+}
+
+/// Smallest positive color absent from `forbidden` (which is sorted in
+/// place). The "mex" rule every repair path uses: recoloring a vertex to
+/// the mex of its neighborhood can never create a new conflict.
+pub fn mex(forbidden: &mut [u32]) -> u32 {
+    forbidden.sort_unstable();
+    let mut c = 1u32;
+    for &f in forbidden.iter() {
+        if f == c {
+            c += 1;
+        } else if f > c {
+            break;
+        }
+    }
+    c
+}
+
+/// Deterministic host-side repair: one ascending sweep recoloring any
+/// vertex that clashes with a smaller-id neighbor. Vertices processed
+/// earlier never change afterwards, so the sweep leaves the coloring
+/// proper. Shared cap-exceeded fallback of both the multi-device
+/// resolver and [`repair_frontier`].
+pub fn greedy_repair_host(g: &Csr, colors: &mut [u32]) {
+    for v in 0..g.num_vertices() as VertexId {
+        let clash = g
+            .neighbors(v)
+            .iter()
+            .any(|&u| u < v && colors[u as usize] == colors[v as usize]);
+        if clash {
+            let mut forbidden: Vec<u32> =
+                g.neighbors(v).iter().map(|&u| colors[u as usize]).collect();
+            colors[v as usize] = mex(&mut forbidden);
+        }
+    }
+}
+
+/// Runs the bounded single-device speculate-recolor loop over `frontier`,
+/// updating `colors` in place and metering every kernel, transfer, and
+/// flag download on `dev` (stacking on whatever the device clock already
+/// holds).
+///
+/// `colors` must be proper on every edge with **no** endpoint in
+/// `frontier`; on return it is proper everywhere. Rounds work on
+/// compacted slot lists exactly like the cross-device resolver: round 1
+/// scans the whole frontier, later rounds rescan only last round's
+/// losers.
+pub fn repair_frontier(
+    dev: &Device,
+    g: &Csr,
+    colors: &mut [u32],
+    frontier: &[VertexId],
+    max_rounds: u32,
+) -> RepairOutcome {
+    let n = g.num_vertices();
+    assert_eq!(colors.len(), n, "coloring length must match the graph");
+    let mut outcome = RepairOutcome {
+        clean: true,
+        ..RepairOutcome::default()
+    };
+    if frontier.is_empty() || n == 0 {
+        return outcome;
+    }
+
+    let mut span = gc_telemetry::span("repair_frontier");
+    span.attr("frontier", frontier.len());
+
+    let row_off: Vec<u32> = g.row_offsets().iter().map(|&o| o as u32).collect();
+    let d_row_off = dev.upload(&row_off);
+    let d_cols = dev.upload(g.col_indices());
+    let d_colors = dev.upload(colors);
+    let d_loser: DeviceBuffer<u32> = DeviceBuffer::zeroed(n);
+
+    // Suspect vertices this round. Round 1: the caller's frontier;
+    // round k: round k-1's losers (every vertex whose loser flag could
+    // be stale is rescanned, so flags never go stale).
+    let mut scan: Vec<u32> = frontier.to_vec();
+    let mut clean = false;
+
+    for round in 1..=max_rounds {
+        let slots = dev.upload(&scan);
+        let flags_out: DeviceBuffer<u32> = DeviceBuffer::zeroed(scan.len());
+        // Detect: a scanned vertex loses iff it shares its color with a
+        // smaller-id neighbor (the higher-id endpoint of a monochromatic
+        // edge must move; the lower-id endpoint stays put).
+        dev.launch("repair::detect_conflicts", scan.len(), |t| {
+            let v = t.read(&slots, t.tid());
+            let my = t.read(&d_colors, v as usize);
+            let lo = t.read(&d_row_off, v as usize) as usize;
+            let hi = t.read(&d_row_off, v as usize + 1) as usize;
+            let mut lose = 0u32;
+            for e in lo..hi {
+                let u = t.read(&d_cols, e);
+                if my != 0 && u < v && t.read(&d_colors, u as usize) == my {
+                    lose = 1;
+                }
+            }
+            t.write(&d_loser, v as usize, lose);
+            t.write(&flags_out, t.tid(), lose);
+        });
+        // Metered flag download builds the loser frontier host-side, the
+        // same host-orchestration pattern as the colorers' termination
+        // checks.
+        let flags = dev.download(&flags_out);
+        let losers: Vec<u32> = scan
+            .iter()
+            .zip(&flags)
+            .filter(|&(_, &f)| f != 0)
+            .map(|(&v, _)| v)
+            .collect();
+        if round == 1 {
+            outcome.initial_conflicts = losers.len() as u32;
+        }
+        if losers.is_empty() {
+            clean = true;
+            break;
+        }
+        outcome.rounds = round;
+
+        // Recolor: a loser acts only when no larger-id neighbor is also
+        // a loser — an independent set, so no new conflicts — taking the
+        // smallest color absent from its whole neighborhood.
+        let loser_slots = dev.upload(&losers);
+        let acted: DeviceBuffer<u32> = DeviceBuffer::zeroed(losers.len());
+        dev.launch("repair::recolor", losers.len(), |t| {
+            let v = t.read(&loser_slots, t.tid());
+            let lo = t.read(&d_row_off, v as usize) as usize;
+            let hi = t.read(&d_row_off, v as usize + 1) as usize;
+            for e in lo..hi {
+                let u = t.read(&d_cols, e);
+                if u > v && t.read(&d_loser, u as usize) != 0 {
+                    return;
+                }
+            }
+            let mut forbidden: Vec<u32> = Vec::with_capacity(hi - lo);
+            for e in lo..hi {
+                let u = t.read(&d_cols, e);
+                forbidden.push(t.read(&d_colors, u as usize));
+            }
+            let c = mex(&mut forbidden);
+            t.write(&d_colors, v as usize, c);
+            t.write(&acted, t.tid(), 1);
+        });
+        outcome.recolored += dev.download(&acted).iter().sum::<u32>();
+        scan = losers;
+    }
+
+    // Merge repaired colors back (metered device→host download).
+    colors.copy_from_slice(&dev.download(&d_colors));
+    if !clean {
+        greedy_repair_host(g, colors);
+    }
+    outcome.clean = clean;
+
+    if span.is_recording() {
+        span.attr("rounds", outcome.rounds);
+        span.attr("recolored", outcome.recolored);
+        span.attr("clean", outcome.clean);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_core::runner::colorer_by_name;
+    use gc_core::verify::is_proper;
+    use gc_graph::generators::erdos_renyi;
+    use gc_graph::{apply_edge_delta, EdgeDelta, GraphBuilder};
+
+    #[test]
+    fn mex_takes_smallest_free_color() {
+        assert_eq!(mex(&mut []), 1);
+        assert_eq!(mex(&mut [2, 3]), 1);
+        assert_eq!(mex(&mut [1, 2, 4]), 3);
+        assert_eq!(mex(&mut [1, 1, 2, 2]), 3);
+        assert_eq!(mex(&mut [3, 1, 2]), 4);
+        assert_eq!(mex(&mut [0, 1, 2]), 3, "0 (uncolored) is never assigned");
+    }
+
+    #[test]
+    fn greedy_repair_host_fixes_any_coloring() {
+        let g = erdos_renyi(50, 0.1, 9);
+        let mut colors = vec![1u32; 50]; // maximally broken
+        greedy_repair_host(&g, &mut colors);
+        assert!(is_proper(&g, &colors).is_ok());
+    }
+
+    #[test]
+    fn empty_frontier_is_a_noop() {
+        let g = erdos_renyi(20, 0.1, 2);
+        let colorer = colorer_by_name("Gunrock/Color_IS").unwrap();
+        let base = colorer.run(&g, 42);
+        let mut colors = base.coloring.as_slice().to_vec();
+        let dev = Device::k40c();
+        let out = repair_frontier(&dev, &g, &mut colors, &[], 64);
+        assert!(out.clean);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(colors, base.coloring.as_slice());
+        assert_eq!(dev.profile().launches, 0, "no frontier, no kernels");
+    }
+
+    #[test]
+    fn repairs_an_inserted_conflict_edge() {
+        // Two vertices forced to the same color by construction.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)])
+            .build();
+        let mut colors = vec![1, 2, 2, 2]; // edges (1,2) and (2,3) clash
+        let dev = Device::k40c();
+        let out = repair_frontier(&dev, &g, &mut colors, &[1, 2, 3], 64);
+        assert!(out.clean);
+        assert!(out.rounds >= 1);
+        assert!(out.recolored >= 1);
+        assert!(is_proper(&g, &colors).is_ok());
+    }
+
+    #[test]
+    fn untouched_vertices_keep_their_colors() {
+        let g = erdos_renyi(80, 0.06, 5);
+        let colorer = colorer_by_name("Naumov/Color_JPL").unwrap();
+        let base = colorer.run(&g, 7);
+        let delta = EdgeDelta {
+            insert: vec![(0, 40), (1, 41), (2, 42)],
+            delete: vec![],
+        };
+        let out = apply_edge_delta(&g, &delta).unwrap();
+        let mut colors = base.coloring.as_slice().to_vec();
+        let dev = Device::k40c();
+        let rep = repair_frontier(&dev, &out.graph, &mut colors, &out.touched, 64);
+        assert!(rep.clean);
+        assert!(is_proper(&out.graph, &colors).is_ok());
+        // Only frontier vertices may have moved.
+        for (v, &c) in colors.iter().enumerate().take(80) {
+            if !out.touched.contains(&(v as u32)) {
+                assert_eq!(
+                    c,
+                    base.coloring.as_slice()[v],
+                    "vertex {v} was not on the frontier but changed color"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_meters_on_the_device() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build();
+        let mut colors = vec![1, 1, 2];
+        let dev = Device::k40c();
+        let before = dev.profile().thread_executions;
+        let out = repair_frontier(&dev, &g, &mut colors, &[0, 1], 64);
+        assert!(out.clean);
+        assert!(is_proper(&g, &colors).is_ok());
+        let p = dev.profile();
+        assert!(p.thread_executions > before);
+        assert!(p.launches >= 2, "detect + recolor kernels must be billed");
+        assert!(dev.elapsed_ms() > 0.0);
+    }
+}

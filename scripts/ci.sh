@@ -59,4 +59,19 @@ cargo run --release -q -p gc-bench --bin repro -- \
 cargo run --release -q -p gc-bench --bin repro -- \
   bench-check "$trace_dir/bench.json"
 
+echo "==> net smoke: loopback submit/color/mutate/verify/shutdown round-trip"
+cargo run --release -q -p gc-bench --bin repro -- net-smoke
+
+echo "==> net bench smoke: sustained loopback load + bench-check validation"
+# Small request count for CI; the committed BENCH_net.json is the 100K
+# acceptance run. bench-check enforces the same rules on both: zero
+# protocol errors, verified rows with non-zero p99, and the >=5x
+# incremental-repair work reduction.
+cargo run --release -q -p gc-bench --bin repro -- \
+  net-bench --requests 4000 --clients 4 --scale 0.002 --out "$trace_dir/bench_net.json"
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench-check "$trace_dir/bench_net.json"
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench-check BENCH_net.json
+
 echo "CI gate passed."
