@@ -8,6 +8,7 @@
 //! repro trace <colorer> <dataset> [--scale F] [--seed N]
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]
 //! repro bench [--scale F] [--seed N] [--devices N] [--out FILE]
+//! repro scale-sweep [--rgg MIN:MAX] [--seed N] [--out FILE]
 //! repro bench-check <FILE>
 //! repro serve [--port N] [--workers N]
 //! repro net-bench [--requests N] [--clients N] [--workers N] [--out FILE]
@@ -15,7 +16,7 @@
 //! repro --help          # every subcommand with a one-line description
 //! ```
 //!
-//! Default scale synthesizes each dataset at 2% of the paper's vertex
+//! Default scale synthesizes each dataset at 20% of the paper's vertex
 //! count, which preserves every qualitative comparison while keeping the
 //! sweep interactive. `--full` uses the paper's extents (slow).
 //!
@@ -31,7 +32,7 @@
 //! reachable as `serve-bench --net`) drives a loopback server with a
 //! sustained multi-connection workload, measures client-observed
 //! per-verb p50/p95/p99, runs the incremental-vs-full recoloring
-//! comparison on `ecology2`, and writes a `gc-bench-net/v1` document
+//! comparison on `ecology2`, and writes a `gc-bench-net/v2` document
 //! (default `BENCH_net.json`). `net-smoke` is the CI round-trip:
 //! submit a small graph, color, mutate, verify the merged coloring,
 //! shut the server down cleanly.
@@ -44,12 +45,20 @@
 //! override with `--out`). `--devices N` (N > 1) adds sharded rows over
 //! the two largest datasets: every GPU colorer runs once per device
 //! count through `gc_shard::run_sharded`, reporting per-device maximum
-//! work next to the single-device baseline. `bench-check FILE`
-//! re-validates such a document — including that no colorer's optimized
-//! side dispatches more launches than its single-device baseline, that
-//! every row verified proper, and that no sharded row exceeded the
-//! conflict-round cap — and exits non-zero when it is malformed or
-//! regressed (the CI smoke step).
+//! work next to the single-device baseline.
+//!
+//! `scale-sweep` runs the Figure 4 RGG scaling study at paper extents:
+//! three representative colorers over `rgg_n_2_{MIN..MAX}_s0` (default
+//! 15:22) on fast-meter devices, writing a `gc-bench-scale/v1` document
+//! (default `BENCH_scale.json`) whose every row is host-verified.
+//!
+//! `bench-check FILE` re-validates any committed benchmark document,
+//! dispatching on its `schema` field — coloring (launch counts never
+//! regressed, rows verified, conflict-round caps, per-row wall-clock
+//! budget), net (zero protocol errors, incremental-repair speedup), or
+//! scale (contiguous coverage, verified rows, throughput-collapse
+//! bound) — and exits non-zero when it is malformed or regressed (the
+//! CI smoke step).
 
 use std::fs;
 use std::process::ExitCode;
@@ -60,7 +69,7 @@ use gc_bench::serve;
 
 /// Every subcommand `repro` accepts, with a one-line description —
 /// the single source the first-argument parser and `--help` both use.
-const SUBCOMMANDS: [(&str, &str); 17] = [
+const SUBCOMMANDS: [(&str, &str); 18] = [
     ("table1", "Table I dataset statistics"),
     ("table2", "Table II optimization effects per implementation"),
     (
@@ -89,8 +98,12 @@ const SUBCOMMANDS: [(&str, &str); 17] = [
         "before/after perf matrix (--devices N adds multi-device sharded rows)",
     ),
     (
+        "scale-sweep",
+        "RGG scaling sweep at paper extents on fast-meter devices (Figure 4)",
+    ),
+    (
         "bench-check",
-        "validate a BENCH_coloring.json or BENCH_net.json document; non-zero exit on regression",
+        "validate a BENCH_coloring/net/scale JSON document; non-zero exit on regression",
     ),
     (
         "serve",
@@ -106,7 +119,7 @@ const SUBCOMMANDS: [(&str, &str); 17] = [
     ),
     (
         "all",
-        "every report above except trace, bench, and bench-check (the default)",
+        "every report above except trace, bench, scale-sweep, and bench-check (the default)",
     ),
 ];
 
@@ -121,11 +134,12 @@ fn usage() -> String {
         "\noperand forms:\n\
          \x20 repro trace <colorer> <dataset> [--model-clock]\n\
          \x20 repro bench [--devices N] [--out FILE]\n\
+         \x20 repro scale-sweep [--rgg MIN:MAX] [--out FILE]   (default range 15:22)\n\
          \x20 repro bench-check <FILE>\n\
          \x20 repro serve [--port N] [--workers N]\n\
          \x20 repro net-bench [--requests N] [--clients N] [--out FILE]\n\
          \noptions:\n\
-         \x20 --scale F             fraction of each dataset's paper vertex count (default 0.02)\n\
+         \x20 --scale F             fraction of each dataset's paper vertex count (default 0.2)\n\
          \x20 --seed N              RNG seed for synthesis and coloring (default 42)\n\
          \x20 --rgg MIN:MAX         inclusive RGG scale range for the fig3 sweep\n\
          \x20 --diameter-samples N  BFS sources for the Table I diameter estimate\n\
@@ -140,8 +154,8 @@ fn usage() -> String {
          \x20 --trace FILE          write a Chrome trace-event JSON\n\
          \x20 --jsonl FILE          write a newline-delimited span log\n\
          \x20 --metrics FILE        write a Prometheus text dump\n\
-         \x20 --out FILE            bench/net-bench output file (default BENCH_coloring.json\n\
-         \x20                       or BENCH_net.json)\n\
+         \x20 --out FILE            bench/net-bench/scale-sweep output file (default\n\
+         \x20                       BENCH_coloring.json, BENCH_net.json, or BENCH_scale.json)\n\
          \x20 --model-clock         trace timestamps from the device model clock\n\
          \x20 --help                print this help\n",
     );
@@ -151,6 +165,9 @@ fn usage() -> String {
 struct Args {
     command: String,
     cfg: ExperimentConfig,
+    /// Whether `--rgg` was given explicitly (`scale-sweep` defaults to
+    /// the paper's 15:22 when it was not).
+    rgg_set: bool,
     csv_dir: Option<String>,
     workers: usize,
     /// Virtual devices for the `bench` sharded rows.
@@ -177,6 +194,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut command = String::from("all");
     let mut cfg = ExperimentConfig::default();
+    let mut rgg_set = false;
     let mut csv_dir = None;
     let mut workers = 4;
     let mut devices = 1;
@@ -219,6 +237,7 @@ fn parse_args() -> Result<Args, String> {
                 let (lo, hi) = v.split_once(':').ok_or("--rgg format is MIN:MAX")?;
                 cfg.rgg_min = lo.parse().map_err(|e| format!("bad rgg min: {e}"))?;
                 cfg.rgg_max = hi.parse().map_err(|e| format!("bad rgg max: {e}"))?;
+                rgg_set = true;
             }
             "--diameter-samples" => {
                 cfg.diameter_samples = args
@@ -227,7 +246,10 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --diameter-samples: {e}"))?;
             }
-            "--full" => cfg = ExperimentConfig::full(),
+            "--full" => {
+                cfg = ExperimentConfig::full();
+                rgg_set = true;
+            }
             "--csv" => csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
             "--workers" => {
                 workers = args
@@ -282,6 +304,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         command,
         cfg,
+        rgg_set,
         csv_dir,
         workers,
         devices,
@@ -315,6 +338,9 @@ fn run_net_bench(args: &Args) -> ExitCode {
         requests: args.requests.max(1),
         clients: args.clients.max(1),
         workers: args.workers.max(1),
+        // The steady-state mutate-stress phase scales with the request
+        // budget so CI's shrunk runs stay quick.
+        stress_requests: (args.requests / 5).max(40),
         ..gc_bench::net::NetBenchConfig::default()
     };
     let report =
@@ -537,6 +563,29 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if args.command == "scale-sweep" {
+        // Without an explicit --rgg range, sweep the acceptance range:
+        // the paper family's lower half plus scale 22 (4.2M vertices).
+        let (lo, hi) = if args.rgg_set {
+            (cfg.rgg_min, cfg.rgg_max)
+        } else {
+            (15, 22)
+        };
+        let report = gc_bench::scale_sweep::scale_sweep(lo, hi, cfg.seed);
+        println!("{}", format::render_scale_sweep(&report));
+        let json = gc_bench::scale_sweep::to_json(&report);
+        if let Err(e) = gc_bench::scale_sweep::validate_report_json(&json) {
+            eprintln!("error: emitted JSON failed self-validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = args.out.as_deref().unwrap_or("BENCH_scale.json");
+        if let Err(e) = write_artifact(path, "scale sweep report", &json) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if args.command == "bench-check" {
         let [path] = args.operands.as_slice() else {
             eprintln!(
@@ -560,6 +609,10 @@ fn main() -> ExitCode {
         let checked = match schema.as_deref() {
             Some(gc_bench::net::SCHEMA) => {
                 gc_bench::net::validate_report_json(&text).map(|()| gc_bench::net::SCHEMA)
+            }
+            Some(gc_bench::scale_sweep::SCHEMA) => {
+                gc_bench::scale_sweep::validate_report_json(&text)
+                    .map(|()| gc_bench::scale_sweep::SCHEMA)
             }
             _ => gc_bench::coloring_bench::validate_report_json(&text)
                 .map(|()| gc_bench::coloring_bench::SCHEMA),

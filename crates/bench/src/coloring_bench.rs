@@ -21,15 +21,19 @@
 //! whole graph's work. Sharded rows carry `devices`, `halo_bytes`,
 //! `conflict_rounds`, and `verified`.
 //!
-//! `to_json` emits the `gc-bench-coloring/v3` document committed as
+//! `to_json` emits the `gc-bench-coloring/v4` document committed as
 //! `BENCH_coloring.json`, the artifact that anchors the perf trajectory:
 //! future optimization PRs regenerate it and diff the counters.
 //! `validate_report_json` re-parses a document with the gc-telemetry
 //! JSON parser and checks the schema's shape — including that no
 //! single-device row's `after` side dispatches more launches than its
-//! `before` side, that every row verified, and that no sharded row blew
-//! the conflict-round cap — `repro bench` self-checks its own output
-//! through it, and `repro bench-check FILE` exposes it to CI.
+//! `before` side, that every row verified, that no sharded row blew
+//! the conflict-round cap, and that every side of every row stayed
+//! inside the document's declared wall-clock budget
+//! ([`WALL_BUDGET_RATIO`] host ms per model ms plus
+//! [`WALL_BUDGET_SLACK_MS`] of flat slack) — `repro bench` self-checks
+//! its own output through it, and `repro bench-check FILE` exposes it
+//! to CI.
 
 use std::time::Instant;
 
@@ -48,7 +52,19 @@ use gc_vgpu::Device;
 use crate::experiments::ExperimentConfig;
 
 /// The document's `schema` field.
-pub const SCHEMA: &str = "gc-bench-coloring/v3";
+pub const SCHEMA: &str = "gc-bench-coloring/v4";
+
+/// Per-row wall-clock budget the emitted document declares: no side of
+/// any row may spend more than `max_wall_per_model` host milliseconds
+/// per simulated millisecond, plus a flat slack that absorbs the fixed
+/// host overhead dominating rows whose model time is tiny. `bench-check`
+/// enforces whatever the document declares, so a committed artifact
+/// pins the executor's wall-clock-per-model-work level and a future
+/// executor regression fails CI instead of silently inflating wall_ms.
+pub const WALL_BUDGET_RATIO: f64 = 250.0;
+
+/// Flat per-row slack (ms) of the wall-clock budget.
+pub const WALL_BUDGET_SLACK_MS: f64 = 50.0;
 
 /// Datasets the bench sweeps: the road-like sparse mesh the acceptance
 /// tracking cares about first, then a 3-D mesh, a circuit, and a
@@ -274,7 +290,7 @@ fn json_side(s: &BenchSide) -> String {
     )
 }
 
-/// Serializes a report as a `gc-bench-coloring/v3` JSON document.
+/// Serializes a report as a `gc-bench-coloring/v4` JSON document.
 pub fn to_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -282,6 +298,10 @@ pub fn to_json(report: &BenchReport) -> String {
     out.push_str(&format!("  \"scale\": {},\n", report.scale));
     out.push_str(&format!("  \"seed\": {},\n", report.seed));
     out.push_str(&format!("  \"devices\": {},\n", report.devices));
+    out.push_str(&format!(
+        "  \"wall_budget\": {{\"max_wall_per_model\": {WALL_BUDGET_RATIO}, \
+         \"slack_ms\": {WALL_BUDGET_SLACK_MS}}},\n"
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in report.rows.iter().enumerate() {
         out.push_str(&format!(
@@ -309,12 +329,14 @@ pub fn to_json(report: &BenchReport) -> String {
     out
 }
 
-/// Validates a `gc-bench-coloring/v3` document: parses it with the
+/// Validates a `gc-bench-coloring/v4` document: parses it with the
 /// gc-telemetry JSON parser, checks every field the schema promises,
 /// and enforces the perf invariants — a single-device row's optimized
 /// side must never dispatch more launches than its baseline, every row
-/// must have verified proper, and no sharded row may exceed the
-/// conflict-round cap.
+/// must have verified proper, no sharded row may exceed the
+/// conflict-round cap, and no side of any row may exceed the document's
+/// declared wall-clock budget (`wall_ms` must stay within
+/// `max_wall_per_model * model_ms + slack_ms`).
 pub fn validate_report_json(text: &str) -> Result<(), String> {
     use gc_telemetry::json::{parse, Json};
     let doc = parse(text)?;
@@ -327,6 +349,16 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("missing numeric {f}"))?;
     }
+    let budget = doc.get("wall_budget").ok_or("missing wall_budget object")?;
+    let budget_field = |f: &str| {
+        budget
+            .get(f)
+            .and_then(|v| v.as_f64())
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| format!("wall_budget: missing or non-positive {f}"))
+    };
+    let max_wall_per_model = budget_field("max_wall_per_model")?;
+    let slack_ms = budget_field("slack_ms")?;
     let rows = doc
         .get("rows")
         .and_then(|r| r.as_array())
@@ -389,6 +421,16 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
                 s.get(f)
                     .and_then(|v| v.as_f64())
                     .ok_or_else(|| missing(&format!("{side}.{f}")))?;
+            }
+            let num = |f: &str| s.get(f).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let (wall, model) = (num("wall_ms"), num("model_ms"));
+            let ceiling = max_wall_per_model * model + slack_ms;
+            if wall > ceiling {
+                return Err(format!(
+                    "row {i}: {side}.wall_ms ({wall:.2}) blows the wall budget \
+                     ({max_wall_per_model} x {model:.4} model ms + {slack_ms} slack \
+                     = {ceiling:.2}) — the executor got slower per unit of model work"
+                ));
             }
         }
         let launches = |side: &str| {
@@ -500,7 +542,8 @@ mod tests {
         validate_report_json(&to_json(&report)).expect("sharded JSON validates");
     }
 
-    const MINI: &str = r#"{"schema": "gc-bench-coloring/v3", "scale": 0.002, "seed": 42, "devices": 1,
+    const MINI: &str = r#"{"schema": "gc-bench-coloring/v4", "scale": 0.002, "seed": 42, "devices": 1,
+      "wall_budget": {"max_wall_per_model": 250.0, "slack_ms": 50.0},
       "rows": [{"colorer": "X", "dataset": "d", "vertices": 1, "edges": 0, "colors": 1,
       "identical_coloring": true, "devices": 1, "halo_bytes": 0, "conflict_rounds": 0, "verified": true,
       "before": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 2, "graph_replays": 0, "launch_overhead_ms": 0.2, "iterations": 1},
@@ -511,7 +554,16 @@ mod tests {
         validate_report_json(MINI).expect("minimal document validates");
         assert!(validate_report_json("not json").is_err());
         assert!(validate_report_json("{}").is_err());
-        assert!(validate_report_json(&MINI.replace("gc-bench-coloring/v3", "v2")).is_err());
+        assert!(validate_report_json(&MINI.replace("gc-bench-coloring/v4", "v3")).is_err());
+        assert!(validate_report_json(&MINI.replace(
+            "\"wall_budget\": {\"max_wall_per_model\": 250.0, \"slack_ms\": 50.0},",
+            ""
+        ))
+        .is_err());
+        assert!(validate_report_json(
+            &MINI.replace("\"max_wall_per_model\": 250.0", "\"max_wall_per_model\": 0")
+        )
+        .is_err());
         assert!(validate_report_json(
             &MINI.replace("\"identical_coloring\": true", "\"identical_coloring\": 1")
         )
@@ -525,6 +577,27 @@ mod tests {
         assert!(
             validate_report_json(&MINI.replace("\"rows\": [{", "\"rows\": [], \"x\": [{")).is_err()
         );
+    }
+
+    #[test]
+    fn validator_enforces_the_declared_wall_budget() {
+        // MINI's rows run at 1.0 model ms, so the ceiling is
+        // 250 * 1.0 + 50 = 300 ms; a 1-ms wall passes, a 10-second wall
+        // means the executor burned ~10000x the model work and fails.
+        let slow = MINI.replace(
+            "\"model_ms\": 1.0, \"wall_ms\": 1.0, \"thread_executions\": 1, \"launches\": 1",
+            "\"model_ms\": 1.0, \"wall_ms\": 10000.0, \"thread_executions\": 1, \"launches\": 1",
+        );
+        let err = validate_report_json(&slow).unwrap_err();
+        assert!(err.contains("blows the wall budget"), "{err}");
+        // A tighter declared budget binds harder: the same 1-ms wall
+        // fails once the document only allows a 0.1-ms slack at zero
+        // ratio headroom.
+        let tight = MINI.replace(
+            "\"max_wall_per_model\": 250.0, \"slack_ms\": 50.0",
+            "\"max_wall_per_model\": 0.0001, \"slack_ms\": 0.1",
+        );
+        assert!(validate_report_json(&tight).is_err());
     }
 
     #[test]

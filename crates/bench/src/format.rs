@@ -451,6 +451,37 @@ pub fn render_coloring_bench(report: &crate::coloring_bench::BenchReport) -> Str
     out
 }
 
+/// Renders the `repro scale-sweep` RGG scaling table (Figure 4's shape:
+/// model time and throughput per colorer as the family doubles).
+pub fn render_scale_sweep(report: &crate::scale_sweep::ScaleReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "SCALE-SWEEP: rgg_n_2_{{{}..{}}}_s0 on fast-meter devices (seed {})\n",
+        report.min_scale, report.max_scale, report.seed
+    ));
+    out.push_str(&format!(
+        "{:<20}{:>6}{:>11}{:>12}{:>8}{:>12}{:>11}{:>10}{:>8}\n",
+        "Colorer", "Scale", "Vertices", "Edges", "Colors", "Model ms", "Wall ms", "MTEPS", "Proper"
+    ));
+    out.push_str(&hr(98));
+    out.push('\n');
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{:<20}{:>6}{:>11}{:>12}{:>8}{:>12.3}{:>11.1}{:>10.2}{:>8}\n",
+            short(&r.colorer),
+            r.scale,
+            r.vertices,
+            r.edges,
+            r.colors,
+            r.model_ms,
+            r.wall_ms,
+            r.model_mteps,
+            if r.verified { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
 /// Renders the `repro trace` per-span-name summary table.
 pub fn render_trace_summary(cap: &crate::trace::TraceCapture) -> String {
     let mut out = String::new();
@@ -531,6 +562,24 @@ pub fn render_net_bench(report: &crate::net::NetBenchReport) -> String {
         s.shed,
         s.rejected,
         s.failed,
+    ));
+    let ms = &report.mutate_stress;
+    out.push_str(&format!(
+        "mutate-stress: {} mutates over {} clients in {:.0} ms ({:.0} mutates/s), \
+         p50={:.3} p95={:.3} p99={:.3} ms, incremental_repairs={}, max_rounds={}, \
+         shed={}, errors={}, verified={}\n",
+        ms.requests,
+        ms.clients,
+        ms.wall_ms,
+        ms.mutates_per_sec(),
+        ms.latency.p50(),
+        ms.latency.p95(),
+        ms.latency.p99(),
+        ms.incremental_repairs,
+        ms.max_repair_rounds,
+        ms.shed,
+        ms.errors,
+        ms.verified,
     ));
     let inc = &report.incremental;
     out.push_str(&format!(

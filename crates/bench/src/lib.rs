@@ -9,6 +9,7 @@ pub mod coloring_bench;
 pub mod experiments;
 pub mod format;
 pub mod net;
+pub mod scale_sweep;
 pub mod serve;
 pub mod trace;
 

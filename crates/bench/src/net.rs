@@ -15,6 +15,18 @@
 //! protocol error, and the schema validator refuses a document with a
 //! non-zero count.
 //!
+//! After the sustained mix, the **mutate-stress phase** answers the
+//! steady-state question the mix's occasional toggles cannot: every
+//! connection hammers its own tracked graph with back-to-back
+//! `MutateEdges` deltas (a pool of long-range toggles, so presence
+//! tracking is exact), the repair pipeline runs continuously, and the
+//! phase reports mutate throughput, latency percentiles, how many
+//! repairs stayed on the incremental path, and the worst repair-round
+//! count — with every client's final coloring host-verified against a
+//! locally applied copy of its cumulative delta. The validator refuses
+//! a document whose stress phase saw errors, no incremental repairs,
+//! or an unverified final state.
+//!
 //! The run closes with the incremental-recoloring measurement the
 //! acceptance tracking cares about: `ecology2` is uploaded, colored
 //! from scratch (recording the full run's simulated thread
@@ -38,7 +50,7 @@ use gc_telemetry::LatencyHistogram;
 use crate::experiments::ExperimentConfig;
 
 /// The document's `schema` field.
-pub const SCHEMA: &str = "gc-bench-net/v1";
+pub const SCHEMA: &str = "gc-bench-net/v2";
 
 /// Dataset of the incremental-vs-full recoloring measurement: the
 /// sparse mesh the acceptance tracking pins its ≥5× claim to.
@@ -63,6 +75,10 @@ pub struct NetBenchConfig {
     /// below the service's tiny-graph threshold so non-cached requests
     /// stay cheap and the bench measures the wire, not the colorers.
     pub mesh_side: usize,
+    /// `MutateEdges` calls of the steady-state stress phase, across all
+    /// connections (0 skips the phase — not valid for the committed
+    /// artifact, whose validator requires it).
+    pub stress_requests: u64,
 }
 
 impl Default for NetBenchConfig {
@@ -72,6 +88,7 @@ impl Default for NetBenchConfig {
             clients: 8,
             workers: 4,
             mesh_side: 24,
+            stress_requests: 20_000,
         }
     }
 }
@@ -132,6 +149,43 @@ impl IncrementalReport {
     }
 }
 
+/// The `MutateEdges` steady-state stress measurement: every connection
+/// hammers its own tracked graph with a continuous stream of small edge
+/// deltas, so the server's repair pipeline (delta decode → frontier
+/// build → in-device recolor → lineage revalidation) runs back-to-back
+/// for the whole phase instead of the sustained mix's occasional toggle.
+#[derive(Clone, Debug)]
+pub struct MutateStressReport {
+    /// `MutateEdges` calls issued across all connections.
+    pub requests: u64,
+    pub clients: usize,
+    pub wall_ms: f64,
+    /// Explicit shed replies (load management, not failures).
+    pub shed: u64,
+    /// Anything else unexpected. Must stay 0.
+    pub errors: u64,
+    /// Acks whose repair actually entered the incremental path
+    /// (non-empty frontier) rather than degenerating to a no-op.
+    pub incremental_repairs: u64,
+    /// Worst speculate-recolor round count any single repair took.
+    pub max_repair_rounds: u32,
+    /// Client-observed wall-clock latency of the stress mutates.
+    pub latency: LatencyHistogram,
+    /// Every client's final coloring verified proper on the host
+    /// against a locally tracked copy of its cumulative delta.
+    pub verified: bool,
+}
+
+impl MutateStressReport {
+    pub fn mutates_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
 /// Full net-bench outcome.
 #[derive(Clone, Debug)]
 pub struct NetBenchReport {
@@ -149,6 +203,7 @@ pub struct NetBenchReport {
     pub frames_bad: u64,
     pub rows: Vec<NetVerbRow>,
     pub incremental: IncrementalReport,
+    pub mutate_stress: MutateStressReport,
     /// The backing service's counters at the end of the run.
     pub snapshot: StatsSnapshot,
 }
@@ -389,8 +444,153 @@ fn incremental_phase(
     }
 }
 
-/// Runs the full net benchmark: sustained load, incremental phase,
-/// stats epilogue.
+/// Accumulator of the mutate-stress phase, shared by its client threads.
+#[derive(Default)]
+struct StressAcc {
+    requests: u64,
+    shed: u64,
+    errors: u64,
+    incremental_repairs: u64,
+    max_repair_rounds: u32,
+    unverified: u64,
+    latency: LatencyHistogram,
+}
+
+/// One stress client: submits its own mesh, then issues a continuous
+/// stream of `MutateEdges` toggles over a pool of long-range edges
+/// (never part of the grid stencil, so presence tracking is exact) and
+/// finally host-verifies the server's merged coloring against a locally
+/// applied copy of the cumulative delta.
+fn stress_client(
+    addr: std::net::SocketAddr,
+    gid: u64,
+    mesh: &Csr,
+    requests: u64,
+    acc: &Mutex<StressAcc>,
+    metrics: Option<&gc_telemetry::MetricsRegistry>,
+) {
+    let Ok(mut client) = NetClient::connect(addr) else {
+        acc.lock().unwrap().errors += requests;
+        return;
+    };
+    if client.submit_graph(gid, mesh).is_err()
+        || client.color(gid, WireObjective::Balanced, 0, 0).is_err()
+    {
+        acc.lock().unwrap().errors += requests;
+        return;
+    }
+    // Edge pool: corner 0 against the top row — far from 0's stencil
+    // neighborhood, mutually distinct, each toggled independently.
+    let n = mesh.num_vertices() as u32;
+    let pool: Vec<(u32, u32)> = (0..8).map(|k| (0, n - 1 - k)).collect();
+    let mut present = vec![false; pool.len()];
+    for j in 0..requests {
+        let k = (j % pool.len() as u64) as usize;
+        let delta = if present[k] {
+            EdgeDelta {
+                insert: vec![],
+                delete: vec![pool[k]],
+            }
+        } else {
+            EdgeDelta {
+                insert: vec![pool[k]],
+                delete: vec![],
+            }
+        };
+        let t0 = Instant::now();
+        let out = client.mutate_edges(gid, &delta);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if let Some(m) = metrics {
+            m.histogram_with("gc_net_client_ms", &[("verb", "mutate_stress")])
+                .observe(ms);
+        }
+        let mut a = acc.lock().unwrap();
+        a.requests += 1;
+        a.latency.record(ms);
+        match out {
+            Ok(ack) => {
+                present[k] = !present[k];
+                if ack.frontier > 0 {
+                    a.incremental_repairs += 1;
+                }
+                a.max_repair_rounds = a.max_repair_rounds.max(ack.repair_rounds);
+            }
+            Err(e) if e.is_shed() => a.shed += 1,
+            Err(_) => a.errors += 1,
+        }
+    }
+    // Host-side ground truth for the final state.
+    let extra: Vec<(u32, u32)> = pool
+        .iter()
+        .zip(&present)
+        .filter(|(_, p)| **p)
+        .map(|(e, _)| *e)
+        .collect();
+    let merged = apply_edge_delta(
+        mesh,
+        &EdgeDelta {
+            insert: extra,
+            delete: vec![],
+        },
+    )
+    .expect("tracked delta applies locally")
+    .graph;
+    let ok = client
+        .get_result(gid)
+        .map(|r| is_proper(&merged, &r.colors).is_ok())
+        .unwrap_or(false);
+    if !ok {
+        acc.lock().unwrap().unverified += 1;
+    }
+}
+
+/// Runs the steady-state `MutateEdges` stress phase against a live
+/// server.
+fn mutate_stress_phase(
+    addr: std::net::SocketAddr,
+    net: &NetBenchConfig,
+    metrics: Option<&gc_telemetry::MetricsRegistry>,
+) -> MutateStressReport {
+    let clients = net.clients.max(1);
+    let side = net.mesh_side.max(4);
+    let mesh = Arc::new(gc_graph::generators::grid2d(
+        side,
+        side,
+        gc_graph::generators::Stencil2d::FivePoint,
+    ));
+    let acc = Arc::new(Mutex::new(StressAcc::default()));
+    let per_client = (net.stress_requests / clients as u64).max(1);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            let mesh = Arc::clone(&mesh);
+            let acc = Arc::clone(&acc);
+            let metrics = metrics.cloned();
+            // Gids far above the sustained phase's 1..=clients range.
+            let gid = 0x5718_0000 + i as u64;
+            scope.spawn(move || {
+                stress_client(addr, gid, &mesh, per_client, &acc, metrics.as_ref());
+            });
+        }
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let acc = Arc::try_unwrap(acc).ok().expect("stress clients joined");
+    let acc = acc.into_inner().unwrap();
+    MutateStressReport {
+        requests: acc.requests,
+        clients,
+        wall_ms,
+        shed: acc.shed,
+        errors: acc.errors,
+        incremental_repairs: acc.incremental_repairs,
+        max_repair_rounds: acc.max_repair_rounds,
+        latency: acc.latency,
+        verified: acc.unverified == 0 && acc.errors == 0,
+    }
+}
+
+/// Runs the full net benchmark: sustained load, mutate stress,
+/// incremental phase, stats epilogue.
 pub fn net_bench(cfg: &ExperimentConfig, net: &NetBenchConfig) -> NetBenchReport {
     net_bench_with(cfg, net, None, None)
 }
@@ -449,6 +649,7 @@ pub fn net_bench_with(
         }
     });
 
+    let mutate_stress = mutate_stress_phase(addr, net, metrics.as_ref());
     let incremental = incremental_phase(addr, cfg, &acc, metrics.as_ref());
 
     // Epilogue: one stats stream carries the server's lifetime frame
@@ -501,6 +702,7 @@ pub fn net_bench_with(
         frames_bad,
         rows,
         incremental,
+        mutate_stress,
         snapshot,
     }
 }
@@ -573,6 +775,25 @@ pub fn to_json(report: &NetBenchReport) -> String {
         inc.verified,
         inc.revalidated,
         inc.cache_hit_after_mutate,
+    ));
+    let ms = &report.mutate_stress;
+    out.push_str(&format!(
+        "  \"mutate_stress\": {{\"requests\": {}, \"clients\": {}, \"wall_ms\": {:.3}, \
+         \"mutates_per_sec\": {:.1}, \"shed\": {}, \"errors\": {}, \
+         \"incremental_repairs\": {}, \"max_repair_rounds\": {}, \"p50_ms\": {:.4}, \
+         \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"verified\": {}}},\n",
+        ms.requests,
+        ms.clients,
+        ms.wall_ms,
+        ms.mutates_per_sec(),
+        ms.shed,
+        ms.errors,
+        ms.incremental_repairs,
+        ms.max_repair_rounds,
+        ms.latency.p50(),
+        ms.latency.p95(),
+        ms.latency.p99(),
+        ms.verified,
     ));
     let s = &report.snapshot;
     out.push_str(&format!(
@@ -724,6 +945,55 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
              {MIN_INCREMENTAL_SPEEDUP}x cheaper than the full recolor ({full})"
         ));
     }
+    let stress = doc
+        .get("mutate_stress")
+        .ok_or("missing mutate_stress object")?;
+    let smiss = |f: &str| format!("mutate_stress: missing or mistyped {f}");
+    for f in [
+        "requests",
+        "clients",
+        "wall_ms",
+        "mutates_per_sec",
+        "shed",
+        "errors",
+        "incremental_repairs",
+        "max_repair_rounds",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+    ] {
+        stress
+            .get(f)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| smiss(f))?;
+    }
+    match stress.get("verified") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            return Err("mutate_stress: final colorings failed verification".into())
+        }
+        _ => return Err(smiss("verified")),
+    }
+    let snum = |f: &str| stress.get(f).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    if snum("requests") <= 0.0 {
+        return Err("mutate_stress: phase issued no requests".into());
+    }
+    if snum("errors") != 0.0 {
+        return Err(format!(
+            "mutate_stress: {} protocol errors under steady-state load",
+            snum("errors")
+        ));
+    }
+    if snum("p99_ms") <= 0.0 {
+        return Err("mutate_stress: p99 must be non-zero".into());
+    }
+    if snum("incremental_repairs") <= 0.0 {
+        return Err(
+            "mutate_stress: no repair entered the incremental path — the stress \
+             phase degenerated to no-ops"
+                .into(),
+        );
+    }
     doc.get("service")
         .and_then(|s| s.get("served"))
         .and_then(|v| v.as_f64())
@@ -741,6 +1011,7 @@ mod tests {
             clients: 3,
             workers: 2,
             mesh_side: 16,
+            stress_requests: 120,
         }
     }
 
@@ -760,6 +1031,15 @@ mod tests {
         let color = report.rows.iter().find(|r| r.verb == "color").unwrap();
         assert!(color.requests > 0 && color.verified);
         assert!(color.latency.p99() > 0.0);
+        let stress = &report.mutate_stress;
+        assert!(stress.requests >= 120);
+        assert_eq!(stress.errors, 0);
+        assert!(stress.verified, "stress-phase final colorings unverified");
+        assert!(
+            stress.incremental_repairs > 0,
+            "no stress repair used the incremental path"
+        );
+        assert!(stress.latency.p99() > 0.0 && stress.mutates_per_sec() > 0.0);
         let inc = &report.incremental;
         assert!(inc.verified && inc.revalidated && inc.cache_hit_after_mutate);
         assert!(inc.full_thread_executions > 0);
@@ -789,6 +1069,7 @@ mod tests {
                 clients: 1,
                 workers: 1,
                 mesh_side: 16,
+                stress_requests: 40,
             },
         );
         let good = to_json(&report);
@@ -798,7 +1079,14 @@ mod tests {
         assert!(validate_report_json(&bad).is_err());
         let bad = good.replace("\"revalidated\": true", "\"revalidated\": false");
         assert!(validate_report_json(&bad).is_err());
-        let bad = good.replace("\"schema\": \"gc-bench-net/v1\"", "\"schema\": \"nope\"");
+        let bad = good.replace("\"schema\": \"gc-bench-net/v2\"", "\"schema\": \"nope\"");
+        assert!(validate_report_json(&bad).is_err());
+        let bad = good.replace(
+            "\"incremental_repairs\": ",
+            "\"incremental_repairs\": 0, \"x\": ",
+        );
+        assert!(validate_report_json(&bad).is_err());
+        let bad = good.replace("  \"mutate_stress\"", "  \"renamed\"");
         assert!(validate_report_json(&bad).is_err());
     }
 }

@@ -71,9 +71,9 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
             }
             let mut forbidden: u64 = 0;
             let mut overflow_base = 0u32;
-            let (s, e) = csr.neighbor_range(t, v);
-            for slot in s..e {
-                let u = csr.neighbor(t, slot);
+            // Full-row scan, never exits early: bill the whole neighbor
+            // run up front through the bulk fast path.
+            for u in csr.neighbors_seq(t, v) {
                 let cu = t.read(&colors, u as usize);
                 if cu != 0 && cu <= MASK_COLORS {
                     forbidden |= 1 << cu;

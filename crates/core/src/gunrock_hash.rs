@@ -120,9 +120,8 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResu
             let rv = t.read(&rand, v as usize);
             let (mut best_max, mut r_max) = (v, rv);
             let (mut best_min, mut r_min) = (v, rv);
-            let (s, e) = csr.neighbor_range(t, v);
-            for slot in s..e {
-                let u = csr.neighbor(t, slot);
+            // Full-row scan (no early exit): bulk-billed neighbor run.
+            for u in csr.neighbors_seq(t, v) {
                 if t.read(&colors, u as usize) != 0 {
                     continue;
                 }
@@ -226,9 +225,8 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: HashConfig) -> ColoringResu
             if t.read(&colors, v as usize) != 0 {
                 return;
             }
-            let (s, e) = csr.neighbor_range(t, v);
-            for slot in s..e {
-                let u = csr.neighbor(t, slot);
+            // Full-row scan (no early exit): bulk-billed neighbor run.
+            for u in csr.neighbors_seq(t, v) {
                 let cu = t.read(&colors, u as usize);
                 if cu == 0 {
                     continue;

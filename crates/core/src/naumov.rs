@@ -213,9 +213,8 @@ fn cc_on_with(dev: &Device, g: &Csr, seed: u64, compact_frontier: bool) -> Color
                 t.charge(HASH_CYCLES);
                 *k = key(seed, iteration, h as u32, v);
             }
-            let (s, e) = csr.neighbor_range(t, v);
-            for slot in s..e {
-                let u = csr.neighbor(t, slot);
+            // Full-row scan (no early exit): bulk-billed neighbor run.
+            for u in csr.neighbors_seq(t, v) {
                 // Skip only neighbors from earlier iterations; this
                 // iteration's colors are all > base and stay compared.
                 let cu = t.read(&colors, u as usize);

@@ -17,5 +17,8 @@
 pub mod registry;
 pub mod spec;
 
-pub use registry::{dataset_by_name, rgg_scales, table1_real_world, DEFAULT_SCALE, TEST_SCALE};
+pub use registry::{
+    dataset_by_name, rgg_generate, rgg_name, rgg_scale_of_name, rgg_scales, table1_real_world,
+    DEFAULT_SCALE, TEST_SCALE,
+};
 pub use spec::{DatasetSpec, Family, GraphType};

@@ -1,7 +1,7 @@
 //! GraphBLAS matrices: pattern-only CSR adjacency on the device.
 
 use gc_graph::Csr;
-use gc_vgpu::{Device, DeviceBuffer, ThreadCtx};
+use gc_vgpu::{Device, DeviceBuffer, SeqRun, ThreadCtx};
 
 /// A square boolean (pattern) matrix in CSR form — the adjacency matrix
 /// `A` of the paper's algorithms. Stored values are implicitly 1.
@@ -38,11 +38,13 @@ impl Matrix {
         self.nnz
     }
 
-    /// Metered in-kernel row extent.
+    /// Metered in-kernel row extent. Adjacent row-offset slots are
+    /// sequential by construction, so this takes the tracker-free
+    /// [`ThreadCtx::read_seq`] fast path.
     #[inline]
     pub fn row_range(&self, t: &mut ThreadCtx, i: usize) -> (usize, usize) {
-        let s = t.read(&self.row_offsets, i);
-        let e = t.read(&self.row_offsets, i + 1);
+        let s = t.read_seq(&self.row_offsets, i);
+        let e = t.read_seq(&self.row_offsets, i + 1);
         (s as usize, e as usize)
     }
 
@@ -50,6 +52,16 @@ impl Matrix {
     #[inline]
     pub fn col(&self, t: &mut ThreadCtx, slot: usize) -> usize {
         t.read(&self.col_indices, slot) as usize
+    }
+
+    /// Metered bulk scan of row `i`'s column indices: the whole row is
+    /// billed up front ([`ThreadCtx::read_seq_run`]) and element reads on
+    /// the returned [`SeqRun`] are raw loads — the fast path for vxm/
+    /// apply inner loops that stream a row.
+    #[inline]
+    pub fn cols_seq<'b>(&'b self, t: &mut ThreadCtx, i: usize) -> SeqRun<'b, u32> {
+        let (s, e) = self.row_range(t, i);
+        t.read_seq_run(&self.col_indices, s, e)
     }
 }
 

@@ -63,7 +63,8 @@ impl ActiveList {
     pub fn item(&self, t: &mut ThreadCtx, k: usize) -> usize {
         match self {
             ActiveList::All(_) => k,
-            ActiveList::List(items) => t.read(items, k) as usize,
+            // Thread k reads slot k: coalesced by construction.
+            ActiveList::List(items) => t.read_seq(items, k) as usize,
         }
     }
 
@@ -137,11 +138,9 @@ pub fn vxm_list<T: Scalar, S: SemiringOps<T>>(
     dev.launch(&name, list.len(), |t| {
         let k = t.tid();
         let i = list.item(t, k);
-        let (s, e) = a.row_range(t, i);
         let mut acc = semiring.identity();
-        for slot in s..e {
-            let j = a.col(t, slot);
-            let uv = u.read(t, j);
+        for j in a.cols_seq(t, i) {
+            let uv = u.read(t, j as usize);
             if uv != T::default() {
                 acc = semiring.add(acc, semiring.map(uv));
             }
@@ -176,11 +175,9 @@ pub fn vxm_apply_list<T: Scalar, S: SemiringOps<T>, F>(
     dev.launch(&name, list.len(), |t| {
         let k = t.tid();
         let i = list.item(t, k);
-        let (s, e) = a.row_range(t, i);
         let mut acc = semiring.identity();
-        for slot in s..e {
-            let j = a.col(t, slot);
-            let uv = u.read(t, j);
+        for j in a.cols_seq(t, i) {
+            let uv = u.read(t, j as usize);
             if uv != T::default() {
                 acc = semiring.add(acc, semiring.map(uv));
             }
@@ -330,10 +327,8 @@ pub fn scatter_adj<T: Scalar>(
     dev.launch("grb::scatter_adj", list.len(), |t| {
         let k = t.tid();
         let i = list.item(t, k);
-        let (s, e) = a.row_range(t, i);
-        for slot in s..e {
-            let j = a.col(t, slot);
-            let x = via.read(t, j);
+        for j in a.cols_seq(t, i) {
+            let x = via.read(t, j as usize);
             if x > 0 && (x as usize) < cap {
                 target.write(t, x as usize, value);
             }
@@ -350,10 +345,8 @@ pub fn assign_adj<T: Scalar>(dev: &Device, w: &Vector<T>, value: T, a: &Matrix, 
     dev.launch("grb::assign_adj", list.len(), |t| {
         let k = t.tid();
         let i = list.item(t, k);
-        let (s, e) = a.row_range(t, i);
-        for slot in s..e {
-            let j = a.col(t, slot);
-            w.write(t, j, value);
+        for j in a.cols_seq(t, i) {
+            w.write(t, j as usize, value);
             t.charge(1);
         }
     });

@@ -84,11 +84,9 @@ fn product<T: Scalar, S: SemiringOps<T>>(
             }
             return;
         }
-        let (s, e) = a.row_range(t, i);
         let mut acc = semiring.identity();
-        for slot in s..e {
-            let j = a.col(t, slot);
-            let uv = u.read(t, j);
+        for j in a.cols_seq(t, i) {
+            let uv = u.read(t, j as usize);
             // Zero is the dense encoding's "no value": absent entries
             // contribute nothing (proper sparse semantics, and what
             // keeps pull and push modes semantically identical).
@@ -159,9 +157,8 @@ pub fn vxm_push<T: Scalar, S: SemiringOps<T>>(
         let slot = t.tid();
         let j = t.read(&frontier, slot) as usize;
         let contribution = semiring.map(u.read(t, j));
-        let (s, e) = a.row_range(t, j);
-        for idx in s..e {
-            let i = a.col(t, idx);
+        for i in a.cols_seq(t, j) {
+            let i = i as usize;
             let pass = match mask {
                 None => true,
                 Some(m) => desc.passes(m.truthy(t, i)),

@@ -1,7 +1,7 @@
 //! Device-resident CSR graph.
 
 use gc_graph::Csr;
-use gc_vgpu::{Device, DeviceBuffer, ThreadCtx};
+use gc_vgpu::{Device, DeviceBuffer, SeqRun, ThreadCtx};
 
 /// A CSR graph uploaded to device memory: 32-bit row offsets and column
 /// indices, exactly the two arrays the paper says both frameworks take as
@@ -53,21 +53,35 @@ impl DeviceCsr {
         &self.col_indices
     }
 
-    /// Metered in-kernel degree lookup.
+    /// Metered in-kernel degree lookup. The two row-offset reads are
+    /// adjacent slots — sequential by construction — so they go through
+    /// the tracker-free [`ThreadCtx::read_seq`] fast path.
     #[inline]
     pub fn degree(&self, t: &mut ThreadCtx, v: u32) -> u32 {
-        let start = t.read(&self.row_offsets, v as usize);
-        let end = t.read(&self.row_offsets, v as usize + 1);
+        let start = t.read_seq(&self.row_offsets, v as usize);
+        let end = t.read_seq(&self.row_offsets, v as usize + 1);
         end - start
     }
 
     /// Metered in-kernel neighbor-range lookup: `(start, end)` into the
-    /// column-indices array.
+    /// column-indices array. Sequential-by-construction like
+    /// [`DeviceCsr::degree`].
     #[inline]
     pub fn neighbor_range(&self, t: &mut ThreadCtx, v: u32) -> (usize, usize) {
-        let start = t.read(&self.row_offsets, v as usize);
-        let end = t.read(&self.row_offsets, v as usize + 1);
+        let start = t.read_seq(&self.row_offsets, v as usize);
+        let end = t.read_seq(&self.row_offsets, v as usize + 1);
         (start as usize, end as usize)
+    }
+
+    /// Metered bulk neighbor scan of `v`'s whole row: bills the range
+    /// lookup plus every column-index read up front and returns the
+    /// [`SeqRun`] of neighbors, whose element reads are raw loads. The
+    /// fast path for the serial `for u in neighbors` loops at the heart
+    /// of every colorer kernel.
+    #[inline]
+    pub fn neighbors_seq<'b>(&'b self, t: &mut ThreadCtx, v: u32) -> SeqRun<'b, u32> {
+        let (start, end) = self.neighbor_range(t, v);
+        t.read_seq_run(&self.col_indices, start, end)
     }
 
     /// Unmetered row-extent lookup, for values a kernel receives by

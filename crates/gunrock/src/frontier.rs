@@ -43,12 +43,14 @@ impl Frontier {
         self.len() == 0
     }
 
-    /// Metered in-kernel lookup of the `i`-th active vertex.
+    /// Metered in-kernel lookup of the `i`-th active vertex. Kernels map
+    /// thread `i` to slot `i`, so lane `l` reads `base + l` — coalesced
+    /// by construction, billed through [`ThreadCtx::read_seq`].
     #[inline]
     pub fn item(&self, t: &mut ThreadCtx, i: usize) -> u32 {
         match self {
             Frontier::All(_) => i as u32,
-            Frontier::Sparse(b) => t.read(b, i),
+            Frontier::Sparse(b) => t.read_seq(b, i),
         }
     }
 

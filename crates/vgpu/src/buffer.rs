@@ -129,6 +129,83 @@ impl<T: Scalar> DeviceBuffer<T> {
     pub fn size_bytes(&self) -> u64 {
         self.len() as u64 * T::BYTES
     }
+
+    /// Bounds-checks `[start, end)` once and returns the raw cell range
+    /// for a pre-billed sequential run (see
+    /// [`crate::ThreadCtx::read_seq_run`]).
+    #[inline]
+    pub(crate) fn cells_range(&self, start: usize, end: usize) -> &[T::Atomic] {
+        &self.cells[start..end]
+    }
+}
+
+/// A pre-billed sequential window over a [`DeviceBuffer`], returned by
+/// [`crate::ThreadCtx::read_seq_run`]. The whole run's memory traffic is
+/// metered up front in O(1), so element reads here are raw atomic loads
+/// with no per-access bounds check or bookkeeping — the fast path for CSR
+/// inner loops that stream a neighbor list.
+///
+/// Borrows the buffer, not the thread context: the context stays usable
+/// inside `for u in run { ... }` bodies.
+pub struct SeqRun<'a, T: Scalar> {
+    cells: &'a [T::Atomic],
+    _elem: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Scalar> SeqRun<'a, T> {
+    #[inline]
+    pub(crate) fn new(cells: &'a [T::Atomic]) -> Self {
+        SeqRun {
+            cells,
+            _elem: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the run is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Element at offset `i` *within the run* (0-based, unmetered — the
+    /// run was billed at creation).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        T::load(&self.cells[i])
+    }
+
+    /// Iterator over the run's elements.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = T> + 'a {
+        let cells = self.cells;
+        cells.iter().map(T::load)
+    }
+}
+
+impl<'a, T: Scalar> IntoIterator for SeqRun<'a, T> {
+    type Item = T;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, T::Atomic>, fn(&T::Atomic) -> T>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter().map(T::load as fn(&T::Atomic) -> T)
+    }
+}
+
+impl<'a, T: Scalar> IntoIterator for &SeqRun<'a, T> {
+    type Item = T;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, T::Atomic>, fn(&T::Atomic) -> T>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter().map(T::load as fn(&T::Atomic) -> T)
+    }
 }
 
 impl<T: Scalar> Drop for DeviceBuffer<T> {

@@ -18,7 +18,7 @@ use crate::config::DeviceConfig;
 use crate::cost::{kernel_cost, memcpy_cost, LaunchStats};
 use crate::profiler::{intern_name, KernelRecord, ProfileReport, Profiler};
 use crate::scalar::Scalar;
-use crate::thread::{intern_costs, AccessTracker, ConfigCosts, ThreadCounters, ThreadCtx};
+use crate::thread::{intern_costs, ConfigCosts, ThreadCounters, ThreadCtx};
 
 /// A simulated GPU. All kernel launches on a device execute on the global
 /// rayon pool and advance the device's deterministic model clock.
@@ -85,9 +85,24 @@ impl Device {
     pub fn new(cfg: DeviceConfig) -> Self {
         Device {
             costs: intern_costs(&cfg),
+            profiler: Mutex::new(Profiler::new(cfg.fast_meter)),
             cfg,
-            profiler: Mutex::new(Profiler::default()),
         }
+    }
+
+    /// Whether this device runs in fast-meter mode (see
+    /// [`DeviceConfig::fast_meter`]): identical model metrics, no
+    /// per-kernel history, no telemetry spans.
+    #[inline]
+    pub fn is_fast_meter(&self) -> bool {
+        self.cfg.fast_meter
+    }
+
+    /// `true` when this call should emit telemetry spans: a tracer is
+    /// current *and* the device is not in fast-meter mode.
+    #[inline]
+    fn traced(&self) -> bool {
+        !self.cfg.fast_meter && gc_telemetry::enabled()
     }
 
     /// The paper's GPU.
@@ -113,8 +128,7 @@ impl Device {
     where
         F: Fn(&mut ThreadCtx) + Sync,
     {
-        let traced = gc_telemetry::enabled();
-        let trace_start = traced.then(|| (Instant::now(), self.elapsed_ms()));
+        let trace_start = self.traced().then(|| (Instant::now(), self.elapsed_ms()));
         let name = intern_name(name);
         let costs = self.costs;
         let warp = self.cfg.warp_size as usize;
@@ -133,12 +147,15 @@ impl Device {
                 let warp_end = (t + warp).min(end);
                 let mut warp_max = ThreadCounters::default();
                 let mut warp_sum = ThreadCounters::default();
-                let mut tracker = AccessTracker::new();
+                // One context serves the whole warp: `begin_lane` resets
+                // the per-thread counters while the warp-scoped access
+                // tracker rides along, replacing the old per-thread
+                // construct/teardown and tracker copy-in/copy-out.
+                let mut ctx = ThreadCtx::new(t, warp_size, costs);
                 for tid in t..warp_end {
-                    let mut ctx = ThreadCtx::new(tid, warp_size, costs, tracker);
+                    ctx.begin_lane(tid);
                     kernel(&mut ctx);
-                    let (c, tr) = ctx.finish();
-                    tracker = tr;
+                    let c = ctx.counters();
                     warp_max.cycles = warp_max.cycles.max(c.cycles);
                     warp_max.bytes = warp_max.bytes.max(c.bytes);
                     warp_sum.merge_sum(&c);
@@ -233,7 +250,7 @@ impl Device {
     /// replay reports a `replay` span carrying the graph's name, kernel
     /// count, and resolved extent.
     pub fn replay(&self, graph: &LaunchGraph<'_>) {
-        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
+        let trace_start = self.traced().then(|| (Instant::now(), self.elapsed_ms()));
         self.profiler.lock().unwrap().begin_replay();
         (graph.body)();
         let (kernels, extent) = self
@@ -260,7 +277,7 @@ impl Device {
     /// bills the sync overhead. Kernel launches already include the
     /// implicit same-stream ordering cost.
     pub fn sync(&self) {
-        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
+        let trace_start = self.traced().then(|| (Instant::now(), self.elapsed_ms()));
         let cycles = self.cfg.sync_overhead_cycles as f64;
         self.profiler.lock().unwrap().record_sync(cycles);
         if let Some((wall0, model0)) = trace_start {
@@ -276,7 +293,7 @@ impl Device {
 
     /// Metered host→device transfer.
     pub fn upload<T: Scalar>(&self, data: &[T]) -> DeviceBuffer<T> {
-        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
+        let trace_start = self.traced().then(|| (Instant::now(), self.elapsed_ms()));
         let bytes = data.len() as u64 * T::BYTES;
         let cycles = memcpy_cost(&self.cfg, bytes);
         self.profiler.lock().unwrap().record_memcpy(bytes, cycles);
@@ -286,7 +303,7 @@ impl Device {
 
     /// Metered device→host transfer.
     pub fn download<T: Scalar>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
-        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
+        let trace_start = self.traced().then(|| (Instant::now(), self.elapsed_ms()));
         let bytes = buf.size_bytes();
         let cycles = memcpy_cost(&self.cfg, bytes);
         self.profiler.lock().unwrap().record_memcpy(bytes, cycles);
@@ -312,7 +329,7 @@ impl Device {
             dst.len(),
             "peer_transfer requires equal-length buffers"
         );
-        let trace_start = gc_telemetry::enabled().then(|| (Instant::now(), self.elapsed_ms()));
+        let trace_start = self.traced().then(|| (Instant::now(), self.elapsed_ms()));
         let bytes = src.size_bytes();
         self.profiler
             .lock()
@@ -718,6 +735,63 @@ mod tests {
             let r = recs.iter().find(|r| r.name == name).unwrap();
             assert_eq!(r.parent, Some(parent_id), "{name} parent");
         }
+    }
+
+    #[test]
+    fn fast_meter_matches_tracked_metrics_without_history() {
+        let run = |fast: bool| {
+            let cfg = if fast {
+                DeviceConfig::test_tiny().fast_meter()
+            } else {
+                DeviceConfig::test_tiny()
+            };
+            let dev = Device::new(cfg);
+            let data = dev.upload(&(0..2000u32).collect::<Vec<_>>());
+            let counter = DeviceBuffer::<u32>::zeroed(1);
+            dev.launch("work", 2000, |t| {
+                let i = t.tid();
+                let v = t.read(&data, i);
+                t.write(&data, i, v.wrapping_mul(3));
+                if v % 7 == 0 {
+                    t.atomic_add(&counter, 0, 1);
+                }
+            });
+            dev.sync();
+            (dev.download(&data), dev.elapsed_cycles(), dev.profile())
+        };
+        let (d_tracked, c_tracked, p_tracked) = run(false);
+        let (d_fast, c_fast, p_fast) = run(true);
+        assert_eq!(d_tracked, d_fast, "results must be bit-identical");
+        assert_eq!(c_tracked, c_fast, "model clock must be bit-identical");
+        assert_eq!(p_tracked.launches, p_fast.launches);
+        assert_eq!(p_tracked.thread_executions, p_fast.thread_executions);
+        assert_eq!(p_tracked.kernel_bytes, p_fast.kernel_bytes);
+        assert_eq!(p_tracked.kernel_atomics, p_fast.kernel_atomics);
+        assert!(!p_tracked.by_kernel.is_empty());
+        assert!(p_fast.by_kernel.is_empty(), "fast meter keeps no history");
+    }
+
+    #[test]
+    fn fast_meter_device_emits_no_spans_even_when_traced() {
+        let tracer = gc_telemetry::Tracer::new();
+        {
+            let _cur = tracer.make_current();
+            let dev = Device::new(DeviceConfig::test_tiny().fast_meter());
+            let buf = dev.upload(&[1u32, 2, 3]);
+            dev.launch("quiet", 3, |t| {
+                let i = t.tid();
+                let v = t.read(&buf, i);
+                t.write(&buf, i, v + 1);
+            });
+            dev.sync();
+            let _ = dev.download(&buf);
+            let graph = dev.capture("pipe", || dev.launch("k", 3, |t| t.charge(1)));
+            dev.replay(&graph);
+        }
+        assert!(
+            tracer.records().is_empty(),
+            "fast-meter devices must not emit telemetry spans"
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod rng;
 pub mod scalar;
 pub mod thread;
 
-pub use buffer::DeviceBuffer;
+pub use buffer::{DeviceBuffer, SeqRun};
 pub use config::DeviceConfig;
 pub use device::{Device, LaunchGraph};
 pub use profiler::{KernelRecord, ProfileReport};

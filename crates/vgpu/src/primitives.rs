@@ -11,7 +11,7 @@
 use crate::buffer::DeviceBuffer;
 use crate::device::Device;
 use crate::scalar::Scalar;
-use crate::thread::{intern_costs, AccessTracker, ThreadCtx};
+use crate::thread::{intern_costs, ThreadCtx};
 
 /// Cycles billed per tree-reduction step inside a warp (shuffle cost).
 const SHUFFLE_CYCLES: u64 = 6;
@@ -299,7 +299,7 @@ where
     let mut ranks = vec![0u32; n];
     let mut total = 0u32;
     for (i, rank) in ranks.iter_mut().enumerate() {
-        let mut scratch = ThreadCtx::new(i, warp_size, costs, AccessTracker::new());
+        let mut scratch = ThreadCtx::new(i, warp_size, costs);
         let v = get(&mut scratch, i);
         let keep = pred(&mut scratch, i, v);
         *rank = total;

@@ -67,7 +67,21 @@ struct GraphReplay {
 /// Mutable profiler state owned by a device.
 #[derive(Debug)]
 pub struct Profiler {
+    /// Fast-meter mode: keep only the scalar aggregates below — no
+    /// [`KernelRecord`] history, so `by_kernel` comes back empty and
+    /// memory stays O(1) however many launches run. Every aggregate a
+    /// report carries is maintained incrementally in *both* modes, so
+    /// fast and tracked devices report identical numbers.
+    fast: bool,
     records: Vec<KernelRecord>,
+    /// Σ simulated thread executions, maintained incrementally (the
+    /// tracked path could derive it from `records`; the fast path has no
+    /// records to derive from).
+    thread_executions: u64,
+    /// Σ kernel global-memory bytes, maintained incrementally.
+    kernel_bytes: u64,
+    /// Σ kernel atomics, maintained incrementally.
+    kernel_atomics: u64,
     /// Host-visible dispatches: ordinary launches plus one per graph
     /// replay (a replay's interior kernels are *not* separate dispatches
     /// — that is the entire point of capturing them).
@@ -98,8 +112,19 @@ pub struct Profiler {
 
 impl Default for Profiler {
     fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl Profiler {
+    /// A profiler in tracked (`fast == false`) or fast-meter mode.
+    pub fn new(fast: bool) -> Self {
         Profiler {
+            fast,
             records: Vec::new(),
+            thread_executions: 0,
+            kernel_bytes: 0,
+            kernel_atomics: 0,
             launches: 0,
             syncs: 0,
             memcpys: 0,
@@ -135,7 +160,12 @@ impl Profiler {
             self.launch_overhead_cycles += rec.cost.launch_overhead;
         }
         self.clock_cycles += rec.cost.total_cycles;
-        self.records.push(rec);
+        self.thread_executions += rec.threads;
+        self.kernel_bytes += rec.bytes;
+        self.kernel_atomics += rec.atomics;
+        if !self.fast {
+            self.records.push(rec);
+        }
     }
 
     /// Opens a graph replay; kernels recorded until [`Profiler::end_replay`]
@@ -193,12 +223,11 @@ impl Profiler {
     }
 
     pub fn reset(&mut self) {
-        *self = Profiler::default();
+        *self = Profiler::new(self.fast);
     }
 
     pub fn report(&self) -> ProfileReport {
         let mut by_kernel: BTreeMap<String, KernelSummary> = BTreeMap::new();
-        let mut thread_executions = 0u64;
         for r in &self.records {
             let e = by_kernel.entry(r.name.to_string()).or_default();
             e.launches += 1;
@@ -210,12 +239,13 @@ impl Profiler {
                 e.max_launch_cycles = r.cost.total_cycles;
                 e.dominant_bound = r.cost.bound_by();
             }
-            thread_executions += r.threads;
         }
         let pool_now = pool::stats();
         ProfileReport {
             launches: self.launches,
-            thread_executions,
+            thread_executions: self.thread_executions,
+            kernel_bytes: self.kernel_bytes,
+            kernel_atomics: self.kernel_atomics,
             syncs: self.syncs,
             memcpys: self.memcpys,
             memcpy_bytes: self.memcpy_bytes,
@@ -248,6 +278,13 @@ pub struct ProfileReport {
     /// Σ simulated thread executions over every recorded launch — the
     /// work-efficiency metric frontier compaction is judged by.
     pub thread_executions: u64,
+    /// Σ kernel global-memory bytes over every launch. Maintained
+    /// incrementally so fast-meter reports carry it even with
+    /// [`ProfileReport::by_kernel`] empty.
+    pub kernel_bytes: u64,
+    /// Σ kernel atomic operations over every launch (incremental, like
+    /// [`ProfileReport::kernel_bytes`]).
+    pub kernel_atomics: u64,
     pub syncs: u64,
     pub memcpys: u64,
     pub memcpy_bytes: u64,
@@ -301,11 +338,15 @@ impl ProfileReport {
                 name, s.launches, s.total_cycles, s.total_bytes, s.total_atomics, s.dominant_bound
             ));
         }
-        let atomics: u64 = self.by_kernel.values().map(|s| s.total_atomics).sum();
-        let kernel_bytes: u64 = self.by_kernel.values().map(|s| s.total_bytes).sum();
+        // The incremental sums, not a fold over by_kernel: a fast-meter
+        // report has no kernel rows but still carries exact totals.
         out.push_str(&format!(
             "_total,{},{:.0},{},{},{},-\n",
-            self.launches, self.clock_cycles, kernel_bytes, self.memcpy_bytes, atomics
+            self.launches,
+            self.clock_cycles,
+            self.kernel_bytes,
+            self.memcpy_bytes,
+            self.kernel_atomics
         ));
         out
     }
@@ -316,6 +357,8 @@ impl ProfileReport {
         let mut out = String::new();
         out.push_str(&format!("launches={}\n", self.launches));
         out.push_str(&format!("thread_executions={}\n", self.thread_executions));
+        out.push_str(&format!("kernel_bytes={}\n", self.kernel_bytes));
+        out.push_str(&format!("kernel_atomics={}\n", self.kernel_atomics));
         out.push_str(&format!("syncs={}\n", self.syncs));
         out.push_str(&format!("memcpys={}\n", self.memcpys));
         out.push_str(&format!("memcpy_bytes={}\n", self.memcpy_bytes));
@@ -630,6 +673,43 @@ mod tests {
         assert!(kv.contains("d2d_transfers=2\n"));
         assert!(kv.contains("d2d_bytes=256\n"));
         assert!(r.to_string().contains("d2d=2 (256 B)"));
+    }
+
+    #[test]
+    fn fast_profiler_keeps_aggregates_without_records() {
+        let mut tracked = Profiler::default();
+        let mut fast = Profiler::new(true);
+        for p in [&mut tracked, &mut fast] {
+            p.record_kernel(rec("a", 100.0));
+            p.record_kernel(rec("b", 60.0));
+            p.record_sync(5.0);
+            p.record_memcpy(64, 25.0);
+        }
+        assert_eq!(tracked.clock_cycles(), fast.clock_cycles());
+        let (rt, rf) = (tracked.report(), fast.report());
+        assert_eq!(rt.launches, rf.launches);
+        assert_eq!(rt.thread_executions, rf.thread_executions);
+        assert_eq!(rt.kernel_bytes, rf.kernel_bytes);
+        assert_eq!(rt.kernel_atomics, rf.kernel_atomics);
+        assert!(fast.records().is_empty());
+        assert!(rf.by_kernel.is_empty());
+        // The CSV _total row matches exactly despite the missing kernel
+        // rows, and tracked's incremental totals agree with its rows.
+        assert_eq!(rt.to_csv().lines().last(), rf.to_csv().lines().last());
+        assert_eq!(
+            rt.kernel_bytes,
+            rt.by_kernel.values().map(|s| s.total_bytes).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn reset_preserves_fast_mode() {
+        let mut p = Profiler::new(true);
+        p.record_kernel(rec("a", 10.0));
+        p.reset();
+        assert_eq!(p.clock_cycles(), 0.0);
+        p.record_kernel(rec("a", 10.0));
+        assert!(p.records().is_empty(), "fast mode must survive reset");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-thread kernel execution context and access metering.
 
-use crate::buffer::DeviceBuffer;
+use crate::buffer::{DeviceBuffer, SeqRun};
 use crate::config::DeviceConfig;
 use crate::scalar::Scalar;
 
@@ -79,6 +79,7 @@ pub struct ThreadCtx {
     tid: usize,
     lane: u32,
     warp: usize,
+    warp_size: u32,
     cfg: &'static ConfigCosts,
     counters: ThreadCounters,
     tracker: AccessTracker,
@@ -126,26 +127,29 @@ pub(crate) fn intern_costs(cfg: &DeviceConfig) -> &'static ConfigCosts {
 }
 
 impl ThreadCtx {
-    pub(crate) fn new(
-        tid: usize,
-        warp_size: u32,
-        cfg: &'static ConfigCosts,
-        tracker: AccessTracker,
-    ) -> Self {
+    pub(crate) fn new(tid: usize, warp_size: u32, cfg: &'static ConfigCosts) -> Self {
         ThreadCtx {
             tid,
             lane: (tid as u32) % warp_size,
             warp: tid / warp_size as usize,
+            warp_size,
             cfg,
             counters: ThreadCounters::default(),
-            tracker,
+            tracker: AccessTracker::new(),
         }
     }
 
-    /// Tears the context down, handing the warp-scoped tracker to the
-    /// next lane.
-    pub(crate) fn finish(self) -> (ThreadCounters, AccessTracker) {
-        (self.counters, self.tracker)
+    /// Re-arms this context for the next lane of the warp: counters reset
+    /// to zero, thread ids recomputed, and the warp-scoped access tracker
+    /// carried over so coalesced lane-`i`-reads-`base+i` patterns are
+    /// still recognized across lanes. Reusing one context per warp chunk
+    /// avoids a per-thread construct/teardown (the tracker alone is a
+    /// 130-byte copy in and out per thread on the old path).
+    pub(crate) fn begin_lane(&mut self, tid: usize) {
+        self.tid = tid;
+        self.lane = (tid as u32) % self.warp_size;
+        self.warp = tid / self.warp_size as usize;
+        self.counters = ThreadCounters::default();
     }
 
     /// Global thread index within the launch (like
@@ -188,10 +192,52 @@ impl ThreadCtx {
     /// `base + l` on every stride step.
     #[inline]
     pub fn read_coalesced<T: Scalar>(&mut self, buf: &DeviceBuffer<T>, i: usize) -> T {
+        self.read_seq(buf, i)
+    }
+
+    /// Metered read for an access that is sequential *by construction*
+    /// (CSR row offsets, thread-mapped frontier slots, streaming scans):
+    /// bills element-size bytes and one issue without consulting — or
+    /// updating — the access tracker. The first-class form of the
+    /// [`ThreadCtx::read_coalesced`] escape hatch; use it wherever the
+    /// kernel's indexing proves coalescing statically.
+    #[inline]
+    pub fn read_seq<T: Scalar>(&mut self, buf: &DeviceBuffer<T>, i: usize) -> T {
         self.counters.cycles += self.cfg.mem_issue_cycles;
         self.counters.accesses += 1;
         self.counters.bytes += T::BYTES;
         buf.get(i)
+    }
+
+    /// Metered write for a statically sequential access; the write-side
+    /// twin of [`ThreadCtx::read_seq`].
+    #[inline]
+    pub fn write_seq<T: Scalar>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) {
+        self.counters.cycles += self.cfg.mem_issue_cycles;
+        self.counters.accesses += 1;
+        self.counters.bytes += T::BYTES;
+        buf.set(i, v)
+    }
+
+    /// Bills an entire sequential scan of `buf[start..end)` up front —
+    /// `end - start` issues at element-size bytes, identical to that many
+    /// [`ThreadCtx::read_seq`] calls but in O(1) arithmetic — and returns
+    /// a [`SeqRun`] whose element reads are raw loads. This is the bulk
+    /// fast path for CSR inner loops: the dominant cost of a neighbor
+    /// scan drops from per-access metering to one bounds check and four
+    /// additions for the whole row.
+    #[inline]
+    pub fn read_seq_run<'b, T: Scalar>(
+        &mut self,
+        buf: &'b DeviceBuffer<T>,
+        start: usize,
+        end: usize,
+    ) -> SeqRun<'b, T> {
+        let n = (end - start) as u64;
+        self.counters.cycles += n * self.cfg.mem_issue_cycles;
+        self.counters.accesses += n;
+        self.counters.bytes += n * T::BYTES;
+        SeqRun::new(buf.cells_range(start, end))
     }
 
     #[inline]
@@ -302,7 +348,7 @@ mod tests {
 
     fn ctx() -> ThreadCtx {
         let costs = intern_costs(&DeviceConfig::k40c());
-        ThreadCtx::new(37, 32, costs, AccessTracker::new())
+        ThreadCtx::new(37, 32, costs)
     }
 
     #[test]
@@ -435,20 +481,72 @@ mod tests {
 
     #[test]
     fn warp_scoped_tracker_coalesces_across_lanes() {
-        // Lane i reads buf[i]: the classic coalesced pattern. Threading
-        // one tracker through the lanes should bill one transaction for
-        // lane 0 and element-size for the rest.
+        // Lane i reads buf[i]: the classic coalesced pattern. Reusing one
+        // context across the lanes keeps the warp-scoped tracker alive,
+        // so the warp bills one transaction for lane 0 and element-size
+        // for the rest.
         let costs = intern_costs(&DeviceConfig::k40c());
         let buf = DeviceBuffer::<u32>::zeroed(32);
-        let mut tracker = AccessTracker::new();
+        let mut c = ThreadCtx::new(0, 32, costs);
         let mut total_bytes = 0;
         for lane in 0..32usize {
-            let mut c = ThreadCtx::new(lane, 32, costs, tracker);
+            c.begin_lane(lane);
             let _ = c.read(&buf, lane);
-            let (counters, tr) = c.finish();
-            total_bytes += counters.bytes;
-            tracker = tr;
+            total_bytes += c.counters().bytes;
         }
         assert_eq!(total_bytes, 32 + 31 * 4);
+    }
+
+    #[test]
+    fn begin_lane_resets_counters_and_ids() {
+        let mut c = ctx();
+        let buf = DeviceBuffer::<u32>::zeroed(8);
+        let _ = c.read(&buf, 0);
+        assert_eq!(c.counters().accesses, 1);
+        c.begin_lane(64);
+        assert_eq!(c.counters(), ThreadCounters::default());
+        assert_eq!(c.tid(), 64);
+        assert_eq!(c.lane(), 0);
+        assert_eq!(c.warp(), 2);
+    }
+
+    #[test]
+    fn seq_accesses_bill_element_size_without_tracker() {
+        let mut c = ctx();
+        let buf = DeviceBuffer::<u32>::zeroed(64);
+        // Scattered indices, but billed as sequential: the caller vouches.
+        let _ = c.read_seq(&buf, 50);
+        c.write_seq(&buf, 3, 7);
+        assert_eq!(buf.get(3), 7);
+        let k = c.counters();
+        assert_eq!(k.accesses, 2);
+        assert_eq!(k.cycles, 2 * 4);
+        assert_eq!(k.bytes, 2 * 4);
+    }
+
+    #[test]
+    fn seq_run_bills_like_per_element_seq_reads() {
+        let buf = DeviceBuffer::from_slice(&[5u32, 6, 7, 8, 9]);
+        let mut bulk = ctx();
+        let run = bulk.read_seq_run(&buf, 1, 4);
+        assert_eq!(run.len(), 3);
+        assert_eq!(run.get(0), 6);
+        assert_eq!(run.iter().collect::<Vec<_>>(), vec![6, 7, 8]);
+        assert_eq!(run.into_iter().collect::<Vec<_>>(), vec![6, 7, 8]);
+
+        let mut scalar = ctx();
+        for i in 1..4 {
+            let _ = scalar.read_seq(&buf, i);
+        }
+        assert_eq!(bulk.counters(), scalar.counters());
+    }
+
+    #[test]
+    fn empty_seq_run_is_free() {
+        let mut c = ctx();
+        let buf = DeviceBuffer::<u32>::zeroed(4);
+        let run = c.read_seq_run(&buf, 2, 2);
+        assert!(run.is_empty());
+        assert_eq!(c.counters(), ThreadCounters::default());
     }
 }

@@ -59,6 +59,17 @@ cargo run --release -q -p gc-bench --bin repro -- \
 cargo run --release -q -p gc-bench --bin repro -- \
   bench-check "$trace_dir/bench.json"
 
+echo "==> scale-sweep smoke: one fast-meter sweep step + committed BENCH_scale.json check"
+# Scale 15 only for CI speed; the committed artifact is the 15..22 run.
+cargo run --release -q -p gc-bench --bin repro -- \
+  scale-sweep --rgg 15:15 --out "$trace_dir/bench_scale.json"
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench-check "$trace_dir/bench_scale.json"
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench-check BENCH_scale.json
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench-check BENCH_coloring.json
+
 echo "==> net smoke: loopback submit/color/mutate/verify/shutdown round-trip"
 cargo run --release -q -p gc-bench --bin repro -- net-smoke
 

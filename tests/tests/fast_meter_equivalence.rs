@@ -1,0 +1,137 @@
+//! Fast-meter mode must be a pure observability knob: the cost model
+//! runs in full either way, so a colorer on a fast-meter device has to
+//! produce the bit-identical coloring, model time, and work counters of
+//! the same colorer on a tracked device — all it may drop is per-kernel
+//! history and telemetry spans. These properties pin that contract
+//! across every Figure 1 implementation on arbitrary graphs, plus the
+//! RGG determinism the scale sweep's committed artifact relies on.
+
+use proptest::prelude::*;
+
+use gc_core::runner::all_colorers;
+use gc_graph::{Csr, GraphBuilder};
+use gc_vgpu::{Device, DeviceConfig};
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (1usize..48).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..140)
+            .prop_map(move |edges| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+/// Runs every GPU colorer on a tracked and a fast-meter device and
+/// asserts the observable outcome is bit-identical.
+fn assert_fast_meter_equivalent(g: &Csr, seed: u64) -> Result<(), TestCaseError> {
+    for c in all_colorers() {
+        if !c.is_gpu() {
+            // The host colorers never touch a device; determinism across
+            // repeat runs is all fast-meter mode could possibly affect.
+            let a = c.run(g, seed);
+            let b = c.run(g, seed);
+            prop_assert_eq!(
+                a.coloring,
+                b.coloring,
+                "{} host run not deterministic",
+                c.name()
+            );
+            continue;
+        }
+        let tracked_dev = Device::k40c();
+        let fast_dev = Device::new(DeviceConfig::k40c().fast_meter());
+        let tracked = c.run_on_device(&tracked_dev, g, seed).expect("gpu colorer");
+        let fast = c.run_on_device(&fast_dev, g, seed).expect("gpu colorer");
+        prop_assert_eq!(
+            tracked.coloring.as_slice(),
+            fast.coloring.as_slice(),
+            "{}: fast-meter changed the coloring",
+            c.name()
+        );
+        prop_assert_eq!(
+            tracked.model_ms.to_bits(),
+            fast.model_ms.to_bits(),
+            "{}: model_ms diverged (tracked {} vs fast {})",
+            c.name(),
+            tracked.model_ms,
+            fast.model_ms
+        );
+        prop_assert_eq!(tracked.num_colors, fast.num_colors, "{}", c.name());
+        prop_assert_eq!(tracked.iterations, fast.iterations, "{}", c.name());
+        prop_assert_eq!(
+            tracked.kernel_launches,
+            fast.kernel_launches,
+            "{}: launch counts diverged",
+            c.name()
+        );
+        let tp = tracked.profile.as_ref().expect("tracked profile");
+        let fp = fast.profile.as_ref().expect("fast profile");
+        prop_assert_eq!(
+            tp.thread_executions,
+            fp.thread_executions,
+            "{}: thread executions diverged",
+            c.name()
+        );
+        prop_assert_eq!(tp.launches, fp.launches, "{}", c.name());
+        prop_assert_eq!(
+            tp.kernel_bytes,
+            fp.kernel_bytes,
+            "{}: bytes diverged",
+            c.name()
+        );
+        prop_assert_eq!(
+            tp.kernel_atomics,
+            fp.kernel_atomics,
+            "{}: atomics diverged",
+            c.name()
+        );
+        prop_assert_eq!(tp.graph_replays, fp.graph_replays, "{}", c.name());
+        prop_assert_eq!(
+            tp.launch_overhead_cycles.to_bits(),
+            fp.launch_overhead_cycles.to_bits(),
+            "{}: launch-overhead cycles diverged",
+            c.name()
+        );
+        // The one allowed difference: fast mode retains no per-kernel
+        // history.
+        prop_assert!(
+            fp.by_kernel.is_empty(),
+            "{}: fast-meter report still carries kernel records",
+            c.name()
+        );
+        prop_assert!(
+            !tp.by_kernel.is_empty(),
+            "{}: tracked report lost records",
+            c.name()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fast_meter_is_bit_identical_to_tracked_for_all_colorers(
+        g in arb_graph(),
+        seed in 0u64..500,
+    ) {
+        assert_fast_meter_equivalent(&g, seed)?;
+    }
+
+    #[test]
+    fn rgg_generation_is_seed_deterministic(scale in 6u32..11, seed in 0u64..1000) {
+        let a = gc_datasets::rgg_generate(scale, seed);
+        let b = gc_datasets::rgg_generate(scale, seed);
+        prop_assert_eq!(&a, &b, "same seed must reproduce the same edge list");
+        prop_assert_eq!(a.num_vertices(), 1usize << scale);
+    }
+}
+
+/// The sweep's own shape, pinned on a real RGG instance: fast-meter
+/// equivalence is not an artifact of tiny random graphs.
+#[test]
+fn fast_meter_equivalence_holds_on_an_rgg_instance() {
+    let g = gc_datasets::rgg_generate(10, 42);
+    assert!(g.num_edges() > 0);
+    assert_fast_meter_equivalent(&g, 42).expect("equivalence on rgg_n_2_10_s0");
+}
