@@ -7,7 +7,7 @@
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE]
 //! repro trace <colorer> <dataset> [--scale F] [--seed N]
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]
-//! repro bench [--scale F] [--seed N] [--devices N] [--out FILE]
+//! repro bench [--scale F] [--seed N] [--devices N[,M...]] [--out FILE]
 //! repro scale-sweep [--rgg MIN:MAX] [--seed N] [--out FILE]
 //! repro bench-check <FILE>
 //! repro serve [--port N] [--workers N]
@@ -41,15 +41,17 @@
 //! the paper's launch shape (full-width frontiers, one dispatch per
 //! operator), once with today's default path (compacted frontiers in
 //! replayed launch graphs) — and writes the before/after matrix as a
-//! `gc-bench-coloring/v3` JSON document (default `BENCH_coloring.json`,
-//! override with `--out`). `--devices N` (N > 1) adds sharded rows over
-//! the two largest datasets: every GPU colorer runs once per device
-//! count through `gc_shard::run_sharded`, reporting per-device maximum
-//! work next to the single-device baseline.
+//! `gc-bench-coloring/v5` JSON document (default `BENCH_coloring.json`,
+//! override with `--out`). `--devices N[,M...]` (counts > 1) adds
+//! sharded rows over the two largest datasets: every GPU colorer runs
+//! once per device count through `gc_shard::run_sharded`, reporting
+//! per-device maximum
+//! work, halo traffic (full vs delta), overlap ratio, and the sharding
+//! efficiency next to the single-device baseline.
 //!
 //! `scale-sweep` runs the Figure 4 RGG scaling study at paper extents:
 //! three representative colorers over `rgg_n_2_{MIN..MAX}_s0` (default
-//! 15:22) on fast-meter devices, writing a `gc-bench-scale/v1` document
+//! 15:24) on fast-meter devices, writing a `gc-bench-scale/v1` document
 //! (default `BENCH_scale.json`) whose every row is host-verified.
 //!
 //! `bench-check FILE` re-validates any committed benchmark document,
@@ -134,7 +136,7 @@ fn usage() -> String {
         "\noperand forms:\n\
          \x20 repro trace <colorer> <dataset> [--model-clock]\n\
          \x20 repro bench [--devices N] [--out FILE]\n\
-         \x20 repro scale-sweep [--rgg MIN:MAX] [--out FILE]   (default range 15:22)\n\
+         \x20 repro scale-sweep [--rgg MIN:MAX] [--out FILE]   (default range 15:24)\n\
          \x20 repro bench-check <FILE>\n\
          \x20 repro serve [--port N] [--workers N]\n\
          \x20 repro net-bench [--requests N] [--clients N] [--out FILE]\n\
@@ -146,7 +148,8 @@ fn usage() -> String {
          \x20 --full                the paper's full extents (slow)\n\
          \x20 --csv DIR             also write fig1/fig3 CSVs into DIR\n\
          \x20 --workers N           serve-bench / serve / net-bench worker threads (default 4)\n\
-         \x20 --devices N           virtual devices for the bench sharded rows (default 1)\n\
+         \x20 --devices N[,M...]    virtual device counts for the bench sharded rows; each\n\
+         \x20                       count > 1 adds a sharded row family (default 1)\n\
          \x20 --net                 run serve-bench in net mode (alias of net-bench)\n\
          \x20 --port N              serve listen port (default 7711, 0 = ephemeral)\n\
          \x20 --requests N          net-bench total client requests (default 100000)\n\
@@ -166,12 +169,13 @@ struct Args {
     command: String,
     cfg: ExperimentConfig,
     /// Whether `--rgg` was given explicitly (`scale-sweep` defaults to
-    /// the paper's 15:22 when it was not).
+    /// the paper's 15:24 when it was not).
     rgg_set: bool,
     csv_dir: Option<String>,
     workers: usize,
-    /// Virtual devices for the `bench` sharded rows.
-    devices: usize,
+    /// Virtual device counts for the `bench` sharded rows; each entry
+    /// above 1 adds a family of sharded rows at that count.
+    devices: Vec<usize>,
     trace_out: Option<String>,
     jsonl_out: Option<String>,
     metrics_out: Option<String>,
@@ -197,7 +201,7 @@ fn parse_args() -> Result<Args, String> {
     let mut rgg_set = false;
     let mut csv_dir = None;
     let mut workers = 4;
-    let mut devices = 1;
+    let mut devices = vec![1];
     let mut trace_out = None;
     let mut jsonl_out = None;
     let mut metrics_out = None;
@@ -262,8 +266,13 @@ fn parse_args() -> Result<Args, String> {
                 devices = args
                     .next()
                     .ok_or("--devices needs a value")?
-                    .parse()
+                    .split(',')
+                    .map(|d| d.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
                     .map_err(|e| format!("bad --devices: {e}"))?;
+                if devices.is_empty() || devices.contains(&0) {
+                    return Err("bad --devices: counts must be >= 1".into());
+                }
             }
             "--trace" => trace_out = Some(args.next().ok_or("--trace needs a file")?),
             "--jsonl" => jsonl_out = Some(args.next().ok_or("--jsonl needs a file")?),
@@ -548,7 +557,7 @@ fn main() -> ExitCode {
     }
 
     if args.command == "bench" {
-        let report = gc_bench::coloring_bench::coloring_bench(&cfg, args.devices.max(1));
+        let report = gc_bench::coloring_bench::coloring_bench(&cfg, &args.devices);
         println!("{}", format::render_coloring_bench(&report));
         let json = gc_bench::coloring_bench::to_json(&report);
         if let Err(e) = gc_bench::coloring_bench::validate_report_json(&json) {
@@ -564,12 +573,14 @@ fn main() -> ExitCode {
     }
 
     if args.command == "scale-sweep" {
-        // Without an explicit --rgg range, sweep the acceptance range:
-        // the paper family's lower half plus scale 22 (4.2M vertices).
+        // Without an explicit --rgg range, sweep the paper's full
+        // Figure 4 family, up to scale 24 (16.8M vertices, ~150M
+        // undirected edges — the banded-parallel RGG generator and the
+        // fast-meter executor keep it tractable on the host).
         let (lo, hi) = if args.rgg_set {
             (cfg.rgg_min, cfg.rgg_max)
         } else {
-            (15, 22)
+            (15, 24)
         };
         let report = gc_bench::scale_sweep::scale_sweep(lo, hi, cfg.seed);
         println!("{}", format::render_scale_sweep(&report));

@@ -409,22 +409,23 @@ pub fn render_coloring_bench(report: &crate::coloring_bench::BenchReport) -> Str
     }
     let sharded: Vec<_> = report.rows.iter().filter(|r| r.devices > 1).collect();
     if !sharded.is_empty() {
+        out.push_str("\nBENCH: multi-device sharding (ThreadEx(max) is the per-device max)\n");
         out.push_str(&format!(
-            "\nBENCH: multi-device sharding (devices={}; ThreadEx(a) is the per-device max)\n",
-            report.devices
-        ));
-        out.push_str(&format!(
-            "{:<16}{:<12}{:>14}{:>14}{:>8}{:>12}{:>8}{:>8}\n",
+            "{:<16}{:<12}{:>4}{:>14}{:>14}{:>8}{:>12}{:>10}{:>7}{:>6}{:>8}{:>8}\n",
             "Dataset",
             "Colorer",
+            "Dev",
             "ThreadEx(1)",
             "ThreadEx(max)",
             "Work/x",
             "HaloBytes",
+            "Delta",
+            "Eff",
+            "Ovl",
             "Rounds",
             "Proper"
         ));
-        out.push_str(&hr(92));
+        out.push_str(&hr(119));
         out.push('\n');
         for r in sharded {
             let ratio = if r.after.thread_executions == 0 {
@@ -436,13 +437,17 @@ pub fn render_coloring_bench(report: &crate::coloring_bench::BenchReport) -> Str
                 )
             };
             out.push_str(&format!(
-                "{:<16}{:<12}{:>14}{:>14}{:>8}{:>12}{:>8}{:>8}\n",
+                "{:<16}{:<12}{:>4}{:>14}{:>14}{:>8}{:>12}{:>10}{:>7}{:>6}{:>8}{:>8}\n",
                 r.dataset,
                 short(&r.colorer),
+                r.devices,
                 r.before.thread_executions,
                 r.after.thread_executions,
                 ratio,
                 r.halo_bytes,
+                r.halo_bytes_delta,
+                format!("{:.2}x", r.sharded_efficiency),
+                format!("{:.2}", r.overlap_ratio),
                 r.conflict_rounds,
                 if r.verified { "yes" } else { "NO" }
             ));

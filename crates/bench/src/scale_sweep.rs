@@ -9,8 +9,9 @@
 //! range on **fast-meter devices** — the cost model runs in full, so
 //! `model_ms`, `thread_executions`, and `launches` are bit-identical to
 //! a tracked run, but no per-kernel history or telemetry spans are
-//! retained, which is what makes scale 22 (4.2M vertices, ~30M
-//! undirected edges) tractable on the host executor.
+//! retained, which — together with the banded-parallel RGG generator —
+//! is what makes the full paper range up to scale 24 (16.8M vertices,
+//! ~150M undirected edges) tractable on the host executor.
 //!
 //! Every row's coloring is verified proper on the host before it is
 //! emitted; `validate_report_json` refuses a document with an

@@ -27,7 +27,7 @@ pub mod traversal;
 pub use builder::GraphBuilder;
 pub use csr::{Csr, VertexId};
 pub use delta::{apply_edge_delta, DeltaOutcome, EdgeDelta};
-pub use partition::{Partition, Shard};
+pub use partition::{Partition, PartitionStrategy, Shard};
 
 #[cfg(test)]
 mod proptests;

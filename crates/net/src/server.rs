@@ -121,6 +121,11 @@ impl Shared {
             graphs: self.graphs.lock().unwrap().len() as u64,
             frames_ok: self.frames_ok.load(Ordering::Relaxed),
             frames_bad: self.frames_bad.load(Ordering::Relaxed),
+            sharded: snap.sharded,
+            halo_rounds: snap.halo_rounds,
+            changed_boundary: snap.changed_boundary,
+            halo_bytes_delta: snap.halo_bytes_delta,
+            overlap_permille: (snap.avg_overlap_ratio.clamp(0.0, 1.0) * 1000.0).round() as u64,
         }
     }
 }

@@ -805,6 +805,19 @@ pub struct StatsTick {
     pub frames_ok: u64,
     /// Frames rejected as malformed/oversized, lifetime.
     pub frames_bad: u64,
+    /// Requests served through the multi-device sharded path, lifetime.
+    pub sharded: u64,
+    /// Halo-exchange rounds summed over all sharded requests.
+    pub halo_rounds: u64,
+    /// Boundary vertices recolored during conflict resolution, summed
+    /// over all sharded requests.
+    pub changed_boundary: u64,
+    /// Device-to-device bytes the delta halo exchange actually moved,
+    /// summed over all sharded requests.
+    pub halo_bytes_delta: u64,
+    /// Mean halo-transfer overlap ratio over sharded requests, in
+    /// permille (0..=1000) so the frame stays integer-only.
+    pub overlap_permille: u64,
 }
 
 impl StatsTick {
@@ -824,6 +837,11 @@ impl StatsTick {
             self.graphs,
             self.frames_ok,
             self.frames_bad,
+            self.sharded,
+            self.halo_rounds,
+            self.changed_boundary,
+            self.halo_bytes_delta,
+            self.overlap_permille,
         ] {
             push_u64(&mut out, x);
         }
@@ -846,6 +864,11 @@ impl StatsTick {
             graphs: r.u64("graphs")?,
             frames_ok: r.u64("frames_ok")?,
             frames_bad: r.u64("frames_bad")?,
+            sharded: r.u64("sharded")?,
+            halo_rounds: r.u64("halo_rounds")?,
+            changed_boundary: r.u64("changed_boundary")?,
+            halo_bytes_delta: r.u64("halo_bytes_delta")?,
+            overlap_permille: r.u64("overlap_permille")?,
         };
         r.finish()?;
         Ok(t)
@@ -1031,9 +1054,20 @@ mod tests {
         let t = StatsTick {
             tick: 1,
             served: 10,
+            sharded: 3,
+            halo_rounds: 7,
+            changed_boundary: 42,
+            halo_bytes_delta: 1536,
+            overlap_permille: 640,
             ..StatsTick::default()
         };
         assert_eq!(StatsTick::decode(&t.encode()).unwrap(), t);
+        // Pre-shard-telemetry frames (12 u64s) must no longer parse:
+        // truncating the last five fields is a malformed frame, not a
+        // silently-zeroed one.
+        let mut short = t.encode();
+        short.truncate(short.len() - 5 * 8);
+        assert!(StatsTick::decode(&short).is_err());
     }
 
     #[test]

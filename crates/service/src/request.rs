@@ -187,8 +187,21 @@ pub struct ColorResponse {
     /// Boundary-conflict resolution rounds the sharded path needed
     /// (0 on the single-device path and for boundary-free partitions).
     pub conflict_rounds: u32,
-    /// Bytes moved device-to-device by halo exchange (0 when devices=1).
+    /// Full-replication halo volume: what the conflict rounds would
+    /// move if every round re-broadcast every boundary color to every
+    /// peer (0 when devices=1).
     pub halo_bytes: u64,
+    /// Bytes the delta halo exchange actually moved device-to-device
+    /// (0 when devices=1).
+    pub halo_bytes_delta: u64,
+    /// Halo-exchange rounds counted on the devices' profiles (equals
+    /// `conflict_rounds` on the sharded path).
+    pub halo_rounds: u64,
+    /// Boundary vertices recolored across all conflict rounds.
+    pub changed_boundary: u64,
+    /// Fraction of async halo-transfer cycles hidden behind compute
+    /// (0.0 when devices=1 or no async transfer ran).
+    pub overlap_ratio: f64,
     pub metrics: RequestMetrics,
 }
 

@@ -463,8 +463,17 @@ fn handle_job(
     // spans and kernel events) as a child of the request span. Above
     // one device the run goes through the sharded path instead: the
     // graph is partitioned, each shard colored on its own device, and
-    // boundary conflicts resolved before the merged coloring comes back.
-    let (result, conflict_rounds, halo_bytes) = if devices > 1 {
+    // boundary conflicts resolved (overlapped delta halo exchange)
+    // before the merged coloring comes back.
+    struct ShardTelemetry {
+        conflict_rounds: u32,
+        halo_bytes: u64,
+        halo_bytes_delta: u64,
+        halo_rounds: u64,
+        changed_boundary: u64,
+        overlap_ratio: f64,
+    }
+    let (result, shard) = if devices > 1 {
         // The service verifies the merged coloring itself below, so the
         // sharded path's own verification pass is redundant here.
         let cfg = gc_shard::ShardedConfig {
@@ -472,9 +481,24 @@ fn handle_job(
             ..gc_shard::ShardedConfig::new(devices)
         };
         let sharded = gc_shard::run_sharded(&colorer, &req.graph, req.seed, &cfg);
-        (sharded.result, sharded.conflict_rounds, sharded.halo_bytes)
+        let telemetry = ShardTelemetry {
+            conflict_rounds: sharded.conflict_rounds,
+            halo_bytes: sharded.halo_bytes,
+            halo_bytes_delta: sharded.halo_bytes_delta,
+            halo_rounds: sharded.halo_rounds,
+            changed_boundary: sharded.changed_boundary,
+            overlap_ratio: sharded.overlap_ratio,
+        };
+        stats.on_sharded(
+            telemetry.halo_rounds,
+            telemetry.changed_boundary,
+            telemetry.halo_bytes,
+            telemetry.halo_bytes_delta,
+            telemetry.overlap_ratio,
+        );
+        (sharded.result, Some(telemetry))
     } else {
-        (colorer.run(&req.graph, req.seed), 0, 0)
+        (colorer.run(&req.graph, req.seed), None)
     };
 
     let verified = {
@@ -502,8 +526,12 @@ fn handle_job(
         cache_hit: false,
         verified: true,
         devices,
-        conflict_rounds,
-        halo_bytes,
+        conflict_rounds: shard.as_ref().map_or(0, |s| s.conflict_rounds),
+        halo_bytes: shard.as_ref().map_or(0, |s| s.halo_bytes),
+        halo_bytes_delta: shard.as_ref().map_or(0, |s| s.halo_bytes_delta),
+        halo_rounds: shard.as_ref().map_or(0, |s| s.halo_rounds),
+        changed_boundary: shard.as_ref().map_or(0, |s| s.changed_boundary),
+        overlap_ratio: shard.as_ref().map_or(0.0, |s| s.overlap_ratio),
         metrics,
     };
     {
@@ -707,7 +735,21 @@ mod tests {
             resp.halo_bytes > 0,
             "a 4-way mesh split must exchange halo data"
         );
+        assert!(
+            resp.halo_bytes_delta > 0 && resp.halo_bytes_delta < resp.halo_bytes,
+            "delta exchange ({}) must move less than full replication ({})",
+            resp.halo_bytes_delta,
+            resp.halo_bytes
+        );
+        assert_eq!(resp.halo_rounds, resp.conflict_rounds as u64);
+        assert!((0.0..=1.0).contains(&resp.overlap_ratio));
         assert!(is_proper(&g, resp.coloring.as_slice()).is_ok());
+        // The shard telemetry also lands in the service stats.
+        let snap = svc.stats();
+        assert_eq!(snap.sharded, 1);
+        assert_eq!(snap.halo_rounds, resp.halo_rounds);
+        assert_eq!(snap.changed_boundary, resp.changed_boundary);
+        assert_eq!(snap.halo_bytes_delta, resp.halo_bytes_delta);
         // The same request is a cache hit and carries the same sharding
         // metadata back.
         let again = h.color(ColorRequest::new(g, Objective::Balanced)).unwrap();

@@ -47,6 +47,20 @@ pub struct StatsSnapshot {
     /// Requests currently admitted but not yet answered — always
     /// `queued + in_flight`, kept for snapshot compatibility.
     pub queue_depth: u64,
+    /// Requests served through the multi-device sharded path (cache
+    /// misses only — a hit replays a stored coloring on no device).
+    pub sharded: u64,
+    /// Halo-exchange rounds summed over all sharded requests.
+    pub halo_rounds: u64,
+    /// Boundary vertices recolored during conflict resolution, summed
+    /// over all rounds of all sharded requests.
+    pub changed_boundary: u64,
+    /// Device-to-device bytes the delta halo exchange actually moved,
+    /// summed over all sharded requests.
+    pub halo_bytes_delta: u64,
+    /// Mean fraction of halo-transfer cycles hidden behind compute,
+    /// averaged over sharded requests (0.0 when none ran).
+    pub avg_overlap_ratio: f64,
     /// Per-colorer model-ms latency of actual runs (cache hits excluded —
     /// a hit costs no model time).
     pub latency_by_colorer: BTreeMap<String, LatencyHistogram>,
@@ -77,6 +91,11 @@ struct MetricHandles {
     shed_queue_full: Counter,
     queued: Gauge,
     in_flight: Gauge,
+    sharded: Counter,
+    halo_rounds: Counter,
+    changed_boundary: Counter,
+    halo_bytes_full: Counter,
+    halo_bytes_delta: Counter,
 }
 
 impl MetricHandles {
@@ -98,6 +117,15 @@ impl MetricHandles {
                 .counter_with("gc_service_shed_total", &[("reason", "queue_full")]),
             queued: registry.gauge("gc_service_queued"),
             in_flight: registry.gauge("gc_service_in_flight"),
+            sharded: registry.counter("gc_service_shard_requests_total"),
+            halo_rounds: registry.counter("gc_service_shard_halo_rounds_total"),
+            changed_boundary: registry.counter("gc_service_shard_changed_boundary_total"),
+            // Both exchange volumes under one name, split by kind, so a
+            // dashboard quotient shows what the delta exchange saves.
+            halo_bytes_full: registry
+                .counter_with("gc_service_shard_halo_bytes_total", &[("kind", "full")]),
+            halo_bytes_delta: registry
+                .counter_with("gc_service_shard_halo_bytes_total", &[("kind", "delta")]),
             registry,
         }
     }
@@ -118,6 +146,13 @@ pub struct ServiceStats {
     queued: AtomicI64,
     /// Dequeued, currently running on a worker.
     in_flight: AtomicI64,
+    sharded: AtomicU64,
+    halo_rounds: AtomicU64,
+    changed_boundary: AtomicU64,
+    halo_bytes_delta: AtomicU64,
+    /// Sum of per-request overlap ratios in permille, so the snapshot
+    /// can report a mean without a float atomic.
+    overlap_permille_sum: AtomicU64,
     latency: Mutex<BTreeMap<String, LatencyHistogram>>,
     metrics: Option<MetricHandles>,
 }
@@ -228,9 +263,47 @@ impl ServiceStats {
         }
     }
 
+    /// A cache-miss request went through the multi-device sharded path;
+    /// records its halo-exchange telemetry (round count, recolored
+    /// boundary vertices, full vs actually-moved bytes, overlap ratio).
+    pub fn on_sharded(
+        &self,
+        halo_rounds: u64,
+        changed_boundary: u64,
+        halo_bytes: u64,
+        halo_bytes_delta: u64,
+        overlap_ratio: f64,
+    ) {
+        self.sharded.fetch_add(1, Ordering::Relaxed);
+        self.halo_rounds.fetch_add(halo_rounds, Ordering::Relaxed);
+        self.changed_boundary
+            .fetch_add(changed_boundary, Ordering::Relaxed);
+        self.halo_bytes_delta
+            .fetch_add(halo_bytes_delta, Ordering::Relaxed);
+        let permille = (overlap_ratio.clamp(0.0, 1.0) * 1000.0).round() as u64;
+        self.overlap_permille_sum
+            .fetch_add(permille, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.sharded.inc();
+            m.halo_rounds.add(halo_rounds);
+            m.changed_boundary.add(changed_boundary);
+            m.halo_bytes_full.add(halo_bytes);
+            m.halo_bytes_delta.add(halo_bytes_delta);
+            m.registry
+                .histogram("gc_service_shard_overlap_ratio")
+                .observe(overlap_ratio);
+        }
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         let queued = self.queued.load(Ordering::Relaxed).max(0) as u64;
         let in_flight = self.in_flight.load(Ordering::Relaxed).max(0) as u64;
+        let sharded = self.sharded.load(Ordering::Relaxed);
+        let avg_overlap_ratio = if sharded > 0 {
+            self.overlap_permille_sum.load(Ordering::Relaxed) as f64 / 1000.0 / sharded as f64
+        } else {
+            0.0
+        };
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
@@ -242,6 +315,11 @@ impl ServiceStats {
             queued,
             in_flight,
             queue_depth: queued + in_flight,
+            sharded,
+            halo_rounds: self.halo_rounds.load(Ordering::Relaxed),
+            changed_boundary: self.changed_boundary.load(Ordering::Relaxed),
+            halo_bytes_delta: self.halo_bytes_delta.load(Ordering::Relaxed),
+            avg_overlap_ratio,
             latency_by_colorer: self.latency.lock().unwrap().clone(),
         }
     }
@@ -327,6 +405,44 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.failed, 1);
         assert_eq!((snap.queued, snap.in_flight), (0, 0));
+    }
+
+    #[test]
+    fn sharded_telemetry_accumulates_and_mirrors() {
+        let reg = MetricsRegistry::new();
+        let s = ServiceStats::with_registry(reg.clone());
+        s.on_sharded(2, 150, 4096, 512, 0.25);
+        s.on_sharded(3, 50, 8192, 1024, 0.75);
+        let snap = s.snapshot();
+        assert_eq!(snap.sharded, 2);
+        assert_eq!(snap.halo_rounds, 5);
+        assert_eq!(snap.changed_boundary, 200);
+        assert_eq!(snap.halo_bytes_delta, 1536);
+        assert!((snap.avg_overlap_ratio - 0.5).abs() < 1e-9);
+        let counters: BTreeMap<(String, String), u64> = reg
+            .counters()
+            .into_iter()
+            .map(|((name, labels), v)| ((name, format!("{labels:?}")), v))
+            .collect();
+        let flat = |name: &str| counters[&(name.to_string(), "[]".to_string())];
+        assert_eq!(flat("gc_service_shard_requests_total"), 2);
+        assert_eq!(flat("gc_service_shard_halo_rounds_total"), 5);
+        assert_eq!(flat("gc_service_shard_changed_boundary_total"), 200);
+        let by_kind: BTreeMap<String, u64> = reg
+            .counters()
+            .into_iter()
+            .filter(|((name, _), _)| name == "gc_service_shard_halo_bytes_total")
+            .map(|((_, labels), v)| (format!("{labels:?}"), v))
+            .collect();
+        assert_eq!(by_kind.len(), 2, "{by_kind:?}");
+        assert!(by_kind.values().any(|&v| v == 12288)); // full
+        assert!(by_kind.values().any(|&v| v == 1536)); // delta
+        let hists = reg.histograms();
+        let overlap = hists
+            .iter()
+            .find(|(k, _)| k.0 == "gc_service_shard_overlap_ratio")
+            .expect("overlap histogram registered");
+        assert_eq!(overlap.1.samples, 2);
     }
 
     #[test]

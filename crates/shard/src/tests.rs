@@ -8,6 +8,8 @@ use gc_core::runner::{all_colorers, colorer_by_name, Colorer};
 use gc_core::verify::is_proper;
 use gc_graph::{generators, Csr, GraphBuilder};
 
+use gc_graph::PartitionStrategy;
+
 use crate::{run_sharded, ShardedConfig, MAX_CONFLICT_ROUNDS};
 
 fn arb_graph() -> impl Strategy<Value = Csr> {
@@ -85,6 +87,64 @@ proptest! {
         prop_assert_eq!(a.conflict_rounds, b.conflict_rounds);
         prop_assert_eq!(a.halo_bytes, b.halo_bytes);
         prop_assert_eq!(a.result.model_ms, b.result.model_ms);
+    }
+
+    // Delta-only halo exchange is a pure traffic optimization: it must
+    // produce bit-identical colorings with identical conflict-round
+    // counts to the full per-round exchange, for every N, strategy, and
+    // overlap setting — and it must never move more bytes.
+    #[test]
+    fn delta_halo_matches_full_halo(g in arb_graph(), seed in 0u64..100) {
+        let c = colorer_by_name("Gunrock/Color_IS").unwrap();
+        for n in [2usize, 4, 8] {
+            for strategy in [PartitionStrategy::Contiguous, PartitionStrategy::BfsGrown] {
+                for overlap in [false, true] {
+                    let mut full = ShardedConfig::new(n);
+                    full.strategy = strategy;
+                    full.overlap = overlap;
+                    full.delta_halo = false;
+                    let mut delta = full.clone();
+                    delta.delta_halo = true;
+                    let a = run_sharded(&c, &g, seed, &full);
+                    let b = run_sharded(&c, &g, seed, &delta);
+                    prop_assert_eq!(
+                        a.result.coloring.as_slice(),
+                        b.result.coloring.as_slice(),
+                        "delta halo diverged (n={}, {:?}, overlap={})", n, strategy, overlap
+                    );
+                    prop_assert_eq!(
+                        a.conflict_rounds, b.conflict_rounds,
+                        "round counts diverged (n={}, {:?}, overlap={})", n, strategy, overlap
+                    );
+                    prop_assert!(
+                        b.halo_bytes_delta <= a.halo_bytes_delta,
+                        "delta moved more bytes than full (n={}, {:?}): {} > {}",
+                        n, strategy, b.halo_bytes_delta, a.halo_bytes_delta
+                    );
+                    prop_assert!(b.verified && a.verified);
+                }
+            }
+        }
+    }
+
+    // The partition strategy and overlap knobs never change correctness:
+    // every combination yields a proper, verified coloring.
+    #[test]
+    fn strategy_and_overlap_knobs_preserve_correctness(g in arb_graph(), seed in 0u64..100) {
+        let c = colorer_by_name("Gunrock/Color_Hash").unwrap();
+        for strategy in [PartitionStrategy::Contiguous, PartitionStrategy::BfsGrown] {
+            for overlap in [false, true] {
+                let mut cfg = ShardedConfig::new(4);
+                cfg.strategy = strategy;
+                cfg.overlap = overlap;
+                let sharded = run_sharded(&c, &g, seed, &cfg);
+                prop_assert!(
+                    is_proper(&g, sharded.result.coloring.as_slice()).is_ok(),
+                    "{:?} overlap={} produced an improper coloring", strategy, overlap
+                );
+                prop_assert!(sharded.verified);
+            }
+        }
     }
 }
 
@@ -179,8 +239,8 @@ fn sharded_run_emits_shard_span_family() {
     );
     assert!(names.contains(&"halo_exchange"));
     assert!(
-        names.contains(&"vgpu::memcpy_d2d"),
-        "halo exchange must emit metered d2d events"
+        names.contains(&"vgpu::memcpy_d2d_async"),
+        "halo exchange must emit async d2d transfer events"
     );
     // Each device worker colored on its own lane, named after its thread.
     let lanes = tracer.lane_names();

@@ -125,6 +125,21 @@ impl<T: Scalar> DeviceBuffer<T> {
         }
     }
 
+    /// Host-side bulk copy-in at an offset (unmetered). The data must
+    /// fit: `offset + data.len() <= len`.
+    pub fn copy_from_slice_at(&self, offset: usize, data: &[T]) {
+        assert!(
+            offset + data.len() <= self.len(),
+            "copy_from_slice_at out of range: {} + {} > {}",
+            offset,
+            data.len(),
+            self.len()
+        );
+        for (c, &v) in self.cells[offset..offset + data.len()].iter().zip(data) {
+            T::store(c, v);
+        }
+    }
+
     /// Total bytes of the buffer as billed by transfers.
     pub fn size_bytes(&self) -> u64 {
         self.len() as u64 * T::BYTES

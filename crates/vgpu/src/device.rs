@@ -16,7 +16,7 @@ use rayon::prelude::*;
 use crate::buffer::DeviceBuffer;
 use crate::config::DeviceConfig;
 use crate::cost::{kernel_cost, memcpy_cost, LaunchStats};
-use crate::profiler::{intern_name, KernelRecord, ProfileReport, Profiler};
+use crate::profiler::{intern_name, CopyEngine, KernelRecord, ProfileReport, Profiler};
 use crate::scalar::Scalar;
 use crate::thread::{intern_costs, ConfigCosts, ThreadCounters, ThreadCtx};
 
@@ -48,6 +48,42 @@ pub struct Device {
 /// Launches with at most this many blocks run inline on the calling
 /// thread: below this, rayon's fork-join costs more than it buys.
 const SERIAL_BLOCK_LIMIT: usize = 4;
+
+/// Completion handle of an asynchronous transfer
+/// ([`Device::upload_async`], [`Device::peer_transfer_async`]).
+///
+/// The event pins the transfer's completion on the device's *absolute*
+/// model clock (the axis that survives [`Device::reset`]), so an upload
+/// issued before a colorer's run-start reset can still be awaited
+/// meaningfully afterwards. [`Device::wait_event`] bills the waiting
+/// device only for the part of the copy its compute since issue did not
+/// hide — `max(compute, transfer)` accounting instead of the serial sum
+/// the synchronous transfer paths bill.
+#[derive(Clone, Copy, Debug)]
+pub struct TransferEvent {
+    engine: CopyEngine,
+    bytes: u64,
+    cost_cycles: f64,
+    completion_abs: f64,
+}
+
+impl TransferEvent {
+    /// Bytes the transfer moves.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The copy's full metered cost in cycles (what the synchronous path
+    /// would have billed).
+    pub fn cost_cycles(&self) -> f64 {
+        self.cost_cycles
+    }
+
+    /// Completion time on the absolute model clock.
+    pub fn completion_abs(&self) -> f64 {
+        self.completion_abs
+    }
+}
 
 /// A captured kernel pipeline (the model's CUDA Graph).
 ///
@@ -341,6 +377,124 @@ impl Device {
             .record_d2d(bytes, memcpy_cost(&peer.cfg, bytes));
         dst.copy_from_slice(&src.to_vec());
         self.trace_memcpy("vgpu::memcpy_d2d", trace_start, bytes);
+    }
+
+    /// Asynchronous metered host→device transfer: the data is staged
+    /// immediately, but the copy's cost occupies the H2D engine instead
+    /// of the device clock. The returned event must be awaited with
+    /// [`Device::wait_event`] before the buffer's contents are read by a
+    /// kernel; the wait bills only the part of the copy that kernel work
+    /// issued in between did not hide.
+    ///
+    /// The memcpy *counters* bill at the wait too, so an upload issued
+    /// before a colorer's run-start [`Device::reset`] is attributed to
+    /// the profiling window that actually consumed it.
+    pub fn upload_async<T: Scalar>(&self, data: &[T]) -> (DeviceBuffer<T>, TransferEvent) {
+        let bytes = data.len() as u64 * T::BYTES;
+        let cost = memcpy_cost(&self.cfg, bytes);
+        let mut p = self.profiler.lock().unwrap();
+        let start = p.abs_cycles().max(p.engine_free_abs(CopyEngine::H2d));
+        let completion = start + cost;
+        p.occupy_engine(CopyEngine::H2d, completion);
+        drop(p);
+        (
+            DeviceBuffer::from_slice(data),
+            TransferEvent {
+                engine: CopyEngine::H2d,
+                bytes,
+                cost_cycles: cost,
+                completion_abs: completion,
+            },
+        )
+    }
+
+    /// Asynchronous metered device→device (peer) copy: `src` on this
+    /// device into `dst[dst_off..dst_off + src.len()]` on `peer` (the
+    /// offset lets halo exchanges land each peer's segment directly in
+    /// one concatenated replica, the way a real P2P copy writes to an
+    /// offset device pointer).
+    ///
+    /// The copy is **source-driven**: it starts once the source timeline
+    /// has reached the issue point and both peer links are free — the
+    /// receiver's compute timeline does not gate the start, because a
+    /// P2P push is executed by the source's DMA engine; the receiver
+    /// only pays when it waits. The snapshot of `src` lands in `dst`
+    /// immediately (model semantics: the importer must not read the
+    /// range before awaiting the returned event). Both endpoints' links
+    /// are occupied for the copy's duration — a second transfer on
+    /// either device queues behind it — and both endpoints count the
+    /// transfer and its bytes at issue. No clock cycles are billed here:
+    /// the importing device bills its stall (if any) when it calls
+    /// [`Device::wait_event`], which is how a round's exchange ends up
+    /// costing `max(compute, transfer)` instead of the serial sum
+    /// [`Device::peer_transfer`] bills.
+    pub fn peer_transfer_async<T: Scalar>(
+        &self,
+        peer: &Device,
+        src: &DeviceBuffer<T>,
+        dst: &DeviceBuffer<T>,
+        dst_off: usize,
+    ) -> TransferEvent {
+        assert!(
+            dst_off + src.len() <= dst.len(),
+            "peer_transfer_async out of range: {} + {} > {}",
+            dst_off,
+            src.len(),
+            dst.len()
+        );
+        let trace_start = self.traced().then(|| (Instant::now(), self.elapsed_ms()));
+        let bytes = src.size_bytes();
+        let cost = memcpy_cost(&self.cfg, bytes);
+        // Locks are taken one at a time (issue is host-orchestrated, so
+        // no interleaving races).
+        let (self_abs, self_free) = {
+            let p = self.profiler.lock().unwrap();
+            (p.abs_cycles(), p.engine_free_abs(CopyEngine::D2d))
+        };
+        let peer_free = peer
+            .profiler
+            .lock()
+            .unwrap()
+            .engine_free_abs(CopyEngine::D2d);
+        let start = self_abs.max(self_free).max(peer_free);
+        let completion = start + cost;
+        {
+            let mut p = self.profiler.lock().unwrap();
+            p.occupy_engine(CopyEngine::D2d, completion);
+            p.record_d2d_issue(bytes);
+        }
+        {
+            let mut p = peer.profiler.lock().unwrap();
+            p.occupy_engine(CopyEngine::D2d, completion);
+            p.record_d2d_issue(bytes);
+        }
+        dst.copy_from_slice_at(dst_off, &src.to_vec());
+        self.trace_memcpy("vgpu::memcpy_d2d_async", trace_start, bytes);
+        TransferEvent {
+            engine: CopyEngine::D2d,
+            bytes,
+            cost_cycles: cost,
+            completion_abs: completion,
+        }
+    }
+
+    /// Blocks this device's timeline until `ev` completes, billing only
+    /// the uncovered remainder of the copy (compute issued between the
+    /// transfer and this wait hides the rest, credited to the engine's
+    /// overlapped counter in the profile).
+    pub fn wait_event(&self, ev: &TransferEvent) {
+        self.profiler.lock().unwrap().record_async_wait(
+            ev.engine,
+            ev.bytes,
+            ev.cost_cycles,
+            ev.completion_abs,
+        );
+    }
+
+    /// Counts one halo-exchange round on this device's profile (the
+    /// sharded runner's per-round telemetry hook).
+    pub fn record_halo_round(&self) {
+        self.profiler.lock().unwrap().record_halo_round();
     }
 
     fn trace_memcpy(&self, name: &str, trace_start: Option<(Instant, f64)>, bytes: u64) {
@@ -802,6 +956,79 @@ mod tests {
         let r = dev.profile();
         let want = cfg.launch_overhead_cycles as f64 / 1e6;
         assert!((r.launch_overhead_ms - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn async_peer_transfer_overlaps_with_compute() {
+        let cfg = DeviceConfig::test_tiny();
+        // Serial reference: compute + synchronous transfer.
+        let n = 4096usize;
+        let serial = {
+            let a = Device::new(cfg);
+            let b = Device::new(cfg);
+            let src = a.upload(&vec![7u32; n]);
+            a.reset();
+            b.reset();
+            let dst = DeviceBuffer::<u32>::zeroed(n);
+            a.launch("work", n, |t| t.charge(50));
+            a.peer_transfer(&b, &src, &dst);
+            (a.elapsed_cycles(), dst.to_vec())
+        };
+        let overlapped = {
+            let a = Device::new(cfg);
+            let b = Device::new(cfg);
+            let src = a.upload(&vec![7u32; n]);
+            a.reset();
+            b.reset();
+            let dst = DeviceBuffer::<u32>::zeroed(n);
+            let ev = a.peer_transfer_async(&b, &src, &dst, 0);
+            a.launch("work", n, |t| t.charge(50));
+            a.wait_event(&ev);
+            let prof = a.profile();
+            assert_eq!(prof.d2d_transfers, 1);
+            assert!(prof.d2d_overlapped_cycles > 0.0, "some cost must hide");
+            assert_eq!(
+                prof.d2d_overlapped_cycles + prof.d2d_stall_cycles,
+                ev.cost_cycles()
+            );
+            (a.elapsed_cycles(), dst.to_vec())
+        };
+        assert_eq!(serial.1, overlapped.1, "same data lands either way");
+        assert!(
+            overlapped.0 < serial.0,
+            "overlap {} must beat serial {}",
+            overlapped.0,
+            serial.0
+        );
+    }
+
+    #[test]
+    fn async_upload_event_survives_reset() {
+        let cfg = DeviceConfig::test_tiny();
+        let dev = Device::new(cfg);
+        let (buf, ev) = dev.upload_async(&vec![3u32; 1024]);
+        dev.reset(); // what every colorer does at run start
+        dev.launch("work", 64, |t| t.charge(1));
+        dev.wait_event(&ev);
+        assert_eq!(buf.to_vec(), vec![3u32; 1024]);
+        let prof = dev.profile();
+        assert_eq!(prof.memcpys, 1, "the upload bills in the reset window");
+        assert_eq!(prof.memcpy_bytes, 4096);
+        assert!(
+            prof.h2d_overlapped_cycles > 0.0,
+            "the kernel issued before the wait hides part of the copy"
+        );
+    }
+
+    #[test]
+    fn halo_round_counter_reaches_the_profile() {
+        let dev = Device::new(DeviceConfig::test_tiny());
+        dev.record_halo_round();
+        dev.record_halo_round();
+        dev.record_halo_round();
+        assert_eq!(dev.profile().halo_rounds, 3);
+        dev.reset();
+        assert_eq!(dev.profile().halo_rounds, 0);
     }
 
     #[test]

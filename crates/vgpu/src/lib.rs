@@ -55,8 +55,8 @@ pub mod thread;
 
 pub use buffer::{DeviceBuffer, SeqRun};
 pub use config::DeviceConfig;
-pub use device::{Device, LaunchGraph};
-pub use profiler::{KernelRecord, ProfileReport};
+pub use device::{Device, LaunchGraph, TransferEvent};
+pub use profiler::{CopyEngine, KernelRecord, ProfileReport};
 pub use scalar::Scalar;
 pub use thread::ThreadCtx;
 

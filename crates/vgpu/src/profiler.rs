@@ -51,6 +51,19 @@ pub struct KernelSummary {
     pub max_launch_cycles: f64,
 }
 
+/// Which simulated copy engine an asynchronous transfer occupies: the
+/// host↔device DMA engine or the device↔device peer link. Each engine
+/// serializes its own transfers (back-to-back async copies queue behind
+/// each other) but runs concurrently with kernel execution — that
+/// concurrency is what [`Profiler::record_async_wait`] bills as overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyEngine {
+    /// Host↔device transfers (`upload_async`).
+    H2d,
+    /// Device↔device peer transfers (`peer_transfer_async`).
+    D2d,
+}
+
 /// In-flight state of one launch-graph replay (see
 /// [`crate::Device::replay`]): kernels recorded while this is live bill
 /// their work but not their fixed launch overhead; the replay bills one
@@ -108,6 +121,27 @@ pub struct Profiler {
     /// Buffer-pool counters at construction/reset, so the report can
     /// attribute hits/misses to this device's window.
     pool_base: PoolStats,
+    /// D2D cycles hidden behind compute: for each async peer transfer,
+    /// `cost - stall` at the wait point. The overlap headline of the
+    /// sharded halo exchange.
+    d2d_overlapped_cycles: f64,
+    /// H2D cycles hidden behind compute by `upload_async`.
+    h2d_overlapped_cycles: f64,
+    /// D2D cycles the waiting device actually stalled for (the part of
+    /// an async transfer compute did *not* cover).
+    d2d_stall_cycles: f64,
+    /// Halo-exchange rounds this device took part in (bumped by the
+    /// sharded runner once per conflict round).
+    halo_rounds: u64,
+    /// Absolute model clock: every cycle ever billed on this device,
+    /// **surviving [`Profiler::reset`]**. Async transfer completions are
+    /// timestamped on this axis so an event issued before a colorer's
+    /// run-start reset stays meaningful when awaited after it.
+    abs_cycles: f64,
+    /// Absolute time the H2D copy engine becomes free (never reset).
+    h2d_free_abs: f64,
+    /// Absolute time the D2D peer link becomes free (never reset).
+    d2d_free_abs: f64,
 }
 
 impl Default for Profiler {
@@ -138,6 +172,13 @@ impl Profiler {
             launch_overhead_saved_cycles: 0.0,
             replay: None,
             pool_base: pool::stats(),
+            d2d_overlapped_cycles: 0.0,
+            h2d_overlapped_cycles: 0.0,
+            d2d_stall_cycles: 0.0,
+            halo_rounds: 0,
+            abs_cycles: 0.0,
+            h2d_free_abs: 0.0,
+            d2d_free_abs: 0.0,
         }
     }
 }
@@ -160,6 +201,7 @@ impl Profiler {
             self.launch_overhead_cycles += rec.cost.launch_overhead;
         }
         self.clock_cycles += rec.cost.total_cycles;
+        self.abs_cycles += rec.cost.total_cycles;
         self.thread_executions += rec.threads;
         self.kernel_bytes += rec.bytes;
         self.kernel_atomics += rec.atomics;
@@ -188,6 +230,7 @@ impl Profiler {
         self.launches += 1;
         self.graph_replays += 1;
         self.clock_cycles += overhead_cycles;
+        self.abs_cycles += overhead_cycles;
         self.launch_overhead_cycles += overhead_cycles;
         if g.kernels > 0 {
             // Net saving of a k-kernel replay is (k - 1) x overhead: the
@@ -200,12 +243,14 @@ impl Profiler {
     pub fn record_sync(&mut self, cycles: f64) {
         self.syncs += 1;
         self.clock_cycles += cycles;
+        self.abs_cycles += cycles;
     }
 
     pub fn record_memcpy(&mut self, bytes: u64, cycles: f64) {
         self.memcpys += 1;
         self.memcpy_bytes += bytes;
         self.clock_cycles += cycles;
+        self.abs_cycles += cycles;
     }
 
     /// One endpoint's share of a device↔device peer copy. Both the source
@@ -216,14 +261,93 @@ impl Profiler {
         self.d2d_transfers += 1;
         self.d2d_bytes += bytes;
         self.clock_cycles += cycles;
+        self.abs_cycles += cycles;
     }
 
     pub fn clock_cycles(&self) -> f64 {
         self.clock_cycles
     }
 
+    /// Absolute model clock: cycles billed since *construction*,
+    /// surviving [`Profiler::reset`]. Async transfer completions live on
+    /// this axis.
+    pub fn abs_cycles(&self) -> f64 {
+        self.abs_cycles
+    }
+
+    /// Absolute time `engine` becomes free for a new transfer.
+    pub fn engine_free_abs(&self, engine: CopyEngine) -> f64 {
+        match engine {
+            CopyEngine::H2d => self.h2d_free_abs,
+            CopyEngine::D2d => self.d2d_free_abs,
+        }
+    }
+
+    /// Marks `engine` busy until the absolute time `until`. Engines only
+    /// move forward: an earlier `until` than the current horizon is a
+    /// no-op.
+    pub fn occupy_engine(&mut self, engine: CopyEngine, until: f64) {
+        let slot = match engine {
+            CopyEngine::H2d => &mut self.h2d_free_abs,
+            CopyEngine::D2d => &mut self.d2d_free_abs,
+        };
+        *slot = slot.max(until);
+    }
+
+    /// Counts one async peer transfer at *issue* time: the transfer and
+    /// its bytes are visible in the report immediately, but no cycles are
+    /// billed — the wait point decides how much of the copy's cost the
+    /// compute in between actually hid.
+    pub fn record_d2d_issue(&mut self, bytes: u64) {
+        self.d2d_transfers += 1;
+        self.d2d_bytes += bytes;
+    }
+
+    /// Bills the wait point of an asynchronous transfer: the device
+    /// stalls for whatever part of the copy its compute since issue did
+    /// not cover (`completion_abs` vs. the current absolute clock), and
+    /// the covered remainder is credited to the engine's overlapped
+    /// counter. This is exactly `max(compute, transfer)` accounting — the
+    /// synchronous path's serial `compute + transfer` sum minus the
+    /// overlap. H2D waits also count the memcpy itself here (not at
+    /// issue), so an upload issued before a colorer's run-start reset
+    /// still shows up in the window the report covers.
+    pub fn record_async_wait(
+        &mut self,
+        engine: CopyEngine,
+        bytes: u64,
+        cost_cycles: f64,
+        completion_abs: f64,
+    ) {
+        let stall = (completion_abs - self.abs_cycles).max(0.0);
+        let overlapped = (cost_cycles - stall).max(0.0);
+        self.clock_cycles += stall;
+        self.abs_cycles += stall;
+        match engine {
+            CopyEngine::H2d => {
+                self.memcpys += 1;
+                self.memcpy_bytes += bytes;
+                self.h2d_overlapped_cycles += overlapped;
+            }
+            CopyEngine::D2d => {
+                self.d2d_overlapped_cycles += overlapped;
+                self.d2d_stall_cycles += stall;
+            }
+        }
+    }
+
+    /// Counts one halo-exchange round (the sharded runner's per-round
+    /// telemetry hook).
+    pub fn record_halo_round(&mut self) {
+        self.halo_rounds += 1;
+    }
+
     pub fn reset(&mut self) {
+        let (abs, h2d_free, d2d_free) = (self.abs_cycles, self.h2d_free_abs, self.d2d_free_abs);
         *self = Profiler::new(self.fast);
+        self.abs_cycles = abs;
+        self.h2d_free_abs = h2d_free;
+        self.d2d_free_abs = d2d_free;
     }
 
     pub fn report(&self) -> ProfileReport {
@@ -257,6 +381,10 @@ impl Profiler {
             launch_overhead_cycles: self.launch_overhead_cycles,
             launch_overhead_saved_cycles: self.launch_overhead_saved_cycles,
             launch_overhead_ms: 0.0,
+            d2d_overlapped_cycles: self.d2d_overlapped_cycles,
+            h2d_overlapped_cycles: self.h2d_overlapped_cycles,
+            d2d_stall_cycles: self.d2d_stall_cycles,
+            halo_rounds: self.halo_rounds,
             pool_hits: pool_now.hits - self.pool_base.hits,
             pool_misses: pool_now.misses - self.pool_base.misses,
             by_kernel,
@@ -308,6 +436,18 @@ pub struct ProfileReport {
     /// in milliseconds. Filled by [`crate::Device::profile`] (the raw
     /// report from a bare [`Profiler`] has no clock rate and leaves 0).
     pub launch_overhead_ms: f64,
+    /// Async peer-transfer cycles hidden behind compute (the copy cost
+    /// minus the stall billed at the wait point, summed over waits). The
+    /// sharded runner's overlap headline: `overlap_ratio` is this over
+    /// the total D2D copy cost.
+    pub d2d_overlapped_cycles: f64,
+    /// Async host↔device upload cycles hidden behind compute.
+    pub h2d_overlapped_cycles: f64,
+    /// Async peer-transfer cycles the device actually stalled for at
+    /// wait points (the un-hidden remainder).
+    pub d2d_stall_cycles: f64,
+    /// Halo-exchange rounds this device took part in.
+    pub halo_rounds: u64,
     /// Buffer-pool allocations served from a shelf during this device's
     /// profiling window (all threads; see [`crate::pool`]).
     pub pool_hits: u64,
@@ -375,6 +515,16 @@ impl ProfileReport {
             "launch_overhead_saved_cycles={:.0}\n",
             self.launch_overhead_saved_cycles
         ));
+        out.push_str(&format!(
+            "d2d_overlapped_cycles={:.0}\n",
+            self.d2d_overlapped_cycles
+        ));
+        out.push_str(&format!(
+            "h2d_overlapped_cycles={:.0}\n",
+            self.h2d_overlapped_cycles
+        ));
+        out.push_str(&format!("d2d_stall_cycles={:.0}\n", self.d2d_stall_cycles));
+        out.push_str(&format!("halo_rounds={}\n", self.halo_rounds));
         out.push_str(&format!("pool_hits={}\n", self.pool_hits));
         out.push_str(&format!("pool_misses={}\n", self.pool_misses));
         for (name, s) in &self.by_kernel {
@@ -710,6 +860,112 @@ mod tests {
         assert_eq!(p.clock_cycles(), 0.0);
         p.record_kernel(rec("a", 10.0));
         assert!(p.records().is_empty(), "fast mode must survive reset");
+    }
+
+    #[test]
+    fn abs_clock_survives_reset_while_window_clock_does_not() {
+        let mut p = Profiler::default();
+        p.record_kernel(rec("a", 100.0));
+        p.record_sync(50.0);
+        assert_eq!(p.abs_cycles(), 150.0);
+        p.reset();
+        assert_eq!(p.clock_cycles(), 0.0);
+        assert_eq!(p.abs_cycles(), 150.0, "absolute axis must survive reset");
+        p.record_kernel(rec("b", 25.0));
+        assert_eq!(p.clock_cycles(), 25.0);
+        assert_eq!(p.abs_cycles(), 175.0);
+    }
+
+    #[test]
+    fn async_wait_bills_max_of_compute_and_transfer() {
+        // Issue a 100-cycle peer copy at t=0, compute 60 cycles, wait:
+        // the stall is the uncovered 40 and the overlap is the hidden 60.
+        let mut p = Profiler::default();
+        let cost = 100.0;
+        let start = p.abs_cycles().max(p.engine_free_abs(CopyEngine::D2d));
+        let completion = start + cost;
+        p.occupy_engine(CopyEngine::D2d, completion);
+        p.record_d2d_issue(400);
+        p.record_kernel(rec("compute", 60.0));
+        p.record_async_wait(CopyEngine::D2d, 400, cost, completion);
+        assert_eq!(p.clock_cycles(), 100.0, "total = max(compute, transfer)");
+        let r = p.report();
+        assert_eq!(r.d2d_transfers, 1);
+        assert_eq!(r.d2d_bytes, 400);
+        assert_eq!(r.d2d_overlapped_cycles, 60.0);
+        assert_eq!(r.d2d_stall_cycles, 40.0);
+    }
+
+    #[test]
+    fn async_wait_after_transfer_already_done_stalls_zero() {
+        let mut p = Profiler::default();
+        let completion = p.abs_cycles() + 30.0;
+        p.occupy_engine(CopyEngine::D2d, completion);
+        p.record_d2d_issue(8);
+        p.record_kernel(rec("compute", 500.0));
+        p.record_async_wait(CopyEngine::D2d, 8, 30.0, completion);
+        assert_eq!(p.clock_cycles(), 500.0, "fully hidden transfer is free");
+        assert_eq!(p.report().d2d_overlapped_cycles, 30.0);
+        assert_eq!(p.report().d2d_stall_cycles, 0.0);
+    }
+
+    #[test]
+    fn copy_engines_serialize_back_to_back_transfers() {
+        let mut p = Profiler::default();
+        // Two 50-cycle copies issued at t=0 queue on the engine: the
+        // second starts when the first ends.
+        let s1 = p.abs_cycles().max(p.engine_free_abs(CopyEngine::D2d));
+        p.occupy_engine(CopyEngine::D2d, s1 + 50.0);
+        let s2 = p.abs_cycles().max(p.engine_free_abs(CopyEngine::D2d));
+        assert_eq!(s2, 50.0, "second copy queues behind the first");
+        p.occupy_engine(CopyEngine::D2d, s2 + 50.0);
+        assert_eq!(p.engine_free_abs(CopyEngine::D2d), 100.0);
+        // Engines never move backwards.
+        p.occupy_engine(CopyEngine::D2d, 10.0);
+        assert_eq!(p.engine_free_abs(CopyEngine::D2d), 100.0);
+    }
+
+    #[test]
+    fn h2d_wait_counts_the_memcpy_even_across_a_reset() {
+        // An async upload issued before a colorer's run-start reset must
+        // still be visible in the post-reset window: the memcpy counters
+        // bill at the wait point, and the completion timestamp lives on
+        // the absolute axis.
+        let mut p = Profiler::default();
+        p.record_kernel(rec("pre", 20.0));
+        let start = p.abs_cycles().max(p.engine_free_abs(CopyEngine::H2d));
+        let completion = start + 100.0;
+        p.occupy_engine(CopyEngine::H2d, completion);
+        p.reset();
+        p.record_kernel(rec("post", 30.0)); // abs now 50
+        p.record_async_wait(CopyEngine::H2d, 64, 100.0, completion);
+        // Completion at abs=120, abs was 50 at the wait: 70 stall.
+        assert_eq!(p.clock_cycles(), 100.0);
+        let r = p.report();
+        assert_eq!(r.memcpys, 1);
+        assert_eq!(r.memcpy_bytes, 64);
+        assert_eq!(r.h2d_overlapped_cycles, 30.0);
+    }
+
+    #[test]
+    fn halo_rounds_and_overlap_counters_reach_the_kv_dump() {
+        let mut p = Profiler::default();
+        p.record_halo_round();
+        p.record_halo_round();
+        let completion = 40.0;
+        p.occupy_engine(CopyEngine::D2d, completion);
+        p.record_d2d_issue(16);
+        p.record_async_wait(CopyEngine::D2d, 16, 40.0, completion);
+        let r = p.report();
+        assert_eq!(r.halo_rounds, 2);
+        let kv = r.to_kv();
+        assert!(kv.contains("halo_rounds=2\n"));
+        assert!(kv.contains("d2d_overlapped_cycles=0\n"));
+        assert!(kv.contains("d2d_stall_cycles=40\n"));
+        assert!(kv.contains("h2d_overlapped_cycles=0\n"));
+        for line in kv.lines() {
+            assert_eq!(line.split('=').count(), 2, "bad kv line: {line}");
+        }
     }
 
     #[test]

@@ -53,14 +53,22 @@ assert "gc_color_model_ms_quantile" in prom, "metrics.prom missing quantiles"
 print(f"trace artifacts OK: {len(events)} events, {len(lines)} spans")
 PY
 
-echo "==> bench smoke: repro bench at smoke scale (2 devices) + bench-check validation"
+echo "==> bench smoke: repro bench at smoke scale (2 and 8 devices) + bench-check validation"
 cargo run --release -q -p gc-bench --bin repro -- \
   bench --scale 0.002 --devices 2 --out "$trace_dir/bench.json"
 cargo run --release -q -p gc-bench --bin repro -- \
   bench-check "$trace_dir/bench.json"
+# 8-way exercises the overlapped halo exchange with a wide peer fan-out:
+# every sharded row must still verify and move less halo traffic than
+# full replication (the efficiency budget itself only binds at the
+# committed 0.2-scale matrix — smoke graphs are below the gate floor).
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench --scale 0.002 --devices 8 --out "$trace_dir/bench8.json"
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench-check "$trace_dir/bench8.json"
 
 echo "==> scale-sweep smoke: one fast-meter sweep step + committed BENCH_scale.json check"
-# Scale 15 only for CI speed; the committed artifact is the 15..22 run.
+# Scale 15 only for CI speed; the committed artifact is the 15..24 run.
 cargo run --release -q -p gc-bench --bin repro -- \
   scale-sweep --rgg 15:15 --out "$trace_dir/bench_scale.json"
 cargo run --release -q -p gc-bench --bin repro -- \
