@@ -7,7 +7,7 @@
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE]
 //! repro trace <colorer> <dataset> [--scale F] [--seed N]
 //!       [--trace FILE] [--jsonl FILE] [--metrics FILE] [--model-clock]
-//! repro bench [--scale F] [--seed N] [--devices N[,M...]] [--out FILE]
+//! repro bench [--scale F] [--seed N] [--devices N[,M...]] [--quality] [--out FILE]
 //! repro scale-sweep [--rgg MIN:MAX] [--seed N] [--out FILE]
 //! repro bench-check <FILE>
 //! repro serve [--port N] [--workers N]
@@ -41,13 +41,18 @@
 //! the paper's launch shape (full-width frontiers, one dispatch per
 //! operator), once with today's default path (compacted frontiers in
 //! replayed launch graphs) — and writes the before/after matrix as a
-//! `gc-bench-coloring/v5` JSON document (default `BENCH_coloring.json`,
+//! `gc-bench-coloring/v6` JSON document (default `BENCH_coloring.json`,
 //! override with `--out`). `--devices N[,M...]` (counts > 1) adds
 //! sharded rows over the two largest datasets: every GPU colorer runs
 //! once per device count through `gc_shard::run_sharded`, reporting
 //! per-device maximum
 //! work, halo traffic (full vs delta), overlap ratio, and the sharding
-//! efficiency next to the single-device baseline.
+//! efficiency next to the single-device baseline. `--quality` adds the
+//! colors-vs-model-time pareto sweep: every Figure 1 colorer plus the
+//! quality-tier extensions (the hybrid JP colorer, both short-cutting
+//! IS variants) and two `+reduce` post-pass arms per dataset, gated by
+//! the document's `quality_budget` (hybrid within 2 colors of CPU
+//! greedy at >= 3x fewer thread executions than GraphBLAST MIS).
 //!
 //! `scale-sweep` runs the Figure 4 RGG scaling study at paper extents:
 //! three representative colorers over `rgg_n_2_{MIN..MAX}_s0` (default
@@ -97,7 +102,7 @@ const SUBCOMMANDS: [(&str, &str); 18] = [
     ),
     (
         "bench",
-        "before/after perf matrix (--devices N adds multi-device sharded rows)",
+        "before/after perf matrix (--devices N adds sharded rows, --quality the pareto sweep)",
     ),
     (
         "scale-sweep",
@@ -135,7 +140,7 @@ fn usage() -> String {
     out.push_str(
         "\noperand forms:\n\
          \x20 repro trace <colorer> <dataset> [--model-clock]\n\
-         \x20 repro bench [--devices N] [--out FILE]\n\
+         \x20 repro bench [--devices N] [--quality] [--out FILE]\n\
          \x20 repro scale-sweep [--rgg MIN:MAX] [--out FILE]   (default range 15:24)\n\
          \x20 repro bench-check <FILE>\n\
          \x20 repro serve [--port N] [--workers N]\n\
@@ -150,6 +155,8 @@ fn usage() -> String {
          \x20 --workers N           serve-bench / serve / net-bench worker threads (default 4)\n\
          \x20 --devices N[,M...]    virtual device counts for the bench sharded rows; each\n\
          \x20                       count > 1 adds a sharded row family (default 1)\n\
+         \x20 --quality             bench: add the quality-tier pareto sweep (hybrid JP,\n\
+         \x20                       short-cutting IS variants, +reduce post-pass arms)\n\
          \x20 --net                 run serve-bench in net mode (alias of net-bench)\n\
          \x20 --port N              serve listen port (default 7711, 0 = ephemeral)\n\
          \x20 --requests N          net-bench total client requests (default 100000)\n\
@@ -176,6 +183,8 @@ struct Args {
     /// Virtual device counts for the `bench` sharded rows; each entry
     /// above 1 adds a family of sharded rows at that count.
     devices: Vec<usize>,
+    /// `bench --quality`: run the colors-vs-time pareto sweep too.
+    quality: bool,
     trace_out: Option<String>,
     jsonl_out: Option<String>,
     metrics_out: Option<String>,
@@ -202,6 +211,7 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut workers = 4;
     let mut devices = vec![1];
+    let mut quality = false;
     let mut trace_out = None;
     let mut jsonl_out = None;
     let mut metrics_out = None;
@@ -274,6 +284,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("bad --devices: counts must be >= 1".into());
                 }
             }
+            "--quality" => quality = true,
             "--trace" => trace_out = Some(args.next().ok_or("--trace needs a file")?),
             "--jsonl" => jsonl_out = Some(args.next().ok_or("--jsonl needs a file")?),
             "--metrics" => metrics_out = Some(args.next().ok_or("--metrics needs a file")?),
@@ -317,6 +328,7 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         workers,
         devices,
+        quality,
         trace_out,
         jsonl_out,
         metrics_out,
@@ -557,7 +569,7 @@ fn main() -> ExitCode {
     }
 
     if args.command == "bench" {
-        let report = gc_bench::coloring_bench::coloring_bench(&cfg, &args.devices);
+        let report = gc_bench::coloring_bench::coloring_bench(&cfg, &args.devices, args.quality);
         println!("{}", format::render_coloring_bench(&report));
         let json = gc_bench::coloring_bench::to_json(&report);
         if let Err(e) = gc_bench::coloring_bench::validate_report_json(&json) {
@@ -783,6 +795,7 @@ mod tests {
             "--csv",
             "--workers",
             "--devices",
+            "--quality",
             "--trace",
             "--jsonl",
             "--metrics",

@@ -26,7 +26,23 @@
 //! sharding is a wall-clock win, not just a capacity win),
 //! `conflict_rounds`, and `verified`.
 //!
-//! `to_json` emits the `gc-bench-coloring/v5` document committed as
+//! With `--quality` the document additionally carries a `pareto` array:
+//! one colors-vs-model-ms point per dataset for every Figure 1 colorer
+//! (reusing the matrix's optimized side), the three quality-tier
+//! extensions (`Hybrid/Color_JP` and the two short-cutting IS
+//! variants), and two `+reduce` arms that run the iterated
+//! [`gc_core::reduce::reduce_colors`] post-pass on top of the fastest
+//! (`Naumov/Color_CC`) and the hybrid colorer. The document's
+//! `quality_budget` object declares the quality gates the committed
+//! artifact pins: on each gated dataset the hybrid must land within
+//! [`QUALITY_MAX_EXTRA_COLORS`] colors of the [`QUALITY_COLOR_ANCHOR`]
+//! while executing at least [`QUALITY_MIN_TE_RATIO`]× fewer simulated
+//! threads than the [`QUALITY_WORK_REFERENCE`], and the Naumov `+reduce`
+//! arm must strictly reduce its color count. Both gates bind only on
+//! rows with at least [`QUALITY_GATE_MIN_VERTICES`] vertices, so
+//! smoke-scale runs are shape-checked but not quality-gated.
+//!
+//! `to_json` emits the `gc-bench-coloring/v6` document committed as
 //! `BENCH_coloring.json`, the artifact that anchors the perf trajectory:
 //! future optimization PRs regenerate it and diff the counters.
 //! `validate_report_json` re-parses a document with the gc-telemetry
@@ -53,7 +69,8 @@ use std::time::Instant;
 use gc_core::gblas_jpl::JplConfig;
 use gc_core::gunrock_hash::HashConfig;
 use gc_core::gunrock_is::IsConfig;
-use gc_core::runner::{all_colorers, Colorer, ColorerKind};
+use gc_core::reduce::{reduce_colors, ReduceBudget};
+use gc_core::runner::{all_colorers, colorer_by_name, Colorer, ColorerKind};
 use gc_core::verify::is_proper;
 use gc_core::{
     gblas_is, gblas_jpl, gblas_mis, gunrock_ar, gunrock_hash, gunrock_is, naumov, ColoringResult,
@@ -65,7 +82,7 @@ use gc_vgpu::Device;
 use crate::experiments::ExperimentConfig;
 
 /// The document's `schema` field.
-pub const SCHEMA: &str = "gc-bench-coloring/v5";
+pub const SCHEMA: &str = "gc-bench-coloring/v6";
 
 /// Per-row wall-clock budget the emitted document declares: no side of
 /// any row may spend more than `max_wall_per_model` host milliseconds
@@ -111,6 +128,44 @@ pub const SHARD_GATE_MIN_VERTICES: u64 = 50_000;
 /// full replication on traffic — but their model-time ratio measures
 /// fixed round costs, not the exchange design.
 pub const SHARD_GATE_MAX_DEVICES: u64 = 4;
+
+/// Color anchor of the quality gate: the sequential first-fit baseline
+/// whose count the hybrid colorer must approach.
+pub const QUALITY_COLOR_ANCHOR: &str = "CPU/Color_Greedy";
+
+/// How many colors past the anchor a gated hybrid row may use.
+pub const QUALITY_MAX_EXTRA_COLORS: u32 = 2;
+
+/// Work reference of the quality gate: the paper's best-quality device
+/// colorer. The hybrid buys its near-greedy counts by spending device
+/// work, so the gate demands it spend *much less* of it than the
+/// MIS-per-color pipeline that previously owned the quality end.
+pub const QUALITY_WORK_REFERENCE: &str = "GraphBLAST/Color_MIS";
+
+/// Minimum ratio `reference.thread_executions /
+/// hybrid.thread_executions` on gated rows.
+pub const QUALITY_MIN_TE_RATIO: f64 = 3.0;
+
+/// Vertex floor of the quality gates. Below it the straggler threshold
+/// and per-pass fixed costs dominate and the ratios measure overhead,
+/// exactly like the shard gate's floor; smoke runs stay shape-checked
+/// only.
+pub const QUALITY_GATE_MIN_VERTICES: u64 = 50_000;
+
+/// Datasets the color/work gate binds on — the two largest Table I
+/// stand-ins, where the committed artifact pins the acceptance numbers.
+/// The 3-D meshes (`offshore`, `thermomech_dK`) are reported in the
+/// pareto array for visibility but not color-gated: their higher-degree
+/// stencils put every parallel colorer several colors past greedy.
+pub const QUALITY_GATE_DATASETS: [&str; 2] = ["ecology2", "G3_circuit"];
+
+/// Quality-tier extension colorers added to the pareto sweep next to
+/// the nine Figure 1 rows.
+pub const QUALITY_COLORERS: [&str; 3] = [
+    "Hybrid/Color_JP",
+    "Gunrock/Color_IS_SC",
+    "GraphBLAST/Color_IS_SC",
+];
 
 /// Datasets the bench sweeps: the road-like sparse mesh the acceptance
 /// tracking cares about first, then a 3-D mesh, a circuit, and a
@@ -171,6 +226,35 @@ pub struct BenchRow {
     pub after: BenchSide,
 }
 
+/// One colors-vs-model-ms point of the quality sweep: a single colorer
+/// (or colorer `+reduce` arm) on a single dataset through today's
+/// default optimized path.
+#[derive(Clone, Debug)]
+pub struct ParetoRow {
+    /// Registry name, with a `+reduce` suffix on the post-pass arms.
+    pub colorer: String,
+    pub dataset: String,
+    pub vertices: usize,
+    /// Final distinct colors (after the post-pass on `+reduce` arms).
+    pub colors: u32,
+    /// End-to-end model time; `+reduce` arms include the post-pass.
+    pub model_ms: f64,
+    /// Simulated thread executions; `+reduce` arms include the
+    /// reduction kernels' threads (0 for host-only colorers).
+    pub thread_executions: u64,
+    pub iterations: u32,
+    /// Distinct colors before the reduction post-pass (0 on rows that
+    /// ran no post-pass).
+    pub colors_before: u32,
+    /// Distinct colors after the post-pass; equals `colors` on
+    /// `+reduce` arms, 0 elsewhere.
+    pub colors_after: u32,
+    /// Reduction sweeps the post-pass executed (0 without a post-pass).
+    pub reduction_passes: u32,
+    /// The row's final coloring verified proper on the host.
+    pub verified: bool,
+}
+
 /// Full benchmark outcome: the colorer × dataset matrix plus the knobs
 /// that generated it.
 #[derive(Clone, Debug)]
@@ -180,7 +264,11 @@ pub struct BenchReport {
     /// Largest device count among the sharded rows (each row carries
     /// its own `devices`); 1 means no sharded rows.
     pub devices: usize,
+    /// Whether the quality sweep ran (`pareto` is empty otherwise).
+    pub quality: bool,
     pub rows: Vec<BenchRow>,
+    /// Colors-vs-time points of the quality sweep (see [`ParetoRow`]).
+    pub pareto: Vec<ParetoRow>,
 }
 
 /// Runs `colorer`'s pre-optimization twin: full-width frontiers and one
@@ -236,9 +324,20 @@ fn side_of(r: &ColoringResult, wall_ms: f64) -> BenchSide {
 /// Runs the full before/after matrix over [`BENCH_DATASETS`]; every
 /// entry of `device_counts` greater than 1 adds a family of sharded
 /// rows over [`SHARD_DATASETS`] at that device count (so one document
-/// can hold e.g. 4-way and 8-way rows side by side).
-pub fn coloring_bench(cfg: &ExperimentConfig, device_counts: &[usize]) -> BenchReport {
-    coloring_bench_on(cfg, &BENCH_DATASETS, &SHARD_DATASETS, device_counts)
+/// can hold e.g. 4-way and 8-way rows side by side). `quality` adds
+/// the colors-vs-time pareto sweep on every dataset.
+pub fn coloring_bench(
+    cfg: &ExperimentConfig,
+    device_counts: &[usize],
+    quality: bool,
+) -> BenchReport {
+    coloring_bench_on(
+        cfg,
+        &BENCH_DATASETS,
+        &SHARD_DATASETS,
+        device_counts,
+        quality,
+    )
 }
 
 /// [`coloring_bench`] over explicit dataset lists (tests and the CI
@@ -248,12 +347,17 @@ pub fn coloring_bench_on(
     datasets: &[&str],
     shard_datasets: &[&str],
     device_counts: &[usize],
+    quality: bool,
 ) -> BenchReport {
     let shard_counts: Vec<usize> = device_counts.iter().copied().filter(|&d| d > 1).collect();
     let mut rows = Vec::new();
+    let mut pareto = Vec::new();
     for name in datasets {
         let spec = gc_datasets::dataset_by_name(name).expect("bench dataset registered");
         let g = spec.generate(cfg.scale, cfg.seed);
+        // The +reduce arm reuses the matrix's Naumov/Color_CC run
+        // instead of recoloring from scratch.
+        let mut cc_result: Option<ColoringResult> = None;
         for colorer in all_colorers() {
             let (before_r, before_wall) = timed(|| run_baseline(&colorer, &g, cfg.seed));
             let (after_r, after_wall) = timed(|| colorer.run(&g, cfg.seed));
@@ -274,6 +378,27 @@ pub fn coloring_bench_on(
                 before: side_of(&before_r, before_wall),
                 after: side_of(&after_r, after_wall),
             });
+            if quality {
+                pareto.push(pareto_row(colorer.name(), name, &g, &after_r));
+                if colorer.name() == "Naumov/Color_CC" {
+                    cc_result = Some(after_r);
+                }
+            }
+        }
+        if quality {
+            let mut hybrid_result: Option<ColoringResult> = None;
+            for qname in QUALITY_COLORERS {
+                let c = colorer_by_name(qname).expect("quality colorer registered");
+                let r = c.run(&g, cfg.seed);
+                pareto.push(pareto_row(qname, name, &g, &r));
+                if qname == "Hybrid/Color_JP" {
+                    hybrid_result = Some(r);
+                }
+            }
+            let cc = cc_result.expect("registry includes Naumov/Color_CC");
+            pareto.push(reduce_arm("Naumov/Color_CC", name, &g, &cc));
+            let hybrid = hybrid_result.expect("quality sweep ran the hybrid");
+            pareto.push(reduce_arm("Hybrid/Color_JP", name, &g, &hybrid));
         }
     }
     if !shard_counts.is_empty() {
@@ -291,7 +416,49 @@ pub fn coloring_bench_on(
         scale: cfg.scale,
         seed: cfg.seed,
         devices: shard_counts.iter().copied().max().unwrap_or(1),
+        quality,
         rows,
+        pareto,
+    }
+}
+
+/// One pareto point from an already-run colorer result.
+fn pareto_row(colorer: &str, dataset: &str, g: &Csr, r: &ColoringResult) -> ParetoRow {
+    ParetoRow {
+        colorer: colorer.to_string(),
+        dataset: dataset.to_string(),
+        vertices: g.num_vertices(),
+        colors: r.num_colors,
+        model_ms: r.model_ms,
+        thread_executions: r.profile.as_ref().map_or(0, |p| p.thread_executions),
+        iterations: r.iterations,
+        colors_before: 0,
+        colors_after: 0,
+        reduction_passes: 0,
+        verified: is_proper(g, r.coloring.as_slice()).is_ok(),
+    }
+}
+
+/// One `+reduce` pareto arm: the iterated color-reduction post-pass on
+/// top of `base`'s coloring, metered on its own device so the arm's
+/// totals are base + post-pass.
+fn reduce_arm(base_name: &str, dataset: &str, g: &Csr, base: &ColoringResult) -> ParetoRow {
+    let mut colors = base.coloring.as_slice().to_vec();
+    let dev = Device::k40c();
+    let outcome = reduce_colors(&dev, g, &mut colors, ReduceBudget::default());
+    let reduce_te = dev.profile().thread_executions;
+    ParetoRow {
+        colorer: format!("{base_name}+reduce"),
+        dataset: dataset.to_string(),
+        vertices: g.num_vertices(),
+        colors: outcome.colors_after,
+        model_ms: base.model_ms + outcome.model_ms,
+        thread_executions: base.profile.as_ref().map_or(0, |p| p.thread_executions) + reduce_te,
+        iterations: base.iterations + outcome.passes,
+        colors_before: outcome.colors_before,
+        colors_after: outcome.colors_after,
+        reduction_passes: outcome.passes,
+        verified: is_proper(g, &colors).is_ok(),
     }
 }
 
@@ -361,7 +528,7 @@ fn json_side(s: &BenchSide) -> String {
     )
 }
 
-/// Serializes a report as a `gc-bench-coloring/v5` JSON document.
+/// Serializes a report as a `gc-bench-coloring/v6` JSON document.
 pub fn to_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -369,6 +536,7 @@ pub fn to_json(report: &BenchReport) -> String {
     out.push_str(&format!("  \"scale\": {},\n", report.scale));
     out.push_str(&format!("  \"seed\": {},\n", report.seed));
     out.push_str(&format!("  \"devices\": {},\n", report.devices));
+    out.push_str(&format!("  \"quality\": {},\n", report.quality));
     out.push_str(&format!(
         "  \"wall_budget\": {{\"max_wall_per_model\": {WALL_BUDGET_RATIO}, \
          \"slack_ms\": {WALL_BUDGET_SLACK_MS}}},\n"
@@ -377,6 +545,19 @@ pub fn to_json(report: &BenchReport) -> String {
         "  \"shard_budget\": {{\"max_efficiency\": {SHARDED_EFFICIENCY_BUDGET}, \
          \"min_vertices\": {SHARD_GATE_MIN_VERTICES}, \
          \"max_devices\": {SHARD_GATE_MAX_DEVICES}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"quality_budget\": {{\"color_anchor\": \"{QUALITY_COLOR_ANCHOR}\", \
+         \"max_extra_colors\": {QUALITY_MAX_EXTRA_COLORS}, \
+         \"work_reference\": \"{QUALITY_WORK_REFERENCE}\", \
+         \"min_te_ratio\": {QUALITY_MIN_TE_RATIO}, \
+         \"min_vertices\": {QUALITY_GATE_MIN_VERTICES}, \
+         \"datasets\": [{}]}},\n",
+        QUALITY_GATE_DATASETS
+            .iter()
+            .map(|d| format!("\"{d}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in report.rows.iter().enumerate() {
@@ -405,11 +586,33 @@ pub fn to_json(report: &BenchReport) -> String {
             if i + 1 < report.rows.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"pareto\": [\n");
+    for (i, p) in report.pareto.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"colorer\": \"{}\", \"dataset\": \"{}\", \"vertices\": {}, \
+             \"colors\": {}, \"model_ms\": {:.4}, \"thread_executions\": {}, \
+             \"iterations\": {}, \"colors_before\": {}, \"colors_after\": {}, \
+             \"reduction_passes\": {}, \"verified\": {}}}{}\n",
+            esc(&p.colorer),
+            esc(&p.dataset),
+            p.vertices,
+            p.colors,
+            p.model_ms,
+            p.thread_executions,
+            p.iterations,
+            p.colors_before,
+            p.colors_after,
+            p.reduction_passes,
+            p.verified,
+            if i + 1 < report.pareto.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
 
-/// Validates a `gc-bench-coloring/v5` document: parses it with the
+/// Validates a `gc-bench-coloring/v6` document: parses it with the
 /// gc-telemetry JSON parser, checks every field the schema promises,
 /// and enforces the perf invariants — a single-device row's optimized
 /// side must never dispatch more launches than its baseline, every row
@@ -421,6 +624,17 @@ pub fn to_json(report: &BenchReport) -> String {
 /// strictly below the full-replication volume whenever halo traffic
 /// exists, and `sharded_efficiency <= max_efficiency` on rows with at
 /// least `min_vertices` vertices and at most `max_devices` devices.
+///
+/// On top of the v5 rules, the v6 quality section is enforced against
+/// the document's own `quality_budget`: `quality: false` requires an
+/// empty `pareto` array, `quality: true` a non-empty one whose rows all
+/// verified; `+reduce` arms may never increase colors; on every gated
+/// dataset (declared in the budget, at least its `min_vertices`
+/// vertices) the hybrid row must stay within `max_extra_colors` of the
+/// `color_anchor` row while executing at least `min_te_ratio`× fewer
+/// threads than the `work_reference` row, and the `Naumov/Color_CC`
+/// `+reduce` arm must *strictly* reduce its color count anywhere the
+/// vertex floor is met.
 pub fn validate_report_json(text: &str) -> Result<(), String> {
     use gc_telemetry::json::{parse, Json};
     let doc = parse(text)?;
@@ -456,6 +670,38 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
     let max_efficiency = shard_field("max_efficiency")?;
     let gate_min_vertices = shard_field("min_vertices")?;
     let gate_max_devices = shard_field("max_devices")?;
+    let quality = match doc.get("quality") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("missing boolean quality".into()),
+    };
+    let quality_budget = doc
+        .get("quality_budget")
+        .ok_or("missing quality_budget object")?;
+    let quality_field = |f: &str| {
+        quality_budget
+            .get(f)
+            .and_then(|v| v.as_f64())
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or_else(|| format!("quality_budget: missing or negative {f}"))
+    };
+    let max_extra_colors = quality_field("max_extra_colors")?;
+    let min_te_ratio = quality_field("min_te_ratio")?;
+    let quality_min_vertices = quality_field("min_vertices")?;
+    let color_anchor = quality_budget
+        .get("color_anchor")
+        .and_then(|v| v.as_str())
+        .ok_or("quality_budget: missing color_anchor")?;
+    let work_reference = quality_budget
+        .get("work_reference")
+        .and_then(|v| v.as_str())
+        .ok_or("quality_budget: missing work_reference")?;
+    let gated_datasets: Vec<String> = quality_budget
+        .get("datasets")
+        .and_then(|v| v.as_array())
+        .ok_or("quality_budget: missing datasets array")?
+        .iter()
+        .filter_map(|d| d.as_str().map(|s| s.to_string()))
+        .collect();
     let rows = doc
         .get("rows")
         .and_then(|r| r.as_array())
@@ -583,6 +829,113 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
             ));
         }
     }
+    let pareto = doc
+        .get("pareto")
+        .and_then(|p| p.as_array())
+        .ok_or("missing pareto array")?;
+    if !quality && !pareto.is_empty() {
+        return Err("quality is false but the pareto array is non-empty".into());
+    }
+    if quality && pareto.is_empty() {
+        return Err("quality is true but the pareto array is empty".into());
+    }
+    // (dataset, colorer) -> (vertices, colors, thread_executions)
+    let mut points = std::collections::HashMap::new();
+    for (i, p) in pareto.iter().enumerate() {
+        let missing = |f: &str| format!("pareto row {i}: missing or mistyped {f}");
+        let colorer = p
+            .get("colorer")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| missing("colorer"))?;
+        let dataset = p
+            .get("dataset")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| missing("dataset"))?;
+        for f in [
+            "vertices",
+            "colors",
+            "model_ms",
+            "thread_executions",
+            "iterations",
+            "colors_before",
+            "colors_after",
+            "reduction_passes",
+        ] {
+            p.get(f)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| missing(f))?;
+        }
+        match p.get("verified") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!("pareto row {i}: coloring failed verification"))
+            }
+            _ => return Err(missing("verified")),
+        }
+        let num = |f: &str| p.get(f).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let (vertices, colors) = (num("vertices"), num("colors"));
+        if colorer.ends_with("+reduce") {
+            let (before, after) = (num("colors_before"), num("colors_after"));
+            if after > before {
+                return Err(format!(
+                    "pareto row {i}: {colorer} increased colors ({before} -> {after}) — \
+                     the reduction post-pass must never add colors"
+                ));
+            }
+            if after != colors {
+                return Err(format!(
+                    "pareto row {i}: colors ({colors}) disagrees with colors_after ({after})"
+                ));
+            }
+            if colorer == "Naumov/Color_CC+reduce"
+                && vertices >= quality_min_vertices
+                && after >= before
+            {
+                return Err(format!(
+                    "pareto row {i}: the Naumov/Color_CC+reduce arm did not strictly \
+                     reduce colors ({before} -> {after}) — the post-pass stopped paying off"
+                ));
+            }
+        }
+        points.insert(
+            (dataset.clone(), colorer.clone()),
+            (vertices, colors, num("thread_executions")),
+        );
+    }
+    // The committed quality gates, on every gated dataset big enough to
+    // measure: near-greedy colors at a fraction of the MIS work.
+    for ds in &gated_datasets {
+        let Some(&(vertices, hybrid_colors, hybrid_te)) =
+            points.get(&(ds.clone(), "Hybrid/Color_JP".to_string()))
+        else {
+            continue;
+        };
+        if vertices < quality_min_vertices {
+            continue;
+        }
+        let anchor = points
+            .get(&(ds.clone(), color_anchor.clone()))
+            .ok_or_else(|| format!("pareto: gated dataset {ds} lacks a {color_anchor} row"))?;
+        let reference = points
+            .get(&(ds.clone(), work_reference.clone()))
+            .ok_or_else(|| format!("pareto: gated dataset {ds} lacks a {work_reference} row"))?;
+        if hybrid_colors > anchor.1 + max_extra_colors {
+            return Err(format!(
+                "pareto: Hybrid/Color_JP on {ds} uses {hybrid_colors} colors, more than \
+                 {} + {max_extra_colors} ({color_anchor}) — the hybrid lost its \
+                 near-greedy quality",
+                anchor.1
+            ));
+        }
+        if hybrid_te * min_te_ratio > reference.2 {
+            return Err(format!(
+                "pareto: Hybrid/Color_JP on {ds} executed {hybrid_te} threads, not \
+                 {min_te_ratio}x below the {work_reference} reference ({}) — the \
+                 hybrid lost its work advantage",
+                reference.2
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -592,8 +945,10 @@ mod tests {
 
     #[test]
     fn before_and_after_colorings_agree_and_json_validates() {
-        let report = coloring_bench_on(&ExperimentConfig::smoke(), &["ecology2"], &[], &[1]);
+        let report = coloring_bench_on(&ExperimentConfig::smoke(), &["ecology2"], &[], &[1], false);
         assert_eq!(report.rows.len(), 9);
+        assert!(!report.quality);
+        assert!(report.pareto.is_empty());
         for r in &report.rows {
             assert!(r.identical_coloring, "{} changed its coloring", r.colorer);
             assert!(r.before.model_ms > 0.0 && r.after.model_ms > 0.0);
@@ -650,7 +1005,13 @@ mod tests {
 
     #[test]
     fn sharded_rows_shrink_per_device_work_and_validate() {
-        let report = coloring_bench_on(&ExperimentConfig::smoke(), &[], &["ecology2"], &[2, 4]);
+        let report = coloring_bench_on(
+            &ExperimentConfig::smoke(),
+            &[],
+            &["ecology2"],
+            &[2, 4],
+            false,
+        );
         // One sharded row per GPU colorer (9 in the Figure 1 legend,
         // minus the host greedy) per requested device count.
         assert_eq!(report.rows.len(), 16);
@@ -699,20 +1060,32 @@ mod tests {
         validate_report_json(&to_json(&report)).expect("sharded JSON validates");
     }
 
-    const MINI: &str = r#"{"schema": "gc-bench-coloring/v5", "scale": 0.002, "seed": 42, "devices": 1,
+    const MINI: &str = r#"{"schema": "gc-bench-coloring/v6", "scale": 0.002, "seed": 42, "devices": 1, "quality": false,
       "wall_budget": {"max_wall_per_model": 250.0, "slack_ms": 50.0},
       "shard_budget": {"max_efficiency": 1.5, "min_vertices": 50000, "max_devices": 4},
+      "quality_budget": {"color_anchor": "CPU/Color_Greedy", "max_extra_colors": 2, "work_reference": "GraphBLAST/Color_MIS", "min_te_ratio": 3, "min_vertices": 50000, "datasets": ["ecology2", "G3_circuit"]},
       "rows": [{"colorer": "X", "dataset": "d", "vertices": 1, "edges": 0, "colors": 1,
       "identical_coloring": true, "devices": 1, "halo_bytes": 0, "halo_bytes_delta": 0, "overlap_ratio": 0.0, "sharded_efficiency": 0.0, "conflict_rounds": 0, "verified": true,
       "before": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 2, "graph_replays": 0, "launch_overhead_ms": 0.2, "iterations": 1},
-      "after": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 1, "graph_replays": 1, "launch_overhead_ms": 0.1, "iterations": 1}}]}"#;
+      "after": {"model_ms": 1.0, "wall_ms": 1.0, "thread_executions": 1, "launches": 1, "graph_replays": 1, "launch_overhead_ms": 0.1, "iterations": 1}}],
+      "pareto": []}"#;
 
     #[test]
     fn validator_accepts_minimal_document_and_rejects_mutations() {
         validate_report_json(MINI).expect("minimal document validates");
         assert!(validate_report_json("not json").is_err());
         assert!(validate_report_json("{}").is_err());
-        assert!(validate_report_json(&MINI.replace("gc-bench-coloring/v5", "v4")).is_err());
+        assert!(validate_report_json(
+            &MINI.replace("gc-bench-coloring/v6", "gc-bench-coloring/v5")
+        )
+        .is_err());
+        assert!(validate_report_json(&MINI.replace(" \"quality\": false,\n", "\n")).is_err());
+        assert!(validate_report_json(&MINI.replace(",\n      \"pareto\": []", "")).is_err());
+        // quality: true promises pareto points; an empty sweep is a
+        // malformed artifact, not a passing one.
+        assert!(
+            validate_report_json(&MINI.replace("\"quality\": false", "\"quality\": true")).is_err()
+        );
         assert!(validate_report_json(&MINI.replace(
             "\"wall_budget\": {\"max_wall_per_model\": 250.0, \"slack_ms\": 50.0},",
             ""
@@ -724,6 +1097,15 @@ mod tests {
             ""
         ))
         .is_err());
+        assert!(validate_report_json(&MINI.replace(
+            "\"quality_budget\": {\"color_anchor\": \"CPU/Color_Greedy\", \
+             \"max_extra_colors\": 2, \"work_reference\": \"GraphBLAST/Color_MIS\", \
+             \"min_te_ratio\": 3, \"min_vertices\": 50000, \
+             \"datasets\": [\"ecology2\", \"G3_circuit\"]},",
+            ""
+        ))
+        .is_err());
+        assert!(validate_report_json(&MINI.replace("\"min_te_ratio\": 3, ", "")).is_err());
         assert!(validate_report_json(
             &MINI.replace("\"max_wall_per_model\": 250.0", "\"max_wall_per_model\": 0")
         )
@@ -744,10 +1126,58 @@ mod tests {
         assert!(validate_report_json(&MINI.replace("\"overlap_ratio\": 0.0, ", "")).is_err());
         assert!(validate_report_json(&MINI.replace("\"sharded_efficiency\": 0.0, ", "")).is_err());
         assert!(validate_report_json(&MINI.replace("\"conflict_rounds\": 0, ", "")).is_err());
-        assert!(validate_report_json(&MINI.replace(" \"devices\": 1,\n", "\n")).is_err());
+        assert!(
+            validate_report_json(&MINI.replace("\"devices\": 1, \"quality\"", "\"quality\""))
+                .is_err()
+        );
         assert!(
             validate_report_json(&MINI.replace("\"rows\": [{", "\"rows\": [], \"x\": [{")).is_err()
         );
+    }
+
+    #[test]
+    fn quality_sweep_covers_the_tier_and_validates() {
+        let report = coloring_bench_on(&ExperimentConfig::smoke(), &["ecology2"], &[], &[1], true);
+        assert!(report.quality);
+        // 9 Figure 1 colorers + 3 quality-tier extensions + 2 reduce arms.
+        assert_eq!(report.pareto.len(), 14);
+        for p in &report.pareto {
+            assert!(p.verified, "{} failed host verification", p.colorer);
+            assert!(p.colors > 0 && p.model_ms > 0.0, "{}", p.colorer);
+        }
+        for name in [
+            "Hybrid/Color_JP",
+            "Gunrock/Color_IS_SC",
+            "GraphBLAST/Color_IS_SC",
+            "Naumov/Color_CC+reduce",
+            "Hybrid/Color_JP+reduce",
+        ] {
+            assert!(
+                report.pareto.iter().any(|p| p.colorer == name),
+                "pareto sweep is missing {name}"
+            );
+        }
+        let point = |name: &str| report.pareto.iter().find(|p| p.colorer == name).unwrap();
+        // The reduce arms never add colors and report their work.
+        for base in ["Naumov/Color_CC", "Hybrid/Color_JP"] {
+            let b = point(base);
+            let r = point(&format!("{base}+reduce"));
+            assert!(r.colors <= b.colors, "{base}+reduce added colors");
+            assert_eq!(r.colors_before, b.colors);
+            assert_eq!(r.colors_after, r.colors);
+            assert!(r.colors_after <= r.colors_before);
+            assert!(r.model_ms >= b.model_ms);
+        }
+        // Naumov/Color_CC has the most reduction headroom; even at smoke
+        // scale the post-pass must find something to move.
+        let ccr = point("Naumov/Color_CC+reduce");
+        assert!(ccr.reduction_passes >= 1);
+        assert!(ccr.colors_after < ccr.colors_before);
+        // The short-cutting IS variants never use more colors than their
+        // round-indexed counterparts.
+        assert!(point("Gunrock/Color_IS_SC").colors <= point("Gunrock/Color_IS").colors);
+        assert!(point("GraphBLAST/Color_IS_SC").colors <= point("GraphBLAST/Color_IS").colors);
+        validate_report_json(&to_json(&report)).expect("quality JSON validates");
     }
 
     #[test]
@@ -823,6 +1253,74 @@ mod tests {
         ));
         validate_report_json(&sharded_wall).expect("sharded after wall budgets per device");
         assert!(validate_report_json(&slow_after(MINI)).is_err());
+    }
+
+    /// A quality document whose pareto rows sit exactly at the committed
+    /// acceptance numbers' shape: greedy anchor at 6 colors, MIS
+    /// reference at 4M threads, hybrid at 7 colors / 1.2M threads, and a
+    /// Naumov+reduce arm that strictly reduced.
+    fn quality_doc() -> String {
+        MINI.replace("\"quality\": false", "\"quality\": true").replace(
+            "\"pareto\": []",
+            r#""pareto": [
+      {"colorer": "CPU/Color_Greedy", "dataset": "ecology2", "vertices": 100000, "colors": 6, "model_ms": 10.0, "thread_executions": 0, "iterations": 1, "colors_before": 0, "colors_after": 0, "reduction_passes": 0, "verified": true},
+      {"colorer": "GraphBLAST/Color_MIS", "dataset": "ecology2", "vertices": 100000, "colors": 7, "model_ms": 1.6, "thread_executions": 4000000, "iterations": 8, "colors_before": 0, "colors_after": 0, "reduction_passes": 0, "verified": true},
+      {"colorer": "Hybrid/Color_JP", "dataset": "ecology2", "vertices": 100000, "colors": 7, "model_ms": 2.6, "thread_executions": 1200000, "iterations": 3, "colors_before": 0, "colors_after": 0, "reduction_passes": 0, "verified": true},
+      {"colorer": "Naumov/Color_CC+reduce", "dataset": "ecology2", "vertices": 100000, "colors": 20, "model_ms": 3.0, "thread_executions": 900000, "iterations": 5, "colors_before": 25, "colors_after": 20, "reduction_passes": 2, "verified": true}]"#,
+        )
+    }
+
+    #[test]
+    fn validator_enforces_the_declared_quality_budget() {
+        let doc = quality_doc();
+        validate_report_json(&doc).expect("in-budget quality document validates");
+        // A hybrid past greedy + max_extra_colors fails ...
+        let off_color = doc.replace(
+            "\"Hybrid/Color_JP\", \"dataset\": \"ecology2\", \"vertices\": 100000, \"colors\": 7",
+            "\"Hybrid/Color_JP\", \"dataset\": \"ecology2\", \"vertices\": 100000, \"colors\": 9",
+        );
+        let err = validate_report_json(&off_color).unwrap_err();
+        assert!(err.contains("near-greedy"), "{err}");
+        // ... as does a hybrid that lost its 3x work advantage ...
+        let off_work = doc.replace(
+            "\"thread_executions\": 1200000, \"iterations\": 3",
+            "\"thread_executions\": 2000000, \"iterations\": 3",
+        );
+        let err = validate_report_json(&off_work).unwrap_err();
+        assert!(err.contains("work advantage"), "{err}");
+        // ... and a Naumov+reduce arm that stopped strictly reducing ...
+        let stuck = doc
+            .replace("\"colors\": 20,", "\"colors\": 25,")
+            .replace("\"colors_after\": 20", "\"colors_after\": 25");
+        let err = validate_report_json(&stuck).unwrap_err();
+        assert!(err.contains("strictly"), "{err}");
+        // ... and any reduce arm that *added* colors, anywhere.
+        let grew = doc
+            .replace("\"colors\": 20,", "\"colors\": 26,")
+            .replace("\"colors_after\": 20", "\"colors_after\": 26");
+        let err = validate_report_json(&grew).unwrap_err();
+        assert!(err.contains("never add colors"), "{err}");
+        // A gated dataset without its anchor row is malformed.
+        let no_anchor = doc.replace(
+            "\"CPU/Color_Greedy\", \"dataset\"",
+            "\"Other\", \"dataset\"",
+        );
+        let err = validate_report_json(&no_anchor).unwrap_err();
+        assert!(err.contains("lacks a"), "{err}");
+        // Below the vertex floor none of the gates bind: smoke-scale
+        // sweeps are shape-checked only.
+        let small = off_color
+            .replace("\"vertices\": 100000", "\"vertices\": 1000")
+            .replace("\"colors_after\": 20", "\"colors_after\": 25")
+            .replace("\"colors\": 20,", "\"colors\": 25,");
+        validate_report_json(&small).expect("sub-floor rows are exempt from the quality gates");
+        // Pareto rows must verify and carry every field.
+        let unverified = doc.replace(
+            "\"reduction_passes\": 2, \"verified\": true",
+            "\"reduction_passes\": 2, \"verified\": false",
+        );
+        assert!(validate_report_json(&unverified).is_err());
+        assert!(validate_report_json(&doc.replace("\"colors_before\": 25, ", "")).is_err());
     }
 
     #[test]

@@ -453,6 +453,39 @@ pub fn render_coloring_bench(report: &crate::coloring_bench::BenchReport) -> Str
             ));
         }
     }
+    if !report.pareto.is_empty() {
+        out.push_str(
+            "\nBENCH: quality tier (colors vs model time; +reduce arms include the post-pass)\n",
+        );
+        out.push_str(&format!(
+            "{:<16}{:<24}{:>8}{:>12}{:>14}{:>7}{:>8}{:>7}{:>8}\n",
+            "Dataset",
+            "Colorer",
+            "Colors",
+            "Model ms",
+            "ThreadEx",
+            "Iters",
+            "Before",
+            "After",
+            "Passes"
+        ));
+        out.push_str(&hr(104));
+        out.push('\n');
+        for p in &report.pareto {
+            out.push_str(&format!(
+                "{:<16}{:<24}{:>8}{:>12.3}{:>14}{:>7}{:>8}{:>7}{:>8}\n",
+                p.dataset,
+                p.colorer,
+                p.colors,
+                p.model_ms,
+                p.thread_executions,
+                p.iterations,
+                p.colors_before,
+                p.colors_after,
+                p.reduction_passes
+            ));
+        }
+    }
     out
 }
 

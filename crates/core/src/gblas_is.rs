@@ -146,6 +146,120 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
     ColoringResult::new(colors, iterations, model_ms, launches).with_profile(dev.profile())
 }
 
+/// Runs the short-cutting variant of Algorithm 2 on a fresh K40c-model
+/// device.
+pub fn gblas_is_sc(g: &Csr, seed: u64) -> ColoringResult {
+    let dev = Device::k40c();
+    run_on_sc(&dev, g, seed)
+}
+
+/// Short-cutting Algorithm 2: the same Luby winner test per round, but
+/// each winner first-fits into the lowest color absent from its
+/// neighborhood instead of taking the round index. Winner sets are
+/// bit-identical to [`run_on`]'s — the select op is untouched and the
+/// weight kill is the same — so iteration counts match, while the fused
+/// [`ops::apply_where_compact`] epilogue computes each winner's mex
+/// in-kernel.
+///
+/// Each round's winner set is an independent set (tie-free weights), so
+/// no winner reads another winner's fresh color: the mex inputs are
+/// stable within the round, re-evaluation under the compaction's
+/// double-evaluation contract recomputes the same value, and the color
+/// count can only end at or below the round-indexed variant's (at most
+/// one new color can appear per round either way, and mex reuses old
+/// colors whenever the neighborhood permits).
+pub fn run_on_sc(dev: &Device, g: &Csr, seed: u64) -> ColoringResult {
+    use std::cell::{Cell, RefCell};
+
+    let _pool = gc_vgpu::pool::lease();
+    let n = g.num_vertices();
+    let a = Matrix::from_graph(dev, g);
+    let c = Vector::<i64>::new(n);
+    let weight = Vector::<i64>::new(n);
+    let frontier = Vector::<i64>::new(n);
+    dev.reset();
+    let launches_before = dev.profile().launches;
+    let desc = Descriptor::null();
+
+    ops::assign_scalar(dev, &c, None, 0, desc);
+    ops::apply_indexed(
+        dev,
+        &weight,
+        None,
+        |i, _| vertex_weight_i64(seed, i as u32),
+        &weight,
+        desc,
+    );
+
+    let active = RefCell::new(ActiveList::all(n));
+    let retired = Cell::new(0usize);
+    let pipeline = dev.capture("grb::is_sc_round", || {
+        let cur = active.borrow();
+        ops::vxm_apply_list(
+            dev,
+            &frontier,
+            &MaxTimes,
+            |w, m| (w != 0 && w > m) as i64,
+            &weight,
+            &a,
+            &cur,
+        );
+        // First-fit the new Luby members instead of stamping the round
+        // index: mex over the neighborhood's committed colors, fused
+        // with the weight kill and the candidate-list contraction.
+        let next = ops::apply_where_compact(
+            dev,
+            "grb::is_sc_active",
+            &frontier,
+            &c,
+            |t, i| {
+                let mut forbidden: Vec<u32> = Vec::new();
+                for j in a.cols_seq(t, i) {
+                    let cj = c.read(t, j as usize);
+                    if cj != 0 {
+                        forbidden.push(cj as u32);
+                    }
+                }
+                crate::reduce::mex(&mut forbidden) as i64
+            },
+            &[(&weight, 0)],
+            &cur,
+        );
+        retired.set(cur.len() - next.len());
+        drop(cur);
+        *active.borrow_mut() = next;
+    });
+
+    let mut iterations = 0u32;
+    let mut finished = false;
+    for _ in 0..MAX_COLORS {
+        iterations += 1;
+        let mut iter_span = gc_telemetry::span("iteration");
+        let iter_model0 = if iter_span.is_recording() {
+            dev.elapsed_ms()
+        } else {
+            0.0
+        };
+        iter_span.attr("iteration", iterations - 1);
+        dev.replay(&pipeline);
+        if iter_span.is_recording() {
+            iter_span.attr("frontier_size", retired.get() as i64);
+            iter_span.set_model_range(iter_model0, dev.elapsed_ms());
+        }
+        active.borrow().read_len(dev);
+        if retired.get() == 0 {
+            finished = true;
+            break;
+        }
+    }
+
+    assert!(finished, "IS coloring exceeded the {MAX_COLORS}-round cap");
+    let model_ms = dev.elapsed_ms();
+    let launches = dev.profile().launches - launches_before;
+    let colors: Vec<u32> = c.to_vec().into_iter().map(|x| x as u32).collect();
+    ColoringResult::new(colors, iterations, model_ms, launches).with_profile(dev.profile())
+}
+
 /// Runs Algorithm 2 full-width, as the paper transcribes it: every op
 /// spans all `n` rows every round and a full-width `reduce(+)` tests
 /// frontier emptiness. Kept as the pre-compaction baseline for the
@@ -291,6 +405,55 @@ mod tests {
             assert_eq!(compacted.coloring, full.coloring);
             assert_eq!(compacted.iterations, full.iterations);
         }
+    }
+
+    #[test]
+    fn short_cutting_is_proper_and_never_worse_than_round_indexed() {
+        for g in [
+            path(13),
+            cycle(9),
+            star(17),
+            complete(6),
+            erdos_renyi(300, 0.02, 5),
+            grid2d(16, 16, Stencil2d::FivePoint),
+        ] {
+            let sc = gblas_is_sc(&g, 9);
+            let ri = gblas_is(&g, 9);
+            assert_proper(&g, sc.coloring.as_slice());
+            assert!(
+                sc.num_colors <= ri.num_colors,
+                "short-cutting used {} colors vs round-indexed {}",
+                sc.num_colors,
+                ri.num_colors
+            );
+            // Identical winner sets => identical round counts.
+            assert_eq!(sc.iterations, ri.iterations);
+        }
+    }
+
+    #[test]
+    fn short_cutting_beats_round_indexing_on_sparse_graphs() {
+        // One-shot Luby IS needs many rounds on a mesh, and the
+        // round-indexed variant mints a color per round; first-fit
+        // stays near the stencil's chromatic number.
+        let g = grid2d(24, 24, Stencil2d::FivePoint);
+        let sc = gblas_is_sc(&g, 9);
+        let ri = gblas_is(&g, 9);
+        assert!(
+            sc.num_colors < ri.num_colors,
+            "short-cutting {} vs round-indexed {}",
+            sc.num_colors,
+            ri.num_colors
+        );
+    }
+
+    #[test]
+    fn short_cutting_is_deterministic() {
+        let g = erdos_renyi(300, 0.02, 8);
+        let a = gblas_is_sc(&g, 11);
+        let b = gblas_is_sc(&g, 11);
+        assert_eq!(a.coloring, b.coloring);
+        assert_eq!(a.model_ms, b.model_ms);
     }
 
     #[test]

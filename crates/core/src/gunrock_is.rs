@@ -64,6 +64,15 @@ pub struct IsConfig {
     /// vertices, so restricting the launch to the uncolored set removes
     /// only no-op threads.
     pub compact_frontier: bool,
+    /// Quality tier (Chen et al.): *short-cutting*. Winners first-fit
+    /// into the lowest color legal for their whole neighborhood instead
+    /// of taking this round's fixed color index. The winner sets are
+    /// identical to the round-indexed variant's (selection is split
+    /// into its own flag-writing kernel, so every color read is
+    /// stable), which bounds the result at the round-indexed color
+    /// count — usually well under it, because first-fit refills the low
+    /// classes every round. Costs one extra kernel per iteration.
+    pub short_cutting: bool,
     /// Safety cap on iterations.
     pub max_iterations: u32,
 }
@@ -77,6 +86,7 @@ impl Default for IsConfig {
             weight_mode: WeightMode::Random,
             load_balance: false,
             compact_frontier: true,
+            short_cutting: false,
             max_iterations: 100_000,
         }
     }
@@ -110,6 +120,15 @@ impl IsConfig {
     pub fn largest_degree_first() -> Self {
         IsConfig {
             weight_mode: WeightMode::LargestDegreeFirst,
+            ..Default::default()
+        }
+    }
+
+    /// Quality tier: min-max IS with short-cutting (first-fit commits).
+    /// Registered as `Gunrock/Color_IS_SC`.
+    pub fn short_cut() -> Self {
+        IsConfig {
+            short_cutting: true,
             ..Default::default()
         }
     }
@@ -172,6 +191,8 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
     let csr = DeviceCsr::upload(dev, g);
     let colors = DeviceBuffer::<u32>::zeroed(n);
     let rand = DeviceBuffer::<u64>::zeroed(n);
+    // Winner flags of the short-cutting path (1 = max set, 2 = min set).
+    let winner = DeviceBuffer::<u32>::zeroed(n);
     dev.reset();
     let launches_before = dev.profile().launches;
 
@@ -205,7 +226,71 @@ pub fn run_on(dev: &Device, g: &Csr, seed: u64, cfg: IsConfig) -> ColoringResult
         let color_max = base + 1;
         let color_min = base + 2;
 
-        if cfg.load_balance {
+        if cfg.short_cutting {
+            // Short-cutting: the same winner election as the serial
+            // path below, split into a flag-writing select kernel (no
+            // color writes, so every color read is stable) and per-set
+            // first-fit commit kernels. Each winner set is independent
+            // (tie-free priorities), so one commit kernel's threads
+            // never write each other's neighborhoods; minima commit
+            // after maxima so an adjacent max-winner's fresh color is
+            // forbidden to them.
+            ops::compute(dev, "is::sc_select", frontier, |t, v| {
+                if t.read(&colors, v as usize) != 0 {
+                    t.write(&winner, v as usize, 0);
+                    return;
+                }
+                let rv = t.read(&rand, v as usize);
+                let mut is_max = true;
+                let mut is_min = cfg.min_max;
+                let (s, e) = csr.neighbor_range(t, v);
+                for slot in s..e {
+                    let u = csr.neighbor(t, slot);
+                    if t.read(&colors, u as usize) != 0 {
+                        continue; // out of the competition for good
+                    }
+                    let ru = t.read(&rand, u as usize);
+                    if rv <= ru {
+                        is_max = false;
+                    }
+                    if rv >= ru {
+                        is_min = false;
+                    }
+                    t.charge(2);
+                    if !is_max && !is_min {
+                        break;
+                    }
+                }
+                let flag = if is_max {
+                    1
+                } else if is_min {
+                    2
+                } else {
+                    0
+                };
+                t.write(&winner, v as usize, flag);
+            });
+            let commit = |name: &str, flag: u32| {
+                ops::compute(dev, name, frontier, |t, v| {
+                    if t.read(&winner, v as usize) != flag || t.read(&colors, v as usize) != 0 {
+                        return;
+                    }
+                    let (s, e) = csr.neighbor_range(t, v);
+                    let mut forbidden: Vec<u32> = Vec::with_capacity(e - s);
+                    for u in csr.neighbors_seq(t, v) {
+                        let cu = t.read(&colors, u as usize);
+                        if cu != 0 {
+                            forbidden.push(cu);
+                        }
+                    }
+                    t.write(&colors, v as usize, crate::reduce::mex(&mut forbidden));
+                });
+            };
+            commit("is::sc_commit_max", 1);
+            if cfg.min_max {
+                commit("is::sc_commit_min", 2);
+            }
+        } else if cfg.load_balance {
             // Warp-cooperative path: reduce (max, min) of uncolored
             // neighbors' priorities in one balanced pass, then color in
             // a follow-up kernel. More launches, shorter critical path.
@@ -556,6 +641,70 @@ mod tests {
         assert!(p.graph_kernels >= 2 * r.iterations as u64);
         assert!(p.launch_overhead_saved_cycles > 0.0);
         assert!(r.model_ms > 0.0);
+    }
+
+    #[test]
+    fn short_cutting_is_proper_and_never_worse_than_round_indexed() {
+        for g in [
+            path(17),
+            cycle(9),
+            star(30),
+            complete(7),
+            erdos_renyi(400, 0.02, 3),
+            grid2d(14, 14, Stencil2d::NinePoint),
+        ] {
+            let sc = gunrock_is(&g, 7, IsConfig::short_cut());
+            assert_proper(&g, sc.coloring.as_slice());
+            let ri = gunrock_is(&g, 7, IsConfig::min_max());
+            assert!(
+                sc.num_colors <= ri.num_colors,
+                "short-cut {} colors vs round-indexed {}",
+                sc.num_colors,
+                ri.num_colors
+            );
+            // Same winner sets, same rounds.
+            assert_eq!(sc.iterations, ri.iterations);
+        }
+    }
+
+    #[test]
+    fn short_cutting_beats_round_indexing_on_sparse_graphs() {
+        // On a sparse mesh the round-indexed variant burns ~2 colors
+        // per round; first-fit refills the low classes instead.
+        let g = grid2d(24, 24, Stencil2d::FivePoint);
+        let sc = gunrock_is(&g, 11, IsConfig::short_cut());
+        let ri = gunrock_is(&g, 11, IsConfig::min_max());
+        assert!(
+            sc.num_colors < ri.num_colors,
+            "short-cut {} vs round-indexed {}",
+            sc.num_colors,
+            ri.num_colors
+        );
+    }
+
+    #[test]
+    fn short_cutting_is_deterministic() {
+        let g = erdos_renyi(300, 0.03, 8);
+        let a = gunrock_is(&g, 4, IsConfig::short_cut());
+        let b = gunrock_is(&g, 4, IsConfig::short_cut());
+        assert_eq!(a.coloring, b.coloring);
+        assert_eq!(a.model_ms, b.model_ms);
+    }
+
+    #[test]
+    fn short_cutting_compacted_matches_full_width() {
+        let g = erdos_renyi(250, 0.03, 6);
+        let compacted = gunrock_is(&g, 2, IsConfig::short_cut());
+        let full = gunrock_is(
+            &g,
+            2,
+            IsConfig {
+                compact_frontier: false,
+                ..IsConfig::short_cut()
+            },
+        );
+        assert_eq!(compacted.coloring, full.coloring);
+        assert_eq!(compacted.iterations, full.iterations);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property tests: every coloring algorithm produces a proper coloring
 //! on arbitrary graphs, compacted frontiers never change a coloring,
-//! and the compaction primitive itself returns a sorted permutation of
-//! the surviving set.
+//! the compaction primitive itself returns a sorted permutation of
+//! the surviving set, and the quality tier holds its bounds — the
+//! hybrid and short-cutting colorers stay proper and within their
+//! quality guarantees, and the color-reduction post-pass never makes a
+//! coloring worse under any budget.
 
 use proptest::prelude::*;
 
@@ -13,6 +16,8 @@ use crate::gblas_jpl::{gblas_jpl_with, JplConfig};
 use crate::greedy::{greedy, Ordering};
 use crate::gunrock_hash::{gunrock_hash, HashConfig};
 use crate::gunrock_is::{gunrock_is, IsConfig};
+use crate::hybrid::{self, HybridConfig};
+use crate::reduce::{reduce_colors, ReduceBudget};
 use crate::runner::all_colorers;
 use crate::verify::is_proper;
 
@@ -126,6 +131,81 @@ proptest! {
                 name
             );
         }
+    }
+
+    // The hybrid colorer is a first-fit scheme under every straggler
+    // threshold: proper, within the greedy Δ+1 bound, no matter where
+    // the device rounds hand off to the host tail.
+    #[test]
+    fn hybrid_proper_and_within_greedy_bound_under_any_divisor(
+        g in arb_graph(),
+        seed in 0u64..100,
+        divisor in 1u32..32,
+    ) {
+        let dev = Device::k40c();
+        let cfg = HybridConfig { straggler_divisor: divisor, ..HybridConfig::default() };
+        let r = hybrid::run_on(&dev, &g, seed, cfg);
+        prop_assert!(
+            is_proper(&g, r.coloring.as_slice()).is_ok(),
+            "hybrid (divisor {}) produced an improper coloring",
+            divisor
+        );
+        prop_assert!(r.num_colors as usize <= g.max_degree() + 1);
+    }
+
+    // Short-cutting (first-fit into the lowest legal color) is a pure
+    // quality improvement over round-indexed colors: same winner
+    // schedule, never more colors, still proper.
+    #[test]
+    fn short_cutting_never_worse_than_round_indexed(g in arb_graph(), seed in 0u64..100) {
+        let gb_sc = crate::gblas_is::run_on_sc(&Device::k40c(), &g, seed);
+        let gb_ri = crate::gblas_is::run_on(&Device::k40c(), &g, seed);
+        prop_assert!(is_proper(&g, gb_sc.coloring.as_slice()).is_ok());
+        prop_assert!(
+            gb_sc.num_colors <= gb_ri.num_colors,
+            "GraphBLAST short-cutting used {} colors vs round-indexed {}",
+            gb_sc.num_colors,
+            gb_ri.num_colors
+        );
+        let gr_sc = gunrock_is(&g, seed, IsConfig::short_cut());
+        let gr_ri = gunrock_is(&g, seed, IsConfig::min_max());
+        prop_assert!(is_proper(&g, gr_sc.coloring.as_slice()).is_ok());
+        prop_assert!(
+            gr_sc.num_colors <= gr_ri.num_colors,
+            "Gunrock short-cutting used {} colors vs round-indexed {}",
+            gr_sc.num_colors,
+            gr_ri.num_colors
+        );
+    }
+
+    // The reduction post-pass accepts any proper coloring and any
+    // budget, never increases the color count, and keeps the coloring
+    // proper — even under pass- and model-ms-starved budgets.
+    #[test]
+    fn reduce_colors_never_worsens_any_proper_coloring(
+        g in arb_graph(),
+        seed in 0u64..100,
+        colorer_ix in 0usize..9,
+        max_passes in 0u32..6,
+        budget_tenth_ms in 0u32..40,
+    ) {
+        let colorers = all_colorers();
+        let base = colorers[colorer_ix % colorers.len()].run(&g, seed);
+        let before = base.num_colors;
+        let mut colors = base.coloring.as_slice().to_vec();
+        let dev = Device::k40c();
+        let budget = ReduceBudget {
+            max_passes,
+            max_model_ms: f64::from(budget_tenth_ms) / 10.0,
+        };
+        let outcome = reduce_colors(&dev, &g, &mut colors, budget);
+        prop_assert!(
+            is_proper(&g, &colors).is_ok(),
+            "reduce_colors broke a proper coloring"
+        );
+        prop_assert_eq!(outcome.colors_before, before);
+        prop_assert!(outcome.colors_after <= outcome.colors_before);
+        prop_assert!(outcome.passes <= max_passes);
     }
 
     // The vgpu compaction primitive underneath every frontier: its

@@ -11,9 +11,10 @@ use crate::color::ColoringResult;
 use crate::greedy::Ordering;
 use crate::gunrock_hash::HashConfig;
 use crate::gunrock_is::IsConfig;
+use crate::hybrid::HybridConfig;
 use crate::{
     gblas_is, gblas_jpl, gblas_mis, gm_cpu, gm_gpu, greedy, gunrock_ar, gunrock_hash, gunrock_is,
-    jp_cpu, naumov,
+    hybrid, jp_cpu, naumov,
 };
 
 /// Which algorithm a [`Colorer`] runs.
@@ -28,10 +29,16 @@ pub enum ColorerKind {
     /// compaction, no launch-graph capture. Anchors the Table II ladder.
     GunrockArFull,
     GblasIs,
+    /// Short-cutting GraphBLAST IS (quality tier): Luby winners take
+    /// the lowest legal color instead of the round index.
+    GblasIsSc,
     GblasMis,
     GblasJpl,
     NaumovJpl,
     NaumovCc,
+    /// Quality tier: min-max first-fit Jones-Plassmann on device,
+    /// sequential greedy on the straggler tail (Rai & Pai).
+    HybridJp(HybridConfig),
     /// Future-work extension (paper §VI): Gebremedhin-Manne on the GPU.
     GebremedhinManne,
     /// Related-work baseline (§II.A): shared-memory Gebremedhin-Manne
@@ -115,11 +122,13 @@ impl Colorer {
             ColorerKind::GunrockAr => Some(gunrock_ar::run_on(dev, g, seed)),
             ColorerKind::GunrockArFull => Some(gunrock_ar::run_on_full(dev, g, seed)),
             ColorerKind::GblasIs => Some(gblas_is::run_on(dev, g, seed)),
+            ColorerKind::GblasIsSc => Some(gblas_is::run_on_sc(dev, g, seed)),
             ColorerKind::GblasMis => Some(gblas_mis::run_on(dev, g, seed)),
             ColorerKind::GblasJpl => Some(gblas_jpl::run_on(dev, g, seed)),
             ColorerKind::NaumovJpl => Some(naumov::jpl_on(dev, g, seed)),
             ColorerKind::NaumovCc => Some(naumov::cc_on(dev, g, seed)),
             ColorerKind::GebremedhinManne => Some(gm_gpu::run_on(dev, g, seed)),
+            ColorerKind::HybridJp(cfg) => Some(hybrid::run_on(dev, g, seed, cfg)),
         }
     }
 
@@ -132,12 +141,14 @@ impl Colorer {
             ColorerKind::GunrockAr => gunrock_ar::gunrock_ar(g, seed),
             ColorerKind::GunrockArFull => gunrock_ar::gunrock_ar_full(g, seed),
             ColorerKind::GblasIs => gblas_is::gblas_is(g, seed),
+            ColorerKind::GblasIsSc => gblas_is::gblas_is_sc(g, seed),
             ColorerKind::GblasMis => gblas_mis::gblas_mis(g, seed),
             ColorerKind::GblasJpl => gblas_jpl::gblas_jpl(g, seed),
             ColorerKind::NaumovJpl => naumov::naumov_jpl(g, seed),
             ColorerKind::NaumovCc => naumov::naumov_cc(g, seed),
             ColorerKind::GebremedhinManne => gm_gpu::gebremedhin_manne(g, seed),
             ColorerKind::GebremedhinManneCpu => gm_cpu::gebremedhin_manne_cpu(g, seed),
+            ColorerKind::HybridJp(cfg) => hybrid::run_on(&gc_vgpu::Device::k40c(), g, seed, cfg),
         }
     }
 }
@@ -198,6 +209,15 @@ pub fn extension_colorers() -> Vec<Colorer> {
         ),
         Colorer::new("CPU/Color_JP", ColorerKind::CpuJonesPlassmann),
         Colorer::new("CPU/Color_GM", ColorerKind::GebremedhinManneCpu),
+        Colorer::new(
+            "Hybrid/Color_JP",
+            ColorerKind::HybridJp(HybridConfig::default()),
+        ),
+        Colorer::new(
+            "Gunrock/Color_IS_SC",
+            ColorerKind::GunrockIs(IsConfig::short_cut()),
+        ),
+        Colorer::new("GraphBLAST/Color_IS_SC", ColorerKind::GblasIsSc),
     ]
 }
 

@@ -282,6 +282,50 @@ pub fn assign_where_compact<T: Scalar>(
     })
 }
 
+/// Fused *computed* masked-assign + frontier contraction: for every
+/// active `i` where `cond[i]` is truthy, writes `target[i] = f(t, i)`
+/// plus each constant `(vector, value)` pair in `kills`, and returns
+/// the contracted list of actives where `cond` was *not* truthy. This
+/// is [`assign_where_compact`] with one assigned value computed per
+/// retiring row instead of being a shared constant — the shape of a
+/// short-cutting colorer's epilogue, where each winner first-fits into
+/// the lowest color its neighborhood permits rather than taking the
+/// round index.
+///
+/// The same double-evaluation contract applies, and `f` carries most of
+/// its weight: the compaction may invoke the predicate (and therefore
+/// `f`) more than once, so `f` must be deterministic and must not read
+/// anything the fused writes change. When the truthy rows of `cond`
+/// form an independent set of the matrix `f` scans (Luby winners do),
+/// no retiring row reads another's `target` entry, every re-evaluation
+/// recomputes the same value, and the store is idempotent.
+pub fn apply_where_compact<T: Scalar, F>(
+    dev: &Device,
+    name: &str,
+    cond: &Vector<T>,
+    target: &Vector<T>,
+    f: F,
+    kills: &[(&Vector<T>, T)],
+    list: &ActiveList,
+) -> ActiveList
+where
+    F: Fn(&mut ThreadCtx, usize) -> T + Sync,
+{
+    list.contract(dev, name, |t, i| {
+        let i = i as usize;
+        if cond.truthy(t, i) {
+            let v = f(t, i);
+            target.write(t, i, v);
+            for (w, value) in kills {
+                w.write(t, i, *value);
+            }
+            false
+        } else {
+            true
+        }
+    })
+}
+
 /// List-restricted `reduce`: folds `u` over the active indices only.
 /// Bills one read plus one combine per active element and the scalar's
 /// trip back to the host, like the full-width [`super::reduce`].

@@ -482,6 +482,11 @@ fn handle_color(
         WireObjective::FewestColors => Objective::FewestColors,
         WireObjective::Balanced => Objective::Balanced,
         WireObjective::Explicit(name) => Objective::Explicit(name),
+        WireObjective::MinColors { budget_ms } => Objective::MinColors { budget_ms },
+    };
+    let reduce_budget_ms = match &objective {
+        Objective::MinColors { budget_ms } => Some(*budget_ms),
+        _ => None,
     };
     let mut request = ColorRequest::new(graph, objective)
         .with_seed(msg.seed)
@@ -532,10 +537,15 @@ fn handle_color(
             response.metrics.thread_executions
         },
         devices: response.devices as u32,
+        colors_before: response.colors_before,
+        colors_after: response.colors_after,
+        reduction_passes: response.reduction_passes,
     };
 
     // Store the coloring for GetResult / incremental repair — but only
-    // if no mutation raced past this run's version.
+    // if no mutation raced past this run's version. MinColors results
+    // are stored (and later revalidated) under their budget-tagged key,
+    // mirroring the service cache's own keying.
     {
         let mut e = entry.lock().unwrap();
         if e.version == version {
@@ -545,6 +555,7 @@ fn handle_color(
                     colorer: response.colorer,
                     seed: msg.seed,
                     devices: response.devices,
+                    reduce_budget_ms,
                 },
                 response,
             });

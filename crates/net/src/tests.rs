@@ -53,6 +53,37 @@ fn submit_color_get_result_roundtrip() {
 }
 
 #[test]
+fn min_colors_over_tcp_reports_post_pass_fields() {
+    let (server, mut client) = start_server();
+    let g = mesh();
+    client.submit_graph(3, &g).unwrap();
+
+    let summary = client
+        .color(3, WireObjective::MinColors { budget_ms: 50 }, 0, 0)
+        .unwrap();
+    assert!(summary.verified);
+    assert!(summary.reduction_passes >= 1);
+    assert!(summary.colors_before >= summary.colors_after);
+    assert_eq!(summary.colors_after, summary.num_colors);
+
+    let result = client.get_result(3).unwrap();
+    assert_eq!(result.num_colors, summary.num_colors);
+    assert!(is_proper(&g, &result.colors).is_ok());
+
+    // The reduced entry is cached under its budget-tagged key; a plain
+    // objective neither hits it nor is shadowed by it.
+    let again = client
+        .color(3, WireObjective::MinColors { budget_ms: 50 }, 0, 0)
+        .unwrap();
+    assert!(again.cache_hit);
+    assert_eq!(again.num_colors, summary.num_colors);
+    let base = client.color(3, WireObjective::Balanced, 0, 0).unwrap();
+    assert!(!base.cache_hit);
+    assert_eq!(base.reduction_passes, 0);
+    server.stop();
+}
+
+#[test]
 fn unknown_graph_and_no_result_error_cleanly() {
     let (server, mut client) = start_server();
     let err = client.color(99, WireObjective::Fastest, 0, 0).unwrap_err();

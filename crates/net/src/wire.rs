@@ -334,13 +334,15 @@ fn push_string(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
 // ---------------------------------------------------------------------------
 
 /// The caller's optimization objective, as carried on the wire. Mirrors
-/// `gc_service::Objective` (tag 3 carries an explicit colorer name).
+/// `gc_service::Objective` (tag 3 carries an explicit colorer name, tag
+/// 4 the MinColors post-pass model-time budget in milliseconds).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireObjective {
     Fastest,
     FewestColors,
     Balanced,
     Explicit(String),
+    MinColors { budget_ms: u64 },
 }
 
 impl WireObjective {
@@ -353,6 +355,10 @@ impl WireObjective {
                 out.push(3);
                 push_string(out, name)?;
             }
+            WireObjective::MinColors { budget_ms } => {
+                out.push(4);
+                push_u64(out, *budget_ms);
+            }
         }
         Ok(())
     }
@@ -363,6 +369,9 @@ impl WireObjective {
             1 => WireObjective::FewestColors,
             2 => WireObjective::Balanced,
             3 => WireObjective::Explicit(r.string("explicit colorer")?),
+            4 => WireObjective::MinColors {
+                budget_ms: r.u64("min-colors budget_ms")?,
+            },
             t => return Err(malformed(format!("unknown objective tag {t}"))),
         })
     }
@@ -526,6 +535,13 @@ pub struct ColorSummary {
     /// hit executes nothing).
     pub thread_executions: u64,
     pub devices: u32,
+    /// Colors before the MinColors reduction post-pass (0 when no
+    /// post-pass ran).
+    pub colors_before: u32,
+    /// Colors after the post-pass (0 when no post-pass ran).
+    pub colors_after: u32,
+    /// Reduction sweeps the post-pass executed (0 when none ran).
+    pub reduction_passes: u32,
 }
 
 impl ColorSummary {
@@ -541,6 +557,9 @@ impl ColorSummary {
         push_u32(&mut out, self.iterations);
         push_u64(&mut out, self.thread_executions);
         push_u32(&mut out, self.devices);
+        push_u32(&mut out, self.colors_before);
+        push_u32(&mut out, self.colors_after);
+        push_u32(&mut out, self.reduction_passes);
         Ok(out)
     }
 
@@ -557,6 +576,9 @@ impl ColorSummary {
             iterations: r.u32("iterations")?,
             thread_executions: r.u64("thread_executions")?,
             devices: r.u32("devices")?,
+            colors_before: r.u32("colors_before")?,
+            colors_after: r.u32("colors_after")?,
+            reduction_passes: r.u32("reduction_passes")?,
         };
         r.finish()?;
         Ok(s)
@@ -987,6 +1009,7 @@ mod tests {
             WireObjective::FewestColors,
             WireObjective::Balanced,
             WireObjective::Explicit("Naumov/Color_CC".into()),
+            WireObjective::MinColors { budget_ms: 25 },
         ] {
             let req = ColorReq {
                 graph_id: 3,
@@ -997,6 +1020,31 @@ mod tests {
             let decoded = ColorReq::decode(&req.encode().unwrap()).unwrap();
             assert_eq!(decoded, req);
         }
+    }
+
+    #[test]
+    fn color_summary_roundtrip_carries_post_pass_fields() {
+        let s = ColorSummary {
+            graph_id: 5,
+            version: 2,
+            num_colors: 6,
+            colorer: "Hybrid/Color_JP".into(),
+            cache_hit: false,
+            verified: true,
+            model_ms: 3.25,
+            iterations: 4,
+            thread_executions: 123_456,
+            devices: 1,
+            colors_before: 7,
+            colors_after: 6,
+            reduction_passes: 2,
+        };
+        assert_eq!(ColorSummary::decode(&s.encode().unwrap()).unwrap(), s);
+        // Pre-quality-tier frames (without the three post-pass u32s)
+        // must no longer parse.
+        let mut short = s.encode().unwrap();
+        short.truncate(short.len() - 3 * 4);
+        assert!(ColorSummary::decode(&short).is_err());
     }
 
     #[test]

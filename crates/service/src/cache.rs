@@ -70,6 +70,14 @@ pub struct CacheKey {
     pub colorer: &'static str,
     pub seed: u64,
     pub devices: usize,
+    /// `None` for a base colorer run; `Some(budget_ms)` for an entry
+    /// whose coloring went through the `MinColors` color-reduction
+    /// post-pass under that model-time budget. Keeping the tag in the
+    /// key means reduced colorings never shadow base entries — an
+    /// `Explicit` request for the same colorer must get the bit-exact
+    /// base coloring back, and different budgets legitimately produce
+    /// different colorings.
+    pub reduce_budget_ms: Option<u64>,
 }
 
 struct Fnv(u64);
@@ -192,6 +200,7 @@ mod tests {
             colorer: "T",
             seed: 0,
             devices: 1,
+            reduce_budget_ms: None,
         }
     }
 
@@ -285,51 +294,44 @@ mod tests {
     #[test]
     fn key_includes_colorer_seed_and_devices() {
         let cache = LruCache::new(8);
-        cache.insert(
-            CacheKey {
-                graph_fp: 1,
-                colorer: "A",
-                seed: 0,
-                devices: 1,
-            },
-            1,
-        );
+        let base = CacheKey {
+            graph_fp: 1,
+            colorer: "A",
+            seed: 0,
+            devices: 1,
+            reduce_budget_ms: None,
+        };
+        cache.insert(base.clone(), 1);
         assert_eq!(
             cache.get(&CacheKey {
-                graph_fp: 1,
                 colorer: "B",
-                seed: 0,
-                devices: 1
+                ..base.clone()
             }),
             None
         );
         assert_eq!(
             cache.get(&CacheKey {
-                graph_fp: 1,
-                colorer: "A",
                 seed: 1,
-                devices: 1
+                ..base.clone()
             }),
             None
         );
         assert_eq!(
             cache.get(&CacheKey {
-                graph_fp: 1,
-                colorer: "A",
-                seed: 0,
-                devices: 4
+                devices: 4,
+                ..base.clone()
             }),
             None,
             "a sharded run must not serve the single-device cache entry"
         );
         assert_eq!(
             cache.get(&CacheKey {
-                graph_fp: 1,
-                colorer: "A",
-                seed: 0,
-                devices: 1
+                reduce_budget_ms: Some(5),
+                ..base.clone()
             }),
-            Some(1)
+            None,
+            "a reduced entry must not alias the base colorer entry"
         );
+        assert_eq!(cache.get(&base), Some(1));
     }
 }

@@ -18,12 +18,20 @@
 //!   policy switches to the load-balanced IS variant (the fix suggested
 //!   by the paper's §V.B discussion and by Chen et al.'s sparse-coloring
 //!   follow-up).
+//! * [`Objective::MinColors`] — the quality tier: `Hybrid/Color_JP`
+//!   (first-fit Jones-Plassmann rounds with a sequential straggler
+//!   tail), whose greedy-grade assignments land within a color or two
+//!   of the CPU baseline at a fraction of the device work. The worker
+//!   then runs the [`gc_core::reduce`] post-pass within the request's
+//!   model-time budget. Tiny graphs go straight to sequential greedy,
+//!   same as the other objectives.
 //! * [`Objective::Explicit`] — escape hatch through
 //!   [`gc_core::runner::colorer_by_name`], which resolves Figure 1 and
 //!   §VI extension names alike.
 
 use gc_core::greedy::Ordering;
 use gc_core::gunrock_is::IsConfig;
+use gc_core::hybrid::HybridConfig;
 use gc_core::runner::{colorer_by_name, Colorer, ColorerKind};
 use gc_graph::stats::degree_stats;
 use gc_graph::Csr;
@@ -81,6 +89,21 @@ pub fn choose(feats: &GraphFeatures, objective: &Objective) -> Result<Colorer, S
             }
         }
         Objective::FewestColors => Ok(Colorer::new("GraphBLAST/Color_MIS", ColorerKind::GblasMis)),
+        Objective::MinColors { .. } => {
+            if feats.vertices < TINY_GRAPH_VERTICES {
+                // Sequential greedy is already first-fit quality and the
+                // post-pass still applies on top.
+                Ok(Colorer::new(
+                    "CPU/Color_Greedy",
+                    ColorerKind::CpuGreedy(Ordering::Natural),
+                ))
+            } else {
+                Ok(Colorer::new(
+                    "Hybrid/Color_JP",
+                    ColorerKind::HybridJp(HybridConfig::default()),
+                ))
+            }
+        }
         Objective::Balanced => {
             if feats.vertices < TINY_GRAPH_VERTICES {
                 Ok(Colorer::new(
@@ -157,6 +180,21 @@ mod tests {
             let c = choose(&f, &Objective::Balanced).unwrap();
             assert_eq!(c.name(), "Extension/Color_IS_LB");
         }
+    }
+
+    #[test]
+    fn min_colors_routes_to_hybrid_jp() {
+        let g = big_mesh();
+        let c = choose(&features(&g), &Objective::MinColors { budget_ms: 5 }).unwrap();
+        assert_eq!(c.name(), "Hybrid/Color_JP");
+        assert!(c.is_gpu());
+    }
+
+    #[test]
+    fn min_colors_tiny_graph_routes_to_cpu_greedy() {
+        let g = cycle(64);
+        let c = choose(&features(&g), &Objective::MinColors { budget_ms: 5 }).unwrap();
+        assert_eq!(c.name(), "CPU/Color_Greedy");
     }
 
     #[test]

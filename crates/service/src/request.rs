@@ -21,6 +21,21 @@ pub enum Objective {
     FewestColors,
     /// The knee of the trade-off curve (Gunrock/Color_IS territory).
     Balanced,
+    /// The quality tier: run the hybrid first-fit colorer (or sequential
+    /// greedy on tiny graphs — see [`crate::policy::choose`]), then
+    /// spend up to `budget_ms` of *model* time squeezing further colors
+    /// out with the iterated [`gc_core::reduce::reduce_colors`]
+    /// post-pass. `budget_ms: 0` skips the post-pass entirely. A prior
+    /// cached run of the same base colorer (under any objective) seeds
+    /// the post-pass without a from-scratch recolor; reduced results are
+    /// cached under their own budget-tagged key so they never shadow
+    /// base entries (see [`crate::cache::CacheKey::reduce_budget_ms`]).
+    MinColors {
+        /// Model-time budget for the color-reduction post-pass, in
+        /// whole milliseconds (integral so the objective stays `Eq` +
+        /// `Hash` for stats keys and the cache).
+        budget_ms: u64,
+    },
     /// Escape hatch: run exactly this registered implementation
     /// (resolved through `gc_core::runner::colorer_by_name`, which also
     /// covers the §VI extension registry).
@@ -34,6 +49,7 @@ impl Objective {
             Objective::Fastest => "fastest",
             Objective::FewestColors => "fewest-colors",
             Objective::Balanced => "balanced",
+            Objective::MinColors { .. } => "min-colors",
             Objective::Explicit(name) => name,
         }
     }
@@ -202,6 +218,15 @@ pub struct ColorResponse {
     /// Fraction of async halo-transfer cycles hidden behind compute
     /// (0.0 when devices=1 or no async transfer ran).
     pub overlap_ratio: f64,
+    /// Distinct colors before the `MinColors` reduction post-pass ran
+    /// (0 when no post-pass ran — all non-`MinColors` objectives).
+    pub colors_before: u32,
+    /// Distinct colors after the post-pass; equals `num_colors` when a
+    /// post-pass ran, 0 otherwise.
+    pub colors_after: u32,
+    /// Reduction sweeps the post-pass executed before converging or
+    /// exhausting its budget (0 when no post-pass ran).
+    pub reduction_passes: u32,
     pub metrics: RequestMetrics,
 }
 
@@ -254,6 +279,7 @@ mod tests {
             "Naumov/Color_CC"
         );
         assert_eq!(Objective::Balanced.to_string(), "balanced");
+        assert_eq!(Objective::MinColors { budget_ms: 5 }.label(), "min-colors");
     }
 
     #[test]

@@ -443,11 +443,18 @@ fn handle_job(
     let graph_fp = req
         .fingerprint
         .unwrap_or_else(|| graph_fingerprint(&req.graph));
+    // MinColors results are cached under their own budget-tagged key so
+    // a reduced coloring never shadows the base colorer's entry.
+    let reduce_budget_ms = match &req.objective {
+        crate::request::Objective::MinColors { budget_ms } => Some(*budget_ms),
+        _ => None,
+    };
     let key = CacheKey {
         graph_fp,
         colorer: colorer.name(),
         seed: req.seed,
         devices,
+        reduce_budget_ms,
     };
     if let Some(cached) = cache.get(&key) {
         let mut resp = (*cached).clone();
@@ -459,81 +466,145 @@ fn handle_job(
         return Ok(resp);
     }
 
-    // `Colorer::run` opens the `color` span (carrying the iteration
-    // spans and kernel events) as a child of the request span. Above
-    // one device the run goes through the sharded path instead: the
-    // graph is partitioned, each shard colored on its own device, and
-    // boundary conflicts resolved (overlapped delta halo exchange)
-    // before the merged coloring comes back.
-    struct ShardTelemetry {
-        conflict_rounds: u32,
-        halo_bytes: u64,
-        halo_bytes_delta: u64,
-        halo_rounds: u64,
-        changed_boundary: u64,
-        overlap_ratio: f64,
-    }
-    let (result, shard) = if devices > 1 {
-        // The service verifies the merged coloring itself below, so the
-        // sharded path's own verification pass is redundant here.
-        let cfg = gc_shard::ShardedConfig {
-            verify: false,
-            ..gc_shard::ShardedConfig::new(devices)
-        };
-        let sharded = gc_shard::run_sharded(&colorer, &req.graph, req.seed, &cfg);
-        let telemetry = ShardTelemetry {
-            conflict_rounds: sharded.conflict_rounds,
-            halo_bytes: sharded.halo_bytes,
-            halo_bytes_delta: sharded.halo_bytes_delta,
-            halo_rounds: sharded.halo_rounds,
-            changed_boundary: sharded.changed_boundary,
-            overlap_ratio: sharded.overlap_ratio,
-        };
-        stats.on_sharded(
-            telemetry.halo_rounds,
-            telemetry.changed_boundary,
-            telemetry.halo_bytes,
-            telemetry.halo_bytes_delta,
-            telemetry.overlap_ratio,
-        );
-        (sharded.result, Some(telemetry))
+    // A MinColors miss can still reuse a cached *base* run of the
+    // chosen colorer (primed by any objective): the post-pass accepts
+    // any proper coloring, so only the reduction has to run.
+    let base_key = CacheKey {
+        reduce_budget_ms: None,
+        ..key.clone()
+    };
+    let cached_base = if reduce_budget_ms.is_some() {
+        cache.get(&base_key)
     } else {
-        (colorer.run(&req.graph, req.seed), None)
+        None
     };
 
-    let verified = {
-        let _verify = gc_telemetry::span("verify");
-        is_proper(&req.graph, result.coloring.as_slice())
+    let mut resp = if let Some(base) = cached_base {
+        gc_telemetry::instant("cache_hit_base", &[]);
+        let mut resp = (*base).clone();
+        resp.cache_hit = false;
+        resp.objective = req.objective.clone();
+        resp
+    } else {
+        // `Colorer::run` opens the `color` span (carrying the iteration
+        // spans and kernel events) as a child of the request span. Above
+        // one device the run goes through the sharded path instead: the
+        // graph is partitioned, each shard colored on its own device, and
+        // boundary conflicts resolved (overlapped delta halo exchange)
+        // before the merged coloring comes back.
+        struct ShardTelemetry {
+            conflict_rounds: u32,
+            halo_bytes: u64,
+            halo_bytes_delta: u64,
+            halo_rounds: u64,
+            changed_boundary: u64,
+            overlap_ratio: f64,
+        }
+        let (result, shard) = if devices > 1 {
+            // The service verifies the merged coloring itself below, so the
+            // sharded path's own verification pass is redundant here.
+            let cfg = gc_shard::ShardedConfig {
+                verify: false,
+                ..gc_shard::ShardedConfig::new(devices)
+            };
+            let sharded = gc_shard::run_sharded(&colorer, &req.graph, req.seed, &cfg);
+            let telemetry = ShardTelemetry {
+                conflict_rounds: sharded.conflict_rounds,
+                halo_bytes: sharded.halo_bytes,
+                halo_bytes_delta: sharded.halo_bytes_delta,
+                halo_rounds: sharded.halo_rounds,
+                changed_boundary: sharded.changed_boundary,
+                overlap_ratio: sharded.overlap_ratio,
+            };
+            stats.on_sharded(
+                telemetry.halo_rounds,
+                telemetry.changed_boundary,
+                telemetry.halo_bytes,
+                telemetry.halo_bytes_delta,
+                telemetry.overlap_ratio,
+            );
+            (sharded.result, Some(telemetry))
+        } else {
+            (colorer.run(&req.graph, req.seed), None)
+        };
+
+        let verified = {
+            let _verify = gc_telemetry::span("verify");
+            is_proper(&req.graph, result.coloring.as_slice())
+        };
+        if let Err(v) = verified {
+            stats.on_failed();
+            req_span.attr("outcome", "improper");
+            return Err(ServiceError::ImproperColoring(v));
+        }
+
+        let metrics = result
+            .profile
+            .as_ref()
+            .map(RequestMetrics::from_profile)
+            .unwrap_or_default();
+        let resp = ColorResponse {
+            coloring: result.coloring,
+            num_colors: result.num_colors,
+            colorer: colorer.name(),
+            objective: req.objective.clone(),
+            model_ms: result.model_ms,
+            iterations: result.iterations,
+            cache_hit: false,
+            verified: true,
+            devices,
+            conflict_rounds: shard.as_ref().map_or(0, |s| s.conflict_rounds),
+            halo_bytes: shard.as_ref().map_or(0, |s| s.halo_bytes),
+            halo_bytes_delta: shard.as_ref().map_or(0, |s| s.halo_bytes_delta),
+            halo_rounds: shard.as_ref().map_or(0, |s| s.halo_rounds),
+            changed_boundary: shard.as_ref().map_or(0, |s| s.changed_boundary),
+            overlap_ratio: shard.as_ref().map_or(0.0, |s| s.overlap_ratio),
+            colors_before: 0,
+            colors_after: 0,
+            reduction_passes: 0,
+            metrics,
+        };
+        if reduce_budget_ms.is_some() {
+            // Prime the base entry so the next MinColors request (any
+            // budget) and Explicit requests for this colorer both hit.
+            let _insert = gc_telemetry::span("cache_insert");
+            cache.insert(base_key, Arc::new(resp.clone()));
+        }
+        resp
     };
-    if let Err(v) = verified {
-        stats.on_failed();
-        req_span.attr("outcome", "improper");
-        return Err(ServiceError::ImproperColoring(v));
+
+    if let Some(budget_ms) = reduce_budget_ms {
+        // The iterated color-reduction post-pass, on its own device so
+        // its transfers and kernels are metered apart from the base run.
+        let mut colors = resp.coloring.as_slice().to_vec();
+        let dev = gc_vgpu::Device::k40c();
+        let outcome = gc_core::reduce::reduce_colors(
+            &dev,
+            &req.graph,
+            &mut colors,
+            gc_core::reduce::ReduceBudget::model_ms(budget_ms as f64),
+        );
+        let verified = {
+            let _verify = gc_telemetry::span("verify");
+            is_proper(&req.graph, &colors)
+        };
+        if let Err(v) = verified {
+            stats.on_failed();
+            req_span.attr("outcome", "improper");
+            return Err(ServiceError::ImproperColoring(v));
+        }
+        resp.coloring = gc_core::color::Coloring::new(colors);
+        resp.num_colors = outcome.colors_after;
+        resp.colors_before = outcome.colors_before;
+        resp.colors_after = outcome.colors_after;
+        resp.reduction_passes = outcome.passes;
+        resp.model_ms += outcome.model_ms;
+        if req_span.is_recording() {
+            req_span.attr("colors_before", outcome.colors_before);
+            req_span.attr("reduction_passes", outcome.passes);
+        }
     }
 
-    let metrics = result
-        .profile
-        .as_ref()
-        .map(RequestMetrics::from_profile)
-        .unwrap_or_default();
-    let resp = ColorResponse {
-        coloring: result.coloring,
-        num_colors: result.num_colors,
-        colorer: colorer.name(),
-        objective: req.objective.clone(),
-        model_ms: result.model_ms,
-        iterations: result.iterations,
-        cache_hit: false,
-        verified: true,
-        devices,
-        conflict_rounds: shard.as_ref().map_or(0, |s| s.conflict_rounds),
-        halo_bytes: shard.as_ref().map_or(0, |s| s.halo_bytes),
-        halo_bytes_delta: shard.as_ref().map_or(0, |s| s.halo_bytes_delta),
-        halo_rounds: shard.as_ref().map_or(0, |s| s.halo_rounds),
-        changed_boundary: shard.as_ref().map_or(0, |s| s.changed_boundary),
-        overlap_ratio: shard.as_ref().map_or(0.0, |s| s.overlap_ratio),
-        metrics,
-    };
     {
         let _insert = gc_telemetry::span("cache_insert");
         cache.insert(key, Arc::new(resp.clone()));
@@ -631,6 +702,7 @@ mod tests {
             colorer: first.colorer,
             seed: 0,
             devices: 1,
+            reduce_budget_ms: None,
         };
         let new_key = CacheKey {
             graph_fp: new_fp,
@@ -651,6 +723,141 @@ mod tests {
             .unwrap();
         assert!(second.cache_hit, "revalidated entry must hit");
         assert_eq!(svc.stats().revalidated, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn min_colors_runs_hybrid_and_post_pass() {
+        let svc = ColoringService::start(ServiceConfig::default());
+        let h = svc.handle();
+        let g = mesh();
+        let resp = h
+            .color(ColorRequest::new(
+                Arc::clone(&g),
+                Objective::MinColors { budget_ms: 50 },
+            ))
+            .unwrap();
+        assert!(resp.verified);
+        assert_eq!(resp.colorer, "Hybrid/Color_JP");
+        assert!(is_proper(&g, resp.coloring.as_slice()).is_ok());
+        // The post-pass ran and reported its before/after story.
+        assert!(resp.colors_before >= resp.colors_after);
+        assert_eq!(resp.colors_after, resp.num_colors);
+        assert!(resp.reduction_passes >= 1);
+        // Hybrid first-fit on a five-point mesh is already near-optimal.
+        assert!(resp.num_colors <= 6, "got {} colors", resp.num_colors);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn min_colors_zero_budget_skips_the_post_pass() {
+        let svc = ColoringService::start(ServiceConfig::default());
+        let h = svc.handle();
+        let resp = h
+            .color(ColorRequest::new(
+                mesh(),
+                Objective::MinColors { budget_ms: 0 },
+            ))
+            .unwrap();
+        assert_eq!(resp.reduction_passes, 0);
+        assert_eq!(resp.colors_before, resp.colors_after);
+        assert_eq!(resp.colors_after, resp.num_colors);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn min_colors_reuses_cached_base_and_keeps_base_entry_unreduced() {
+        let svc = ColoringService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let h = svc.handle();
+        let g = mesh();
+        // Prime the base entry through the explicit objective.
+        let base = h
+            .color(ColorRequest::new(
+                Arc::clone(&g),
+                Objective::Explicit("Hybrid/Color_JP".into()),
+            ))
+            .unwrap();
+        assert!(!base.cache_hit);
+        assert_eq!(svc.cache_len(), 1);
+
+        // MinColors misses its own key but seeds the post-pass from the
+        // cached base run: the cache gains only the reduced entry.
+        let reduced = h
+            .color(ColorRequest::new(
+                Arc::clone(&g),
+                Objective::MinColors { budget_ms: 50 },
+            ))
+            .unwrap();
+        assert!(!reduced.cache_hit);
+        assert_eq!(reduced.colors_before, base.num_colors);
+        assert!(reduced.num_colors <= base.num_colors);
+        assert_eq!(svc.cache_len(), 2);
+
+        // The base entry stayed bit-identical: an Explicit request hits
+        // it and returns the unreduced coloring.
+        let again = h
+            .color(ColorRequest::new(
+                Arc::clone(&g),
+                Objective::Explicit("Hybrid/Color_JP".into()),
+            ))
+            .unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.coloring.as_slice(), base.coloring.as_slice());
+        assert_eq!(again.reduction_passes, 0);
+
+        // And the MinColors repeat hits the budget-tagged entry.
+        let hit = h
+            .color(ColorRequest::new(g, Objective::MinColors { budget_ms: 50 }))
+            .unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.coloring.as_slice(), reduced.coloring.as_slice());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn min_colors_fresh_run_primes_the_base_entry() {
+        let svc = ColoringService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let h = svc.handle();
+        let g = mesh();
+        h.color(ColorRequest::new(
+            Arc::clone(&g),
+            Objective::MinColors { budget_ms: 50 },
+        ))
+        .unwrap();
+        // One reduced entry + one primed base entry.
+        assert_eq!(svc.cache_len(), 2);
+        // A follow-up Explicit request for the base colorer is a hit.
+        let base = h
+            .color(ColorRequest::new(
+                g,
+                Objective::Explicit("Hybrid/Color_JP".into()),
+            ))
+            .unwrap();
+        assert!(base.cache_hit);
+        assert_eq!(base.reduction_passes, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn min_colors_tiny_graph_uses_cpu_greedy() {
+        let svc = ColoringService::start(ServiceConfig::default());
+        let h = svc.handle();
+        let g = Arc::new(cycle(64));
+        let resp = h
+            .color(ColorRequest::new(
+                Arc::clone(&g),
+                Objective::MinColors { budget_ms: 10 },
+            ))
+            .unwrap();
+        assert_eq!(resp.colorer, "CPU/Color_Greedy");
+        assert_eq!(resp.num_colors, 2);
+        assert!(is_proper(&g, resp.coloring.as_slice()).is_ok());
         svc.shutdown();
     }
 

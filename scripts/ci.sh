@@ -66,6 +66,14 @@ cargo run --release -q -p gc-bench --bin repro -- \
   bench --scale 0.002 --devices 8 --out "$trace_dir/bench8.json"
 cargo run --release -q -p gc-bench --bin repro -- \
   bench-check "$trace_dir/bench8.json"
+# --quality exercises the pareto sweep (hybrid JP, short-cutting IS,
+# +reduce post-pass arms): every point must verify and the reduce arms
+# must never add colors. The color/work gates themselves bind only at
+# the committed 0.2-scale artifact — smoke rows sit below the floor.
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench --scale 0.002 --quality --out "$trace_dir/bench_quality.json"
+cargo run --release -q -p gc-bench --bin repro -- \
+  bench-check "$trace_dir/bench_quality.json"
 
 echo "==> scale-sweep smoke: one fast-meter sweep step + committed BENCH_scale.json check"
 # Scale 15 only for CI speed; the committed artifact is the 15..24 run.
